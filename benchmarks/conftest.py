@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure from the paper: it
+computes the underlying data with the library, prints the same rows/series
+the paper reports (run pytest with ``-s`` to see them), asserts the *shape*
+of the result (who wins, by roughly what factor, where crossovers fall),
+and times the generation kernel via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (sweeps are deterministic and
+    some are seconds long; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered table/figure so it survives pytest's capture when
+    run with ``-s`` and is available in the captured output otherwise."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+
+    return _emit

@@ -1,0 +1,16 @@
+"""Benchmark-side alias of :mod:`repro.analysis.figures`.
+
+The figure-building machinery lives in the library (where it is unit
+tested); the benchmarks import it through this thin alias so each bench
+file stays a flat script.
+"""
+
+from repro.analysis.figures import (  # noqa: F401
+    FIGURE_TECHNIQUES,
+    FigureCell,
+    best_downtime_technique,
+    build_cell,
+    build_figure,
+    cheapest_surviving_technique,
+    render_figure,
+)

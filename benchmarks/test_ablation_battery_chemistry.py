@@ -1,0 +1,60 @@
+"""Ablation: Li-ion vs lead-acid batteries (Section 7, "Newer Battery
+technologies").
+
+Li-ion offers a flatter discharge curve and cheaper *power* but costlier
+*energy*.  The paper predicts this shifts preference toward energy-saving
+techniques (proactive hibernation) over runtime-hungry ones.  We re-price
+energy-heavy vs power-heavy UPS sizings under both chemistries.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.costs import BackupCostModel
+from repro.power.battery import LEAD_ACID, LI_ION
+from repro.power.ups import UPSSpec
+from repro.units import kilowatts, minutes
+
+
+def build_comparison():
+    model = BackupCostModel()
+    shapes = [
+        ("power-heavy (1x peak, 2 min)", kilowatts(4), minutes(2)),
+        ("balanced (0.5x peak, 30 min)", kilowatts(2), minutes(30)),
+        ("energy-heavy (0.5x peak, 120 min)", kilowatts(2), minutes(120)),
+    ]
+    rows = []
+    for label, power, runtime in shapes:
+        lead = model.ups_cost(UPSSpec(power, runtime, chemistry=LEAD_ACID))
+        li = model.ups_cost(UPSSpec(power, runtime, chemistry=LI_ION))
+        rows.append((label, lead, li, li / lead))
+    return rows
+
+
+def test_ablation_battery_chemistry(benchmark, emit):
+    rows = run_once(benchmark, build_comparison)
+    emit(
+        format_table(
+            ("UPS shape", "lead-acid ($/yr)", "li-ion ($/yr)", "li/lead"),
+            rows,
+            title="Ablation: chemistry cost asymmetry (4 KW rack)",
+        )
+    )
+
+    ratios = {label: ratio for label, _, _, ratio in rows}
+    # Power-heavy installations get CHEAPER with li-ion (0.8x power cost,
+    # no billable energy).
+    assert ratios["power-heavy (1x peak, 2 min)"] < 1.0
+    # Energy-heavy installations get markedly more expensive (2x energy).
+    assert ratios["energy-heavy (0.5x peak, 120 min)"] > 1.4
+    # The ratio rises monotonically with the energy share.
+    ordered = [ratio for _, _, _, ratio in rows]
+    assert ordered == sorted(ordered)
+
+    # Discharge-curve side: li-ion stretches far less at light load, so the
+    # sleep trick is less dramatic (but the flat curve wastes less at high
+    # load).
+    lead_spec = UPSSpec(kilowatts(4), minutes(2), chemistry=LEAD_ACID).battery_spec
+    li_spec = UPSSpec(kilowatts(4), minutes(2), chemistry=LI_ION).battery_spec
+    assert lead_spec.runtime_at(80.0) > 2.5 * li_spec.runtime_at(80.0)

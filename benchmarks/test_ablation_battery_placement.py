@@ -1,0 +1,87 @@
+"""Ablation: rack-level (pooled) vs server-level (private) battery placement.
+
+Section 3 adopts rack-level placement and defers the server-level variant
+to the tech report.  The first-order physics this bench quantifies: pooled
+strings let consolidation's survivors draw at a low aggregate load fraction
+(Peukert reward), while private per-server packs see rated load and strand
+the parked servers' charge — so consolidation-based techniques hold service
+roughly half as long under server-level placement, while uniform-load
+techniques (throttling, sleep) are placement-indifferent.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.power.placement import UPSPlacement
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+TECHNIQUES = ("throttling-p6", "sleep-l", "migration", "migration+sleep-l")
+OUTAGE = minutes(70)
+
+
+def build_study():
+    rack_dc = make_datacenter(specjbb(), get_configuration("LargeEUPS"))
+    server_dc = replace(
+        rack_dc, ups=replace(rack_dc.ups, placement=UPSPlacement.SERVER)
+    )
+    context = TechniqueContext(
+        cluster=rack_dc.cluster,
+        workload=specjbb(),
+        power_budget_watts=plan_power_budget_watts(rack_dc),
+    )
+    rows = []
+    for name in TECHNIQUES:
+        plan = get_technique(name).plan(context)
+        rack = simulate_outage(rack_dc, plan, OUTAGE)
+        server = simulate_outage(server_dc, plan, OUTAGE)
+        rows.append(
+            (
+                name,
+                rack.mean_performance,
+                server.mean_performance,
+                rack.downtime_seconds / 60,
+                server.downtime_seconds / 60,
+            )
+        )
+    return rows
+
+
+def test_ablation_battery_placement(benchmark, emit):
+    rows = run_once(benchmark, build_study)
+    emit(
+        format_table(
+            (
+                "technique",
+                "rack perf",
+                "server perf",
+                "rack down (min)",
+                "server down (min)",
+            ),
+            rows,
+            title="Ablation: battery placement (Specjbb, LargeEUPS, 70 min outage)",
+        )
+    )
+
+    by_name = {row[0]: row[1:] for row in rows}
+
+    # Uniform-load techniques are placement-indifferent.
+    for name in ("throttling-p6", "sleep-l"):
+        rack_perf, server_perf = by_name[name][0], by_name[name][1]
+        assert rack_perf == pytest.approx(server_perf, abs=1e-6)
+        assert by_name[name][2] == pytest.approx(by_name[name][3], abs=0.1)
+
+    # Consolidation-based techniques lose roughly half their delivered
+    # performance under private packs (stranding + concentration).
+    for name in ("migration", "migration+sleep-l"):
+        rack_perf, server_perf = by_name[name][0], by_name[name][1]
+        assert server_perf < 0.7 * rack_perf
+        assert server_perf > 0.3 * rack_perf

@@ -1,0 +1,89 @@
+"""Capstone: the full cost spectrum under per-outage expectations.
+
+Integrates every headline design over the Figure 1(b) duration mix (the
+deterministic quadrature of ``repro.core.whatif``) and asserts the paper's
+grand arc in one table: as provisioned cost falls from MaxPerf to MinCost,
+expected down time rises monotonically — but the UPS-only middle of the
+spectrum keeps crash probability near zero and expected down time a
+fraction of the no-backup endpoint, at 0.19-0.55x of today's cost.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.configurations import get_configuration
+from repro.core.whatif import ExpectedOutageAnalyzer
+from repro.techniques.registry import get_technique
+from repro.workloads.specjbb import specjbb
+
+DESIGNS = [
+    ("MaxPerf", "full-service"),
+    ("DG-SmallPUPS", "throttling"),
+    ("LargeEUPS", "throttle+sleep-l"),
+    ("NoDG", "throttle+sleep-l"),
+    ("SmallPUPS", "sleep-l"),
+    ("MinCost", "full-service"),
+]
+
+
+def build_spectrum():
+    analyzer = ExpectedOutageAnalyzer(specjbb(), num_servers=8)
+    rows = []
+    for config_name, technique_name in DESIGNS:
+        configuration = get_configuration(config_name)
+        report = analyzer.analyze(configuration, get_technique(technique_name))
+        rows.append(
+            (
+                config_name,
+                technique_name,
+                configuration.normalized_cost(),
+                report.expected_downtime_minutes,
+                report.expected_performance,
+                report.crash_probability,
+            )
+        )
+    return rows
+
+
+def test_ablation_expected_spectrum(benchmark, emit):
+    rows = run_once(benchmark, build_spectrum)
+    emit(
+        format_table(
+            (
+                "design",
+                "technique",
+                "cost",
+                "E[down] (min)",
+                "E[perf]",
+                "P[crash]",
+            ),
+            rows,
+            title="Capstone: per-outage expectations across the cost spectrum "
+            "(Specjbb, Figure 1(b) mix)",
+        )
+    )
+
+    by_name = {row[0]: row[2:] for row in rows}
+
+    # Costs descend down the table by construction.
+    costs = [row[2] for row in rows]
+    assert costs == sorted(costs, reverse=True)
+
+    # Expected down time rises monotonically as cost falls.
+    downs = [row[3] for row in rows]
+    assert downs == sorted(downs)
+
+    # The endpoints.
+    assert by_name["MaxPerf"][1] == 0.0
+    assert by_name["MinCost"][3] == pytest.approx(1.0)  # always crashes
+
+    # The paper's arc: the UPS-only middle holds crash probability near
+    # zero and expected down time well under the crash-through endpoint,
+    # at roughly half (or less) of today's cost.
+    assert by_name["LargeEUPS"][3] < 0.05
+    assert by_name["LargeEUPS"][1] < 0.7 * by_name["MinCost"][1]
+    assert by_name["NoDG"][3] < 0.10
+    # And the DG designs buy zero expected down time — at a premium.
+    assert by_name["DG-SmallPUPS"][1] == 0.0
+    assert by_name["DG-SmallPUPS"][0] > by_name["LargeEUPS"][0]

@@ -1,0 +1,68 @@
+"""Ablation: sensitivity to the FreeRunTime band (DESIGN.md ablation 2).
+
+The paper's tech report studies how the free base energy that comes bundled
+with a UPS power rating shifts the cost picture.  We sweep FreeRunTime and
+re-price the Table 3 configurations: energy-light configurations (NoDG) are
+insensitive, energy-heavy ones (LargeEUPS) get cheaper as more of their
+runtime comes free.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.configurations import get_configuration
+from repro.core.costs import BackupCostModel, CostParameters
+from repro.units import minutes
+
+FREE_RUNTIMES_MINUTES = (0.5, 1, 2, 4, 8, 16)
+CONFIGS = ("NoDG", "LargeEUPS", "SmallP-LargeEUPS", "MaxPerf")
+
+
+def build_sweep():
+    rows = []
+    for free_min in FREE_RUNTIMES_MINUTES:
+        model = BackupCostModel(
+            CostParameters(free_runtime_seconds=minutes(free_min))
+        )
+        row = [free_min]
+        for name in CONFIGS:
+            row.append(get_configuration(name).normalized_cost(model))
+        rows.append(tuple(row))
+    return rows
+
+
+def test_ablation_freeruntime(benchmark, emit):
+    rows = run_once(benchmark, build_sweep)
+    emit(
+        format_table(
+            ("free runtime (min)",) + CONFIGS,
+            rows,
+            title="Ablation: Table 3 costs vs FreeRunTime",
+        )
+    )
+
+    table = {row[0]: dict(zip(CONFIGS, row[1:])) for row in rows}
+
+    # The published costs correspond to the 2-minute band.
+    assert table[2]["NoDG"] == pytest.approx(0.375, abs=0.005)
+    assert table[2]["LargeEUPS"] == pytest.approx(0.55, abs=0.01)
+
+    # LargeEUPS's energy is increasingly covered by the free band: cost is
+    # monotone non-increasing in FreeRunTime, and the 16-min band covers
+    # over half the extra-energy bill.
+    large = [table[f]["LargeEUPS"] for f in FREE_RUNTIMES_MINUTES]
+    assert all(a >= b - 1e-9 for a, b in zip(large, large[1:]))
+    assert table[16]["LargeEUPS"] < table[0.5]["LargeEUPS"]
+
+    # NoDG (base-runtime UPS) barely moves once the band covers its 2 min.
+    assert table[16]["NoDG"] == pytest.approx(table[2]["NoDG"], abs=0.02)
+
+    # Normalisation note: MaxPerf (a 2-minute-runtime configuration) is the
+    # unit once the band covers its 2 minutes; below that it pays a small
+    # energy surcharge over the baseline.
+    for free_min in FREE_RUNTIMES_MINUTES:
+        if free_min >= 2:
+            assert table[free_min]["MaxPerf"] == pytest.approx(1.0)
+        else:
+            assert 1.0 < table[free_min]["MaxPerf"] < 1.05

@@ -1,0 +1,94 @@
+"""Section 6.2, "Impact of Application Memory Usage": re-run the Specjbb
+technique study at several memory-state sizes.
+
+The paper's summary (full data in its tech report): as state shrinks,
+hibernation down time falls; sleep is unaffected; sustain-execution
+techniques get cheaper; migration time tracks state size directly.  This
+bench regenerates that sweep with the resized-workload machinery.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.configurations import get_configuration
+from repro.core.performability import evaluate_point, make_datacenter
+from repro.core.selection import lowest_cost_backup
+from repro.techniques.base import TechniqueContext
+from repro.techniques.migration import Migration
+from repro.techniques.registry import get_technique
+from repro.units import gigabytes, minutes
+from repro.workloads.specjbb import specjbb
+
+SIZES_GB = (4.5, 9, 18, 36)
+
+
+def build_sweep():
+    rows = []
+    for size_gb in SIZES_GB:
+        workload = specjbb().with_memory_state(gigabytes(size_gb))
+        dc = make_datacenter(workload, get_configuration("MaxPerf"))
+        context = TechniqueContext(cluster=dc.cluster, workload=workload)
+
+        hibernate_plan = get_technique("hibernate").plan(context)
+        sleep_plan = get_technique("sleep").plan(context)
+        migration_seconds = Migration().migration_seconds(context)
+
+        hib_point = evaluate_point(
+            get_configuration("NoDG").with_runtime(minutes(20)),
+            get_technique("hibernate"),
+            workload,
+            30,
+        )
+        sized_migration = lowest_cost_backup(
+            get_technique("migration"), workload, minutes(30)
+        )
+        rows.append(
+            (
+                size_gb,
+                hibernate_plan.phases[0].duration_seconds,
+                hib_point.downtime_seconds,
+                sleep_plan.phases[0].duration_seconds,
+                migration_seconds,
+                sized_migration.normalized_cost,
+            )
+        )
+    return rows
+
+
+def test_ablation_state_size(benchmark, emit):
+    rows = run_once(benchmark, build_sweep)
+    emit(
+        format_table(
+            (
+                "state (GB)",
+                "hib save (s)",
+                "hib down @30s (s)",
+                "sleep save (s)",
+                "migrate (s)",
+                "migration cost",
+            ),
+            rows,
+            title="Ablation: Specjbb memory-state size (Section 6.2 study)",
+        )
+    )
+
+    by_size = {row[0]: row[1:] for row in rows}
+
+    # Hibernation save and down time shrink with state size.
+    hib_saves = [by_size[s][0] for s in SIZES_GB]
+    hib_downs = [by_size[s][1] for s in SIZES_GB]
+    assert hib_saves == sorted(hib_saves)
+    assert hib_downs == sorted(hib_downs)
+
+    # Sleep is state-size independent (Table 8 / Section 6.2).
+    sleep_saves = {by_size[s][2] for s in SIZES_GB}
+    assert len(sleep_saves) == 1
+
+    # Migration time tracks state size ~linearly.
+    assert by_size[36][3] == pytest.approx(2 * by_size[18][3], rel=0.01)
+    assert by_size[9][3] == pytest.approx(0.5 * by_size[18][3], rel=0.01)
+
+    # Smaller state -> cheaper sized backup for migration.
+    migration_costs = [by_size[s][4] for s in SIZES_GB]
+    assert migration_costs == sorted(migration_costs)

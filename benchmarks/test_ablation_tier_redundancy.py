@@ -1,0 +1,82 @@
+"""Ablation: the Tier-classification comparator (Section 2 related work).
+
+The classical cost-availability lever buys MORE redundancy (Tier I -> IV);
+the paper's lever removes capacity.  Pricing both through the same model
+shows the full axis: Tier IV at ~2.4x Tier I on one end, the Table 3
+underprovisioned points at 0.19-0.55x on the other — with the Monte-Carlo
+availability study quantifying what each point actually delivers against
+the Figure 1 outage mix.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.configurations import get_configuration
+from repro.core.costs import BackupCostModel
+from repro.power.redundancy import ALL_TIERS
+from repro.units import megawatts
+
+
+def build_study():
+    peak = megawatts(1)
+    model = BackupCostModel()
+    baseline = model.baseline_cost(peak)
+    rows = []
+    for tier in ALL_TIERS:
+        rows.append(
+            (
+                tier.name,
+                tier.redundancy.value,
+                tier.backup_cost(peak, cost_model=model) / baseline,
+                tier.backup_delivery_probability(),
+                tier.allowed_downtime_minutes_per_year,
+            )
+        )
+    for config_name in ("LargeEUPS", "NoDG", "SmallPUPS"):
+        config = get_configuration(config_name)
+        rows.append(
+            (
+                config_name,
+                "underprov.",
+                config.normalized_cost(model),
+                float("nan"),
+                float("nan"),
+            )
+        )
+    return rows, baseline
+
+
+def test_ablation_tier_redundancy(benchmark, emit):
+    rows, baseline = run_once(benchmark, build_study)
+    emit(
+        format_table(
+            (
+                "option",
+                "scheme",
+                "cost (x MaxPerf)",
+                "DG delivery prob",
+                "allowed down (min/yr)",
+            ),
+            rows,
+            title="Ablation: Tier ladder vs underprovisioning (1 MW facility)",
+        )
+    )
+
+    by_name = {row[0]: row for row in rows}
+
+    # The Tier ladder only increases cost; Tier IV >= 2x Tier I.
+    tier_costs = [by_name[t.name][2] for t in ALL_TIERS]
+    assert tier_costs == sorted(tier_costs)
+    assert by_name["Tier IV"][2] >= 2 * by_name["Tier I"][2]
+
+    # Tier I (single-string N) IS roughly MaxPerf: cost ~1.0.
+    assert by_name["Tier I"][2] == pytest.approx(1.0, abs=0.01)
+
+    # Underprovisioned points all sit below Tier I's cost.
+    for name in ("LargeEUPS", "NoDG", "SmallPUPS"):
+        assert by_name[name][2] < by_name["Tier I"][2]
+
+    # Redundancy buys delivery probability: N+1 engines clear 99.9 %.
+    assert by_name["Tier II"][3] > 0.999
+    assert by_name["Tier I"][3] < by_name["Tier II"][3]

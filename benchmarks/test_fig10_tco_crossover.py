@@ -1,0 +1,41 @@
+"""Figure 10: revenue loss + server depreciation vs savings from backup
+underprovisioning (Google 2011 data) — the ~5 h/yr crossover."""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.tco import TCOModel
+
+
+def build_figure10():
+    model = TCOModel()
+    series = model.figure_series(max_minutes=500, step_minutes=50)
+    return model, series
+
+
+def test_figure10_tco_crossover(benchmark, emit):
+    model, series = run_once(benchmark, build_figure10)
+    emit(
+        format_table(
+            ("outage (min/yr)", "loss ($/KW/yr)", "DG savings ($/KW/yr)"),
+            series,
+            title="Figure 10: cost of outage vs cost of DG",
+        )
+    )
+    crossover = model.crossover_minutes_per_year()
+    emit(f"Crossover: {crossover:.0f} min/yr (~{crossover / 60:.1f} h)")
+
+    # Loss line passes through the published slope: $0.283/KW/min.
+    assert model.loss_per_kw_minute == pytest.approx(0.283, abs=1e-6)
+    # DG savings line is flat at $83.3/KW/yr.
+    assert all(row[2] == pytest.approx(83.3) for row in series)
+    # Paper: crossover "turns out to be around 5 hours per year".
+    assert crossover / 60 == pytest.approx(5.0, abs=0.5)
+    # Left of crossover profitable, right of it not.
+    assert model.profitable_without_dg(crossover - 10)
+    assert not model.profitable_without_dg(crossover + 10)
+    # The loss line crosses the savings line within the plotted range.
+    below = [m for m, loss, savings in series if loss < savings]
+    above = [m for m, loss, savings in series if loss > savings]
+    assert below and above

@@ -1,0 +1,64 @@
+"""Figure 1: power-outage frequency and duration distributions.
+
+Regenerates both panels from the library's empirical distributions and
+cross-checks them against a Monte-Carlo year generator, reproducing the two
+summary statistics the paper leans on: 87 % of businesses see <= 6 outages a
+year, and > 58 % of outages last under 5 minutes.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis.report import format_figure_bars, format_table
+from repro.outages.distributions import (
+    OUTAGE_DURATION_DISTRIBUTION,
+    OUTAGE_FREQUENCY_DISTRIBUTION,
+)
+from repro.outages.generator import OutageGenerator
+from repro.units import minutes
+
+
+def build_figure1(num_years: int = 4000):
+    generator = OutageGenerator(seed=2014)
+    years = generator.sample_years(num_years)
+    counts = np.array([len(y) for y in years])
+    durations = np.concatenate([y.durations() for y in years if len(y)])
+    frequency_panel = {
+        bucket.label: bucket.probability
+        for bucket in OUTAGE_FREQUENCY_DISTRIBUTION.buckets
+    }
+    duration_panel = {
+        bucket.label: bucket.probability
+        for bucket in OUTAGE_DURATION_DISTRIBUTION.buckets
+    }
+    measured_duration_panel = {
+        bucket.label: float(
+            np.mean(
+                (durations >= bucket.low_seconds) & (durations < bucket.high_seconds)
+            )
+        )
+        for bucket in OUTAGE_DURATION_DISTRIBUTION.buckets
+    }
+    return counts, durations, frequency_panel, duration_panel, measured_duration_panel
+
+
+def test_figure1_outage_distributions(benchmark, emit):
+    counts, durations, freq, dur, measured = run_once(benchmark, build_figure1)
+
+    emit(format_figure_bars(freq, title="Figure 1(a): outages per year (model)"))
+    emit(format_figure_bars(dur, title="Figure 1(b): outage duration (model)"))
+    emit(
+        format_table(
+            ("bucket", "paper", "monte-carlo"),
+            [(label, dur[label], measured[label]) for label in dur],
+            title="Figure 1(b): paper mass vs sampled mass",
+        )
+    )
+
+    # Paper: 87 % of businesses see 6 or fewer outages.
+    assert np.mean(counts <= 6) > 0.80
+    # Paper: > 58 % of outages shorter than 5 minutes.
+    assert np.mean(durations < minutes(5)) > 0.55
+    # Sampled masses track the published histogram.
+    for label in dur:
+        assert abs(measured[label] - dur[label]) < 0.02

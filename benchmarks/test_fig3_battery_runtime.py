@@ -1,0 +1,45 @@
+"""Figure 3: runtime chart for a battery with max power of 4 KW.
+
+Regenerates the APC-style runtime-vs-load curve from the Peukert model and
+checks the two anchor points the paper quotes: 60 minutes at 25 % load
+(delivering ~1 kWh) and 10 minutes at 100 % load (delivering ~0.66 kWh).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.power.battery import BatterySpec
+from repro.units import minutes, to_kilowatt_hours
+
+
+def build_figure3():
+    spec = BatterySpec(rated_power_watts=4000.0, rated_runtime_seconds=minutes(10))
+    fractions = [0.10, 0.25, 0.40, 0.55, 0.70, 0.85, 1.00]
+    rows = []
+    for load_watts, runtime_minutes in spec.runtime_chart(fractions):
+        energy_kwh = to_kilowatt_hours(spec.deliverable_energy_at(load_watts))
+        rows.append((load_watts, runtime_minutes, energy_kwh))
+    return rows
+
+
+def test_figure3_battery_runtime(benchmark, emit):
+    rows = run_once(benchmark, build_figure3)
+
+    emit(
+        format_table(
+            ("load (W)", "runtime (min)", "delivered (kWh)"),
+            rows,
+            title="Figure 3: runtime for a battery with max power of 4 KW",
+        )
+    )
+
+    by_load = {load: (runtime, energy) for load, runtime, energy in rows}
+    # Paper anchors: 60 min / 1 kWh at 1000 W; 10 min / 0.66 kWh at 4000 W.
+    assert by_load[1000.0][0] == pytest.approx(60.0, rel=1e-6)
+    assert by_load[1000.0][1] == pytest.approx(1.0, abs=0.01)
+    assert by_load[4000.0][0] == pytest.approx(10.0, rel=1e-6)
+    assert by_load[4000.0][1] == pytest.approx(0.66, abs=0.01)
+    # Runtime is disproportionately higher at lower load levels.
+    runtimes = [runtime for _, runtime, _ in rows]
+    assert runtimes == sorted(runtimes, reverse=True)

@@ -1,0 +1,92 @@
+"""Figure 5: cost and performability trade-offs between the six backup
+configurations for Specjbb, across outage durations 0.5-120 minutes.
+
+For each configuration and duration, the best technique (highest
+performance, lowest down time — the paper's selection rule) is chosen
+automatically; the bench prints the three panels (cost / performance /
+down time) and asserts the figure's shape.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.analysis.sweep import index_results, sweep_configurations
+from repro.core.configurations import FIGURE5_CONFIGURATIONS
+from repro.outages.distributions import PAPER_OUTAGE_DURATIONS_SECONDS
+from repro.units import minutes, to_minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build_figure5():
+    return sweep_configurations(
+        specjbb(), FIGURE5_CONFIGURATIONS, PAPER_OUTAGE_DURATIONS_SECONDS
+    )
+
+
+def test_figure5_config_tradeoffs(benchmark, emit):
+    results = run_once(benchmark, build_figure5)
+    indexed = index_results(results)
+
+    durations = PAPER_OUTAGE_DURATIONS_SECONDS
+    header = ("configuration", "cost") + tuple(
+        f"{to_minutes(d):g}min" for d in durations
+    )
+
+    perf_rows = []
+    down_rows = []
+    for name in FIGURE5_CONFIGURATIONS:
+        cells = [indexed[(name, d)] for d in durations]
+        perf_rows.append(
+            (name, cells[0].normalized_cost)
+            + tuple(round(c.performance, 2) for c in cells)
+        )
+        down_rows.append(
+            (name, cells[0].normalized_cost)
+            + tuple(round(c.downtime_minutes, 1) for c in cells)
+        )
+    emit(format_table(header, perf_rows, title="Figure 5(b): performance"))
+    emit(format_table(header, down_rows, title="Figure 5(c): down time (min)"))
+
+    def cell(name, duration):
+        return indexed[(name, duration)]
+
+    # MaxPerf: best performance and zero down time at every duration.
+    for d in durations:
+        assert cell("MaxPerf", d).performance == pytest.approx(1.0)
+        assert cell("MaxPerf", d).downtime_minutes == 0.0
+
+    # MinCost: no performance, and heavy down time even for 30 s outages.
+    assert cell("MinCost", 30).performance == 0.0
+    assert cell("MinCost", 30).downtime_minutes * 60 > 350  # paper: ~400 s
+
+    # DG-SmallPUPS rides out the DG start-up with zero down time but a
+    # performance penalty concentrated in short outages.
+    for d in durations:
+        assert cell("DG-SmallPUPS", d).downtime_minutes == 0.0
+    assert cell("DG-SmallPUPS", 30).performance < cell(
+        "DG-SmallPUPS", minutes(30)
+    ).performance
+
+    # LargeEUPS matches MaxPerf through its 30-minute runtime, then decays.
+    assert cell("LargeEUPS", minutes(30)).performance == pytest.approx(1.0)
+    assert cell("LargeEUPS", minutes(30)).downtime_minutes == 0.0
+    late = cell("LargeEUPS", minutes(120))
+    assert late.performance < 0.7 or late.downtime_minutes > 0
+
+    # NoDG survives short outages at full service but cannot cover 30 min
+    # without deep degradation or down time.
+    assert cell("NoDG", 30).performance == pytest.approx(1.0)
+    nodg_30 = cell("NoDG", minutes(30))
+    assert nodg_30.performance < 0.6 or nodg_30.downtime_minutes > 0
+
+    # SmallP-LargeEUPS (same cost as NoDG) dominates it for 30+ minutes.
+    for d in (minutes(30), minutes(60)):
+        assert (
+            cell("SmallP-LargeEUPS", d).performance
+            >= cell("NoDG", d).performance - 1e-9
+        )
+        assert (
+            cell("SmallP-LargeEUPS", d).downtime_minutes
+            <= cell("NoDG", d).downtime_minutes + 1e-9
+        )

@@ -1,0 +1,80 @@
+"""Figure 6: impact of power-outage duration on the different techniques
+for Specjbb — cost, down time and performance panels across 30 s to 2 h,
+each technique at its lowest-cost UPS sizing, throttling-bearing techniques
+as (min, max) P-state ranges."""
+
+from conftest import run_once
+from figure_helpers import (
+    best_downtime_technique,
+    build_figure,
+    render_figure,
+)
+from repro.outages.distributions import PAPER_OUTAGE_DURATIONS_SECONDS
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build():
+    return build_figure(specjbb(), PAPER_OUTAGE_DURATIONS_SECONDS)
+
+
+def test_figure6_technique_durations(benchmark, emit):
+    cells = run_once(benchmark, build)
+    emit(render_figure(cells, PAPER_OUTAGE_DURATIONS_SECONDS, "Specjbb (Figure 6)"))
+
+    def cell(name, duration):
+        return cells[(name, duration)]
+
+    # -- short outages (30 s) -------------------------------------------------
+    # Throttling holds full-ish performance cheaply; the paper's Sleep-L
+    # down time is ~38 s vs MinCost's 400 s.
+    assert cell("throttling", 30).performance > 0.9
+    assert cell("throttling", 30).cost < 0.4
+    assert cell("sleep-l", 30).downtime_minutes * 60 < 45
+    # Hibernation is a bad idea for a 30 s outage (save exceeds outage).
+    assert (
+        cell("hibernate", 30).downtime_minutes
+        > cell("sleep", 30).downtime_minutes * 4
+    )
+
+    # -- medium outages (30 min) ----------------------------------------------
+    # Throttling still matches MaxPerf performance at < 40 % of its cost.
+    assert cell("throttling", minutes(30)).performance > 0.9
+    assert cell("throttling", minutes(30)).cost_range[0] < 0.4
+    # Sleep-based techniques stay very cheap.
+    assert cell("throttle+sleep-l", minutes(30)).cost < 0.25
+
+    # -- long outages (2 h) ------------------------------------------------------
+    # Hybrids sustain at ~20 % cost; throttling needs far more battery.
+    assert cell("throttle+sleep-l", hours(2)).cost < 0.3
+    assert (
+        cell("throttling", hours(2)).cost_range[0]
+        > 1.5 * cell("throttle+sleep-l", hours(2)).cost
+    )
+    # Migration beats throttling's best performance per cost at 2 h: its
+    # consolidated perf exceeds deep-throttle perf.
+    assert (
+        cell("proactive-migration", hours(2)).performance_range[1]
+        >= cell("throttling", hours(2)).performance_range[0]
+    )
+
+    # The best technique under a fixed cost budget changes with duration —
+    # the paper's central "no single winner" insight.  Under a ~0.3 budget,
+    # throttling wins short outages outright, but for 2 h no sustain-
+    # execution technique fits the budget and the sleep hybrids take over.
+    budget = 0.30
+
+    def winner_under_budget(duration):
+        affordable = [
+            cell
+            for (name, d), cell in cells.items()
+            if d == duration and cell.feasible and cell.cost <= budget
+        ]
+        return min(affordable, key=lambda c: (c.downtime_minutes, -c.performance))
+
+    assert winner_under_budget(30).technique == "throttling"
+    long_winner = winner_under_budget(hours(2))
+    assert "sleep" in long_winner.technique or "hibernate" in long_winner.technique
+    assert not (
+        cells[("throttling", hours(2))].cost <= budget
+    ), "throttling should not fit the 2 h budget"

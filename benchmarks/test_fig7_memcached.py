@@ -1,0 +1,71 @@
+"""Figure 7: technique trade-offs for Memcached (30 s / 30 min / 2 h).
+
+The headline surprises this figure carries:
+
+* hibernation's down time (1140 s) EXCEEDS the crash-and-reload path
+  (480 s) for a 30 s outage — re-persisting a slab-allocated cache costs
+  more than regenerating it;
+* throttling's performance is much better than for Specjbb (memory-stalled
+  CPU);
+* proactive migration is markedly cheaper than migration because the
+  read-only cache leaves almost nothing dirty to move.
+"""
+
+import pytest
+
+from conftest import run_once
+from figure_helpers import build_figure, render_figure
+from repro.core.configurations import get_configuration
+from repro.core.performability import evaluate_point
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.memcached import memcached
+
+DURATIONS = (30, minutes(30), hours(2))
+
+
+def build():
+    return build_figure(memcached(), DURATIONS)
+
+
+def test_figure7_memcached(benchmark, emit):
+    cells = run_once(benchmark, build)
+    emit(render_figure(cells, DURATIONS, "Memcached (Figure 7)"))
+
+    def cell(name, duration):
+        return cells[(name, duration)]
+
+    # Crash baseline for a 30 s outage: ~480 s (Section 6.2).
+    crash = evaluate_point(
+        get_configuration("MinCost"), get_technique("full-service"), memcached(), 30
+    )
+    assert crash.downtime_seconds == pytest.approx(480, rel=0.1)
+
+    # Hibernation down time exceeds the crash path (paper: 1140 s vs 480 s).
+    hibernate_down = cell("hibernate", 30).downtime_minutes * 60
+    assert hibernate_down > crash.downtime_seconds
+    assert hibernate_down == pytest.approx(1140, rel=0.15)
+
+    # Throttling performance beats Specjbb's at the same depth.
+    from repro.workloads.specjbb import specjbb
+
+    deepest_ratio = 1.6 / 3.4  # the P6 frequency floor
+    mc_perf = memcached().throttled_performance(deepest_ratio)
+    jbb_perf = specjbb().throttled_performance(deepest_ratio)
+    assert mc_perf > jbb_perf + 0.2
+
+    # Proactive migration undercuts migration's cost (paper: ~20 % more
+    # savings) at every duration.
+    for duration in DURATIONS:
+        assert (
+            cell("proactive-migration", duration).cost
+            <= cell("migration", duration).cost + 1e-9
+        )
+    assert (
+        cell("proactive-migration", minutes(30)).cost
+        < cell("migration", minutes(30)).cost
+    )
+
+    # Sleep hybrids stay cheap across the board.
+    for duration in DURATIONS:
+        assert cell("throttle+sleep-l", duration).cost < 0.3

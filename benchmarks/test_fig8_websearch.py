@@ -1,0 +1,62 @@
+"""Figure 8: technique trade-offs for Web-search (30 s / 30 min / 2 h).
+
+The figure's signature result: losing memory state is *extremely* harmful
+despite the index being read-only — MinCost's 30 s-outage down time is
+~600 s (2 min restart + 3.5 min index pre-population + warm-up booked as
+down time), while hibernation, whose image drops the page-cache index and
+re-reads it deliberately, lands near 400 s.
+"""
+
+import pytest
+
+from conftest import run_once
+from figure_helpers import build_figure, render_figure
+from repro.core.configurations import get_configuration
+from repro.core.performability import evaluate_point
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.websearch import websearch
+
+DURATIONS = (30, minutes(30), hours(2))
+
+
+def build():
+    return build_figure(websearch(), DURATIONS)
+
+
+def test_figure8_websearch(benchmark, emit):
+    cells = run_once(benchmark, build)
+    emit(render_figure(cells, DURATIONS, "Web-search (Figure 8)"))
+
+    def cell(name, duration):
+        return cells[(name, duration)]
+
+    # MinCost: ~600 s down for a 30 s outage (Section 6.2's breakdown).
+    crash = evaluate_point(
+        get_configuration("MinCost"), get_technique("full-service"), websearch(), 30
+    )
+    assert crash.downtime_seconds == pytest.approx(600, rel=0.1)
+
+    # Hibernation preserves state and lands near 400 s — BETTER than
+    # crashing, the opposite of Memcached.
+    hibernate_down = cell("hibernate", 30).downtime_minutes * 60
+    assert hibernate_down == pytest.approx(400, rel=0.15)
+    assert hibernate_down < crash.downtime_seconds
+
+    # Sleep + throttling remains the cheap sweet spot.
+    assert cell("throttle+sleep-l", minutes(30)).cost < 0.25
+    sleep_down = cell("sleep-l", 30).downtime_minutes * 60
+    assert sleep_down < 60  # ~outage + 8 s resume
+
+    # Proactive techniques help little here beyond plain variants (tiny
+    # dirty residual, but migration still must move the 40 GB cache once;
+    # proactive migration moves almost nothing).
+    assert (
+        cell("proactive-migration", minutes(30)).cost
+        <= cell("migration", minutes(30)).cost
+    )
+
+    # Throttling retains moderate performance (less memory-stalled than
+    # Memcached, less CPU-bound than Specjbb).
+    lo, hi = cell("throttling", minutes(30)).performance_range
+    assert 0.5 < lo < hi <= 1.0

@@ -1,0 +1,70 @@
+"""Figure 9: technique trade-offs for SpecCPU (mcf*8) (30 s / 30 min / 2 h).
+
+The figure's signature: MinCost's down time spans a huge (min, max) range —
+depending on when the outage strikes, hours of computation are recomputed —
+while the state-preserving techniques collapse that range.  The paper finds
+the remaining trade-offs "very similar to that of Specjbb".
+"""
+
+import pytest
+
+from conftest import run_once
+from figure_helpers import build_figure, render_figure
+from repro.core.configurations import get_configuration
+from repro.core.performability import evaluate_point
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.speccpu import speccpu_mcf
+
+DURATIONS = (30, minutes(30), hours(2))
+
+
+def build():
+    workload = speccpu_mcf()
+    cells = build_figure(workload, DURATIONS)
+    # MinCost's (min, max): best case loses no work, worst case loses the
+    # whole uncheckpointed job.
+    config = get_configuration("MinCost")
+    tech = get_technique("full-service")
+    best = evaluate_point(config, tech, workload, 30, lost_work_seconds=0.0)
+    worst = evaluate_point(
+        config, tech, workload, 30,
+        lost_work_seconds=workload.recovery.recompute_horizon_seconds,
+    )
+    return cells, (best.downtime_seconds, worst.downtime_seconds)
+
+
+def test_figure9_speccpu(benchmark, emit):
+    cells, mincost_range = run_once(benchmark, build)
+    emit(render_figure(cells, DURATIONS, "SpecCPU mcf*8 (Figure 9)"))
+    emit(
+        f"MinCost down-time range for a 30 s outage: "
+        f"{mincost_range[0]:.0f}..{mincost_range[1]:.0f} s"
+    )
+
+    def cell(name, duration):
+        return cells[(name, duration)]
+
+    # The MinCost range spans the full recompute horizon (2 h job).
+    lo, hi = mincost_range
+    assert hi - lo == pytest.approx(7200, rel=0.01)
+
+    # State-preserving techniques collapse the range: sleep's down time for
+    # a 30 s outage is two orders of magnitude below the crash worst case.
+    sleep_down = cell("sleep-l", 30).downtime_minutes * 60
+    assert sleep_down < hi / 50
+
+    # Trade-off structure mirrors Specjbb: throttling wins short outages,
+    # hybrids win long ones on cost.
+    assert cell("throttling", 30).cost < 0.4
+    assert cell("throttle+sleep-l", hours(2)).cost < 0.3
+    assert (
+        cell("throttling", hours(2)).cost_range[0]
+        > cell("throttle+sleep-l", hours(2)).cost
+    )
+
+    # mcf throttles a bit more gracefully than Specjbb (memory intensive).
+    from repro.workloads.specjbb import specjbb
+
+    ratio = 1.6 / 3.4
+    assert speccpu_mcf().throttled_performance(ratio) > specjbb().throttled_performance(ratio)

@@ -1,0 +1,37 @@
+"""Table 1: DG and UPS cost estimation parameters.
+
+Prints the parameter table and checks the published per-unit rates and the
+free-runtime band, plus the depreciation sanity the caption states (DG and
+UPS electronics over 12 years, lead-acid batteries over 4 years).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.costs import PAPER_COST_PARAMETERS
+from repro.power.battery import LEAD_ACID
+from repro.units import minutes, to_minutes
+
+
+def build_table1():
+    p = PAPER_COST_PARAMETERS
+    return [
+        ("DGPowerCost", f"${p.dg_power_cost_per_kw_year}/KW/year"),
+        ("UPSPowerCost", f"${p.ups_power_cost_per_kw_year}/KW/year"),
+        ("UPSEnergyCost", f"${p.ups_energy_cost_per_kwh_year}/KWh/year"),
+        ("FreeRunTime", f"{to_minutes(p.free_runtime_seconds):.0f} min"),
+    ]
+
+
+def test_table1_cost_parameters(benchmark, emit):
+    rows = run_once(benchmark, build_table1)
+    emit(format_table(("Parameter", "Value"), rows, title="Table 1"))
+
+    p = PAPER_COST_PARAMETERS
+    assert p.dg_power_cost_per_kw_year == pytest.approx(83.3)
+    assert p.ups_power_cost_per_kw_year == pytest.approx(50.0)
+    assert p.ups_energy_cost_per_kwh_year == pytest.approx(50.0)
+    assert p.free_runtime_seconds == minutes(2)
+    # Caption: lead-acid batteries depreciate over 4 years.
+    assert LEAD_ACID.lifetime_years == 4.0

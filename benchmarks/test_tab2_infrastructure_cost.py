@@ -1,0 +1,82 @@
+"""Table 2: estimated amortised annual cap-ex of backup infrastructure.
+
+Regenerates the three rows (1 MW / 10 MW at 2 min, 10 MW at 42 min) and the
+paper's three observations: multi-M$ scale, near-linear growth with peak
+power, and very slow growth with energy capacity (a ~21x energy increase
+raising total cost only ~24 %).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.costs import BackupCostModel
+from repro.power.generator import DieselGeneratorSpec
+from repro.power.ups import UPSSpec
+from repro.units import megawatts, minutes
+
+
+ROWS = [
+    (1, 2),
+    (10, 2),
+    (10, 42),
+]
+
+
+def build_table2():
+    model = BackupCostModel()
+    rows = []
+    for peak_mw, runtime_min in ROWS:
+        ups = UPSSpec(megawatts(peak_mw), minutes(runtime_min))
+        dg = DieselGeneratorSpec(megawatts(peak_mw))
+        rows.append(
+            (
+                peak_mw,
+                model.dg_cost(dg) / 1e6,
+                runtime_min,
+                model.ups_cost(ups) / 1e6,
+                model.total_cost(ups, dg) / 1e6,
+            )
+        )
+    return rows
+
+
+def test_table2_infrastructure_cost(benchmark, emit):
+    rows = run_once(benchmark, build_table2)
+    emit(
+        format_table(
+            (
+                "Peak Power (MW)",
+                "DG cost (M$/yr)",
+                "UPS runtime (min)",
+                "UPS cost (M$/yr)",
+                "Total (M$/yr)",
+            ),
+            rows,
+            title="Table 2",
+        )
+    )
+
+    by_key = {(peak, runtime): row for (peak, _, runtime, _, _), row in zip(rows, rows)}
+    one_mw = by_key[(1, 2)]
+    ten_mw = by_key[(10, 2)]
+    ten_mw_42 = by_key[(10, 42)]
+
+    # Paper row 1: 0.08 / 0.05 / 0.13 M$.
+    assert one_mw[1] == pytest.approx(0.08, abs=0.005)
+    assert one_mw[3] == pytest.approx(0.05, abs=0.005)
+    assert one_mw[4] == pytest.approx(0.13, abs=0.01)
+    # Paper row 2: 0.83 / 0.51 / 1.34 M$.
+    assert ten_mw[1] == pytest.approx(0.83, abs=0.01)
+    assert ten_mw[4] == pytest.approx(1.34, abs=0.02)
+    # Paper row 3: 0.83 / 0.83 / 1.66 M$.
+    assert ten_mw_42[3] == pytest.approx(0.83, abs=0.01)
+    assert ten_mw_42[4] == pytest.approx(1.66, abs=0.02)
+
+    # Observation (i): multi-megawatt facilities -> millions per year.
+    assert ten_mw[4] > 1.0
+    # Observation (ii): 21x energy -> ~24 % total increase.
+    increase = (ten_mw_42[4] - ten_mw[4]) / ten_mw[4]
+    assert increase == pytest.approx(0.24, abs=0.02)
+    # Observation (iii): near-linear in peak power (10x power ~ 10x cost).
+    assert ten_mw[4] / one_mw[4] == pytest.approx(10.0, rel=0.05)

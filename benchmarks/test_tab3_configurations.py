@@ -1,0 +1,59 @@
+"""Table 3: the nine underprovisioning configurations and their costs,
+normalised to current datacenter practice (MaxPerf)."""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.configurations import PAPER_CONFIGURATIONS
+from repro.units import to_minutes
+
+PAPER_COSTS = {
+    "MaxPerf": 1.0,
+    "MinCost": 0.0,
+    "NoDG": 0.38,
+    "NoUPS": 0.63,
+    "DG-SmallPUPS": 0.81,
+    "SmallDG-SmallPUPS": 0.50,
+    "SmallPUPS": 0.19,
+    "LargeEUPS": 0.55,
+    "SmallP-LargeEUPS": 0.38,
+}
+
+
+def build_table3():
+    rows = []
+    for config in PAPER_CONFIGURATIONS:
+        rows.append(
+            (
+                config.name,
+                config.dg_power_fraction,
+                config.ups_power_fraction,
+                f"{to_minutes(config.ups_runtime_seconds):.0f} min",
+                config.normalized_cost(),
+            )
+        )
+    return rows
+
+
+def test_table3_configurations(benchmark, emit):
+    rows = run_once(benchmark, build_table3)
+    emit(
+        format_table(
+            ("Configuration", "DG Power", "UPS Power", "UPS Energy", "Cost"),
+            rows,
+            title="Table 3 (cost normalised to MaxPerf)",
+        )
+    )
+
+    measured = {name: cost for name, _, _, _, cost in rows}
+    assert set(measured) == set(PAPER_COSTS)
+    for name, paper_cost in PAPER_COSTS.items():
+        assert measured[name] == pytest.approx(paper_cost, abs=0.01), name
+
+    # Headline deltas the text calls out.
+    assert 1 - measured["NoDG"] == pytest.approx(0.62, abs=0.01)  # "62% reduction"
+    assert 1 - measured["NoUPS"] == pytest.approx(0.37, abs=0.01)  # "37% savings"
+    assert 1 - measured["SmallPUPS"] == pytest.approx(0.81, abs=0.01)  # "81% savings"
+    # SmallP-LargeEUPS trades power for runtime at NoDG's exact price.
+    assert measured["SmallP-LargeEUPS"] == pytest.approx(measured["NoDG"], abs=0.005)

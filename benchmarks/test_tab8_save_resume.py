@@ -1,0 +1,70 @@
+"""Table 8: time to save and resume Specjbb memory state, per technique,
+plus the save-phase peak power normalised to server peak."""
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import format_table
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.workloads.specjbb import specjbb
+
+TECHNIQUES = ("sleep", "hibernate", "proactive-hibernate", "sleep-l", "hibernate-l")
+
+#: Table 8 as published: (save s, resume s, save power / server peak).
+PAPER_TABLE8 = {
+    "sleep": (6, 8, 1.0),
+    "hibernate": (230, 157, 1.0),
+    "proactive-hibernate": (179, 157, 1.0),
+    "sleep-l": (8, 8, 0.5),
+    "hibernate-l": (385, 175, 0.5),
+}
+
+
+def build_table8():
+    workload = specjbb()
+    dc = make_datacenter(workload, get_configuration("MaxPerf"))
+    context = TechniqueContext(cluster=dc.cluster, workload=workload)
+    rows = []
+    for name in TECHNIQUES:
+        plan = get_technique(name).plan(context)
+        save_phase, parked = plan.phases
+        rows.append(
+            (
+                name,
+                save_phase.duration_seconds,
+                parked.resume_downtime_seconds,
+                save_phase.power_watts / dc.cluster.peak_power_watts,
+            )
+        )
+    return rows
+
+
+def test_table8_save_resume(benchmark, emit):
+    rows = run_once(benchmark, build_table8)
+    emit(
+        format_table(
+            ("Technique", "Save (s)", "Resume (s)", "Save power (x peak)"),
+            rows,
+            title="Table 8: Specjbb save/resume per technique",
+        )
+    )
+
+    measured = {name: (save, resume, power) for name, save, resume, power in rows}
+    for name, (paper_save, paper_resume, paper_power) in PAPER_TABLE8.items():
+        save, resume, power = measured[name]
+        assert save == pytest.approx(paper_save, rel=0.25), f"{name} save"
+        assert resume == pytest.approx(paper_resume, rel=0.25), f"{name} resume"
+        assert power == pytest.approx(paper_power, rel=0.15), f"{name} power"
+
+    # Exact anchors the calibration pins down.
+    assert measured["sleep"][0] == pytest.approx(6.0)
+    assert measured["sleep"][1] == pytest.approx(8.0)
+    assert measured["hibernate"][0] == pytest.approx(230, rel=0.02)
+    assert measured["hibernate"][1] == pytest.approx(157, rel=0.05)
+    # Relations the paper highlights.
+    assert measured["proactive-hibernate"][0] < measured["hibernate"][0]
+    assert measured["hibernate-l"][0] > measured["hibernate"][0]
+    assert measured["sleep-l"][2] == pytest.approx(0.5, abs=0.06)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Adaptive operation under unknown outage durations (Section 7).
+
+When utility fails, the operator does not know how long the outage will
+last.  This example shows the two pieces the paper sketches:
+
+1. the **online predictor** — conditional survival queries over the
+   Figure 1(b) statistics ("we are 10 minutes in; what are the odds this
+   runs past an hour, and how much longer should we expect?"), and
+2. the **escalation policy** compiled from it — throttle at full
+   performance first, deepen as the outage ages, finally park in S3 —
+   evaluated head-to-head against static techniques on a mixed outage
+   sample.
+
+Run:  python examples/adaptive_operator.py
+"""
+
+import numpy as np
+
+from repro import (
+    AdaptivePolicy,
+    OutageDurationPredictor,
+    evaluate_point,
+    get_configuration,
+    get_technique,
+    get_workload,
+    minutes,
+)
+from repro.outages.distributions import OUTAGE_DURATION_DISTRIBUTION
+
+
+def show_predictor(predictor: OutageDurationPredictor) -> None:
+    print("=== Online duration predictor (Figure 1(b) statistics) ===")
+    print(f"{'elapsed':>9s} {'P(> 1 h)':>9s} {'E[remaining]':>13s}")
+    for elapsed_min in (0, 1, 5, 10, 30, 60):
+        elapsed = minutes(elapsed_min)
+        p_hour = predictor.probability_exceeds(minutes(60), elapsed)
+        remaining = predictor.expected_remaining_seconds(elapsed)
+        print(f"{elapsed_min:7d}m  {p_hour:9.2f} {remaining / 60:11.1f}m")
+    thresholds = predictor.escalation_thresholds(confidence=0.5)
+    print(f"escalation thresholds: {[f'{t / 60:.0f}m' for t in thresholds]}")
+    print()
+
+
+def compare_policies() -> None:
+    print("=== Adaptive ladder vs static techniques (LargeEUPS, Specjbb) ===")
+    workload = get_workload("specjbb")
+    configuration = get_configuration("LargeEUPS")
+    rng = np.random.default_rng(7)
+    durations = np.clip(OUTAGE_DURATION_DISTRIBUTION.sample(rng, size=40), 5, None)
+
+    policies = {
+        "always full-service": get_technique("full-service"),
+        "always sleep-l": get_technique("sleep-l"),
+        "adaptive ladder": AdaptivePolicy(),
+    }
+    print(f"{'policy':22s} {'mean perf':>10s} {'mean down':>10s} {'crashes':>8s}")
+    for label, technique in policies.items():
+        perfs, downs, crashes = [], [], 0
+        for duration in durations:
+            point = evaluate_point(
+                configuration, technique, workload, float(duration), num_servers=8
+            )
+            perfs.append(point.performance)
+            downs.append(point.downtime_seconds)
+            crashes += int(point.crashed)
+        print(
+            f"{label:22s} {np.mean(perfs):10.2f} "
+            f"{np.mean(downs) / 60:8.1f}m {crashes:8d}"
+        )
+    print()
+    print("The ladder keeps near-full performance on the short outages that")
+    print("dominate the mix, and never loses state on the long tail.")
+
+
+def main() -> None:
+    show_predictor(OutageDurationPredictor())
+    compare_policies()
+
+
+if __name__ == "__main__":
+    main()

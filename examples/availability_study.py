@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Yearly availability study: Monte-Carlo over the Figure 1 outage mix.
+
+The paper evaluates single outages of fixed duration; an operator signs
+SLAs over *years*.  This example samples hundreds of years of outages from
+the paper's US-business statistics (Figure 1), plays every outage through
+the simulator for several (configuration, technique) pairings of Web-search,
+and reports yearly down time, availability "nines", crash rates, and the
+expected dollar loss per KW under the Figure 10 TCO model.
+
+Run:  python examples/availability_study.py
+"""
+
+from repro import get_configuration, get_technique, get_workload
+from repro.analysis.availability import AvailabilityAnalyzer
+
+PAIRINGS = [
+    ("MaxPerf", "full-service"),
+    ("NoDG", "throttle+sleep-l"),
+    ("LargeEUPS", "throttle+sleep-l"),
+    ("SmallPUPS", "sleep-l"),
+    ("SmallP-LargeEUPS", "throttling"),
+    ("MinCost", "full-service"),
+]
+
+YEARS = 150
+
+
+def main() -> None:
+    workload = get_workload("websearch")
+    analyzer = AvailabilityAnalyzer(workload, seed=2014)
+
+    print(f"Monte-Carlo availability of {workload.name} over {YEARS} simulated years")
+    print(
+        f"{'configuration':18s} {'technique':18s} {'cost':>5s} "
+        f"{'down/yr':>9s} {'p95':>8s} {'nines':>6s} {'crash%':>7s} {'$loss/KW/yr':>12s}"
+    )
+    print("-" * 92)
+
+    for config_name, technique_name in PAIRINGS:
+        configuration = get_configuration(config_name)
+        report = analyzer.analyze(
+            configuration, get_technique(technique_name), years=YEARS
+        )
+        nines = f"{report.nines:5.2f}" if report.nines != float("inf") else "  inf"
+        print(
+            f"{config_name:18s} {technique_name:18s} "
+            f"{configuration.normalized_cost():5.2f} "
+            f"{report.mean_downtime_minutes_per_year:7.1f}m "
+            f"{report.p95_downtime_minutes_per_year:7.1f}m "
+            f"{nines:>6s} "
+            f"{report.crash_fraction:6.1%} "
+            f"{report.expected_loss_dollars_per_kw_year:12.2f}"
+        )
+
+    print()
+    print("Reading: LargeEUPS + throttle+sleep-l buys most of MaxPerf's")
+    print("availability at 55% of its cost; MinCost's dollar losses dwarf")
+    print("what the backup would have cost.")
+
+
+if __name__ == "__main__":
+    main()

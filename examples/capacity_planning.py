@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Capacity planning: size the cheapest backup for an availability target.
+
+The scenario the paper's introduction motivates: an operator builds a new
+hall and must decide how much backup to buy.  For each workload, this
+example asks the provisioning planner three questions of increasing
+stringency —
+
+  1. survive a 30-minute outage (state preserved, any performance),
+  2. survive it with at most 40 % performance degradation,
+  3. survive it seamlessly (full performance, zero down time),
+
+— then prices the answers against today's practice (MaxPerf = 1.0) and
+runs the TCO crossover check that decides whether skipping the diesel
+generators is profitable for a Google-2011-style organisation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import ProvisioningPlanner, TCOModel, get_workload, minutes
+from repro.errors import InfeasibleError
+
+
+def plan_row(planner, outage_seconds, min_performance, max_downtime_seconds):
+    try:
+        result = planner.plan(
+            outage_seconds=outage_seconds,
+            min_performance=min_performance,
+            max_downtime_seconds=max_downtime_seconds,
+        )
+    except InfeasibleError:
+        return None
+    return result
+
+
+def main() -> None:
+    outage = minutes(30)
+    targets = [
+        ("just survive", 0.0, float("inf")),
+        ("<=40% degradation", 0.55, 0.0),
+        ("seamless", 0.99, 0.0),
+    ]
+
+    for workload_name in ("specjbb", "websearch", "memcached", "speccpu"):
+        workload = get_workload(workload_name)
+        planner = ProvisioningPlanner(workload)
+        print(f"=== {workload_name}: cheapest backup for a 30-minute outage ===")
+        print(
+            f"{'target':20s} {'cost':>6s} {'technique':>20s} "
+            f"{'UPS power':>10s} {'runtime':>9s}"
+        )
+        for label, min_perf, max_down in targets:
+            result = plan_row(planner, outage, min_perf, max_down)
+            if result is None:
+                print(f"{label:20s} {'--- infeasible ---':>48s}")
+                continue
+            config = result.configuration
+            print(
+                f"{label:20s} {result.normalized_cost:6.2f} "
+                f"{result.technique_name:>20s} "
+                f"{config.ups_power_fraction:9.0%} "
+                f"{config.ups_runtime_seconds / 60:7.1f}m"
+            )
+        print()
+
+    tco = TCOModel()
+    crossover = tco.crossover_minutes_per_year()
+    print("=== TCO: is skipping the diesel generators profitable? ===")
+    print(f"loss rate           : ${tco.loss_per_kw_minute:.3f}/KW/min of down time")
+    print(f"DG savings          : ${tco.dg_savings_per_kw_year:.1f}/KW/yr")
+    print(f"crossover           : {crossover:.0f} outage-min/yr (~{crossover / 60:.1f} h)")
+    for yearly_minutes in (30, 120, 294, 400):
+        verdict = "PROFITABLE" if tco.profitable_without_dg(yearly_minutes) else "not worth it"
+        print(f"  {yearly_minutes:4d} min/yr of outage -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

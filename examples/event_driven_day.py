@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Event-driven day-in-the-life: diurnal load + two outages on one timeline.
+
+Demonstrates the discrete-event engine: hourly load-change events reshape
+the facility draw through a diurnal curve, and two utility outages (a short
+evening blip, a longer overnight failure) fire as events whose outcomes
+come from the outage simulator, starting from whatever battery charge the
+previous outage and the recharge window left behind.
+
+Run:  python examples/event_driven_day.py
+"""
+
+from repro import (
+    get_configuration,
+    get_technique,
+    get_workload,
+    make_datacenter,
+    minutes,
+)
+from repro.core.performability import plan_power_budget_watts
+from repro.sim.engine import SimulationEngine
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.units import SECONDS_PER_HOUR, hours
+from repro.workloads.traces import DiurnalLoadModel
+
+OUTAGES = [
+    (hours(19.25), minutes(4), "evening blip"),
+    (hours(22.0), minutes(55), "overnight failure"),
+]
+RECHARGE_SECONDS = hours(8)
+
+
+def main() -> None:
+    workload = get_workload("websearch")
+    datacenter = make_datacenter(workload, get_configuration("LargeEUPS"))
+    context = TechniqueContext(
+        cluster=datacenter.cluster,
+        workload=workload,
+        power_budget_watts=plan_power_budget_watts(datacenter),
+    )
+    plan = get_technique("throttle+sleep-l").plan(context)
+    diurnal = DiurnalLoadModel(base=0.45, amplitude=0.5, peak_hour=15)
+
+    engine = SimulationEngine()
+    log = []
+    state = {"soc": 1.0, "last_outage_end": -float("inf")}
+
+    def record_load(eng: SimulationEngine) -> None:
+        load = diurnal.load_at(eng.now)
+        draw = datacenter.cluster.power_watts(utilization=load)
+        log.append((eng.now, f"load {load:4.0%} -> facility draw {draw:6.0f} W"))
+
+    def make_outage_handler(duration, label):
+        def handler(eng: SimulationEngine) -> None:
+            gap = eng.now - state["last_outage_end"]
+            soc = min(1.0, state["soc"] + gap / RECHARGE_SECONDS)
+            outcome = simulate_outage(
+                datacenter, plan, duration, initial_state_of_charge=soc
+            )
+            state["soc"] = outcome.ups_state_of_charge_end
+            state["last_outage_end"] = eng.now + duration
+            log.append(
+                (
+                    eng.now,
+                    f"OUTAGE ({label}, {duration / 60:.0f} min, battery at "
+                    f"{soc:4.0%}): perf {outcome.mean_performance:.2f}, down "
+                    f"{outcome.downtime_seconds / 60:.1f} min, "
+                    f"{'CRASH' if outcome.crashed else 'state preserved'}, "
+                    f"battery left {outcome.ups_state_of_charge_end:4.0%}",
+                )
+            )
+
+        return handler
+
+    for hour in range(0, 24, 2):
+        engine.schedule(hour * SECONDS_PER_HOUR, record_load, label=f"load@{hour}h")
+    for start, duration, label in OUTAGES:
+        engine.schedule(start, make_outage_handler(duration, label), label=label)
+
+    engine.run(until_seconds=hours(24))
+
+    print("One simulated day (LargeEUPS + throttle+sleep-l, Web-search):")
+    print()
+    for when, message in sorted(log):
+        print(f"  {when / 3600:5.2f}h  {message}")
+    print()
+    print(f"events processed: {engine.events_processed}")
+
+
+if __name__ == "__main__":
+    main()

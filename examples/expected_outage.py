@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Per-outage expectations: "when an outage hits, what should we expect?"
+
+The figures evaluate fixed durations; a design review wants expectations
+over the real duration mix (Figure 1(b)).  This example integrates the
+simulator deterministically over that distribution for each candidate
+design and prints the numbers an operator would quote: expected down time
+per outage, expected performance, crash probability, and expected battery
+draw — alongside the design's cost.
+
+Run:  python examples/expected_outage.py
+"""
+
+from repro import get_configuration, get_technique, get_workload
+from repro.core.whatif import ExpectedOutageAnalyzer
+
+DESIGNS = [
+    ("MaxPerf", "full-service"),
+    ("DG-SmallPUPS", "throttling"),
+    ("LargeEUPS", "throttle+sleep-l"),
+    ("NoDG", "throttle+sleep-l"),
+    ("SmallPUPS", "sleep-l"),
+    ("MinCost", "full-service"),
+]
+
+
+def main() -> None:
+    workload = get_workload("specjbb")
+    analyzer = ExpectedOutageAnalyzer(workload, num_servers=8)
+
+    print(f"Per-outage expectations for {workload.name} over the Figure 1(b) mix")
+    print(
+        f"{'design':14s} {'technique':18s} {'cost':>5s} "
+        f"{'E[down]':>9s} {'E[perf]':>8s} {'P[crash]':>9s} {'E[charge]':>10s}"
+    )
+    print("-" * 80)
+    for config_name, technique_name in DESIGNS:
+        configuration = get_configuration(config_name)
+        report = analyzer.analyze(configuration, get_technique(technique_name))
+        print(
+            f"{config_name:14s} {technique_name:18s} "
+            f"{configuration.normalized_cost():5.2f} "
+            f"{report.expected_downtime_minutes:7.1f}m "
+            f"{report.expected_performance:8.2f} "
+            f"{report.crash_probability:9.2f} "
+            f"{report.expected_ups_charge:10.1%}"
+        )
+
+    print()
+    print("Reading: most outages are minutes long, so the UPS-only designs")
+    print("hold their expected down time close to MaxPerf's at a fraction of")
+    print("the cost; only the no-backup endpoint pays the full crash bill on")
+    print("every single event.")
+
+
+if __name__ == "__main__":
+    main()

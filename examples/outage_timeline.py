@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Outage timeline: watch one outage unfold, segment by segment.
+
+Prints the simulator's power/performance trace — the software equivalent of
+the paper's Yokogawa power-meter chart — for a 2-hour outage handled by the
+Throttle+Sleep-L hybrid on the LargeEUPS configuration.  You can see the
+adaptive hold (throttled service draining the battery), the committed
+suspend, and the long S3 tail at a few watts per server, followed by the
+resume bill after utility returns.
+
+Run:  python examples/outage_timeline.py
+"""
+
+from repro import (
+    get_configuration,
+    get_technique,
+    get_workload,
+    hours,
+    make_datacenter,
+    simulate_outage,
+)
+from repro.core.performability import plan_power_budget_watts
+from repro.techniques.base import TechniqueContext
+
+
+def main() -> None:
+    workload = get_workload("specjbb")
+    configuration = get_configuration("LargeEUPS")
+    datacenter = make_datacenter(workload, configuration)
+    technique = get_technique("throttle+sleep-l")
+
+    context = TechniqueContext(
+        cluster=datacenter.cluster,
+        workload=workload,
+        power_budget_watts=plan_power_budget_watts(datacenter),
+    )
+    plan = technique.plan(context)
+    outage = hours(2)
+    outcome = simulate_outage(datacenter, plan, outage)
+
+    print(f"configuration : {configuration.name} "
+          f"(UPS {datacenter.ups.power_capacity_watts / 1000:.1f} KW, "
+          f"{datacenter.ups.rated_runtime_seconds / 60:.0f} min rated)")
+    print(f"technique     : {plan.technique_name}")
+    print(f"outage        : {outage / 60:.0f} minutes")
+    print()
+    print(f"{'t_start':>9s} {'t_end':>9s} {'source':>7s} "
+          f"{'power (W)':>10s} {'perf':>5s}  phase")
+    print("-" * 62)
+    for seg in outcome.trace:
+        print(
+            f"{seg.start_seconds:8.1f}s {seg.end_seconds:8.1f}s "
+            f"{seg.source:>7s} {seg.power_watts:10.1f} "
+            f"{seg.performance:5.2f}  {seg.label}"
+        )
+
+    print()
+    from repro.analysis.report import format_trace_sparkline
+
+    print(format_trace_sparkline(outcome.trace, width=64, title="trace:"))
+    print()
+    print(f"mean performance during outage : {outcome.mean_performance:.3f}")
+    print(f"down time during outage        : "
+          f"{outcome.downtime_during_outage_seconds / 60:.1f} min")
+    print(f"down time after restore        : "
+          f"{outcome.downtime_after_restore_seconds:.1f} s")
+    print(f"battery charge consumed        : {outcome.ups_charge_consumed:.1%}")
+    print(f"energy drawn from UPS          : "
+          f"{outcome.ups_energy_joules / 3.6e6:.2f} kWh")
+    print(f"state preserved                : {outcome.state_preserved}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate one underprovisioned backup against one outage.
+
+Reproduces the paper's basic experiment in a dozen lines: take Specjbb on a
+16-server cluster, remove the diesel generators and buy a 30-minute UPS
+instead (the paper's LargeEUPS configuration, 55 % of today's cost), and see
+what a 30-minute utility outage does to performance and availability under
+a few outage-handling techniques.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    evaluate_point,
+    get_configuration,
+    get_technique,
+    get_workload,
+    minutes,
+)
+
+
+def main() -> None:
+    workload = get_workload("specjbb")
+    configuration = get_configuration("LargeEUPS")
+    outage = minutes(30)
+
+    print(f"workload        : {workload.name}")
+    print(f"configuration   : {configuration.name} "
+          f"(cost = {configuration.normalized_cost():.2f} x MaxPerf)")
+    print(f"outage duration : {outage / 60:.0f} minutes")
+    print()
+    print(f"{'technique':22s} {'perf':>6s} {'down (min)':>11s} {'crashed':>8s}")
+    print("-" * 52)
+
+    for name in (
+        "full-service",
+        "throttling",
+        "sleep-l",
+        "hibernate",
+        "proactive-migration",
+        "throttle+sleep-l",
+    ):
+        point = evaluate_point(configuration, get_technique(name), workload, outage)
+        print(
+            f"{name:22s} {point.performance:6.2f} "
+            f"{point.downtime_minutes:11.1f} {str(point.crashed):>8s}"
+        )
+
+    print()
+    print("Today's practice (MaxPerf, cost 1.00) for comparison:")
+    maxperf = evaluate_point(
+        get_configuration("MaxPerf"), get_technique("full-service"), workload, outage
+    )
+    print(
+        f"{'full-service':22s} {maxperf.performance:6.2f} "
+        f"{maxperf.downtime_minutes:11.1f} {str(maxperf.crashed):>8s}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Tornado sensitivity study: which modelling constants carry the results?
+
+The paper's conclusions rest on a handful of calibrated constants.  This
+example perturbs each one across a plausible range and measures the swing
+it induces in two headline quantities:
+
+1. the normalised cost of the LargeEUPS configuration (the "drop the DGs,
+   buy 30 minutes of battery" design point), and
+2. the number of hours a SmallPUPS-backed fleet survives asleep in S3
+   (the Throttle+Sleep-L long-outage story).
+
+Run:  python examples/sensitivity_study.py
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.sensitivity import SensitivityStudy
+from repro.core.configurations import get_configuration
+from repro.core.costs import BackupCostModel, CostParameters
+from repro.power.battery import BatteryChemistry, BatterySpec
+from repro.units import minutes
+
+
+def cost_study() -> None:
+    def metric(params):
+        model = BackupCostModel(
+            CostParameters(
+                dg_power_cost_per_kw_year=params["dg_$per_kw"],
+                ups_power_cost_per_kw_year=params["ups_power_$per_kw"],
+                ups_energy_cost_per_kwh_year=params["ups_energy_$per_kwh"],
+                free_runtime_seconds=params["free_runtime_s"],
+            )
+        )
+        return get_configuration("LargeEUPS").normalized_cost(model)
+
+    study = SensitivityStudy(
+        metric=metric,
+        baseline={
+            "dg_$per_kw": 83.3,
+            "ups_power_$per_kw": 50.0,
+            "ups_energy_$per_kwh": 50.0,
+            "free_runtime_s": minutes(2),
+        },
+        ranges={
+            "dg_$per_kw": (41.65, 166.6),
+            "ups_power_$per_kw": (25.0, 100.0),
+            "ups_energy_$per_kwh": (25.0, 100.0),
+            "free_runtime_s": (minutes(0.5), minutes(8)),
+        },
+    )
+    rows = [
+        (r.parameter, r.low_metric, r.high_metric, r.swing, r.elasticity())
+        for r in study.run()
+    ]
+    print(
+        format_table(
+            ("parameter", "low", "high", "swing", "elasticity"),
+            rows,
+            title="LargeEUPS normalised cost (baseline "
+            f"{study.run()[0].baseline_metric:.3f})",
+        )
+    )
+    print()
+
+
+def sleep_survival_study() -> None:
+    def metric(params):
+        chem = BatteryChemistry("probe", params["peukert_k"], 4.0)
+        # SmallPUPS: half-peak rating; the fleet sleeps at per-server watts.
+        spec = BatterySpec(2000.0, params["rated_runtime_s"], chemistry=chem)
+        sleep_load = 16 * params["s3_watts"]
+        return spec.runtime_at(sleep_load) / 3600.0
+
+    study = SensitivityStudy(
+        metric=metric,
+        baseline={
+            "peukert_k": 1.2925,
+            "rated_runtime_s": minutes(2),
+            "s3_watts": 5.0,
+        },
+        ranges={
+            "peukert_k": (1.0, 1.4),
+            "rated_runtime_s": (minutes(1), minutes(4)),
+            "s3_watts": (2.0, 10.0),
+        },
+    )
+    rows = [
+        (r.parameter, r.low_metric, r.high_metric, r.swing, r.elasticity())
+        for r in study.run()
+    ]
+    print(
+        format_table(
+            ("parameter", "low (h)", "high (h)", "swing (h)", "elasticity"),
+            rows,
+            title="Hours of S3 survival on a SmallPUPS pack (baseline "
+            f"{study.run()[0].baseline_metric:.1f} h)",
+        )
+    )
+    print()
+    print("Reading: the Peukert exponent dominates the sleep-survival story —")
+    print("it is also the best-anchored constant (fitted exactly to the")
+    print("paper's Figure 3).  Cost conclusions are steadiest: no single rate")
+    print("moves LargeEUPS's relative cost by more than ~0.3.")
+
+
+def main() -> None:
+    cost_study()
+    sleep_survival_study()
+
+
+if __name__ == "__main__":
+    main()

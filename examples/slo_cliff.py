@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The latency-SLO cliff: why throttling costs latency-bound services extra.
+
+Table 7 scores Specjbb and Web-search as latency-CONSTRAINED throughput.
+This example uses the M/M/1 SLO model to show the effect throttling has on
+that metric: the SLO reserves a fixed headroom of service rate, so cutting
+capacity in half cuts SLO-compliant throughput by MORE than half — and at
+tight latency targets the metric falls off a cliff well before capacity
+reaches zero.  It then answers the operator's inverse question: how deep
+may each service be throttled during an outage while keeping 60 % of its
+SLO throughput?
+
+Run:  python examples/slo_cliff.py
+"""
+
+from repro.workloads.latency import LatencySLOModel, slo_amplification
+
+SERVICES = [
+    ("interactive search (50 ms p99)", LatencySLOModel(1000.0, 0.050)),
+    ("web serving (100 ms p99)", LatencySLOModel(1000.0, 0.100)),
+    ("api backend (250 ms p99)", LatencySLOModel(1000.0, 0.250)),
+    ("batch-ish (1 s p99)", LatencySLOModel(1000.0, 1.000)),
+]
+
+CAPACITY_FACTORS = (1.0, 0.8, 0.6, 0.47, 0.3)
+
+
+def cliff_table() -> None:
+    print("SLO-compliant throughput (fraction of full) vs throttled capacity")
+    print(f"{'service':32s}" + "".join(f"{c:>8.0%}" for c in CAPACITY_FACTORS))
+    print("-" * (32 + 8 * len(CAPACITY_FACTORS)))
+    for label, model in SERVICES:
+        cells = []
+        for factor in CAPACITY_FACTORS:
+            cells.append(f"{model.slo_performance(factor):>8.2f}")
+        print(f"{label:32s}" + "".join(cells))
+    print()
+    print("Amplification at the deepest P-state (47 % capacity):")
+    for label, model in SERVICES:
+        amp = slo_amplification(model, 0.47)
+        print(f"  {label:32s} loses {amp:.2f}x what raw capacity loses")
+    print()
+
+
+def planning_table() -> None:
+    print("Deepest allowed throttle to keep 60 % of SLO throughput:")
+    for label, model in SERVICES:
+        factor = model.capacity_factor_for_performance(0.60)
+        print(f"  {label:32s} capacity factor >= {factor:.2f}")
+    print()
+    print("Reading: the tighter the SLO, the less throttling an outage plan")
+    print("may use — tight-SLO services should prefer consolidation (which")
+    print("keeps the survivors at full speed) or geo-failover over deep DVFS.")
+
+
+def main() -> None:
+    cliff_table()
+    planning_table()
+
+
+if __name__ == "__main__":
+    main()

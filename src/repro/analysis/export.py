@@ -1,0 +1,136 @@
+"""Export results to CSV / JSON for downstream plotting.
+
+The benchmarks print ASCII, but anyone regenerating the paper's figures in
+matplotlib/R wants machine-readable rows.  These helpers serialise the
+library's result objects (sweep cells, performability points, availability
+reports, outage outcomes) into plain dict records and write them as CSV or
+JSON — no third-party dependencies, stable column order.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+Record = Mapping[str, Any]
+PathLike = Union[str, "io.TextIOBase"]
+
+
+class ExportError(ReproError, ValueError):
+    """A value could not be serialised."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a value into something JSON/CSV friendly."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if hasattr(value, "value") and hasattr(type(value), "__members__"):  # Enum
+        return value.value
+    raise ExportError(f"cannot serialise {type(value).__name__}: {value!r}")
+
+
+def sweep_records(results: Iterable) -> List[Dict[str, Any]]:
+    """Flatten :class:`~repro.analysis.sweep.SweepResult` cells to records."""
+    records = []
+    for cell in results:
+        records.append(
+            {
+                "row_key": cell.row_key,
+                "outage_seconds": cell.outage_seconds,
+                "normalized_cost": _jsonable(cell.normalized_cost),
+                "feasible": cell.feasible,
+                "performance": _jsonable(cell.performance),
+                "downtime_minutes": _jsonable(cell.downtime_minutes),
+                "technique": cell.point.technique_name if cell.point else None,
+                "crashed": cell.point.crashed if cell.point else None,
+            }
+        )
+    return records
+
+
+def point_record(point) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.core.performability.PerformabilityPoint`."""
+    return {
+        "configuration": point.configuration_name,
+        "technique": point.technique_name,
+        "workload": point.workload_name,
+        "outage_seconds": point.outage_seconds,
+        "normalized_cost": _jsonable(point.normalized_cost),
+        "feasible": point.feasible,
+        "performance": _jsonable(point.performance),
+        "downtime_seconds": _jsonable(point.downtime_seconds),
+        "crashed": point.crashed,
+    }
+
+
+def availability_record(report) -> Dict[str, Any]:
+    """Flatten an :class:`~repro.analysis.availability.AvailabilityReport`."""
+    record = {k: _jsonable(v) for k, v in asdict(report).items()}
+    record["nines"] = _jsonable(report.nines)
+    return record
+
+
+def trace_records(trace) -> List[Dict[str, Any]]:
+    """Flatten a :class:`~repro.sim.trace.PowerTrace` to per-segment rows."""
+    return [
+        {
+            "start_seconds": seg.start_seconds,
+            "end_seconds": seg.end_seconds,
+            "power_watts": seg.power_watts,
+            "performance": seg.performance,
+            "source": seg.source,
+            "label": seg.label,
+        }
+        for seg in trace
+    ]
+
+
+def _columns(records: Sequence[Record]) -> List[str]:
+    columns: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def to_csv(records: Sequence[Record], path: Optional[str] = None) -> str:
+    """Serialise records to CSV text (and optionally write a file)."""
+    buffer = io.StringIO()
+    if records:
+        writer = csv.DictWriter(buffer, fieldnames=_columns(records))
+        writer.writeheader()
+        for record in records:
+            writer.writerow({k: _jsonable(v) for k, v in record.items()})
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def to_json(records: Sequence[Record], path: Optional[str] = None, indent: int = 2) -> str:
+    """Serialise records to a JSON array (and optionally write a file)."""
+    text = json.dumps([_jsonable(dict(r)) for r in records], indent=indent)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,177 @@
+"""Builders for the technique-comparison figures (Figures 6-9).
+
+Each figure fixes a workload and compares the outage-handling techniques
+across outage durations; every technique is priced at its lowest-cost
+DG-less UPS sizing (the paper's Section 6.2 methodology).  Techniques that
+embed DVFS throttling are reported as (min, max) ranges over the P-state
+ladder, mirroring the paper's two-bar presentation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.core.selection import lowest_cost_backup
+from repro.errors import InfeasibleError
+from repro.techniques.registry import get_technique
+from repro.units import to_minutes
+from repro.workloads.base import WorkloadSpec
+
+#: The figure's bar set: plain techniques, plus P-state (min, max) pairs
+#: for the throttling-bearing ones.
+FIGURE_TECHNIQUES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("throttling", ("throttling-p1", "throttling-p6")),
+    ("sleep", ("sleep",)),
+    ("sleep-l", ("sleep-l",)),
+    ("hibernate", ("hibernate",)),
+    ("hibernate-l", ("hibernate-l",)),
+    ("proactive-hibernate", ("proactive-hibernate",)),
+    ("migration", ("migration", "migration-p6")),
+    ("proactive-migration", ("proactive-migration", "proactive-migration-p6")),
+    ("throttle+sleep-l", ("throttle+sleep-l",)),
+    ("throttle+hibernate", ("throttle+hibernate",)),
+    ("migration+sleep-l", ("migration+sleep-l",)),
+)
+
+
+@dataclass(frozen=True)
+class FigureCell:
+    """One (technique, duration) bar: (min, max) over its variants."""
+
+    technique: str
+    outage_seconds: float
+    cost_range: Tuple[float, float]
+    performance_range: Tuple[float, float]
+    downtime_minutes_range: Tuple[float, float]
+    feasible: bool
+
+    @property
+    def cost(self) -> float:
+        return self.cost_range[0]
+
+    @property
+    def performance(self) -> float:
+        return self.performance_range[1]
+
+    @property
+    def downtime_minutes(self) -> float:
+        return self.downtime_minutes_range[0]
+
+
+def build_cell(
+    technique_display: str,
+    variants: Sequence[str],
+    workload: WorkloadSpec,
+    outage_seconds: float,
+) -> FigureCell:
+    costs: List[float] = []
+    perfs: List[float] = []
+    downs: List[float] = []
+    for variant in variants:
+        try:
+            sized = lowest_cost_backup(
+                get_technique(variant), workload, outage_seconds
+            )
+        except InfeasibleError:
+            continue
+        costs.append(sized.normalized_cost)
+        perfs.append(sized.point.performance)
+        downs.append(sized.point.downtime_minutes)
+    if not costs:
+        return FigureCell(
+            technique=technique_display,
+            outage_seconds=outage_seconds,
+            cost_range=(math.inf, math.inf),
+            performance_range=(0.0, 0.0),
+            downtime_minutes_range=(math.inf, math.inf),
+            feasible=False,
+        )
+    return FigureCell(
+        technique=technique_display,
+        outage_seconds=outage_seconds,
+        cost_range=(min(costs), max(costs)),
+        performance_range=(min(perfs), max(perfs)),
+        downtime_minutes_range=(min(downs), max(downs)),
+        feasible=True,
+    )
+
+
+def build_figure(
+    workload: WorkloadSpec,
+    durations_seconds: Sequence[float],
+    techniques: Sequence[Tuple[str, Tuple[str, ...]]] = FIGURE_TECHNIQUES,
+) -> Dict[Tuple[str, float], FigureCell]:
+    cells: Dict[Tuple[str, float], FigureCell] = {}
+    for display, variants in techniques:
+        for duration in durations_seconds:
+            cells[(display, duration)] = build_cell(
+                display, variants, workload, duration
+            )
+    return cells
+
+
+def _format_range(low: float, high: float, digits: int = 2) -> str:
+    if math.isinf(low):
+        return "infeasible"
+    if abs(high - low) < 10 ** (-digits):
+        return f"{low:.{digits}f}"
+    return f"({low:.{digits}f},{high:.{digits}f})"
+
+
+def render_figure(
+    cells: Dict[Tuple[str, float], FigureCell],
+    durations_seconds: Sequence[float],
+    workload_name: str,
+    techniques: Sequence[Tuple[str, Tuple[str, ...]]] = FIGURE_TECHNIQUES,
+) -> str:
+    """Three stacked panels (cost / down time / performance), like the
+    paper's figure layout."""
+    header = ("technique",) + tuple(
+        f"{to_minutes(d):g}min" for d in durations_seconds
+    )
+    panels = []
+    for title, extract in (
+        ("cost", lambda c: _format_range(*c.cost_range)),
+        ("down time (min)", lambda c: _format_range(*c.downtime_minutes_range, digits=1)),
+        ("performance", lambda c: _format_range(*c.performance_range)),
+    ):
+        rows = []
+        for display, _ in techniques:
+            rows.append(
+                (display,)
+                + tuple(
+                    extract(cells[(display, d)]) for d in durations_seconds
+                )
+            )
+        panels.append(
+            format_table(header, rows, title=f"{workload_name}: {title}")
+        )
+    return "\n\n".join(panels)
+
+
+def best_downtime_technique(
+    cells: Dict[Tuple[str, float], FigureCell], duration: float
+) -> str:
+    """Feasible technique with the lowest down time at ``duration``."""
+    feasible = [
+        cell
+        for (name, d), cell in cells.items()
+        if d == duration and cell.feasible
+    ]
+    winner = min(feasible, key=lambda c: c.downtime_minutes)
+    return winner.technique
+
+
+def cheapest_surviving_technique(
+    cells: Dict[Tuple[str, float], FigureCell], duration: float
+) -> str:
+    feasible = [
+        cell
+        for (name, d), cell in cells.items()
+        if d == duration and cell.feasible
+    ]
+    winner = min(feasible, key=lambda c: c.cost)
+    return winner.technique

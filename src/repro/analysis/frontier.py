@@ -1,0 +1,42 @@
+"""Pareto frontiers over cost-performability operating points.
+
+The evaluation's recurring question — which (configuration, technique)
+points are *undominated* in (cost, performance, down time) — is a Pareto
+filter: a point dominates another if it is no worse on every axis and
+strictly better on one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Objective extractor: maps an item to (cost, -performance, downtime) style
+#: minimise-everything coordinates.
+Objectives = Callable[[T], Tuple[float, ...]]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (minimising)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    no_worse = all(x <= y + 1e-12 for x, y in zip(a, b))
+    strictly_better = any(x < y - 1e-12 for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_frontier(items: Sequence[T], objectives: Objectives) -> List[T]:
+    """The undominated subset of ``items`` under minimised ``objectives``.
+
+    Stable: survivors keep their input order.  O(n^2), fine for the tens of
+    operating points the evaluation produces.
+    """
+    vectors = [tuple(objectives(item)) for item in items]
+    survivors: List[T] = []
+    for i, item in enumerate(items):
+        if not any(
+            dominates(vectors[j], vectors[i]) for j in range(len(items)) if j != i
+        ):
+            survivors.append(item)
+    return survivors

@@ -1,0 +1,124 @@
+"""ASCII rendering of tables and figure series for benches and examples.
+
+The benchmark harness prints "the same rows/series the paper reports"; this
+module owns the formatting so every bench renders consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width table with a rule under the header."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_figure_bars(
+    series: Dict[str, float],
+    title: str = "",
+    max_width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a one-axis bar chart (the figures' cost/perf/down-time panels).
+
+    Infinite values render as ``(infeasible)`` with no bar, matching how the
+    paper's text treats techniques that fall off the chart.
+    """
+    finite = [v for v in series.values() if not math.isinf(v)]
+    peak = max(finite, default=1.0)
+    scale = max_width / peak if peak > 0 else 0.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(k) for k in series), default=0)
+    for key, value in series.items():
+        if math.isinf(value):
+            lines.append(f"{key.ljust(label_width)}  (infeasible)")
+            continue
+        bar = "#" * max(0, round(value * scale))
+        lines.append(f"{key.ljust(label_width)}  {bar} {_format_cell(value)}{unit}")
+    return "\n".join(lines)
+
+
+def format_paper_vs_measured(
+    rows: Sequence[Tuple[str, object, object]], title: str = ""
+) -> str:
+    """Three-column 'quantity / paper / measured' table for EXPERIMENTS.md."""
+    return format_table(("quantity", "paper", "measured"), rows, title=title)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def format_trace_sparkline(trace, width: int = 60, title: str = "") -> str:
+    """Render a power trace as two ASCII sparklines (power, performance).
+
+    The trace is resampled onto ``width`` columns; power scales against the
+    trace's own peak, performance against 1.0.  The simulator's Yokogawa
+    chart, in a terminal.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    end = trace.end_seconds
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if end <= 0 or len(trace) == 0:
+        lines.append("(empty trace)")
+        return "\n".join(lines)
+    peak = trace.peak_power_watts() or 1.0
+    step = end / width
+    power_cells = []
+    perf_cells = []
+    for i in range(width):
+        t = (i + 0.5) * step
+        power = trace.power_at(t)
+        perf = 0.0
+        for seg in trace:
+            if seg.start_seconds <= t < seg.end_seconds:
+                perf = seg.performance
+                break
+        power_cells.append(_SPARK_LEVELS[_spark_index(power / peak)])
+        perf_cells.append(_SPARK_LEVELS[_spark_index(perf)])
+    lines.append(f"power |{''.join(power_cells)}| peak {peak:.0f} W")
+    lines.append(f"perf  |{''.join(perf_cells)}| scale 0..1")
+    lines.append(f"time  0s {'-' * max(0, width - 12)} {end:.0f}s")
+    return "\n".join(lines)
+
+
+def _spark_index(fraction: float) -> int:
+    fraction = min(1.0, max(0.0, fraction))
+    return min(len(_SPARK_LEVELS) - 1, int(round(fraction * (len(_SPARK_LEVELS) - 1))))

@@ -1,0 +1,156 @@
+"""Sweep harness: the data generator behind Figures 5-9.
+
+Two sweeps cover the evaluation:
+
+* :func:`sweep_configurations` — fixed workload, sweep configurations x
+  outage durations with best-technique selection (Figure 5);
+* :func:`sweep_techniques` — fixed workload, sweep techniques x outage
+  durations, each at its lowest-cost UPS sizing (Figures 6-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.configurations import BackupConfiguration, get_configuration
+from repro.core.performability import DEFAULT_NUM_SERVERS, PerformabilityPoint
+from repro.core.selection import best_technique, lowest_cost_backup
+from repro.errors import InfeasibleError
+from repro.servers.server import PAPER_SERVER, ServerSpec
+from repro.techniques.registry import get_technique
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One sweep cell.
+
+    Attributes:
+        row_key: Configuration or technique name (figure series).
+        outage_seconds: Outage duration (figure x-position).
+        point: The evaluated operating point (None when infeasible).
+        normalized_cost: Backup cost for the cell (the configuration's for
+            configuration sweeps; the sized UPS's for technique sweeps).
+    """
+
+    row_key: str
+    outage_seconds: float
+    point: Optional[PerformabilityPoint]
+    normalized_cost: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.point is not None and self.point.feasible
+
+    @property
+    def performance(self) -> float:
+        return self.point.performance if self.point is not None else 0.0
+
+    @property
+    def downtime_minutes(self) -> float:
+        return self.point.downtime_minutes if self.point is not None else float("inf")
+
+
+def sweep_configurations(
+    workload: WorkloadSpec,
+    configuration_names: Iterable[str],
+    outage_durations_seconds: Sequence[float],
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+) -> List[SweepResult]:
+    """Figure 5 sweep: best technique per configuration per duration."""
+    results: List[SweepResult] = []
+    for name in configuration_names:
+        config = get_configuration(name)
+        for duration in outage_durations_seconds:
+            point = best_technique(
+                config, workload, duration, num_servers=num_servers, server=server
+            )
+            results.append(
+                SweepResult(
+                    row_key=config.name,
+                    outage_seconds=duration,
+                    point=point,
+                    normalized_cost=config.normalized_cost(),
+                )
+            )
+    return results
+
+
+def sweep_techniques(
+    workload: WorkloadSpec,
+    technique_names: Iterable[str],
+    outage_durations_seconds: Sequence[float],
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+) -> List[SweepResult]:
+    """Figures 6-9 sweep: lowest-cost sizing per technique per duration.
+
+    Infeasible cells (technique cannot survive the outage on any UPS in
+    the grid) appear with ``point=None`` and infinite cost, so the figure
+    renderer can mark them, as the paper's text does for Throttling past
+    4 hours.
+    """
+    results: List[SweepResult] = []
+    for name in technique_names:
+        technique = get_technique(name)
+        for duration in outage_durations_seconds:
+            try:
+                sized = lowest_cost_backup(
+                    technique,
+                    workload,
+                    duration,
+                    num_servers=num_servers,
+                    server=server,
+                )
+                results.append(
+                    SweepResult(
+                        row_key=name,
+                        outage_seconds=duration,
+                        point=sized.point,
+                        normalized_cost=sized.normalized_cost,
+                    )
+                )
+            except InfeasibleError:
+                results.append(
+                    SweepResult(
+                        row_key=name,
+                        outage_seconds=duration,
+                        point=None,
+                        normalized_cost=float("inf"),
+                    )
+                )
+    return results
+
+
+def index_results(
+    results: Iterable[SweepResult],
+) -> Dict[Tuple[str, float], SweepResult]:
+    """(row_key, outage_seconds) -> cell, for figure assembly."""
+    return {(r.row_key, r.outage_seconds): r for r in results}
+
+
+def custom_configuration_sweep(
+    workload: WorkloadSpec,
+    configurations: Sequence[BackupConfiguration],
+    outage_durations_seconds: Sequence[float],
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+) -> List[SweepResult]:
+    """Like :func:`sweep_configurations` for ad-hoc configuration objects."""
+    results: List[SweepResult] = []
+    for config in configurations:
+        for duration in outage_durations_seconds:
+            point = best_technique(
+                config, workload, duration, num_servers=num_servers, server=server
+            )
+            results.append(
+                SweepResult(
+                    row_key=config.name,
+                    outage_seconds=duration,
+                    point=point,
+                    normalized_cost=config.normalized_cost(),
+                )
+            )
+    return results

@@ -1,0 +1,337 @@
+"""Command-line interface: run the paper's analyses without writing code.
+
+Subcommands::
+
+    python -m repro configs                      # Table 3
+    python -m repro techniques                   # registered techniques
+    python -m repro workloads                    # Table 7
+    python -m repro evaluate  -w specjbb -c LargeEUPS -t sleep-l -m 30
+    python -m repro plan      -w websearch -m 30 --min-perf 0.9 --max-down 0
+    python -m repro rank      -w memcached -m 30
+    python -m repro availability -w specjbb -c LargeEUPS -t throttle+sleep-l
+    python -m repro tco
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.availability import AvailabilityAnalyzer
+from repro.analysis.report import format_table
+from repro.core.configurations import PAPER_CONFIGURATIONS, get_configuration
+from repro.core.performability import evaluate_point
+from repro.core.planner import ProvisioningPlanner
+from repro.core.selection import rank_techniques
+from repro.core.tco import TCOModel
+from repro.errors import InfeasibleError, ReproError
+from repro.techniques.registry import get_technique, technique_names
+from repro.units import minutes, to_minutes
+from repro.workloads.registry import get_workload, workload_names
+
+
+def _cmd_configs(_args: argparse.Namespace) -> int:
+    rows = [
+        (
+            c.name,
+            c.dg_power_fraction,
+            c.ups_power_fraction,
+            f"{to_minutes(c.ups_runtime_seconds):.0f} min",
+            c.normalized_cost(),
+        )
+        for c in PAPER_CONFIGURATIONS
+    ]
+    print(
+        format_table(
+            ("configuration", "DG", "UPS power", "UPS energy", "cost"),
+            rows,
+            title="Table 3 configurations (cost normalised to MaxPerf)",
+        )
+    )
+    return 0
+
+
+def _cmd_techniques(_args: argparse.Namespace) -> int:
+    for name in technique_names():
+        print(name)
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in workload_names():
+        workload = get_workload(name)
+        rows.append(
+            (
+                name,
+                f"{workload.memory_state_bytes / 1e9:.0f} GB",
+                workload.cpu_bound_fraction,
+                workload.metric.value,
+            )
+        )
+    print(
+        format_table(
+            ("workload", "memory", "cpu-bound", "metric"),
+            rows,
+            title="Table 7 workloads",
+        )
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    point = evaluate_point(
+        get_configuration(args.configuration),
+        get_technique(args.technique),
+        get_workload(args.workload),
+        minutes(args.outage_minutes),
+        num_servers=args.servers,
+    )
+    rows = [
+        ("configuration", point.configuration_name),
+        ("technique", point.technique_name),
+        ("workload", point.workload_name),
+        ("outage (min)", args.outage_minutes),
+        ("normalized cost", point.normalized_cost),
+        ("feasible", point.feasible),
+        ("performance", point.performance),
+        ("down time (min)", point.downtime_minutes),
+        ("crashed", point.crashed),
+    ]
+    print(format_table(("quantity", "value"), rows))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    planner = ProvisioningPlanner(get_workload(args.workload), num_servers=args.servers)
+    max_down = float("inf") if args.max_down_minutes is None else minutes(
+        args.max_down_minutes
+    )
+    try:
+        result = planner.plan(
+            outage_seconds=minutes(args.outage_minutes),
+            min_performance=args.min_performance,
+            max_downtime_seconds=max_down,
+        )
+    except InfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    config = result.configuration
+    rows = [
+        ("technique", result.technique_name),
+        ("normalized cost", result.normalized_cost),
+        ("UPS power fraction", config.ups_power_fraction),
+        ("UPS runtime (min)", to_minutes(config.ups_runtime_seconds)),
+        ("performance", result.point.performance),
+        ("down time (min)", result.point.downtime_minutes),
+    ]
+    print(format_table(("quantity", "value"), rows, title="cheapest plan"))
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    ranking = rank_techniques(
+        get_workload(args.workload),
+        minutes(args.outage_minutes),
+        num_servers=args.servers,
+    )
+    rows = [
+        (
+            sized.point.technique_name,
+            sized.normalized_cost,
+            sized.point.performance,
+            sized.point.downtime_minutes,
+        )
+        for sized in ranking
+    ]
+    print(
+        format_table(
+            ("technique", "cost", "perf", "down (min)"),
+            rows,
+            title=f"{args.workload}, {args.outage_minutes} min outage "
+            "(each at its lowest-cost UPS)",
+        )
+    )
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    analyzer = AvailabilityAnalyzer(
+        get_workload(args.workload), num_servers=args.servers, seed=args.seed
+    )
+    report = analyzer.analyze(
+        get_configuration(args.configuration),
+        get_technique(args.technique),
+        years=args.years,
+    )
+    rows = [
+        ("years simulated", report.years_simulated),
+        ("outages simulated", report.outages_simulated),
+        ("mean down (min/yr)", report.mean_downtime_minutes_per_year),
+        ("p95 down (min/yr)", report.p95_downtime_minutes_per_year),
+        ("availability", report.availability),
+        ("nines", report.nines),
+        ("crash fraction", report.crash_fraction),
+        ("expected loss ($/KW/yr)", report.expected_loss_dollars_per_kw_year),
+    ]
+    print(format_table(("quantity", "value"), rows, title="availability"))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENTS, run_all, run_experiment
+
+    quick = not args.full
+    if args.experiment:
+        results = [run_experiment(args.experiment, quick=quick)]
+    else:
+        results = run_all(quick=quick)
+    for result in results:
+        print(result.rendered)
+        print()
+    if args.csv_dir:
+        import os
+
+        from repro.analysis.export import to_csv
+
+        os.makedirs(args.csv_dir, exist_ok=True)
+        for result in results:
+            to_csv(
+                list(result.records),
+                path=os.path.join(args.csv_dir, f"{result.experiment_id}.csv"),
+            )
+        print(f"wrote {len(results)} CSV files to {args.csv_dir}")
+    if not args.experiment:
+        missing = set(EXPERIMENTS) - {r.experiment_id for r in results}
+        if missing:  # pragma: no cover - registry bookkeeping
+            print(f"warning: experiments not run: {sorted(missing)}")
+    return 0
+
+
+def _cmd_tiers(_args: argparse.Namespace) -> int:
+    from repro.power.redundancy import ALL_TIERS
+    from repro.units import megawatts
+
+    peak = megawatts(1)
+    rows = []
+    for tier in ALL_TIERS:
+        rows.append(
+            (
+                tier.name,
+                tier.redundancy.value,
+                tier.backup_cost(peak) / 1e3,
+                tier.backup_delivery_probability(),
+                tier.allowed_downtime_minutes_per_year,
+            )
+        )
+    print(
+        format_table(
+            (
+                "tier",
+                "scheme",
+                "backup k$/yr (1 MW)",
+                "DG delivery prob",
+                "allowed down (min/yr)",
+            ),
+            rows,
+            title="Tier classification comparator",
+        )
+    )
+    return 0
+
+
+def _cmd_tco(_args: argparse.Namespace) -> int:
+    model = TCOModel()
+    rows = [
+        ("loss rate ($/KW/min)", model.loss_per_kw_minute),
+        ("DG savings ($/KW/yr)", model.dg_savings_per_kw_year),
+        ("crossover (min/yr)", model.crossover_minutes_per_year()),
+        ("crossover (h/yr)", model.crossover_minutes_per_year() / 60),
+    ]
+    print(format_table(("quantity", "value"), rows, title="Figure 10 TCO"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Underprovisioning backup power for datacenters (ASPLOS'14)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("configs", help="list Table 3 configurations").set_defaults(
+        func=_cmd_configs
+    )
+    sub.add_parser("techniques", help="list techniques").set_defaults(
+        func=_cmd_techniques
+    )
+    sub.add_parser("workloads", help="list Table 7 workloads").set_defaults(
+        func=_cmd_workloads
+    )
+
+    def add_common(p: argparse.ArgumentParser, needs_config=False, needs_tech=False):
+        p.add_argument("-w", "--workload", required=True, choices=workload_names())
+        if needs_config:
+            p.add_argument("-c", "--configuration", required=True)
+        if needs_tech:
+            p.add_argument("-t", "--technique", required=True)
+        p.add_argument("-m", "--outage-minutes", type=float, default=30.0)
+        p.add_argument("--servers", type=int, default=16)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one operating point")
+    add_common(p_eval, needs_config=True, needs_tech=True)
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_plan = sub.add_parser("plan", help="cheapest backup for targets")
+    add_common(p_plan)
+    p_plan.add_argument("--min-performance", type=float, default=0.0)
+    p_plan.add_argument("--max-down-minutes", type=float, default=None)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_rank = sub.add_parser("rank", help="rank techniques by sized cost")
+    add_common(p_rank)
+    p_rank.set_defaults(func=_cmd_rank)
+
+    p_avail = sub.add_parser("availability", help="Monte-Carlo yearly study")
+    add_common(p_avail, needs_config=True, needs_tech=True)
+    p_avail.add_argument("--years", type=int, default=100)
+    p_avail.add_argument("--seed", type=int, default=0)
+    p_avail.set_defaults(func=_cmd_availability)
+
+    sub.add_parser("tco", help="Figure 10 crossover").set_defaults(func=_cmd_tco)
+    sub.add_parser("tiers", help="Tier classification comparator").set_defaults(
+        func=_cmd_tiers
+    )
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate the paper's tables and figures"
+    )
+    p_repro.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="one experiment id (figure5, table3, ...); default: all",
+    )
+    p_repro.add_argument(
+        "--full", action="store_true", help="full duration grids (slower)"
+    )
+    p_repro.add_argument(
+        "--csv-dir", default=None, help="also write each experiment as CSV here"
+    )
+    p_repro.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

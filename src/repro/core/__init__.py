@@ -1,0 +1,67 @@
+"""The paper's primary contribution: cost / performability analysis of
+underprovisioned backup infrastructure.
+
+* :mod:`repro.core.costs` — the Section 3 cost model (Eq. 1/2, Table 1).
+* :mod:`repro.core.configurations` — the Table 3 configuration space.
+* :mod:`repro.core.performability` — (config, technique, workload, outage)
+  -> cost + performance + down time, the quantity every figure plots.
+* :mod:`repro.core.selection` — the Section 6 selection rules (best
+  technique per configuration; lowest-cost backup per technique).
+* :mod:`repro.core.planner` — minimum-cost provisioning for an outage
+  target.
+* :mod:`repro.core.predictor` — the Section 7 online Markov outage-duration
+  predictor and adaptive technique policy.
+* :mod:`repro.core.tco` — the Figure 10 revenue-loss / DG-savings analysis.
+"""
+
+from repro.core.configurations import (
+    PAPER_CONFIGURATIONS,
+    BackupConfiguration,
+    get_configuration,
+)
+from repro.core.costs import (
+    PAPER_COST_PARAMETERS,
+    BackupCostModel,
+    CostBreakdown,
+    CostParameters,
+)
+from repro.core.heterogeneous import (
+    HeterogeneousPlan,
+    HeterogeneousPlanner,
+    SectionRequirement,
+)
+from repro.core.performability import (
+    PerformabilityPoint,
+    evaluate_point,
+    make_datacenter,
+)
+from repro.core.planner import ProvisioningPlanner, ProvisioningResult
+from repro.core.predictor import AdaptivePolicy, OutageDurationPredictor
+from repro.core.selection import best_technique, lowest_cost_backup
+from repro.core.tco import TCOModel
+from repro.core.whatif import ExpectedOutageAnalyzer, ExpectedOutageReport
+
+__all__ = [
+    "AdaptivePolicy",
+    "BackupConfiguration",
+    "BackupCostModel",
+    "CostBreakdown",
+    "CostParameters",
+    "ExpectedOutageAnalyzer",
+    "ExpectedOutageReport",
+    "HeterogeneousPlan",
+    "HeterogeneousPlanner",
+    "OutageDurationPredictor",
+    "PAPER_CONFIGURATIONS",
+    "PAPER_COST_PARAMETERS",
+    "PerformabilityPoint",
+    "ProvisioningPlanner",
+    "ProvisioningResult",
+    "SectionRequirement",
+    "TCOModel",
+    "best_technique",
+    "evaluate_point",
+    "get_configuration",
+    "lowest_cost_backup",
+    "make_datacenter",
+]

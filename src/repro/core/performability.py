@@ -1,0 +1,150 @@
+"""Performability evaluation: one (configuration, technique, workload,
+outage) tuple -> cost + performance + down time.
+
+"Performability" is the paper's umbrella term for performance and
+availability during (and after) an outage; this module produces the
+:class:`PerformabilityPoint` every figure in Section 6 plots, by
+
+1. materialising the configuration against the cluster's nameplate peak,
+2. compiling the technique's plan against the *UPS* power rating (during
+   the DG-transfer gap only the UPS can carry load, so that is the budget
+   a plan must fit — Section 6.1's DG-SmallPUPS rides out the gap with a
+   technique sized to the half-power UPS),
+3. executing the plan in the outage simulator, and
+4. pricing the configuration with the Section 3 cost model.
+
+A technique that cannot fit the budget (no P-state deep enough, say) yields
+an *infeasible* point rather than an exception, because the figures need to
+show exactly where techniques fall off the map ("Throttling ... becomes
+infeasible to sustain the application beyond 4 hours").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.configurations import BackupConfiguration
+from repro.core.costs import BackupCostModel
+from repro.errors import TechniqueError
+from repro.servers.cluster import Cluster
+from repro.servers.server import PAPER_SERVER, ServerSpec
+from repro.sim.datacenter import Datacenter
+from repro.sim.metrics import OutageOutcome
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import OutageTechnique, TechniqueContext
+from repro.workloads.base import WorkloadSpec
+
+#: Cluster size used throughout the evaluation.  The paper notes a small
+#: setup "can be used to glean nearly all the insights" of datacenter scale;
+#: performability metrics are scale-free under homogeneous sizing.
+DEFAULT_NUM_SERVERS = 16
+
+
+@dataclass(frozen=True)
+class PerformabilityPoint:
+    """One evaluated operating point.
+
+    Attributes:
+        configuration_name: Table 3 configuration (or a custom name).
+        technique_name: The outage-handling technique.
+        workload_name: The application.
+        outage_seconds: Outage duration evaluated.
+        normalized_cost: Backup cap-ex relative to MaxPerf.
+        feasible: The technique could compile within the power budget.
+        performance: Mean normalised throughput during the outage (0 when
+            infeasible).
+        downtime_seconds: Total down time, during + after (inf when
+            infeasible).
+        outcome: Full simulator outcome (None when infeasible).
+    """
+
+    configuration_name: str
+    technique_name: str
+    workload_name: str
+    outage_seconds: float
+    normalized_cost: float
+    feasible: bool
+    performance: float
+    downtime_seconds: float
+    outcome: Optional[OutageOutcome]
+
+    @property
+    def crashed(self) -> bool:
+        return self.outcome.crashed if self.outcome is not None else True
+
+    @property
+    def downtime_minutes(self) -> float:
+        return self.downtime_seconds / 60.0
+
+
+def make_datacenter(
+    workload: WorkloadSpec,
+    configuration: BackupConfiguration,
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+) -> Datacenter:
+    """Materialise a configuration for a homogeneous cluster."""
+    cluster = Cluster(
+        spec=server, num_servers=num_servers, utilization=workload.utilization
+    )
+    ups, generator = configuration.materialize(cluster.peak_power_watts)
+    return Datacenter.assemble(
+        cluster=cluster, workload=workload, ups=ups, generator=generator
+    )
+
+
+def plan_power_budget_watts(datacenter: Datacenter) -> float:
+    """The power ceiling plans must fit (see module docstring)."""
+    if datacenter.ups.is_provisioned:
+        return datacenter.ups.power_capacity_watts
+    if datacenter.generator.is_provisioned:
+        return datacenter.generator.power_capacity_watts
+    return math.inf
+
+
+def evaluate_point(
+    configuration: BackupConfiguration,
+    technique: OutageTechnique,
+    workload: WorkloadSpec,
+    outage_seconds: float,
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+    cost_model: Optional[BackupCostModel] = None,
+    lost_work_seconds: Optional[float] = None,
+) -> PerformabilityPoint:
+    """Evaluate one operating point end to end (see module docstring)."""
+    datacenter = make_datacenter(workload, configuration, num_servers, server)
+    cost = configuration.normalized_cost(cost_model)
+    context = TechniqueContext(
+        cluster=datacenter.cluster,
+        workload=workload,
+        power_budget_watts=plan_power_budget_watts(datacenter),
+    )
+    try:
+        plan = technique.plan(context)
+    except TechniqueError:
+        return PerformabilityPoint(
+            configuration_name=configuration.name,
+            technique_name=technique.name,
+            workload_name=workload.name,
+            outage_seconds=outage_seconds,
+            normalized_cost=cost,
+            feasible=False,
+            performance=0.0,
+            downtime_seconds=math.inf,
+            outcome=None,
+        )
+    outcome = simulate_outage(datacenter, plan, outage_seconds, lost_work_seconds)
+    return PerformabilityPoint(
+        configuration_name=configuration.name,
+        technique_name=technique.name,
+        workload_name=workload.name,
+        outage_seconds=outage_seconds,
+        normalized_cost=cost,
+        feasible=True,
+        performance=outcome.mean_performance,
+        downtime_seconds=outcome.downtime_seconds,
+        outcome=outcome,
+    )

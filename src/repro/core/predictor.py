@@ -1,0 +1,201 @@
+"""Online outage-duration prediction and the adaptive escalation policy.
+
+Section 7 ("How do we deal with unknown outage duration?") sketches the
+online solution this module implements: build a predictor from historic
+outage statistics (Figure 1(b)) and escalate techniques as the outage
+evolves — "start with throttling at full performance mode (assuming the
+outage will be short) and gradually transition to lower power modes and
+then finally use the sleep or hibernate techniques".
+
+:class:`OutageDurationPredictor` wraps the empirical duration distribution
+with the conditional (hazard) queries an online controller needs:
+``P(duration > x | duration > elapsed)`` and the conditional expected
+remaining duration.  :class:`AdaptivePolicy` compiles the escalation ladder
+into an ordinary :class:`~repro.techniques.base.OutagePlan` (fixed-length
+throttle rungs, then a save-state tail), so the standard simulator evaluates
+it head-to-head against static techniques — the adaptive-policy ablation
+bench does exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TechniqueError
+from repro.outages.distributions import (
+    OUTAGE_DURATION_DISTRIBUTION,
+    EmpiricalDistribution,
+)
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+from repro.techniques.sleep import Sleep
+from repro.techniques.throttling import Throttling
+from repro.units import minutes
+
+
+class OutageDurationPredictor:
+    """Conditional duration queries over historic outage statistics."""
+
+    def __init__(
+        self, distribution: EmpiricalDistribution = OUTAGE_DURATION_DISTRIBUTION
+    ):
+        self.distribution = distribution
+
+    def survival(self, duration_seconds: float) -> float:
+        """P(outage lasts longer than ``duration_seconds``)."""
+        return 1.0 - self.distribution.probability_at_most(duration_seconds)
+
+    def probability_exceeds(
+        self, target_seconds: float, elapsed_seconds: float
+    ) -> float:
+        """P(duration > target | duration > elapsed)."""
+        if target_seconds <= elapsed_seconds:
+            return 1.0
+        denominator = self.survival(elapsed_seconds)
+        if denominator <= 0:
+            return 0.0
+        return self.survival(target_seconds) / denominator
+
+    def expected_remaining_seconds(
+        self, elapsed_seconds: float, horizon_seconds: float = minutes(480)
+    ) -> float:
+        """E[duration - elapsed | duration > elapsed], integrated over the
+        survival curve up to a practical horizon."""
+        denominator = self.survival(elapsed_seconds)
+        if denominator <= 0:
+            return 0.0
+        step = 15.0
+        total = 0.0
+        t = elapsed_seconds
+        while t < horizon_seconds:
+            total += self.survival(t) * step
+            t += step
+        return total / denominator
+
+    def transition_matrix(self) -> "tuple[list[str], list[list[float]]]":
+        """The Section 7 "online Markov chain based transition matrix".
+
+        States are the Figure 1(b) duration buckets.  Row ``i`` gives, for
+        an outage that has *survived into* bucket ``i``, the probability of
+        ending within each bucket ``j >= i`` (rows sum to 1; entries below
+        the diagonal are 0 — an outage cannot end in a bucket it outlived).
+        An online controller indexes the row for the current elapsed time
+        and reads off where the outage is likely to die.
+
+        Returns:
+            (bucket labels, row-stochastic matrix).
+        """
+        buckets = self.distribution.buckets
+        labels = [bucket.label for bucket in buckets]
+        matrix: List[List[float]] = []
+        for i, entered in enumerate(buckets):
+            survive_to_i = self.survival(entered.low_seconds)
+            row = [0.0] * len(buckets)
+            if survive_to_i <= 0:
+                row[i] = 1.0  # degenerate: absorb in place
+            else:
+                for j in range(i, len(buckets)):
+                    ends_in_j = (
+                        self.survival(buckets[j].low_seconds)
+                        - self.survival(buckets[j].high_seconds)
+                        if not math.isinf(buckets[j].high_seconds)
+                        else self.survival(buckets[j].low_seconds)
+                    )
+                    row[j] = ends_in_j / survive_to_i
+            matrix.append(row)
+        return labels, matrix
+
+    def escalation_thresholds(
+        self, confidence: float = 0.5, max_rungs: int = 3
+    ) -> List[float]:
+        """Elapsed times at which the conditional odds of a long outage
+        justify stepping down a rung.
+
+        A rung fires when P(outage continues another rung-length | elapsed)
+        exceeds ``confidence``.  With Figure 1(b)'s heavy short-outage mass
+        this yields thresholds near the bucket edges (1 min, 5 min, 30 min).
+        """
+        if not 0 < confidence < 1:
+            raise ValueError("confidence must be in (0, 1)")
+        thresholds = []
+        for bucket in self.distribution.buckets[:-1]:
+            edge = bucket.high_seconds
+            if math.isinf(edge):
+                continue
+            if self.probability_exceeds(2 * edge, edge) >= confidence:
+                thresholds.append(edge)
+            if len(thresholds) >= max_rungs:
+                break
+        return thresholds
+
+
+class AdaptivePolicy(OutageTechnique):
+    """The Section 7 escalation ladder as a compilable technique.
+
+    Rungs run fixed lengths derived from the predictor (or given
+    explicitly); each rung throttles one P-state deeper, and the ladder
+    terminates in a low-power sleep.
+
+    Args:
+        predictor: Source of escalation thresholds.
+        rung_boundaries_seconds: Explicit elapsed-time boundaries (override).
+        confidence: Escalation confidence when deriving boundaries.
+    """
+
+    name = "adaptive-policy"
+
+    def __init__(
+        self,
+        predictor: Optional[OutageDurationPredictor] = None,
+        rung_boundaries_seconds: Optional[Sequence[float]] = None,
+        confidence: float = 0.5,
+    ):
+        self.predictor = predictor if predictor is not None else OutageDurationPredictor()
+        if rung_boundaries_seconds is not None:
+            boundaries = sorted(float(b) for b in rung_boundaries_seconds)
+            if any(b <= 0 for b in boundaries):
+                raise TechniqueError("rung boundaries must be positive")
+        else:
+            boundaries = self.predictor.escalation_thresholds(confidence)
+        if not boundaries:
+            boundaries = [minutes(5)]
+        self.rung_boundaries_seconds: Tuple[float, ...] = tuple(boundaries)
+
+    def plan(self, context: TechniqueContext) -> OutagePlan:
+        ladder = context.server.pstates
+        phases: List[PlanPhase] = []
+        previous_edge = 0.0
+        # Deepen one P-state per rung, starting from the fastest state that
+        # fits the budget (the "full performance mode" opening move).
+        if math.isinf(context.power_budget_watts):
+            start = 0
+        else:
+            start = ladder.index_of(Throttling().select_pstate(context))
+        for rung, edge in enumerate(self.rung_boundaries_seconds):
+            index = min(start + rung, len(ladder) - 1)
+            pstate = ladder[index]
+            power = context.cluster.power_watts(
+                utilization=context.workload.utilization, pstate=pstate
+            )
+            phases.append(
+                PlanPhase(
+                    name=f"rung{rung}@{pstate.name}",
+                    power_watts=power,
+                    performance=context.workload.throttled_performance(
+                        pstate.frequency_ratio
+                    ),
+                    duration_seconds=edge - previous_edge,
+                    state_safe=False,
+                )
+            )
+            previous_edge = edge
+        sleep_plan = Sleep(low_power=True).plan(context)
+        phases.extend(sleep_plan.phases)
+        check_budget(phases, context.power_budget_watts, self.name)
+        return OutagePlan(technique_name=self.name, phases=phases)

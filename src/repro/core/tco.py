@@ -1,0 +1,94 @@
+"""TCO analysis: when does skipping the diesel generators pay? (Figure 10)
+
+Section 7 illustrates with Google's 2011 numbers: ~260 MW of datacenter
+capacity and ~$38 B revenue give $0.28/KW/min of revenue at risk, plus
+$0.003/KW/min of idled server depreciation ($2000/server over 4 years).
+Unavailability therefore costs ~$0.283/KW/min, while *not* provisioning DGs
+saves $83.3/KW/yr — so underprovisioning stays profitable until yearly
+outage minutes reach ``83.3 / 0.283 ≈ 294 min`` (~5 h/yr), far above what
+Figure 1 suggests a typical site experiences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.costs import CostParameters, PAPER_COST_PARAMETERS
+from repro.errors import ConfigurationError
+from repro.outages.events import OutageSchedule
+from repro.units import to_minutes
+
+
+@dataclass(frozen=True)
+class TCOModel:
+    """Outage cost vs backup savings, per KW of capacity.
+
+    Attributes:
+        revenue_per_kw_minute: Revenue lost per KW-minute of unavailability
+            (Google-2011 estimate: $0.28).
+        depreciation_per_kw_minute: Idled-server cap-ex per KW-minute
+            ($2000/server over 4 years: ~$0.003).
+        cost_parameters: Backup pricing (supplies the DG savings rate).
+    """
+
+    revenue_per_kw_minute: float = 0.28
+    depreciation_per_kw_minute: float = 0.003
+    cost_parameters: CostParameters = PAPER_COST_PARAMETERS
+
+    def __post_init__(self) -> None:
+        if self.revenue_per_kw_minute < 0 or self.depreciation_per_kw_minute < 0:
+            raise ConfigurationError("loss rates must be >= 0")
+
+    @property
+    def loss_per_kw_minute(self) -> float:
+        """Total loss rate during unavailability ($/KW/min)."""
+        return self.revenue_per_kw_minute + self.depreciation_per_kw_minute
+
+    @property
+    def dg_savings_per_kw_year(self) -> float:
+        """What not provisioning DGs saves ($/KW/yr) — Figure 10's line."""
+        return self.cost_parameters.dg_power_cost_per_kw_year
+
+    def outage_cost_per_kw_year(self, outage_minutes_per_year: float) -> float:
+        """Revenue + depreciation loss for a yearly unavailability budget."""
+        if outage_minutes_per_year < 0:
+            raise ConfigurationError("outage minutes must be >= 0")
+        return self.loss_per_kw_minute * outage_minutes_per_year
+
+    def crossover_minutes_per_year(self) -> float:
+        """Yearly outage minutes at which skipping DGs stops paying
+        (~294 min ≈ 5 h for the paper's parameters)."""
+        return self.dg_savings_per_kw_year / self.loss_per_kw_minute
+
+    def profitable_without_dg(self, outage_minutes_per_year: float) -> bool:
+        """Left of the crossover: underprovisioning is profitable."""
+        return (
+            self.outage_cost_per_kw_year(outage_minutes_per_year)
+            <= self.dg_savings_per_kw_year
+        )
+
+    def figure_series(
+        self, max_minutes: float = 500.0, step_minutes: float = 10.0
+    ) -> List[Tuple[float, float, float]]:
+        """(minutes, loss $/KW/yr, DG savings $/KW/yr) rows — Figure 10."""
+        if step_minutes <= 0:
+            raise ConfigurationError("step must be positive")
+        xs = np.arange(0.0, max_minutes + step_minutes / 2, step_minutes)
+        return [
+            (float(x), self.outage_cost_per_kw_year(float(x)), self.dg_savings_per_kw_year)
+            for x in xs
+        ]
+
+    def yearly_loss_for_schedule(
+        self, schedule: OutageSchedule, unprotected_fraction: float = 1.0
+    ) -> float:
+        """Loss ($/KW/yr) if ``unprotected_fraction`` of each outage in the
+        schedule goes unserved — hooks the Monte-Carlo availability runs
+        into the TCO frame."""
+        if not 0 <= unprotected_fraction <= 1:
+            raise ConfigurationError("unprotected_fraction must be in [0, 1]")
+        minutes_down = to_minutes(schedule.total_outage_seconds) * unprotected_fraction
+        return self.outage_cost_per_kw_year(minutes_down)

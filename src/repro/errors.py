@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch domain failures without also swallowing programming errors.  Input
+validation failures additionally derive from ``ValueError`` so that the
+library behaves like idiomatic Python for callers who do not know about the
+domain hierarchy.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid backup infrastructure configuration was supplied."""
+
+
+class CapacityError(ReproError, ValueError):
+    """A power or energy capacity constraint is violated.
+
+    Raised, for example, when a load larger than the UPS power rating is
+    switched onto its battery, or when a plan requires more battery energy
+    than is provisioned.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """An invalid workload description or parameter was supplied."""
+
+
+class TechniqueError(ReproError, ValueError):
+    """An outage-handling technique was misconfigured or misapplied."""
+
+
+class InfeasibleError(ReproError):
+    """A requested operating point cannot be met by any provisioning.
+
+    Unlike :class:`CapacityError`, which flags a violated constraint inside a
+    concrete simulation, this signals that a *search* (e.g. the provisioning
+    planner) proved no feasible answer exists.
+    """

@@ -1,0 +1,256 @@
+"""One-shot reproduction driver: regenerate every table and figure.
+
+``python -m repro reproduce`` (or :func:`run_all`) walks a registry of
+experiment generators — one per table/figure of the paper — and renders
+each as records plus an ASCII table.  The pytest benchmarks in
+``benchmarks/`` assert the *shape* of these results; this module is the
+lighter-weight path for a user who just wants the numbers (optionally as
+CSV/JSON via :mod:`repro.analysis.export`).
+
+Quick mode trims the outage-duration grids so the whole set finishes in a
+few seconds; full mode matches the benchmarks' grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_configurations, sweep_techniques
+from repro.core.configurations import (
+    FIGURE5_CONFIGURATIONS,
+    PAPER_CONFIGURATIONS,
+)
+from repro.core.costs import BackupCostModel
+from repro.core.tco import TCOModel
+from repro.errors import ReproError
+from repro.outages.distributions import (
+    OUTAGE_DURATION_DISTRIBUTION,
+    OUTAGE_FREQUENCY_DISTRIBUTION,
+)
+from repro.power.battery import BatterySpec
+from repro.power.generator import DieselGeneratorSpec
+from repro.power.ups import UPSSpec
+from repro.techniques.registry import PAPER_TECHNIQUES
+from repro.units import hours, megawatts, minutes, to_kilowatt_hours, to_minutes
+from repro.workloads.registry import get_workload
+
+Record = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    Attributes:
+        experiment_id: Paper label ("table2", "figure5", ...).
+        title: Human-readable caption.
+        records: Machine-readable rows.
+        rendered: ASCII rendering.
+    """
+
+    experiment_id: str
+    title: str
+    records: Sequence[Record]
+    rendered: str
+
+
+def _render(experiment_id: str, title: str, records: List[Record]) -> ExperimentResult:
+    if records:
+        headers = list(records[0].keys())
+        rows = [tuple(record[h] for h in headers) for record in records]
+        rendered = format_table(headers, rows, title=title)
+    else:
+        rendered = f"{title}\n(no rows)"
+    return ExperimentResult(experiment_id, title, tuple(records), rendered)
+
+
+# -- generators ---------------------------------------------------------------
+
+
+def figure1(quick: bool = True) -> ExperimentResult:
+    records = [
+        {"panel": "frequency/yr", "bucket": b.label, "probability": b.probability}
+        for b in OUTAGE_FREQUENCY_DISTRIBUTION.buckets
+    ] + [
+        {"panel": "duration", "bucket": b.label, "probability": b.probability}
+        for b in OUTAGE_DURATION_DISTRIBUTION.buckets
+    ]
+    return _render("figure1", "Figure 1: outage statistics", records)
+
+
+def figure3(quick: bool = True) -> ExperimentResult:
+    spec = BatterySpec(4000.0, minutes(10))
+    records = []
+    for fraction in (0.10, 0.25, 0.50, 0.75, 1.00):
+        load = 4000.0 * fraction
+        records.append(
+            {
+                "load_watts": load,
+                "runtime_minutes": round(to_minutes(spec.runtime_at(load)), 1),
+                "delivered_kwh": round(
+                    to_kilowatt_hours(spec.deliverable_energy_at(load)), 2
+                ),
+            }
+        )
+    return _render("figure3", "Figure 3: 4 KW battery runtime chart", records)
+
+
+def table2(quick: bool = True) -> ExperimentResult:
+    model = BackupCostModel()
+    records = []
+    for peak_mw, runtime_min in ((1, 2), (10, 2), (10, 42)):
+        ups = UPSSpec(megawatts(peak_mw), minutes(runtime_min))
+        dg = DieselGeneratorSpec(megawatts(peak_mw))
+        records.append(
+            {
+                "peak_mw": peak_mw,
+                "ups_runtime_min": runtime_min,
+                "dg_m$": round(model.dg_cost(dg) / 1e6, 2),
+                "ups_m$": round(model.ups_cost(ups) / 1e6, 2),
+                "total_m$": round(model.total_cost(ups, dg) / 1e6, 2),
+            }
+        )
+    return _render("table2", "Table 2: backup cap-ex", records)
+
+
+def table3(quick: bool = True) -> ExperimentResult:
+    records = [
+        {
+            "configuration": c.name,
+            "dg_power": c.dg_power_fraction,
+            "ups_power": c.ups_power_fraction,
+            "ups_energy_min": round(to_minutes(c.ups_runtime_seconds), 1),
+            "cost": round(c.normalized_cost(), 3),
+        }
+        for c in PAPER_CONFIGURATIONS
+    ]
+    return _render("table3", "Table 3: configurations", records)
+
+
+def figure5(quick: bool = True) -> ExperimentResult:
+    durations = (30.0, minutes(30)) if quick else (
+        30.0, minutes(5), minutes(30), hours(1), hours(2)
+    )
+    cells = sweep_configurations(
+        get_workload("specjbb"),
+        FIGURE5_CONFIGURATIONS,
+        durations,
+        num_servers=8,
+    )
+    records = [
+        {
+            "configuration": cell.row_key,
+            "outage_min": round(cell.outage_seconds / 60, 1),
+            "cost": round(cell.normalized_cost, 3),
+            "technique": cell.point.technique_name if cell.point else None,
+            "performance": round(cell.performance, 2),
+            "down_min": round(cell.downtime_minutes, 1),
+        }
+        for cell in cells
+    ]
+    return _render("figure5", "Figure 5: configuration trade-offs (Specjbb)", records)
+
+
+def _technique_figure(
+    experiment_id: str, workload_name: str, quick: bool
+) -> ExperimentResult:
+    durations = (30.0, minutes(30)) if quick else (30.0, minutes(30), hours(2))
+    techniques = (
+        ("throttling-p6", "sleep-l", "hibernate", "throttle+sleep-l")
+        if quick
+        else PAPER_TECHNIQUES
+    )
+    cells = sweep_techniques(
+        get_workload(workload_name), techniques, durations, num_servers=8
+    )
+    records = [
+        {
+            "technique": cell.row_key,
+            "outage_min": round(cell.outage_seconds / 60, 1),
+            "cost": round(cell.normalized_cost, 3)
+            if cell.feasible
+            else "infeasible",
+            "performance": round(cell.performance, 2),
+            "down_min": round(cell.downtime_minutes, 1)
+            if cell.feasible
+            else "infeasible",
+        }
+        for cell in cells
+    ]
+    titles = {
+        "figure6": "Figure 6: techniques x durations (Specjbb)",
+        "figure7": "Figure 7: techniques (Memcached)",
+        "figure8": "Figure 8: techniques (Web-search)",
+        "figure9": "Figure 9: techniques (SpecCPU mcf*8)",
+    }
+    return _render(experiment_id, titles[experiment_id], records)
+
+
+def figure6(quick: bool = True) -> ExperimentResult:
+    return _technique_figure("figure6", "specjbb", quick)
+
+
+def figure7(quick: bool = True) -> ExperimentResult:
+    return _technique_figure("figure7", "memcached", quick)
+
+
+def figure8(quick: bool = True) -> ExperimentResult:
+    return _technique_figure("figure8", "websearch", quick)
+
+
+def figure9(quick: bool = True) -> ExperimentResult:
+    return _technique_figure("figure9", "speccpu", quick)
+
+
+def figure10(quick: bool = True) -> ExperimentResult:
+    model = TCOModel()
+    step = 100 if quick else 25
+    records = [
+        {
+            "outage_min_per_year": m,
+            "loss_$per_kw_yr": round(loss, 1),
+            "dg_savings_$per_kw_yr": savings,
+        }
+        for m, loss, savings in model.figure_series(500, step)
+    ]
+    records.append(
+        {
+            "outage_min_per_year": round(model.crossover_minutes_per_year(), 1),
+            "loss_$per_kw_yr": "CROSSOVER",
+            "dg_savings_$per_kw_yr": model.dg_savings_per_kw_year,
+        }
+    )
+    return _render("figure10", "Figure 10: TCO crossover", records)
+
+
+#: Registry of every reproducible experiment, in paper order.
+EXPERIMENTS: Dict[str, Callable[[bool], ExperimentResult]] = {
+    "figure1": figure1,
+    "figure3": figure3,
+    "table2": table2,
+    "table3": table3,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
+    """Regenerate one experiment by paper label."""
+    generator = EXPERIMENTS.get(experiment_id.lower())
+    if generator is None:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    return generator(quick)
+
+
+def run_all(quick: bool = True) -> List[ExperimentResult]:
+    """Regenerate every registered experiment, in paper order."""
+    return [generator(quick) for generator in EXPERIMENTS.values()]

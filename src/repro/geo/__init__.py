@@ -1,0 +1,38 @@
+"""Geo-replication: handling outages by moving load between datacenters.
+
+The paper repeatedly gestures at this escape hatch: "a rare and prolonged
+outage may possibly be handled by load re-direction/migration to other
+(power uncorrelated) sites" (Section 1), "for handling such long outages,
+request or load redirection to geo-replicated datacenters would be a better
+solution" (Section 6.2), and Section 7 discusses leveraging multi-site
+operation to underprovision backup everywhere — or bursting to an external
+cloud provider when no second site exists.
+
+This subpackage provides that substrate:
+
+* :mod:`repro.geo.site` — sites with capacity, load, spare headroom and
+  power-correlation regions;
+* :mod:`repro.geo.replication` — the fleet model: where a failed site's
+  load can go, at what performance, after what redirection delay;
+* :mod:`repro.geo.failover` — :class:`GeoFailoverTechnique`, a standard
+  outage technique that rides the redirection window on the local UPS and
+  serves the rest of the outage from remote sites, plus a cloud-burst
+  variant;
+* :mod:`repro.geo.economics` — what the spare remote capacity (or cloud
+  hours) costs, so geo-failover competes with backup hardware on the same
+  cost axis.
+"""
+
+from repro.geo.economics import GeoEconomics
+from repro.geo.failover import CloudBurstTechnique, GeoFailoverTechnique
+from repro.geo.replication import FailoverOutcome, GeoReplicationModel
+from repro.geo.site import Site
+
+__all__ = [
+    "CloudBurstTechnique",
+    "FailoverOutcome",
+    "GeoEconomics",
+    "GeoFailoverTechnique",
+    "GeoReplicationModel",
+    "Site",
+]

@@ -1,0 +1,128 @@
+"""Economics of geo-failover: spare capacity vs backup hardware.
+
+Geo-failover is not free.  Absorbing a failed site's load requires the
+surviving sites to hold spare capacity — idle servers with cap-ex of their
+own — or renting cloud capacity per outage.  This module prices both on the
+same $/KW/yr axis as the Section 3 backup cost model, enabling the
+comparison Section 7 invites: underprovision (or remove) backup at every
+site and lean on the fleet instead, or keep local backup and skip the
+spare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import BackupCostModel
+from repro.errors import ConfigurationError
+from repro.geo.replication import GeoReplicationModel
+from repro.units import SECONDS_PER_YEAR, to_kilowatts
+
+#: The paper's TCO sketch: $2000 per server over 4 years.
+DEFAULT_SERVER_CAPEX_DOLLARS = 2000.0
+DEFAULT_SERVER_LIFETIME_YEARS = 4.0
+
+
+@dataclass(frozen=True)
+class GeoEconomics:
+    """Prices spare-capacity and cloud-burst failover strategies.
+
+    Attributes:
+        server_peak_watts: Per-server peak draw (cost is quoted per KW).
+        server_capex_dollars: Up-front server cost.
+        server_lifetime_years: Depreciation horizon.
+        overhead_multiplier: Facility overhead on top of the bare server
+            (land, shell, cooling share) — 1.6 is a modest PUE-ish uplift.
+    """
+
+    server_peak_watts: float = 250.0
+    server_capex_dollars: float = DEFAULT_SERVER_CAPEX_DOLLARS
+    server_lifetime_years: float = DEFAULT_SERVER_LIFETIME_YEARS
+    overhead_multiplier: float = 1.6
+
+    def __post_init__(self) -> None:
+        if min(
+            self.server_peak_watts,
+            self.server_capex_dollars,
+            self.server_lifetime_years,
+            self.overhead_multiplier,
+        ) <= 0:
+            raise ConfigurationError("economics parameters must be positive")
+
+    @property
+    def spare_server_dollars_per_year(self) -> float:
+        """Amortised yearly cost of one idle spare server."""
+        return (
+            self.server_capex_dollars
+            * self.overhead_multiplier
+            / self.server_lifetime_years
+        )
+
+    def spare_capacity_cost_per_kw_year(
+        self, fleet: GeoReplicationModel, failed_site_name: str
+    ) -> float:
+        """$/KW/yr (of the protected site's capacity) to hold enough spare
+        across the fleet for full-performance failover."""
+        failed = fleet.site(failed_site_name)
+        spare_fraction = fleet.required_spare_fraction_for_full_performance(
+            failed_site_name
+        )
+        if spare_fraction == float("inf"):
+            return float("inf")
+        survivors = fleet.survivors_for(failed)
+        spare_servers = sum(site.capacity for site in survivors) * spare_fraction
+        yearly = spare_servers * self.spare_server_dollars_per_year
+        protected_kw = to_kilowatts(failed.load * self.server_peak_watts)
+        if protected_kw <= 0:
+            return 0.0
+        return yearly / protected_kw
+
+    def cloud_burst_cost_per_kw_year(
+        self,
+        displaced_servers: float,
+        outage_seconds_per_year: float,
+        dollars_per_server_hour: float,
+        protected_servers: float,
+    ) -> float:
+        """$/KW/yr of renting burst capacity for the yearly outage budget."""
+        if outage_seconds_per_year < 0 or dollars_per_server_hour < 0:
+            raise ConfigurationError("rates must be >= 0")
+        yearly = (
+            displaced_servers
+            * dollars_per_server_hour
+            * (outage_seconds_per_year / 3600.0)
+        )
+        protected_kw = to_kilowatts(protected_servers * self.server_peak_watts)
+        if protected_kw <= 0:
+            return 0.0
+        return yearly / protected_kw
+
+    def cheaper_than_local_backup(
+        self,
+        fleet: GeoReplicationModel,
+        failed_site_name: str,
+        cost_model: "BackupCostModel | None" = None,
+    ) -> bool:
+        """Does full-performance geo spare undercut a MaxPerf-style local
+        backup (DG + base UPS) for the protected site?"""
+        model = cost_model if cost_model is not None else BackupCostModel()
+        local_per_kw = model.baseline_cost(1000.0) / 1.0  # $/KW/yr at 1 KW
+        geo_per_kw = self.spare_capacity_cost_per_kw_year(fleet, failed_site_name)
+        return geo_per_kw < local_per_kw
+
+    def breakeven_outage_seconds_per_year(
+        self,
+        displaced_servers: float,
+        protected_servers: float,
+        dollars_per_server_hour: float,
+        alternative_cost_per_kw_year: float,
+    ) -> float:
+        """Yearly outage time at which cloud burst's rent equals an
+        always-on alternative (spare or hardware)."""
+        if dollars_per_server_hour <= 0 or displaced_servers <= 0:
+            return float("inf")
+        protected_kw = to_kilowatts(protected_servers * self.server_peak_watts)
+        yearly_budget = alternative_cost_per_kw_year * protected_kw
+        hourly = displaced_servers * dollars_per_server_hour
+        seconds = (yearly_budget / hourly) * 3600.0
+        return min(seconds, SECONDS_PER_YEAR)

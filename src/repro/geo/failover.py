@@ -1,0 +1,144 @@
+"""Geo-failover as an ordinary outage technique.
+
+:class:`GeoFailoverTechnique` compiles the Section 6.2 recommendation —
+"for very long outages, request or load redirection to geo-replicated
+datacenters" — into the same plan language every other technique uses, so
+the simulator, the selection machinery and the figures can compare it
+directly against throttling, sleep and migration:
+
+1. **Redirect window** — the local cluster keeps serving (throttled, to fit
+   the local UPS) while traffic shifts away; runs on battery.
+2. **Remote serving** — local servers park in S3 (holding state for a fast
+   return) at ~5 W each while the surviving sites carry the displaced load
+   at the fleet model's failover performance.
+3. **Return** — traffic shifts home after utility restore; the resume bill
+   is the S3 exit plus the return traffic shift.
+
+:class:`CloudBurstTechnique` is the Section 7 variant for organisations
+without a second site: identical mechanics, but the absorbing capacity is
+rented, so the plan carries an op-ex rate the economics layer prices.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TechniqueError
+from repro.geo.replication import GeoReplicationModel
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+from repro.techniques.sleep import throttled_save_stretch
+
+
+class GeoFailoverTechnique(OutageTechnique):
+    """Redirect load to power-uncorrelated sites, park the local fleet.
+
+    Args:
+        fleet: The geo-replication model.
+        local_site_name: Which site this datacenter is.
+    """
+
+    name = "geo-failover"
+
+    def __init__(self, fleet: GeoReplicationModel, local_site_name: str):
+        self.fleet = fleet
+        self.local_site_name = local_site_name
+        # Validates the site exists.
+        fleet.site(local_site_name)
+
+    def plan(self, context: TechniqueContext) -> OutagePlan:
+        outcome = self.fleet.fail_over(self.local_site_name)
+        server = context.server
+        cluster = context.cluster
+        workload = context.workload
+
+        # Redirect window: keep serving locally, throttled to the budget if
+        # one binds (the technique must survive on whatever UPS exists).
+        pstate = server.pstates.fastest
+        if context.power_budget_watts != float("inf"):
+            per_server = context.power_budget_watts / cluster.num_servers
+            try:
+                pstate = server.pstate_for_power_budget(
+                    per_server, utilization=workload.utilization
+                )
+            except Exception as exc:  # ConfigurationError -> infeasible
+                raise TechniqueError(
+                    "geo-failover cannot serve the redirect window within "
+                    f"{context.power_budget_watts:.0f} W"
+                ) from exc
+        redirect = PlanPhase(
+            name="redirecting",
+            power_watts=cluster.power_watts(
+                utilization=workload.utilization, pstate=pstate
+            ),
+            performance=workload.throttled_performance(pstate.frequency_ratio),
+            duration_seconds=outcome.redirect_seconds,
+            committed=False,
+            state_safe=False,
+            resume_downtime_seconds=0.0,
+        )
+        # Park in S3 (throttled entry) and let the fleet serve.
+        stretch = throttled_save_stretch(server.pstates.slowest.frequency_ratio)
+        suspend = PlanPhase(
+            name="suspend-for-failover",
+            power_watts=cluster.power_watts(
+                utilization=workload.utilization, pstate=server.pstates.slowest
+            ),
+            performance=outcome.performance,
+            duration_seconds=server.sleep.s3_enter_seconds * stretch,
+            committed=True,
+            state_safe=False,
+            resume_downtime_seconds=server.sleep.s3_exit_seconds,
+            crash_performance=outcome.performance,
+        )
+        remote = PlanPhase(
+            name="served-remotely",
+            power_watts=context.active_servers * server.sleep.s3_power_watts,
+            performance=outcome.performance,
+            duration_seconds=float("inf"),
+            # The local fleet's S3 still dies with the battery, but the
+            # remote sites keep serving at failover performance.
+            state_safe=False,
+            resume_downtime_seconds=server.sleep.s3_exit_seconds,
+            crash_performance=outcome.performance,
+            active_servers=context.active_servers,
+        )
+        phases = [redirect, suspend, remote]
+        check_budget(phases, context.power_budget_watts, self.name)
+        return OutagePlan(technique_name=self.name, phases=phases)
+
+
+class CloudBurstTechnique(GeoFailoverTechnique):
+    """Geo-failover onto rented cloud capacity (Section 7).
+
+    Args:
+        fleet: A fleet whose "cloud" site models the provider's absorbing
+            capacity.
+        local_site_name: The (only) owned site.
+        dollars_per_server_hour: Rental rate while burst capacity serves.
+    """
+
+    name = "cloud-burst"
+
+    def __init__(
+        self,
+        fleet: GeoReplicationModel,
+        local_site_name: str,
+        dollars_per_server_hour: float = 0.50,
+    ):
+        super().__init__(fleet, local_site_name)
+        if dollars_per_server_hour < 0:
+            raise TechniqueError("rental rate must be >= 0")
+        self.dollars_per_server_hour = dollars_per_server_hour
+
+    def burst_cost_dollars(
+        self, context: TechniqueContext, outage_seconds: float
+    ) -> float:
+        """Op-ex of renting replacement capacity for one outage."""
+        outcome = self.fleet.fail_over(self.local_site_name)
+        rented_servers = outcome.absorbed_load
+        hours = max(0.0, outage_seconds - outcome.redirect_seconds) / 3600.0
+        return rented_servers * self.dollars_per_server_hour * hours

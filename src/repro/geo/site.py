@@ -1,0 +1,61 @@
+"""Datacenter sites for the geo-replication model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Site:
+    """One datacenter in a geo-replicated fleet.
+
+    Capacity is expressed in *server-equivalents of delivered work* so the
+    model composes with the cluster/performance normalisation used
+    everywhere else.
+
+    Attributes:
+        name: Site identifier.
+        capacity: Total serving capacity (server-equivalents).
+        load: Normal-operation load (server-equivalents, <= capacity).
+        power_region: Utility correlation group — sites in the same region
+            can fail together, so they cannot back each other up (the
+            paper's "power uncorrelated" requirement).
+        rtt_seconds: Network round-trip to the client population when this
+            site serves redirected traffic; feeds the latency penalty.
+    """
+
+    name: str
+    capacity: float
+    load: float
+    power_region: str = "default"
+    rtt_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"{self.name}: capacity must be positive")
+        if not 0 <= self.load <= self.capacity:
+            raise ConfigurationError(
+                f"{self.name}: load must be within [0, capacity]"
+            )
+        if self.rtt_seconds < 0:
+            raise ConfigurationError(f"{self.name}: rtt must be >= 0")
+
+    @property
+    def spare_capacity(self) -> float:
+        """Headroom available to absorb redirected load."""
+        return self.capacity - self.load
+
+    @property
+    def utilization(self) -> float:
+        return self.load / self.capacity
+
+    def with_load(self, load: float) -> "Site":
+        return replace(self, load=load)
+
+    def with_spare_fraction(self, spare_fraction: float) -> "Site":
+        """A site re-loaded to keep ``spare_fraction`` of capacity free."""
+        if not 0 <= spare_fraction <= 1:
+            raise ConfigurationError("spare_fraction must be in [0, 1]")
+        return replace(self, load=self.capacity * (1 - spare_fraction))

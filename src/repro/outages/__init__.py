@@ -1,0 +1,25 @@
+"""Utility-outage statistics and Monte-Carlo outage generation.
+
+Implements the empirical distributions of Figure 1 (US business outage
+frequency and duration surveys [50, 60]) and a seeded generator producing
+yearly outage schedules for the availability analyses.
+"""
+
+from repro.outages.distributions import (
+    OUTAGE_DURATION_DISTRIBUTION,
+    OUTAGE_FREQUENCY_DISTRIBUTION,
+    DurationBucket,
+    EmpiricalDistribution,
+)
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.outages.generator import OutageGenerator
+
+__all__ = [
+    "DurationBucket",
+    "EmpiricalDistribution",
+    "OUTAGE_DURATION_DISTRIBUTION",
+    "OUTAGE_FREQUENCY_DISTRIBUTION",
+    "OutageEvent",
+    "OutageGenerator",
+    "OutageSchedule",
+]

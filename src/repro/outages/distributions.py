@@ -1,0 +1,191 @@
+"""The empirical outage distributions of Figure 1.
+
+Figure 1(a): power-outage *frequency* per year across US businesses —
+17 % see none, 40 % see 1-2, 30 % see 3-6, 13 % see 7 or more; so 87 %
+experience 6 or fewer.
+
+Figure 1(b): outage *duration* — 31 % last under a minute, 27 % 1-5 min,
+14 % 5-30 min, 17 % 30-120 min, 6 % 120-240 min, 5 % over 240 min; over
+58 % are shorter than 5 minutes, and more than 30 % end before a diesel
+generator would even have finished its start-up and load transfer.
+
+Both histograms are bucketised, so the library represents them as
+:class:`EmpiricalDistribution` objects over :class:`DurationBucket` ranges
+and samples within a bucket log-uniformly (outage durations are heavy-tailed
+within buckets; log-uniform is the max-entropy-ish choice that keeps the
+bucket probabilities exact while avoiding a pile-up at bucket edges).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import hours, minutes, seconds
+
+
+@dataclass(frozen=True)
+class DurationBucket:
+    """One histogram bucket: a half-open range with a probability mass.
+
+    Attributes:
+        low_seconds: Inclusive lower edge.
+        high_seconds: Exclusive upper edge (``inf`` allowed for the tail).
+        probability: Mass of the bucket (buckets of a distribution sum to 1).
+        label: Human-readable label matching the paper's x-axis.
+    """
+
+    low_seconds: float
+    high_seconds: float
+    probability: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.low_seconds < 0 or self.high_seconds <= self.low_seconds:
+            raise ConfigurationError(f"bad bucket range: {self}")
+        if not 0 <= self.probability <= 1:
+            raise ConfigurationError(f"bad bucket probability: {self}")
+
+    def contains(self, duration_seconds: float) -> bool:
+        return self.low_seconds <= duration_seconds < self.high_seconds
+
+    def midpoint_seconds(self) -> float:
+        """Geometric midpoint (log-scale) used for expected-value summaries;
+        unbounded tails use 1.5x the lower edge."""
+        if math.isinf(self.high_seconds):
+            return self.low_seconds * 1.5
+        low = max(self.low_seconds, 1.0)
+        return math.sqrt(low * self.high_seconds)
+
+
+class EmpiricalDistribution:
+    """A bucketised distribution with exact bucket masses.
+
+    Sampling draws a bucket by mass, then a duration log-uniformly within
+    the bucket (bounded tails); the unbounded tail bucket samples from a
+    truncated exponential anchored at its lower edge.
+    """
+
+    def __init__(self, buckets: Sequence[DurationBucket]):
+        if not buckets:
+            raise ConfigurationError("distribution needs at least one bucket")
+        total = sum(b.probability for b in buckets)
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"bucket masses sum to {total}, expected 1.0")
+        edges = [(b.low_seconds, b.high_seconds) for b in buckets]
+        for (_, hi), (lo, _) in zip(edges, edges[1:]):
+            if lo < hi:
+                raise ConfigurationError("buckets must be ordered and disjoint")
+        self._buckets = list(buckets)
+        self._masses = np.array([b.probability for b in buckets])
+
+    @property
+    def buckets(self) -> List[DurationBucket]:
+        return list(self._buckets)
+
+    def probability_at_most(self, duration_seconds: float) -> float:
+        """CDF evaluated at a duration, linear (in log space) within the
+        straddled bucket."""
+        cdf = 0.0
+        for bucket in self._buckets:
+            if duration_seconds >= bucket.high_seconds:
+                cdf += bucket.probability
+            elif bucket.contains(duration_seconds):
+                low = max(bucket.low_seconds, 1.0)
+                high = bucket.high_seconds
+                if math.isinf(high):
+                    # Exponential tail anchored at the bucket edge.
+                    scale = low  # mean residual = lower edge
+                    frac = 1.0 - math.exp(-(duration_seconds - low) / scale)
+                else:
+                    frac = math.log(max(duration_seconds, low) / low) / math.log(
+                        high / low
+                    )
+                cdf += bucket.probability * frac
+                break
+        return min(1.0, cdf)
+
+    def bucket_for(self, duration_seconds: float) -> DurationBucket:
+        for bucket in self._buckets:
+            if bucket.contains(duration_seconds):
+                return bucket
+        return self._buckets[-1]
+
+    def mean_seconds(self) -> float:
+        """Expected duration using geometric bucket midpoints."""
+        return sum(b.probability * b.midpoint_seconds() for b in self._buckets)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` durations (seconds)."""
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        indices = rng.choice(len(self._buckets), size=size, p=self._masses)
+        out = np.empty(size)
+        for i, idx in enumerate(indices):
+            bucket = self._buckets[int(idx)]
+            low = max(bucket.low_seconds, 1.0)
+            if math.isinf(bucket.high_seconds):
+                out[i] = low + rng.exponential(scale=low)
+            else:
+                out[i] = math.exp(
+                    rng.uniform(math.log(low), math.log(bucket.high_seconds))
+                )
+        return out
+
+
+#: Figure 1(b): outage duration distribution.
+OUTAGE_DURATION_DISTRIBUTION = EmpiricalDistribution(
+    [
+        DurationBucket(seconds(0), minutes(1), 0.31, "< 1 minute"),
+        DurationBucket(minutes(1), minutes(5), 0.27, "1 to 5"),
+        DurationBucket(minutes(5), minutes(30), 0.14, "5 to 30"),
+        DurationBucket(minutes(30), minutes(120), 0.17, "30 to 120"),
+        DurationBucket(minutes(120), minutes(240), 0.06, "120 to 240"),
+        DurationBucket(minutes(240), float("inf"), 0.05, "> 240 minutes"),
+    ]
+)
+
+#: Figure 1(a): outages-per-year distribution, as (count-range, mass) buckets.
+#: Expressed with the same bucket machinery over the integer count axis.
+OUTAGE_FREQUENCY_DISTRIBUTION = EmpiricalDistribution(
+    [
+        DurationBucket(0.0, 1.0, 0.17, "None"),
+        DurationBucket(1.0, 3.0, 0.40, "1 to 2"),
+        DurationBucket(3.0, 7.0, 0.30, "3 to 6"),
+        DurationBucket(7.0, 15.0, 0.13, "7+"),
+    ]
+)
+
+
+def sample_outage_count(rng: np.random.Generator) -> int:
+    """Draw a yearly outage count from Figure 1(a).
+
+    Counts are integers: a bucket is drawn by mass, then a count uniformly
+    from the integers the bucket covers.
+    """
+    buckets = OUTAGE_FREQUENCY_DISTRIBUTION.buckets
+    masses = [b.probability for b in buckets]
+    idx = int(rng.choice(len(buckets), p=masses))
+    bucket = buckets[idx]
+    low = int(bucket.low_seconds)
+    high = int(bucket.high_seconds)
+    return int(rng.integers(low, high))
+
+
+def fraction_shorter_than(duration_seconds: float) -> float:
+    """Convenience CDF over Figure 1(b) (e.g. ``minutes(5)`` -> ~0.58)."""
+    return OUTAGE_DURATION_DISTRIBUTION.probability_at_most(duration_seconds)
+
+
+#: Durations the paper's evaluation sweeps (Figures 5 and 6).
+PAPER_OUTAGE_DURATIONS_SECONDS = (
+    seconds(30),
+    minutes(5),
+    minutes(30),
+    hours(1),
+    hours(2),
+)

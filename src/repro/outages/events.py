@@ -1,0 +1,83 @@
+"""Outage events and yearly schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class OutageEvent:
+    """One utility power outage.
+
+    Attributes:
+        start_seconds: Start time within the simulated horizon.
+        duration_seconds: Outage length (brownouts/sags count as outages,
+            per Section 3's footnote — the UPS is exercised identically).
+    """
+
+    start_seconds: float
+    duration_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.start_seconds < 0:
+            raise ConfigurationError("outage start must be >= 0")
+        if self.duration_seconds <= 0:
+            raise ConfigurationError("outage duration must be positive")
+
+    @property
+    def end_seconds(self) -> float:
+        return self.start_seconds + self.duration_seconds
+
+    def overlaps(self, other: "OutageEvent") -> bool:
+        return (
+            self.start_seconds < other.end_seconds
+            and other.start_seconds < self.end_seconds
+        )
+
+
+@dataclass(frozen=True)
+class OutageSchedule:
+    """An ordered, non-overlapping set of outages over a horizon.
+
+    Attributes:
+        events: Outages sorted by start time.
+        horizon_seconds: Length of the covered period (default one year).
+    """
+
+    events: Sequence[OutageEvent]
+    horizon_seconds: float = SECONDS_PER_YEAR
+
+    def __post_init__(self) -> None:
+        if self.horizon_seconds <= 0:
+            raise ConfigurationError("horizon must be positive")
+        ordered = list(self.events)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.start_seconds < earlier.end_seconds:
+                raise ConfigurationError("outages must be ordered and disjoint")
+        if ordered and ordered[-1].end_seconds > self.horizon_seconds:
+            raise ConfigurationError("outage extends past the horizon")
+
+    def __iter__(self) -> Iterator[OutageEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_outage_seconds(self) -> float:
+        return sum(event.duration_seconds for event in self.events)
+
+    @property
+    def utility_availability(self) -> float:
+        """Fraction of the horizon with utility power present."""
+        return 1.0 - self.total_outage_seconds / self.horizon_seconds
+
+    def durations(self) -> List[float]:
+        return [event.duration_seconds for event in self.events]
+
+    def longest_seconds(self) -> float:
+        return max((e.duration_seconds for e in self.events), default=0.0)

@@ -1,0 +1,65 @@
+"""Power-infrastructure substrate: batteries, UPS units, diesel generators.
+
+This subpackage models the physical backup power equipment the paper
+underprovisions:
+
+* :mod:`repro.power.battery` -- Peukert-law battery packs reproducing the
+  nonlinear runtime chart of Figure 3.
+* :mod:`repro.power.ups` -- rack-level offline/online UPS units.
+* :mod:`repro.power.generator` -- diesel generators with start-up and
+  load-transfer delays.
+* :mod:`repro.power.ats` -- the automatic transfer switch.
+* :mod:`repro.power.psu` -- server power-supply hold-up capacitance.
+* :mod:`repro.power.hierarchy` -- composition of the above into the
+  datacenter power hierarchy of Figure 2.
+"""
+
+from repro.power.ats import AutomaticTransferSwitch
+from repro.power.battery import (
+    LEAD_ACID,
+    LI_ION,
+    Battery,
+    BatteryChemistry,
+    BatterySpec,
+    fit_peukert_exponent,
+)
+from repro.power.generator import DieselGenerator, DieselGeneratorSpec
+from repro.power.hierarchy import PowerHierarchy, RackPowerDomain
+from repro.power.placement import ServerLevelBatteryBank, UPSPlacement
+from repro.power.psu import PowerSupplySpec
+from repro.power.redundancy import (
+    ALL_TIERS,
+    TIER_I,
+    TIER_II,
+    TIER_III,
+    TIER_IV,
+    RedundancyScheme,
+    TierLevel,
+)
+from repro.power.ups import UPSSpec, UPSUnit
+
+__all__ = [
+    "ALL_TIERS",
+    "AutomaticTransferSwitch",
+    "Battery",
+    "BatteryChemistry",
+    "BatterySpec",
+    "DieselGenerator",
+    "DieselGeneratorSpec",
+    "LEAD_ACID",
+    "LI_ION",
+    "PowerHierarchy",
+    "PowerSupplySpec",
+    "ServerLevelBatteryBank",
+    "UPSPlacement",
+    "RackPowerDomain",
+    "RedundancyScheme",
+    "TIER_I",
+    "TIER_II",
+    "TIER_III",
+    "TIER_IV",
+    "TierLevel",
+    "UPSSpec",
+    "UPSUnit",
+    "fit_peukert_exponent",
+]

@@ -1,0 +1,40 @@
+"""Automatic transfer switch (ATS).
+
+The ATS detects primary utility failure and switches the datacenter feed
+over to the diesel generators (Figure 2).  The paper notes its cost is small
+relative to DGs and UPSes and excludes it from the cost model; we model only
+its functional role — the detection latency that the UPS/PSU hold-up must
+cover — so the outage simulator has an explicit component for the switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Utility-failure detection latency of a mechanical ATS.  Several-second
+#: transfers are typical; the exact value is dominated downstream by the DG
+#: start-up delay, so precision here is not load-bearing.
+DEFAULT_DETECTION_DELAY_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class AutomaticTransferSwitch:
+    """An ATS with a fixed failure-detection delay.
+
+    Attributes:
+        detection_delay_seconds: Time from utility failure until the ATS has
+            committed to the secondary source and initiated DG start.
+    """
+
+    detection_delay_seconds: float = DEFAULT_DETECTION_DELAY_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.detection_delay_seconds < 0:
+            raise ConfigurationError("ATS detection delay must be >= 0")
+
+    def transfer_initiated_at(self, outage_start_seconds: float) -> float:
+        """Absolute time at which DG start is initiated for an outage that
+        begins at ``outage_start_seconds``."""
+        return outage_start_seconds + self.detection_delay_seconds

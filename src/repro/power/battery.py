@@ -1,0 +1,304 @@
+"""Battery packs with Peukert-law runtime behaviour.
+
+Section 3 of the paper shows (Figure 3) that the runtime of a UPS battery is
+*not* a linear function of load: the APC 4 KW battery it plots lasts 10
+minutes at 100 % load (delivering 0.66 kWh) but 60 minutes at 25 % load
+(delivering 1 kWh).  The paper exploits exactly this property — "runtime is
+disproportionately higher at lower load levels" — when techniques such as
+Sleep-L push the load down to a few watts per server and stretch a small
+battery across a multi-hour outage.
+
+We reproduce the chart with Peukert's law.  For a pack rated to run
+``rated_runtime`` seconds at ``rated_power`` watts, the runtime at a load
+``P`` is::
+
+    runtime(P) = rated_runtime * (rated_power / P) ** k
+
+where ``k`` is the Peukert exponent.  Fitting the paper's two anchor points
+(10 min @ 4000 W, 60 min @ 1000 W) gives ``k = log(6)/log(4) ~= 1.2925``,
+which is the default lead-acid exponent used throughout the library.
+
+A *stateful* :class:`Battery` tracks depth of discharge using the standard
+rate-dependent-capacity formulation: drawing ``P`` watts for ``dt`` seconds
+consumes the fraction ``dt / runtime(P)`` of the pack.  This makes runtime
+accounting exact for piecewise-constant loads, which is how the outage
+simulator drives it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.units import SECONDS_PER_MINUTE, minutes
+
+#: Fraction of state-of-charge below which we consider the pack empty.  Real
+#: lead-acid packs cut off before literal zero to avoid deep-discharge damage;
+#: the paper's runtime chart already reflects usable (not chemical) capacity,
+#: so the default is exactly zero remaining usable charge.
+_EMPTY_EPSILON = 1e-12
+
+
+def fit_peukert_exponent(
+    load_a_watts: float,
+    runtime_a_seconds: float,
+    load_b_watts: float,
+    runtime_b_seconds: float,
+) -> float:
+    """Fit a Peukert exponent from two (load, runtime) anchor points.
+
+    Solves ``runtime_a / runtime_b = (load_b / load_a) ** k`` for ``k``.
+
+    >>> round(fit_peukert_exponent(4000, 600, 1000, 3600), 4)
+    1.2925
+    """
+    if min(load_a_watts, runtime_a_seconds, load_b_watts, runtime_b_seconds) <= 0:
+        raise ConfigurationError("Peukert anchors must be strictly positive")
+    if load_a_watts == load_b_watts:
+        raise ConfigurationError("Peukert anchors must have distinct loads")
+    return math.log(runtime_b_seconds / runtime_a_seconds) / math.log(
+        load_a_watts / load_b_watts
+    )
+
+
+#: Peukert exponent reproducing the paper's Figure 3 lead-acid chart.
+LEAD_ACID_PEUKERT_EXPONENT = fit_peukert_exponent(
+    load_a_watts=4000.0,
+    runtime_a_seconds=minutes(10),
+    load_b_watts=1000.0,
+    runtime_b_seconds=minutes(60),
+)
+
+
+@dataclass(frozen=True)
+class BatteryChemistry:
+    """Electro-chemical family of a battery pack.
+
+    The paper's Section 7 notes Li-ion offers "different peak-power vs energy
+    tradeoffs ... energy is more expensive for Li-ion than power".  Chemistry
+    therefore carries both the Peukert exponent (discharge nonlinearity) and
+    the cost/lifetime asymmetries used by :mod:`repro.core.costs` ablations.
+
+    Attributes:
+        name: Human-readable chemistry name.
+        peukert_exponent: Exponent ``k`` of the runtime law; 1.0 is an ideal
+            (linear) energy store.
+        lifetime_years: Depreciation horizon for cap-ex amortisation.
+        energy_cost_multiplier: Relative $/KWh/yr versus the paper's
+            lead-acid baseline.
+        power_cost_multiplier: Relative $/KW/yr versus the lead-acid baseline.
+    """
+
+    name: str
+    peukert_exponent: float
+    lifetime_years: float
+    energy_cost_multiplier: float = 1.0
+    power_cost_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.peukert_exponent < 1.0:
+            raise ConfigurationError(
+                f"Peukert exponent must be >= 1.0, got {self.peukert_exponent}"
+            )
+        if self.lifetime_years <= 0:
+            raise ConfigurationError("battery lifetime must be positive")
+
+
+#: Lead-acid: the paper's baseline chemistry (4-year lifetime, Figure 3 curve).
+LEAD_ACID = BatteryChemistry(
+    name="lead-acid",
+    peukert_exponent=LEAD_ACID_PEUKERT_EXPONENT,
+    lifetime_years=4.0,
+)
+
+#: Li-ion: Section 7 extension — flatter discharge curve, longer life, but
+#: costlier energy capacity relative to power capacity.
+LI_ION = BatteryChemistry(
+    name="li-ion",
+    peukert_exponent=1.05,
+    lifetime_years=8.0,
+    energy_cost_multiplier=2.0,
+    power_cost_multiplier=0.8,
+)
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """Immutable rating of a battery pack.
+
+    Attributes:
+        rated_power_watts: Maximum continuous discharge power.  Loads above
+            this raise :class:`~repro.errors.CapacityError` when applied.
+        rated_runtime_seconds: Runtime when discharged at exactly
+            ``rated_power_watts`` (the "runtime at rated load" figure vendors
+            quote, and the quantity the paper calls UPS energy capacity
+            "expressed as runtime").
+        chemistry: Electro-chemical family; supplies the Peukert exponent.
+    """
+
+    rated_power_watts: float
+    rated_runtime_seconds: float
+    chemistry: BatteryChemistry = LEAD_ACID
+
+    def __post_init__(self) -> None:
+        if self.rated_power_watts <= 0:
+            raise ConfigurationError(
+                f"battery rated power must be positive, got {self.rated_power_watts}"
+            )
+        if self.rated_runtime_seconds < 0:
+            raise ConfigurationError(
+                f"battery rated runtime must be >= 0, got {self.rated_runtime_seconds}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def peukert_exponent(self) -> float:
+        return self.chemistry.peukert_exponent
+
+    @property
+    def rated_energy_joules(self) -> float:
+        """Energy delivered when drained at rated power (the paper's 0.66 kWh
+        figure for the 4 KW pack)."""
+        return self.rated_power_watts * self.rated_runtime_seconds
+
+    def runtime_at(self, load_watts: float) -> float:
+        """Runtime in seconds when discharged at a constant ``load_watts``.
+
+        Implements Figure 3.  Loads above rated power raise
+        :class:`CapacityError`; a zero or negative load never drains the pack.
+        """
+        if load_watts > self.rated_power_watts * (1 + 1e-9):
+            raise CapacityError(
+                f"load {load_watts:.1f} W exceeds battery rating "
+                f"{self.rated_power_watts:.1f} W"
+            )
+        if load_watts <= 0:
+            return float("inf")
+        ratio = self.rated_power_watts / load_watts
+        return self.rated_runtime_seconds * ratio**self.peukert_exponent
+
+    def deliverable_energy_at(self, load_watts: float) -> float:
+        """Total joules the pack delivers when drained at ``load_watts``.
+
+        Because of the Peukert effect this *grows* as the load shrinks: the
+        paper's 4 KW pack delivers 0.66 kWh at full load but 1 kWh at 25 %.
+        """
+        runtime = self.runtime_at(load_watts)
+        if math.isinf(runtime):
+            return float("inf")
+        return load_watts * runtime
+
+    def load_for_runtime(self, runtime_seconds: float) -> float:
+        """Largest constant load sustainable for ``runtime_seconds``.
+
+        Inverse of :meth:`runtime_at`, clamped to the power rating: runtimes
+        at or below the rated runtime are limited by power, not energy.
+        """
+        if runtime_seconds <= self.rated_runtime_seconds:
+            return self.rated_power_watts
+        ratio = runtime_seconds / self.rated_runtime_seconds
+        return self.rated_power_watts / ratio ** (1.0 / self.peukert_exponent)
+
+    # -- re-provisioning helpers ---------------------------------------------
+
+    def with_runtime(self, rated_runtime_seconds: float) -> "BatterySpec":
+        """A spec with additional/removed energy modules (same power rating)."""
+        return replace(self, rated_runtime_seconds=rated_runtime_seconds)
+
+    def with_power(self, rated_power_watts: float) -> "BatterySpec":
+        """A spec re-rated for a different power capacity (same runtime)."""
+        return replace(self, rated_power_watts=rated_power_watts)
+
+    def scaled(self, factor: float) -> "BatterySpec":
+        """A parallel composition of ``factor`` copies of this pack.
+
+        Scaling packs in parallel multiplies power capacity while keeping the
+        rated runtime constant (each pack sees ``1/factor`` of the load).
+        """
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(self, rated_power_watts=self.rated_power_watts * factor)
+
+    def runtime_chart(self, load_fractions: "list[float]") -> "list[tuple[float, float]]":
+        """(load W, runtime min) samples — the data behind Figure 3."""
+        chart = []
+        for fraction in load_fractions:
+            load = self.rated_power_watts * fraction
+            chart.append((load, self.runtime_at(load) / SECONDS_PER_MINUTE))
+        return chart
+
+
+class Battery:
+    """A stateful battery pack tracking depth of discharge.
+
+    Discharge accounting uses the rate-dependent-capacity formulation:
+    drawing ``P`` watts for ``dt`` seconds consumes ``dt / runtime(P)`` of the
+    pack's state of charge, which reproduces :meth:`BatterySpec.runtime_at`
+    exactly for constant loads and composes correctly across piecewise-
+    constant load segments.
+    """
+
+    def __init__(self, spec: BatterySpec, state_of_charge: float = 1.0):
+        if not 0.0 <= state_of_charge <= 1.0:
+            raise ConfigurationError(
+                f"state of charge must be in [0, 1], got {state_of_charge}"
+            )
+        self.spec = spec
+        self._soc = float(state_of_charge)
+        self._energy_delivered_joules = 0.0
+
+    # -- observers ------------------------------------------------------------
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining usable charge as a fraction in ``[0, 1]``."""
+        return self._soc
+
+    @property
+    def energy_delivered_joules(self) -> float:
+        """Cumulative energy sourced from this pack since construction."""
+        return self._energy_delivered_joules
+
+    @property
+    def is_empty(self) -> bool:
+        return self._soc <= _EMPTY_EPSILON
+
+    def remaining_runtime_at(self, load_watts: float) -> float:
+        """Seconds of runtime left at a constant ``load_watts``."""
+        full = self.spec.runtime_at(load_watts)
+        if math.isinf(full):
+            return float("inf")
+        return self._soc * full
+
+    # -- mutation ---------------------------------------------------------------
+
+    def discharge(self, load_watts: float, duration_seconds: float) -> float:
+        """Drain the pack at ``load_watts`` for up to ``duration_seconds``.
+
+        Returns the number of seconds actually sustained, which is less than
+        requested iff the pack empties first.  The caller (the outage
+        simulator) uses the shortfall to detect the crash instant.
+        """
+        if duration_seconds < 0:
+            raise ValueError(f"duration must be >= 0, got {duration_seconds}")
+        if duration_seconds == 0 or load_watts <= 0:
+            return duration_seconds
+        available = self.remaining_runtime_at(load_watts)
+        sustained = min(duration_seconds, available)
+        full = self.spec.runtime_at(load_watts)
+        self._soc = max(0.0, self._soc - sustained / full)
+        self._energy_delivered_joules += load_watts * sustained
+        return sustained
+
+    def recharge_full(self) -> None:
+        """Restore full charge (utility restored; recharge time not modelled
+        because outages are rare relative to recharge intervals)."""
+        self._soc = 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Battery(rated={self.spec.rated_power_watts:.0f}W/"
+            f"{self.spec.rated_runtime_seconds:.0f}s, soc={self._soc:.3f})"
+        )

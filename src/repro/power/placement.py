@@ -1,0 +1,140 @@
+"""UPS battery placement: rack-level pooling vs server-level packs.
+
+Section 3 adopts rack-level UPS placement (the Facebook/Microsoft design)
+and notes the authors "also evaluated server-level battery configurations"
+in the tech report.  The first-order difference is *pooling*:
+
+* A **rack-level** string is one electrical store; when consolidation parks
+  half the servers, the survivors draw from the whole pool at a lower load
+  fraction — and the Peukert effect rewards them with extra runtime.
+* **Server-level** packs (Google-style on-board trays) are electrically
+  private.  Power down a server and its remaining charge is *stranded*;
+  concentrate load on the survivors and each private pack sees a *higher*
+  load fraction — and Peukert punishes them.
+
+:class:`ServerLevelBatteryBank` models a fleet of identical private packs
+under the plan semantics the simulator uses: phases activate a *prefix* of
+the fleet (consolidations shrink the active set monotonically and never
+re-expand mid-outage), so all active packs share one state of charge and
+shrinking the set strands the difference.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.power.battery import BatterySpec
+
+
+class UPSPlacement(Enum):
+    """Where the battery lives (Figure 2 variants)."""
+
+    RACK = "rack"
+    SERVER = "server"
+
+
+class ServerLevelBatteryBank:
+    """``num_units`` private battery packs powering one server each.
+
+    Args:
+        unit_spec: One server's pack (rated for that server's peak).
+        num_units: Fleet size.
+        state_of_charge: Initial charge of every pack.
+    """
+
+    def __init__(
+        self,
+        unit_spec: BatterySpec,
+        num_units: int,
+        state_of_charge: float = 1.0,
+    ):
+        if num_units <= 0:
+            raise ConfigurationError("num_units must be positive")
+        if not 0 <= state_of_charge <= 1:
+            raise ConfigurationError("state of charge must be in [0, 1]")
+        self.unit_spec = unit_spec
+        self.num_units = num_units
+        #: Charge of the packs still active (all packs start identical).
+        self._active_soc = float(state_of_charge)
+        #: Smallest active set seen so far (never re-expands mid-outage).
+        self._active_units = num_units
+        #: Charge stranded in parked servers' packs (for accounting).
+        self._stranded_charge_units = 0.0
+        self._energy_delivered_joules = 0.0
+
+    # -- observers -----------------------------------------------------------
+
+    @property
+    def active_state_of_charge(self) -> float:
+        """Charge of the packs still powering servers."""
+        return self._active_soc
+
+    @property
+    def stranded_fraction(self) -> float:
+        """Fraction of the fleet's total charge capacity sitting stranded in
+        parked servers' packs."""
+        return self._stranded_charge_units / self.num_units
+
+    @property
+    def energy_delivered_joules(self) -> float:
+        return self._energy_delivered_joules
+
+    @property
+    def is_empty(self) -> bool:
+        return self._active_soc <= 1e-12
+
+    # -- plan interface ------------------------------------------------------------
+
+    def _apply_active(self, active_units: Optional[int]) -> int:
+        units = self.num_units if active_units is None else active_units
+        if not 0 < units <= self.num_units:
+            raise ConfigurationError(
+                f"active_units must be in (0, {self.num_units}]"
+            )
+        if units < self._active_units:
+            # Shrinking the active set strands the parked packs' charge.
+            self._stranded_charge_units += (
+                self._active_units - units
+            ) * self._active_soc
+            self._active_units = units
+        return self._active_units
+
+    def remaining_runtime_at(
+        self, total_power_watts: float, active_units: Optional[int] = None
+    ) -> float:
+        """Seconds the active packs sustain ``total_power_watts`` split
+        evenly among them."""
+        units = self._apply_active(active_units)
+        if total_power_watts <= 0:
+            return float("inf")
+        per_unit = total_power_watts / units
+        if per_unit > self.unit_spec.rated_power_watts * (1 + 1e-9):
+            return 0.0
+        return self._active_soc * self.unit_spec.runtime_at(per_unit)
+
+    def discharge(
+        self,
+        total_power_watts: float,
+        duration_seconds: float,
+        active_units: Optional[int] = None,
+    ) -> float:
+        """Drain the active packs; returns seconds actually sustained."""
+        if duration_seconds < 0:
+            raise ValueError("duration must be >= 0")
+        units = self._apply_active(active_units)
+        if total_power_watts <= 0 or duration_seconds == 0:
+            return duration_seconds
+        per_unit = total_power_watts / units
+        if per_unit > self.unit_spec.rated_power_watts * (1 + 1e-9):
+            raise CapacityError(
+                f"per-server load {per_unit:.1f} W exceeds the private pack's "
+                f"{self.unit_spec.rated_power_watts:.1f} W rating"
+            )
+        full_runtime = self.unit_spec.runtime_at(per_unit)
+        available = self._active_soc * full_runtime
+        sustained = min(duration_seconds, available)
+        self._active_soc = max(0.0, self._active_soc - sustained / full_runtime)
+        self._energy_delivered_joules += total_power_watts * sustained
+        return sustained

@@ -1,0 +1,42 @@
+"""Server power-supply hold-up capacitance.
+
+Section 3: "today's power supplies have inherent capacitance to power the
+server for over 30ms to ride-through this transfer delay after a power
+failure".  This window covers the offline UPS's ~10 ms detection delay, and
+Section 5 notes it is also long enough to transition the server into a
+throttled P-state before the backup source sees the load — which is why
+Throttling is "guaranteed to reduce the peak power" drawn from the backup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Hold-up time of a contemporary server PSU at full load (Section 3: >30 ms).
+DEFAULT_HOLDUP_SECONDS = 0.030
+
+
+@dataclass(frozen=True)
+class PowerSupplySpec:
+    """Hold-up characteristics of a server power supply.
+
+    Attributes:
+        holdup_seconds: Ride-through time the PSU's bulk capacitors provide
+            at the server's current draw.
+    """
+
+    holdup_seconds: float = DEFAULT_HOLDUP_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.holdup_seconds < 0:
+            raise ConfigurationError("PSU hold-up must be >= 0")
+
+    def covers(self, gap_seconds: float) -> bool:
+        """Whether the PSU bridges a power gap of ``gap_seconds``.
+
+        Used to decide if the offline-UPS switch-in (or a throttling
+        transition) is seamless or causes a server crash.
+        """
+        return gap_seconds <= self.holdup_seconds

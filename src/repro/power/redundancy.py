@@ -1,0 +1,148 @@
+"""Backup-equipment redundancy and the Tier classification (Section 2).
+
+The paper situates itself against the classical way of trading backup cost
+for availability: "varying the redundancy and placement configurations of
+the backup equipment ... popularized by the famous Tier classification of
+datacenters".  This module supplies that comparator:
+
+* :class:`RedundancyScheme` — N, N+1, 2N module arrangements, with the
+  capacity multiplier they cost and the delivery probability they achieve
+  given a per-module reliability (DG engines fail to start ~0.5-1.5 % of
+  the time even when well maintained);
+* :class:`TierLevel` — the Uptime-Institute-style presets (Tier I-IV) with
+  their canonical redundancy and published availability expectations,
+  priced through the Section 3 cost model so Tier upgrades and backup
+  *underprovisioning* sit on one cost axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.power.generator import DieselGeneratorSpec
+from repro.power.ups import UPSSpec
+
+
+class RedundancyScheme(Enum):
+    """How many backup modules are installed relative to the N needed."""
+
+    N = "N"
+    N_PLUS_1 = "N+1"
+    TWO_N = "2N"
+
+    def modules_installed(self, needed: int) -> int:
+        """Installed module count for ``needed`` capacity modules."""
+        if needed <= 0:
+            raise ConfigurationError("needed modules must be positive")
+        if self is RedundancyScheme.N:
+            return needed
+        if self is RedundancyScheme.N_PLUS_1:
+            return needed + 1
+        return 2 * needed
+
+    def capacity_multiplier(self, needed: int) -> float:
+        """Extra capacity bought, as a multiple of the bare need — the cost
+        model scales linearly with capacity, so this is the cost uplift."""
+        return self.modules_installed(needed) / needed
+
+    def delivery_probability(
+        self, module_reliability: float, needed: int
+    ) -> float:
+        """Probability at least ``needed`` of the installed modules work.
+
+        Modules fail independently with probability
+        ``1 - module_reliability`` when called upon (the dominant DG
+        failure mode is failure-to-start, which is per-event, not
+        per-hour).
+        """
+        if not 0 <= module_reliability <= 1:
+            raise ConfigurationError("module reliability must be in [0, 1]")
+        installed = self.modules_installed(needed)
+        p = module_reliability
+        total = 0.0
+        for working in range(needed, installed + 1):
+            total += (
+                math.comb(installed, working)
+                * p**working
+                * (1 - p) ** (installed - working)
+            )
+        return total
+
+
+@dataclass(frozen=True)
+class TierLevel:
+    """One rung of the Tier classification.
+
+    Attributes:
+        name: Tier name.
+        redundancy: Canonical backup-module arrangement.
+        expected_availability: The classification's published availability
+            expectation (fraction of the year).
+        dual_powered: Whether IT gear takes two independent feeds (Tier IV).
+    """
+
+    name: str
+    redundancy: RedundancyScheme
+    expected_availability: float
+    dual_powered: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.expected_availability <= 1:
+            raise ConfigurationError("availability must be in (0, 1]")
+
+    @property
+    def allowed_downtime_minutes_per_year(self) -> float:
+        return (1.0 - self.expected_availability) * 365 * 24 * 60
+
+    def backup_cost(
+        self,
+        peak_power_watts: float,
+        dg_modules: int = 2,
+        cost_model=None,
+        ups_runtime_seconds: "float | None" = None,
+    ) -> float:
+        """Annual backup cap-ex ($/yr) at this tier's redundancy.
+
+        Prices a MaxPerf-style installation (full-power DG + full-power
+        UPS) with both component fleets scaled by the tier's redundancy
+        multiplier; dual-powered tiers duplicate the distribution as well,
+        which we approximate as a second UPS string.
+        """
+        # Imported lazily: repro.core.costs imports repro.power submodules.
+        from repro.core.costs import BackupCostModel
+
+        model = cost_model if cost_model is not None else BackupCostModel()
+        multiplier = self.redundancy.capacity_multiplier(dg_modules)
+        runtime = (
+            ups_runtime_seconds
+            if ups_runtime_seconds is not None
+            else model.parameters.free_runtime_seconds
+        )
+        ups = UPSSpec(peak_power_watts, runtime)
+        dg = DieselGeneratorSpec(peak_power_watts)
+        base = model.total_cost(ups, dg)
+        cost = base * multiplier
+        if self.dual_powered:
+            cost += model.ups_cost(ups)  # the second feed's string
+        return cost
+
+    def backup_delivery_probability(
+        self, module_reliability: float = 0.985, dg_modules: int = 2
+    ) -> float:
+        """Probability the DG plant delivers when called (per outage)."""
+        return self.redundancy.delivery_probability(module_reliability, dg_modules)
+
+
+#: The canonical four tiers.  Availability figures are the classification's
+#: published expectations (Tier I 99.671 %, II 99.741 %, III 99.982 %,
+#: IV 99.995 %).
+TIER_I = TierLevel("Tier I", RedundancyScheme.N, 0.99671)
+TIER_II = TierLevel("Tier II", RedundancyScheme.N_PLUS_1, 0.99741)
+TIER_III = TierLevel("Tier III", RedundancyScheme.N_PLUS_1, 0.99982)
+TIER_IV = TierLevel("Tier IV", RedundancyScheme.TWO_N, 0.99995, dual_powered=True)
+
+ALL_TIERS: Tuple[TierLevel, ...] = (TIER_I, TIER_II, TIER_III, TIER_IV)

@@ -1,0 +1,222 @@
+"""UPS units: the ride-through (and, when underprovisioned, sole) backup source.
+
+The paper's datacenters place UPS units at the rack level (Figure 2, as in
+Facebook's and Microsoft's designs) configured *offline* (in parallel): during
+normal operation the load is fed directly from utility, and on a failure the
+UPS takes ~10 ms to detect the event and switch in, a gap covered by the
+server PSU's ~30 ms of hold-up capacitance (:mod:`repro.power.psu`).
+
+A UPS is characterised by a *power* capacity (the load it can carry) and an
+*energy* capacity (how long its batteries last), which the paper expresses as
+runtime at rated power.  Crucially, provisioning batteries for a given power
+rating yields a base energy capacity "for free" (FreeRunTime, 2 minutes for
+the rack-level lead-acid packs of Table 1); only energy beyond that base is
+charged by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.power.battery import LEAD_ACID, Battery, BatteryChemistry, BatterySpec
+from repro.power.placement import UPSPlacement
+from repro.units import minutes
+
+
+class UPSTopology(Enum):
+    """Electrical topology of the UPS installation.
+
+    ``OFFLINE`` (parallel) is the paper's default: no double-conversion loss
+    during normal operation, but a ~10 ms switch-in delay on failure.
+    ``ONLINE`` (series) transfers seamlessly at the cost of continuous
+    conversion inefficiency.
+    """
+
+    OFFLINE = "offline"
+    ONLINE = "online"
+
+
+#: Detection + switch-in latency of an offline UPS (Section 3: "~10ms").
+OFFLINE_SWITCH_DELAY_SECONDS = 0.010
+
+#: Free base runtime that comes with provisioning lead-acid packs for a rack
+#: scale power rating (Table 1: FreeRunTime = 2 min).
+DEFAULT_FREE_RUNTIME_SECONDS = minutes(2)
+
+
+@dataclass(frozen=True)
+class UPSSpec:
+    """Immutable rating of a (possibly underprovisioned) UPS installation.
+
+    Attributes:
+        power_capacity_watts: Maximum load the UPS electronics can carry.
+            Zero models the ``NoUPS``/``MinCost`` configurations.
+        rated_runtime_seconds: Battery runtime at ``power_capacity_watts``.
+            The paper's MaxPerf uses the 2-minute free base; LargeEUPS buys
+            30 minutes; SmallP-LargeEUPS buys 62 minutes at half power.
+        topology: Offline (paper default) or online.
+        chemistry: Battery chemistry (lead-acid baseline, li-ion ablation).
+        free_runtime_seconds: Base runtime included with the power rating;
+            used by the cost model, not by the physics.
+        switch_delay_seconds: Failure-detection delay before the UPS carries
+            load (0 for online topology).
+        placement: Where the batteries live — one pooled rack-level string
+            (the paper's default) or private per-server packs, whose charge
+            strands when servers park (see :mod:`repro.power.placement`).
+    """
+
+    power_capacity_watts: float
+    rated_runtime_seconds: float = DEFAULT_FREE_RUNTIME_SECONDS
+    topology: UPSTopology = UPSTopology.OFFLINE
+    chemistry: BatteryChemistry = LEAD_ACID
+    free_runtime_seconds: float = DEFAULT_FREE_RUNTIME_SECONDS
+    switch_delay_seconds: float = field(default=-1.0)
+    placement: UPSPlacement = UPSPlacement.RACK
+
+    def __post_init__(self) -> None:
+        if self.power_capacity_watts < 0:
+            raise ConfigurationError(
+                f"UPS power capacity must be >= 0, got {self.power_capacity_watts}"
+            )
+        if self.rated_runtime_seconds < 0:
+            raise ConfigurationError(
+                f"UPS rated runtime must be >= 0, got {self.rated_runtime_seconds}"
+            )
+        if self.free_runtime_seconds < 0:
+            raise ConfigurationError(
+                f"UPS free runtime must be >= 0, got {self.free_runtime_seconds}"
+            )
+        if self.switch_delay_seconds < 0:
+            # Default depends on topology, resolved here because dataclass
+            # defaults cannot reference other fields.
+            delay = (
+                OFFLINE_SWITCH_DELAY_SECONDS
+                if self.topology is UPSTopology.OFFLINE
+                else 0.0
+            )
+            object.__setattr__(self, "switch_delay_seconds", delay)
+
+    @classmethod
+    def none(cls) -> "UPSSpec":
+        """The no-UPS installation (MinCost / NoUPS configurations)."""
+        return cls(power_capacity_watts=0.0, rated_runtime_seconds=0.0)
+
+    @property
+    def is_provisioned(self) -> bool:
+        return self.power_capacity_watts > 0
+
+    @property
+    def battery_spec(self) -> BatterySpec:
+        """The battery pack implied by this rating."""
+        if not self.is_provisioned:
+            raise ConfigurationError("no battery: UPS is not provisioned")
+        return BatterySpec(
+            rated_power_watts=self.power_capacity_watts,
+            rated_runtime_seconds=self.rated_runtime_seconds,
+            chemistry=self.chemistry,
+        )
+
+    @property
+    def rated_energy_joules(self) -> float:
+        """Energy at rated power (paper's "UPSEnergyCapacity" in joules)."""
+        if not self.is_provisioned:
+            return 0.0
+        return self.power_capacity_watts * self.rated_runtime_seconds
+
+    @property
+    def free_energy_joules(self) -> float:
+        """Energy included free with the power rating (FreeRunTime band)."""
+        if not self.is_provisioned:
+            return 0.0
+        return self.power_capacity_watts * self.free_runtime_seconds
+
+    @property
+    def extra_energy_joules(self) -> float:
+        """Billable energy beyond the free base (never negative)."""
+        return max(0.0, self.rated_energy_joules - self.free_energy_joules)
+
+    def with_runtime(self, rated_runtime_seconds: float) -> "UPSSpec":
+        return replace(self, rated_runtime_seconds=rated_runtime_seconds)
+
+    def with_power(self, power_capacity_watts: float) -> "UPSSpec":
+        return replace(self, power_capacity_watts=power_capacity_watts)
+
+
+#: Full recharge time of a drained lead-acid string at float charge
+#: (vendors quote 4-12 h to ~90 %; 8 h is the conventional planning figure).
+DEFAULT_RECHARGE_SECONDS = 8 * 3600.0
+
+
+class UPSUnit:
+    """A stateful UPS instance carrying load off its battery during outages.
+
+    Args:
+        spec: The installation's rating.
+        state_of_charge: Initial battery charge in ``[0, 1]`` — below 1.0
+            when a previous outage drained the string and the recharge
+            window was short (back-to-back outage studies).
+    """
+
+    def __init__(self, spec: UPSSpec, state_of_charge: float = 1.0):
+        self.spec = spec
+        self._battery = (
+            Battery(spec.battery_spec, state_of_charge=state_of_charge)
+            if spec.is_provisioned
+            else None
+        )
+
+    @property
+    def battery(self) -> Battery:
+        if self._battery is None:
+            raise ConfigurationError("no battery: UPS is not provisioned")
+        return self._battery
+
+    @property
+    def is_provisioned(self) -> bool:
+        return self.spec.is_provisioned
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self._battery is None or self._battery.is_empty
+
+    def can_carry(self, load_watts: float) -> bool:
+        """Whether ``load_watts`` is within the power rating."""
+        return load_watts <= self.spec.power_capacity_watts * (1 + 1e-9)
+
+    def remaining_runtime_at(self, load_watts: float) -> float:
+        """Seconds of battery left at ``load_watts``; 0 if the load exceeds
+        the power rating (the UPS trips rather than carries it)."""
+        if self._battery is None or not self.can_carry(load_watts):
+            return 0.0
+        return self._battery.remaining_runtime_at(load_watts)
+
+    def carry(self, load_watts: float, duration_seconds: float) -> float:
+        """Source ``load_watts`` from battery for up to ``duration_seconds``.
+
+        Returns seconds actually sustained.  Overload raises
+        :class:`CapacityError` — an overloaded UPS trips its breaker, which
+        upstream logic must treat as an immediate crash, not a slow drain.
+        """
+        if self._battery is None:
+            return 0.0
+        if not self.can_carry(load_watts):
+            raise CapacityError(
+                f"load {load_watts:.1f} W exceeds UPS rating "
+                f"{self.spec.power_capacity_watts:.1f} W"
+            )
+        return self._battery.discharge(load_watts, duration_seconds)
+
+    def recharge_full(self) -> None:
+        if self._battery is not None:
+            self._battery.recharge_full()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._battery is None:
+            return "UPSUnit(unprovisioned)"
+        return (
+            f"UPSUnit({self.spec.power_capacity_watts:.0f}W, "
+            f"runtime={self.spec.rated_runtime_seconds:.0f}s, "
+            f"soc={self._battery.state_of_charge:.3f})"
+        )

@@ -1,0 +1,31 @@
+"""Server-level substrate: power states and cluster composition.
+
+Models the paper's testbed machines — dual-socket 12-core servers with 64 GB
+DRAM, 1 Gbps Ethernet, ~80 W idle and ~250 W peak — including their 7
+voltage/frequency P-states, 8 clock-throttling T-states, and ACPI sleep
+states, plus the homogeneous-cluster arithmetic used for consolidation.
+"""
+
+from repro.servers.cluster import Cluster
+from repro.servers.pstates import (
+    DEFAULT_PSTATE_TABLE,
+    DEFAULT_TSTATE_TABLE,
+    PState,
+    PStateTable,
+    TState,
+)
+from repro.servers.server import PAPER_SERVER, ServerSpec
+from repro.servers.sleepstates import SleepState, SleepStateTable
+
+__all__ = [
+    "Cluster",
+    "DEFAULT_PSTATE_TABLE",
+    "DEFAULT_TSTATE_TABLE",
+    "PAPER_SERVER",
+    "PState",
+    "PStateTable",
+    "ServerSpec",
+    "SleepState",
+    "SleepStateTable",
+    "TState",
+]

@@ -1,0 +1,132 @@
+"""Homogeneous clusters and the consolidation arithmetic of Section 5.
+
+The Migration technique consolidates applications onto fewer servers ("we
+use a relatively aggressive consolidation by powering down every alternate
+server, reducing the number of servers to half") and powers the rest down.
+Because today's servers are not energy proportional (80 W idle vs 250 W
+peak), running half the servers at double utilisation draws markedly less
+than all servers at half utilisation — which is exactly why migration beats
+throttling for long outages in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.servers.pstates import PState, TState
+from repro.servers.server import ServerSpec
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """``num_servers`` identical machines treated as one power domain.
+
+    Attributes:
+        spec: The server model.
+        num_servers: Cluster size.
+        utilization: Normal-operation per-server utilisation (the paper's
+            experiments load servers near peak; sweeps vary this).
+    """
+
+    spec: ServerSpec
+    num_servers: int
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ConfigurationError("num_servers must be positive")
+        if not 0 <= self.utilization <= 1:
+            raise ConfigurationError("utilization must be in [0, 1]")
+
+    # -- aggregate power --------------------------------------------------------
+
+    @property
+    def peak_power_watts(self) -> float:
+        """Nameplate facility peak: every server flat-out at full frequency.
+
+        Backup power capacity is provisioned against this (Section 3: "the
+        entire datacenter load is transferred to them upon an outage").
+        """
+        return self.num_servers * self.spec.peak_power_watts
+
+    @property
+    def normal_power_watts(self) -> float:
+        """Draw during normal operation at the configured utilisation."""
+        return self.num_servers * self.spec.power_watts(self.utilization)
+
+    def power_watts(
+        self,
+        active_servers: "int | None" = None,
+        utilization: "float | None" = None,
+        pstate: "PState | None" = None,
+        parked_power_watts: float = 0.0,
+        tstate: "TState | None" = None,
+    ) -> float:
+        """Aggregate draw with ``active_servers`` running and the rest parked.
+
+        Args:
+            active_servers: Servers executing work (default: all).
+            utilization: Per-active-server utilisation (default: cluster's).
+            pstate: Throttle state of active servers (default: fastest).
+            parked_power_watts: Per-server draw of the non-active servers
+                (0 for off/hibernated, ~5 W for S3).
+            tstate: Clock-throttling state composed on top of the P-state.
+        """
+        if active_servers is None:
+            active_servers = self.num_servers
+        if not 0 <= active_servers <= self.num_servers:
+            raise ConfigurationError(
+                f"active_servers must be in [0, {self.num_servers}]"
+            )
+        if utilization is None:
+            utilization = self.utilization
+        active = active_servers * self.spec.power_watts(utilization, pstate, tstate)
+        parked = (self.num_servers - active_servers) * parked_power_watts
+        return active + parked
+
+    # -- consolidation ----------------------------------------------------------
+
+    def consolidation_targets(self, shrink_factor: float = 0.5) -> int:
+        """Number of servers left running after consolidating by
+        ``shrink_factor`` (paper default: half), at least one."""
+        if not 0 < shrink_factor <= 1:
+            raise ConfigurationError("shrink_factor must be in (0, 1]")
+        return max(1, round(self.num_servers * shrink_factor))
+
+    def consolidated_utilization(self, target_servers: int) -> float:
+        """Per-server utilisation after packing the cluster's work onto
+        ``target_servers`` machines, saturating at 1.0 (excess work queues,
+        which the performance model accounts as throughput loss)."""
+        if target_servers <= 0:
+            raise ConfigurationError("target_servers must be positive")
+        total_work = self.num_servers * self.utilization
+        return clamp(total_work / target_servers, 0.0, 1.0)
+
+    def consolidated_performance(self, target_servers: int) -> float:
+        """Throughput after consolidation, normalised to normal operation.
+
+        When the packed utilisation saturates, the surplus work is lost:
+        performance = delivered work / offered work.
+        """
+        total_work = self.num_servers * self.utilization
+        delivered = min(total_work, float(target_servers))
+        if total_work <= 0:
+            return 1.0
+        return delivered / total_work
+
+    def consolidated_power_watts(
+        self,
+        target_servers: int,
+        pstate: "PState | None" = None,
+        parked_power_watts: float = 0.0,
+    ) -> float:
+        """Aggregate draw after consolidation onto ``target_servers``."""
+        packed = self.consolidated_utilization(target_servers)
+        return self.power_watts(
+            active_servers=target_servers,
+            utilization=packed,
+            pstate=pstate,
+            parked_power_watts=parked_power_watts,
+        )

@@ -1,0 +1,199 @@
+"""Active processor power states: DVFS P-states and clock-throttling T-states.
+
+The paper's servers expose "7 voltage/frequency P-states and 8 clock
+throttling T-states" and use them as the Throttling technique (Section 5):
+transitions take tens of microseconds — effectively instantaneous next to the
+30 ms PSU hold-up — so throttling is the one technique *guaranteed* to cut
+the peak power the backup infrastructure must be rated for.
+
+Power model.  Dynamic CPU power scales with ``f * V^2``; on the DVFS ladder
+voltage falls roughly linearly with frequency, giving the classic cubic-ish
+dynamic scaling.  Server *dynamic* power (the span between idle and peak) is
+only partly CPU, so the server model blends a CPU-dominated scaled component
+with an unscaled platform component; the blend is calibrated so the deepest
+P-state roughly halves dynamic power, matching the paper's "-L" (low power,
+0.5x peak) operating points in Table 8.
+
+Performance model.  Throttling a workload whose CPU-bound fraction is ``c``
+to a frequency ratio ``r`` stretches execution time to ``c / r + (1 - c)``
+(Amdahl-style), so throughput becomes ``1 / (c / r + (1 - c))``.  This
+reproduces the paper's observation that Memcached — stalled on memory — loses
+much less performance under throttling than Specjbb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PState:
+    """One DVFS operating point.
+
+    Attributes:
+        name: ACPI-style name ("P0" is the fastest).
+        frequency_ratio: Core frequency relative to P0, in ``(0, 1]``.
+        voltage_ratio: Core voltage relative to P0, in ``(0, 1]``.
+    """
+
+    name: str
+    frequency_ratio: float
+    voltage_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.frequency_ratio <= 1:
+            raise ConfigurationError(
+                f"{self.name}: frequency ratio must be in (0, 1]"
+            )
+        if not 0 < self.voltage_ratio <= 1:
+            raise ConfigurationError(f"{self.name}: voltage ratio must be in (0, 1]")
+
+    @property
+    def cpu_dynamic_power_ratio(self) -> float:
+        """CPU dynamic power relative to P0: ``f * V^2``."""
+        return self.frequency_ratio * self.voltage_ratio**2
+
+
+@dataclass(frozen=True)
+class TState:
+    """One clock-throttling (duty-cycle) state.
+
+    T-states gate the clock for a fraction of cycles: frequency and dynamic
+    power both scale with the duty cycle (no voltage reduction), making them
+    less efficient than P-states but composable with them for deeper cuts.
+    """
+
+    name: str
+    duty_cycle: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.duty_cycle <= 1:
+            raise ConfigurationError(f"{self.name}: duty cycle must be in (0, 1]")
+
+
+def _default_pstates() -> List[PState]:
+    """The 7-entry P-state ladder of the paper's 3.4 GHz parts.
+
+    Frequencies step evenly from 3.4 GHz down to 1.6 GHz (the common
+    EIST floor for this generation); voltage tracks frequency with the
+    usual ~0.6 V floor / ~1.0 V peak linearisation.
+    """
+    top_ghz, floor_ghz = 3.4, 1.6
+    count = 7
+    states = []
+    for i in range(count):
+        ghz = top_ghz - (top_ghz - floor_ghz) * i / (count - 1)
+        freq_ratio = ghz / top_ghz
+        # Linear V-f tracking between (floor_ghz, 0.75) and (top_ghz, 1.0).
+        volt_ratio = 0.75 + 0.25 * (ghz - floor_ghz) / (top_ghz - floor_ghz)
+        states.append(
+            PState(name=f"P{i}", frequency_ratio=freq_ratio, voltage_ratio=volt_ratio)
+        )
+    return states
+
+
+def _default_tstates() -> List[TState]:
+    """The 8-entry T-state ladder: duty cycles 100 % down to 12.5 %."""
+    return [TState(name=f"T{i}", duty_cycle=1.0 - i / 8.0) for i in range(8)]
+
+
+class PStateTable:
+    """An ordered P-state ladder with lookup and power-scaling helpers."""
+
+    def __init__(self, states: Sequence[PState], cpu_power_fraction: float = 0.55):
+        """Args:
+        states: P-states ordered fastest-first (``P0`` at index 0).
+        cpu_power_fraction: Share of the server's *dynamic* power that
+            scales with the CPU's ``f * V^2``; the remainder (memory, disks,
+            fans, VRM losses) scales only linearly with throughput.  The
+            default 0.55 lands the deepest state near the paper's 0.5x
+            "low-power" operating point.
+        """
+        if not states:
+            raise ConfigurationError("P-state table cannot be empty")
+        ordered = list(states)
+        ratios = [s.frequency_ratio for s in ordered]
+        if ratios != sorted(ratios, reverse=True):
+            raise ConfigurationError("P-states must be ordered fastest-first")
+        if not 0 <= cpu_power_fraction <= 1:
+            raise ConfigurationError("cpu_power_fraction must be in [0, 1]")
+        self._states = ordered
+        self.cpu_power_fraction = cpu_power_fraction
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self):
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> PState:
+        return self._states[index]
+
+    @property
+    def fastest(self) -> PState:
+        return self._states[0]
+
+    @property
+    def slowest(self) -> PState:
+        return self._states[-1]
+
+    def by_name(self, name: str) -> PState:
+        for state in self._states:
+            if state.name == name:
+                return state
+        raise KeyError(name)
+
+    def index_of(self, state: PState) -> int:
+        """Ladder position of ``state`` (0 = fastest)."""
+        return self._states.index(state)
+
+    def dynamic_power_ratio(self, state: PState) -> float:
+        """Server dynamic power (idle-to-peak span) relative to P0.
+
+        Blends the CPU's ``f * V^2`` component with a platform component
+        that scales linearly with frequency (work still flows through
+        memory and I/O at the throttled rate).
+        """
+        cpu = self.cpu_power_fraction * state.cpu_dynamic_power_ratio
+        platform = (1.0 - self.cpu_power_fraction) * state.frequency_ratio
+        return cpu + platform
+
+    def deepest_within(self, max_dynamic_power_ratio: float) -> PState:
+        """The *fastest* state whose dynamic power ratio fits the budget.
+
+        Raises :class:`ConfigurationError` if even the slowest state exceeds
+        the budget — callers must then fall back to save-state techniques.
+        """
+        for state in self._states:
+            if self.dynamic_power_ratio(state) <= max_dynamic_power_ratio + 1e-12:
+                return state
+        raise ConfigurationError(
+            f"no P-state fits dynamic power budget {max_dynamic_power_ratio:.3f}"
+        )
+
+
+#: The paper testbed's ladders.
+DEFAULT_PSTATE_TABLE = PStateTable(_default_pstates())
+DEFAULT_TSTATE_TABLE: List[TState] = _default_tstates()
+
+
+def throttled_performance(cpu_bound_fraction: float, frequency_ratio: float) -> float:
+    """Amdahl-style throughput at a throttled frequency.
+
+    Args:
+        cpu_bound_fraction: Fraction ``c`` of execution limited by core
+            frequency (the rest stalls on memory/I-O and is unaffected).
+        frequency_ratio: Throttled frequency relative to full speed.
+
+    Returns:
+        Normalised throughput in ``(0, 1]``.
+    """
+    if not 0 <= cpu_bound_fraction <= 1:
+        raise ConfigurationError("cpu_bound_fraction must be in [0, 1]")
+    if not 0 < frequency_ratio <= 1:
+        raise ConfigurationError("frequency_ratio must be in (0, 1]")
+    stretched = cpu_bound_fraction / frequency_ratio + (1.0 - cpu_bound_fraction)
+    return 1.0 / stretched

@@ -1,0 +1,165 @@
+"""The server power/performance model calibrated to the paper's testbed.
+
+Section 6: identical dual-socket servers with 6-core 3.4 GHz processors (12
+cores), 64 GB DRAM, 1 Gbps Ethernet; ~80 W idle and ~250 W measured peak;
+7 P-states and 8 T-states.  The model exposes exactly what the evaluation
+consumes: power as a function of utilisation and throttle state, transfer
+bandwidths for state save/restore and migration, and sleep-state constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.servers.pstates import DEFAULT_PSTATE_TABLE, PState, PStateTable, TState
+from repro.servers.sleepstates import SleepStateTable
+from repro.units import clamp, gigabits_per_second, gigabytes, megabytes_per_second
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Static description of one server model.
+
+    Attributes:
+        name: Human-readable model name.
+        idle_power_watts: Draw at zero utilisation, full frequency.
+        peak_power_watts: Draw at full utilisation, full frequency.
+        num_cores: Total hardware threads' worth of cores.
+        dram_bytes: Installed memory.
+        nic_bandwidth_bytes_per_second: Network bandwidth (migration path).
+        disk_write_bandwidth_bytes_per_second: Sequential write bandwidth
+            (hibernation save path).
+        disk_read_bandwidth_bytes_per_second: Sequential read bandwidth
+            (hibernation resume / reload path).
+        pstates: DVFS ladder.
+        sleep: Sleep-state constants.
+    """
+
+    name: str
+    idle_power_watts: float
+    peak_power_watts: float
+    num_cores: int
+    dram_bytes: float
+    nic_bandwidth_bytes_per_second: float
+    disk_write_bandwidth_bytes_per_second: float
+    disk_read_bandwidth_bytes_per_second: float
+    pstates: PStateTable = field(default_factory=lambda: DEFAULT_PSTATE_TABLE)
+    sleep: SleepStateTable = field(default_factory=SleepStateTable)
+
+    def __post_init__(self) -> None:
+        if self.idle_power_watts < 0:
+            raise ConfigurationError("idle power must be >= 0")
+        if self.peak_power_watts <= self.idle_power_watts:
+            raise ConfigurationError("peak power must exceed idle power")
+        if self.num_cores <= 0:
+            raise ConfigurationError("num_cores must be positive")
+        if self.dram_bytes <= 0:
+            raise ConfigurationError("dram_bytes must be positive")
+        for name in (
+            "nic_bandwidth_bytes_per_second",
+            "disk_write_bandwidth_bytes_per_second",
+            "disk_read_bandwidth_bytes_per_second",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    # -- power model ----------------------------------------------------------
+
+    @property
+    def dynamic_power_watts(self) -> float:
+        """Idle-to-peak span modulated by utilisation and P-state."""
+        return self.peak_power_watts - self.idle_power_watts
+
+    def power_watts(
+        self,
+        utilization: float,
+        pstate: "PState | None" = None,
+        tstate: "TState | None" = None,
+    ) -> float:
+        """Active (S0) power at ``utilization`` in the given P/T states.
+
+        The linear-in-utilisation model (idle + span * u) is the standard
+        first-order server model; the P-state scales both the dynamic span
+        (lower f, V) and trims a slice of idle power (lower static leakage
+        at lower voltage) so that the deepest state at full load lands near
+        the paper's 0.5x "-L" operating point.  A T-state gates the clock
+        for part of each window: the dynamic span scales with the duty
+        cycle (no voltage benefit — which is why T-states are the less
+        efficient knob), composing multiplicatively with the P-state.
+        """
+        utilization = clamp(utilization, 0.0, 1.0)
+        if pstate is None:
+            pstate = self.pstates.fastest
+        span_ratio = self.pstates.dynamic_power_ratio(pstate)
+        if tstate is not None:
+            span_ratio *= tstate.duty_cycle
+        # Leakage scales ~V^2; apply to the CPU-attributable half of idle.
+        idle_scale = 0.5 + 0.5 * pstate.voltage_ratio**2
+        idle = self.idle_power_watts * idle_scale
+        return idle + self.dynamic_power_watts * span_ratio * utilization
+
+    def min_active_power_watts(self) -> float:
+        """Floor of active power: deepest P-state at full utilisation.
+
+        This is the lowest draw at which the server still executes its
+        workload flat-out — the limit of the Throttling technique.
+        """
+        return self.power_watts(1.0, self.pstates.slowest)
+
+    def pstate_for_power_budget(self, budget_watts: float, utilization: float = 1.0) -> PState:
+        """Fastest P-state keeping ``power_watts(utilization)`` within budget.
+
+        Raises :class:`ConfigurationError` if no state fits — the caller must
+        then shed load (consolidate) or save state instead.
+        """
+        for state in self.pstates:
+            if self.power_watts(utilization, state) <= budget_watts + 1e-9:
+                return state
+        raise ConfigurationError(
+            f"no P-state keeps u={utilization:.2f} within {budget_watts:.1f} W"
+        )
+
+    # -- state movement -----------------------------------------------------------
+
+    def hibernate_save_seconds(self, state_bytes: float) -> float:
+        """Time to persist ``state_bytes`` of volatile state to local disk."""
+        return (
+            self.sleep.s4_fixed_enter_seconds
+            + state_bytes / self.disk_write_bandwidth_bytes_per_second
+        )
+
+    def hibernate_resume_seconds(self, state_bytes: float) -> float:
+        """Time to restore ``state_bytes`` from local disk."""
+        return (
+            self.sleep.s4_fixed_exit_seconds
+            + state_bytes / self.disk_read_bandwidth_bytes_per_second
+        )
+
+    def migration_transfer_seconds(self, state_bytes: float) -> float:
+        """Lower bound: one copy of ``state_bytes`` over the NIC (the
+        pre-copy iteration arithmetic lives in the migration technique)."""
+        return state_bytes / self.nic_bandwidth_bytes_per_second
+
+
+def _paper_server() -> ServerSpec:
+    """The Section 6 testbed machine.
+
+    Disk bandwidths are calibrated from Table 8's Specjbb (18 GB) hibernate
+    measurements: save 230 s -> ~80 MB/s effective write; resume 157 s ->
+    ~131 MB/s effective read (reads are sequential and cheaper).
+    """
+    return ServerSpec(
+        name="paper-testbed",
+        idle_power_watts=80.0,
+        peak_power_watts=250.0,
+        num_cores=12,
+        dram_bytes=gigabytes(64),
+        nic_bandwidth_bytes_per_second=gigabits_per_second(1),
+        disk_write_bandwidth_bytes_per_second=megabytes_per_second(80),
+        disk_read_bandwidth_bytes_per_second=megabytes_per_second(131),
+    )
+
+
+#: The paper's evaluation server.
+PAPER_SERVER = _paper_server()

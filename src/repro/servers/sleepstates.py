@@ -1,0 +1,101 @@
+"""ACPI sleep states: the save-state techniques' hardware substrate.
+
+Section 5's save-state techniques map onto ACPI S-states:
+
+* **Sleep** suspends to RAM (S3): DRAM stays in self-refresh at 2-4 W per
+  DIMM (Table 5) — ~5 W per server in the paper's Section 6.2 — everything
+  else powers off.  Entry takes ~10 s (Table 5), and the measured Specjbb
+  numbers (Table 8) are 6 s to save and 8 s to resume, independent of
+  application footprint because nothing is copied.
+* **Hibernation** persists to disk (S4): zero standby power, but entry/exit
+  time scales with the application's memory state over disk bandwidth.
+* **Off** (S5 / crashed): zero power, full OS reboot on restore.
+
+The state-size-*dependent* timings live with the workloads (they know their
+footprints); this module owns the state-size-*independent* latencies and the
+standby power levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class SleepState(Enum):
+    """ACPI-style system states used by the outage-handling techniques."""
+
+    ACTIVE = "S0"
+    SUSPEND_TO_RAM = "S3"
+    HIBERNATE = "S4"
+    OFF = "S5"
+
+
+#: Per-server standby draw in S3: DRAM self-refresh (2-4 W/DIMM, Table 5)
+#: plus standby logic; Section 6.2 quotes "around 5W per server".
+DEFAULT_S3_POWER_WATTS = 5.0
+
+#: Fixed OS suspend latency (Table 8: Specjbb sleep save 6 s; the "~10 secs"
+#: of Table 5 includes technique orchestration on top).
+DEFAULT_S3_ENTER_SECONDS = 6.0
+
+#: Fixed OS resume-from-RAM latency (Table 8: 8 s — only caches reload).
+DEFAULT_S3_EXIT_SECONDS = 8.0
+
+#: Fixed (state-size-independent) portion of hibernate entry/exit: device
+#: quiesce, firmware handoff, kernel reload.  The dominant, size-dependent
+#: portion is added by the workload model from its footprint and the disk
+#: bandwidth.
+DEFAULT_S4_FIXED_ENTER_SECONDS = 5.0
+DEFAULT_S4_FIXED_EXIT_SECONDS = 20.0
+
+#: Full OS reboot after a crash or from S5 (Section 6.2: Web-search
+#: "server restart time ~2 mins"; we use that as the platform constant).
+DEFAULT_REBOOT_SECONDS = 120.0
+
+
+@dataclass(frozen=True)
+class SleepStateTable:
+    """Per-server sleep-state power and latency constants.
+
+    Attributes:
+        s3_power_watts: Standby draw in suspend-to-RAM.
+        s3_enter_seconds: Time to suspend (footprint independent).
+        s3_exit_seconds: Time to resume from RAM (footprint independent).
+        s4_fixed_enter_seconds: Footprint-independent part of hibernate entry.
+        s4_fixed_exit_seconds: Footprint-independent part of hibernate exit.
+        reboot_seconds: Cold OS boot after a crash / power-off.
+    """
+
+    s3_power_watts: float = DEFAULT_S3_POWER_WATTS
+    s3_enter_seconds: float = DEFAULT_S3_ENTER_SECONDS
+    s3_exit_seconds: float = DEFAULT_S3_EXIT_SECONDS
+    s4_fixed_enter_seconds: float = DEFAULT_S4_FIXED_ENTER_SECONDS
+    s4_fixed_exit_seconds: float = DEFAULT_S4_FIXED_EXIT_SECONDS
+    reboot_seconds: float = DEFAULT_REBOOT_SECONDS
+
+    def __post_init__(self) -> None:
+        for name in (
+            "s3_power_watts",
+            "s3_enter_seconds",
+            "s3_exit_seconds",
+            "s4_fixed_enter_seconds",
+            "s4_fixed_exit_seconds",
+            "reboot_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def standby_power_watts(self, state: SleepState) -> float:
+        """Per-server draw while parked in ``state`` (ACTIVE is workload
+        dependent and deliberately not answered here)."""
+        if state is SleepState.SUSPEND_TO_RAM:
+            return self.s3_power_watts
+        if state in (SleepState.HIBERNATE, SleepState.OFF):
+            return 0.0
+        raise ConfigurationError(
+            "standby power of the ACTIVE state depends on the workload; "
+            "query the server/workload model instead"
+        )

@@ -1,0 +1,29 @@
+"""Simulation: the engine, the datacenter assembly, and the outage simulator.
+
+:mod:`repro.sim.outage_sim` is the load-bearing piece — it executes a
+technique's :class:`~repro.techniques.base.OutagePlan` against a concrete
+backup infrastructure (Peukert battery, DG start-up, PSU hold-up) and
+produces the :class:`~repro.sim.metrics.OutageOutcome` the evaluation
+figures are built from.
+"""
+
+from repro.sim.datacenter import Datacenter
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.metrics import OutageOutcome, SourceKind
+from repro.sim.outage_sim import OutageSimulator, simulate_outage
+from repro.sim.trace import PowerTrace, TraceSegment
+from repro.sim.yearly import YearlyResult, YearlyRunner
+
+__all__ = [
+    "Datacenter",
+    "Event",
+    "OutageOutcome",
+    "OutageSimulator",
+    "PowerTrace",
+    "SimulationEngine",
+    "SourceKind",
+    "TraceSegment",
+    "YearlyResult",
+    "YearlyRunner",
+    "simulate_outage",
+]

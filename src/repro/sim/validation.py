@@ -1,0 +1,123 @@
+"""Cross-validation utilities for the outage simulator.
+
+The simulator computes two quantities in closed form that are easy to get
+subtly wrong: the Peukert state-of-charge bookkeeping across piecewise
+segments, and the adaptive-phase hold time (how long a hybrid can sustain
+before transitioning to its save stage).  This module provides independent
+brute-force implementations of both —
+
+* :func:`numeric_battery_runtime` integrates the drain ODE with small time
+  steps instead of using the closed form, and
+* :func:`numeric_adaptive_hold` scans candidate hold times and replays the
+  remaining phases against a fresh battery
+
+— so the test suite can assert the fast paths agree with first principles.
+They are deliberately slow and live outside the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.power.battery import Battery, BatterySpec
+
+
+def numeric_battery_runtime(
+    spec: BatterySpec,
+    load_watts: float,
+    step_seconds: float = 0.5,
+    max_seconds: float = 1e6,
+) -> float:
+    """Runtime at a constant load via explicit small-step integration.
+
+    Should agree with :meth:`BatterySpec.runtime_at` to within one step.
+    """
+    if step_seconds <= 0:
+        raise SimulationError("step must be positive")
+    battery = Battery(spec)
+    elapsed = 0.0
+    while not battery.is_empty and elapsed < max_seconds:
+        sustained = battery.discharge(load_watts, step_seconds)
+        elapsed += sustained
+        if sustained < step_seconds:
+            break
+    return elapsed
+
+
+def replay_phases(
+    spec: BatterySpec,
+    segments: Sequence[Tuple[float, float]],
+) -> bool:
+    """Whether a fresh battery survives ``(power, duration)`` segments."""
+    battery = Battery(spec)
+    for power, duration in segments:
+        if power <= 0:
+            continue
+        sustained = battery.discharge(power, duration)
+        if sustained < duration - 1e-9:
+            return False
+    return True
+
+
+def numeric_adaptive_hold(
+    spec: BatterySpec,
+    hold_power_watts: float,
+    committed: Sequence[Tuple[float, float]],
+    save_power_watts: float,
+    window_seconds: float,
+    resolution_seconds: float = 1.0,
+) -> float:
+    """Longest hold time surviving the window, by scanning candidates.
+
+    Mirrors the simulator's adaptive solve: hold at ``hold_power_watts`` for
+    ``x``, execute the committed ``(power, duration)`` phases, then sit at
+    ``save_power_watts`` for whatever remains of ``window_seconds``.
+    Returns the largest feasible ``x`` on the scan grid (0 if none).
+    """
+    if resolution_seconds <= 0:
+        raise SimulationError("resolution must be positive")
+    committed_time = sum(duration for _, duration in committed)
+    max_hold = max(0.0, window_seconds - committed_time)
+
+    best = 0.0
+    steps = int(max_hold / resolution_seconds)
+    for i in range(steps + 1):
+        hold = min(max_hold, i * resolution_seconds)
+        tail = max(0.0, window_seconds - hold - committed_time)
+        segments: List[Tuple[float, float]] = [(hold_power_watts, hold)]
+        segments.extend(committed)
+        segments.append((save_power_watts, tail))
+        if replay_phases(spec, segments):
+            best = hold
+    return best
+
+
+def trace_energy_balance_error(trace, ups_energy_joules: float) -> float:
+    """Relative mismatch between the trace's UPS-sourced energy integral and
+    the battery's delivered-energy counter (should be ~0)."""
+    integral = trace.energy_joules(source="ups")
+    if max(integral, ups_energy_joules) <= 0:
+        return 0.0
+    return abs(integral - ups_energy_joules) / max(integral, ups_energy_joules)
+
+
+def verify_peukert_consistency(
+    spec: BatterySpec, loads_watts: Sequence[float], tolerance: float = 1e-6
+) -> None:
+    """Raise :class:`SimulationError` if split-discharge accounting diverges
+    from the closed-form runtime at any probed load."""
+    for load in loads_watts:
+        closed = spec.runtime_at(load)
+        if math.isinf(closed):
+            continue
+        battery = Battery(spec)
+        half = battery.discharge(load, closed / 2)
+        rest = battery.remaining_runtime_at(load)
+        total = half + rest
+        if abs(total - closed) > tolerance * closed:
+            raise SimulationError(
+                f"Peukert accounting inconsistent at {load} W: "
+                f"{total} vs {closed}"
+            )

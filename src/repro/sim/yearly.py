@@ -1,0 +1,121 @@
+"""Multi-outage (schedule) simulation with cross-outage state.
+
+Single-outage studies assume a fully charged battery and a willing diesel
+engine; across a year, neither is guaranteed:
+
+* a battery drained by one outage recharges over hours, so a back-to-back
+  outage starts from partial charge, and
+* a DG fails to start with some small probability each time it is called.
+
+:class:`YearlyRunner` threads this state through an
+:class:`~repro.outages.events.OutageSchedule`, producing per-event outcomes
+plus a small aggregate; the availability analyzer builds its Monte-Carlo
+statistics on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.power.ups import DEFAULT_RECHARGE_SECONDS
+from repro.sim.datacenter import Datacenter
+from repro.sim.metrics import OutageOutcome
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import OutagePlan
+
+
+@dataclass(frozen=True)
+class YearlyResult:
+    """Outcomes of one schedule run.
+
+    Attributes:
+        outcomes: Per-event simulator outcomes, schedule order.
+        events: The schedule's events (parallel to ``outcomes``).
+        dg_start_failures: How many times the engine refused to start.
+    """
+
+    outcomes: Sequence[OutageOutcome]
+    events: Sequence[OutageEvent]
+    dg_start_failures: int
+
+    @property
+    def total_downtime_seconds(self) -> float:
+        return sum(outcome.downtime_seconds for outcome in self.outcomes)
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.crashed)
+
+    @property
+    def worst_event_downtime_seconds(self) -> float:
+        return max(
+            (outcome.downtime_seconds for outcome in self.outcomes), default=0.0
+        )
+
+
+class YearlyRunner:
+    """Runs outage schedules with battery-recharge and DG-reliability state.
+
+    Args:
+        datacenter: The facility under study.
+        plan: The compiled outage plan executed at every event.
+        recharge_seconds: Full battery recharge time (linear refill between
+            outages).
+        rng: Source for DG start rolls (None -> deterministic: the engine
+            always starts).
+    """
+
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        plan: OutagePlan,
+        recharge_seconds: float = DEFAULT_RECHARGE_SECONDS,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if recharge_seconds <= 0:
+            raise SimulationError("recharge_seconds must be positive")
+        self.datacenter = datacenter
+        self.plan = plan
+        self.recharge_seconds = recharge_seconds
+        self.rng = rng
+
+    def _dg_starts(self) -> bool:
+        generator = self.datacenter.generator
+        if not generator.is_provisioned:
+            return True  # vacuously; the simulator ignores it
+        if self.rng is None or generator.start_reliability >= 1.0:
+            return True
+        return bool(self.rng.random() < generator.start_reliability)
+
+    def run_schedule(self, schedule: OutageSchedule) -> YearlyResult:
+        """Simulate every event of ``schedule`` in order."""
+        outcomes: List[OutageOutcome] = []
+        failures = 0
+        soc = 1.0
+        previous_end = -float("inf")
+        for event in schedule:
+            gap = event.start_seconds - previous_end
+            soc = min(1.0, soc + gap / self.recharge_seconds)
+            dg_starts = self._dg_starts()
+            if self.datacenter.generator.is_provisioned and not dg_starts:
+                failures += 1
+            outcome = simulate_outage(
+                self.datacenter,
+                self.plan,
+                event.duration_seconds,
+                initial_state_of_charge=soc,
+                dg_starts=dg_starts,
+            )
+            outcomes.append(outcome)
+            soc = outcome.ups_state_of_charge_end
+            previous_end = event.end_seconds
+        return YearlyResult(
+            outcomes=tuple(outcomes),
+            events=tuple(schedule),
+            dg_start_failures=failures,
+        )

@@ -1,0 +1,51 @@
+"""Outage-handling system techniques (Section 5, Tables 4-6).
+
+Two families plus hybrids:
+
+* **sustain-execution** — keep serving at reduced power: Throttling,
+  Migration (consolidate + shutdown), Proactive Migration;
+* **save-state** — preserve volatile state at near-zero power: Sleep (S3),
+  Hibernation (S4), Proactive Hibernation;
+* **hybrids** — save-state entered under throttled power ("-L" variants) and
+  sustain-then-save ladders such as Throttle+Sleep-L.
+
+A technique compiles, for a given cluster/workload and power budget, an
+:class:`~repro.techniques.base.OutagePlan`: an ordered list of
+piecewise-constant (power, performance) phases with commitment, state-safety
+and resume annotations.  The simulator executes plans against the backup
+infrastructure.
+"""
+
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+)
+from repro.techniques.hibernation import Hibernation
+from repro.techniques.hybrid import SustainThenSave
+from repro.techniques.migration import Migration
+from repro.techniques.nop import FullService
+from repro.techniques.registry import (
+    PAPER_TECHNIQUES,
+    get_technique,
+    technique_names,
+)
+from repro.techniques.sleep import Sleep
+from repro.techniques.throttling import Throttling
+
+__all__ = [
+    "FullService",
+    "Hibernation",
+    "Migration",
+    "OutagePlan",
+    "OutageTechnique",
+    "PAPER_TECHNIQUES",
+    "PlanPhase",
+    "Sleep",
+    "SustainThenSave",
+    "TechniqueContext",
+    "Throttling",
+    "get_technique",
+    "technique_names",
+]

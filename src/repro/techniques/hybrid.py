@@ -1,0 +1,79 @@
+"""Hybrid sustain-execution + save-state techniques (Table 6).
+
+The sustain family keeps serving but drains the battery; the save family
+preserves state at near-zero draw but serves nothing.  A hybrid runs the
+sustain technique *as long as the battery can afford it* — reserving exactly
+enough charge to then execute the save technique for the rest of the outage
+— and parks.  The reservation arithmetic is Peukert-aware and is solved by
+the simulator when it reaches the adaptive phase; this module only compiles
+the phase structure:
+
+    [sustain phases..., terminal -> adaptive] + [save phases...]
+
+Table 6 instances (see :mod:`repro.techniques.registry`):
+
+* ``Throttle+Sleep-L``   — throttle, then suspend (throttled) to RAM.
+* ``Throttle+Hibernate`` — throttle, then persist (throttled) to disk.
+* ``Migration+Sleep-L``  — consolidate, serve consolidated, then suspend
+  the surviving half (the emptied half is already off).
+
+When the sustain stage is a :class:`~repro.techniques.migration.Migration`,
+the save stage is compiled in the *consolidated* context: only the surviving
+servers hold (doubled) state, so sleep power halves and hibernate images
+double per survivor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import TechniqueError
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+from repro.techniques.migration import Migration
+
+
+class SustainThenSave(OutageTechnique):
+    """Run ``sustain`` while battery allows, then fall back to ``save``.
+
+    Args:
+        sustain: A sustain-execution technique (Throttling or Migration).
+        save: A save-state technique (Sleep or Hibernation variants).
+        name: Optional explicit display name.
+    """
+
+    def __init__(
+        self,
+        sustain: OutageTechnique,
+        save: OutageTechnique,
+        name: "str | None" = None,
+    ):
+        self.sustain = sustain
+        self.save = save
+        self.name = name if name is not None else f"{sustain.name}+{save.name}"
+
+    def plan(self, context: TechniqueContext) -> OutagePlan:
+        sustain_plan = self.sustain.plan(context)
+
+        if isinstance(self.sustain, Migration):
+            save_context = self.sustain.consolidated_context(context)
+        else:
+            save_context = context
+        save_plan = self.save.plan(save_context)
+
+        *sustain_body, sustain_tail = sustain_plan.phases
+        if any(phase.is_adaptive for phase in sustain_plan.phases):
+            raise TechniqueError(
+                f"{self.name}: sustain stage already contains an adaptive "
+                "phase (hybrids cannot be nested)"
+            )
+        adaptive_tail = replace(sustain_tail, duration_seconds=None)
+
+        phases: "list[PlanPhase]" = [*sustain_body, adaptive_tail, *save_plan.phases]
+        check_budget(phases, context.power_budget_watts, self.name)
+        return OutagePlan(technique_name=self.name, phases=phases)

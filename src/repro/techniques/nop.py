@@ -1,0 +1,41 @@
+"""The do-nothing technique: run at full service and hope the backup holds.
+
+This single plan realises both endpoints of Table 3/4:
+
+* **MaxPerf** — full DG + UPS backup executes it seamlessly for the whole
+  outage.
+* **MinCost** — with no backup provisioned, the simulator crashes the plan
+  at the first instant (the PSU's 30 ms hold-up cannot bridge an outage),
+  reproducing the "Server/App crash -> no service -> restart" row of
+  Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+
+
+class FullService(OutageTechnique):
+    """Continue normal operation unchanged during the outage."""
+
+    name = "full-service"
+
+    def plan(self, context: TechniqueContext) -> OutagePlan:
+        phases = [
+            PlanPhase(
+                name="full-service",
+                power_watts=context.normal_power_watts,
+                performance=1.0,
+                duration_seconds=float("inf"),
+                state_safe=False,
+                resume_downtime_seconds=0.0,
+            )
+        ]
+        check_budget(phases, context.power_budget_watts, self.name)
+        return OutagePlan(technique_name=self.name, phases=phases)

@@ -1,0 +1,96 @@
+"""RDMA over Sleep: barely-alive memory serving (Section 7).
+
+"The low cost sleep technique used in this paper does not offer any
+performance.  But it can be combined with RDMA capability to access the
+memory state (on demand) from a remote server while keeping the server
+processors shutdown with only the memory controller active, similar to the
+recently proposed barely-alive memory servers."
+
+We model the barely-alive state as S3-plus: DRAM in self-refresh *and* the
+memory controller + NIC powered (a few extra watts per server), with remote
+peers serving requests against the exported memory.  Delivered throughput
+is bounded by the RDMA path — a fraction of normal performance that is only
+meaningful for read-mostly workloads (Web-search, Memcached); write-heavy
+services cannot run their compute remotely, so the technique degrades to
+plain sleep for them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TechniqueError
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+from repro.techniques.sleep import throttled_save_stretch
+
+#: Extra per-server draw to keep the memory controller, root port and a
+#: low-power NIC alive on top of DRAM self-refresh.
+BARELY_ALIVE_EXTRA_WATTS = 10.0
+
+#: Fraction of normal throughput a remote peer extracts over the RDMA path
+#: for read-mostly state (network-bound remote gets against local DRAM).
+DEFAULT_REMOTE_SERVICE_FRACTION = 0.30
+
+
+class RDMASleep(OutageTechnique):
+    """Suspend locally, export memory over RDMA, serve read paths remotely.
+
+    Args:
+        remote_service_fraction: Throughput delivered by remote peers
+            against the exported memory, for read-mostly workloads.
+    """
+
+    name = "rdma-sleep"
+
+    def __init__(
+        self, remote_service_fraction: float = DEFAULT_REMOTE_SERVICE_FRACTION
+    ):
+        if not 0 <= remote_service_fraction <= 1:
+            raise TechniqueError("remote_service_fraction must be in [0, 1]")
+        self.remote_service_fraction = remote_service_fraction
+
+    def served_fraction(self, context: TechniqueContext) -> float:
+        """Remote throughput for this workload (0 unless read-mostly)."""
+        if context.workload.read_mostly:
+            return self.remote_service_fraction
+        return 0.0
+
+    def plan(self, context: TechniqueContext) -> OutagePlan:
+        server = context.server
+        cluster = context.cluster
+        workload = context.workload
+        active = context.active_servers
+
+        pstate = server.pstates.slowest
+        stretch = throttled_save_stretch(pstate.frequency_ratio)
+        suspend = PlanPhase(
+            name="suspend-to-barely-alive",
+            power_watts=cluster.power_watts(
+                active_servers=active,
+                utilization=workload.utilization,
+                pstate=pstate,
+            ),
+            performance=0.0,
+            duration_seconds=server.sleep.s3_enter_seconds * stretch,
+            committed=True,
+            state_safe=False,
+            resume_downtime_seconds=server.sleep.s3_exit_seconds,
+            active_servers=active,
+        )
+        barely_alive = PlanPhase(
+            name="barely-alive-rdma",
+            power_watts=active
+            * (server.sleep.s3_power_watts + BARELY_ALIVE_EXTRA_WATTS),
+            performance=self.served_fraction(context),
+            duration_seconds=float("inf"),
+            state_safe=False,  # DRAM still dies with the battery
+            resume_downtime_seconds=server.sleep.s3_exit_seconds,
+            active_servers=active,
+        )
+        phases = [suspend, barely_alive]
+        check_budget(phases, context.power_budget_watts, self.name)
+        return OutagePlan(technique_name=self.name, phases=phases)

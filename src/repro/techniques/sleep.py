@@ -1,0 +1,96 @@
+"""Sleep (S3) and its low-power entry variant Sleep-L (Tables 5, 6, 8).
+
+The application and OS stack suspend to RAM; DRAM self-refresh holds state
+at ~5 W per server while everything else powers off.  No service is offered
+during the outage, but resume is fast (Table 8: Specjbb suspends in 6 s and
+resumes in 8 s, independent of footprint) — which is why Sleep-L's down time
+for a 30 s outage is just ~38 s versus MinCost's ~400 s.
+
+Caveat the simulator enforces: S3 is *not* state-safe — if the battery dies
+while asleep, self-refresh stops and volatile state is lost.  The extremely
+low draw makes that rare (UPS runtimes stretch enormously at light load via
+the Peukert effect), which is exactly the paper's Throttle+Sleep-L story for
+multi-hour outages.
+
+The "-L" variant throttles to the deepest P-state while suspending, halving
+the peak draw the backup must be rated for at the cost of a slower suspend
+(Table 8: 8 s instead of 6 s).
+"""
+
+from __future__ import annotations
+
+from repro.servers.pstates import throttled_performance
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+
+#: CPU-bound fraction of the suspend/persist path itself: state movement is
+#: roughly half compute (page-table walks, compression) and half I/O, so
+#: throttled "-L" save operations stretch by 1 / perf(0.5, r).
+SAVE_PATH_CPU_BOUND_FRACTION = 0.5
+
+
+def throttled_save_stretch(frequency_ratio: float) -> float:
+    """Multiplier on save-path durations when throttled to ``frequency_ratio``."""
+    return 1.0 / throttled_performance(SAVE_PATH_CPU_BOUND_FRACTION, frequency_ratio)
+
+
+class Sleep(OutageTechnique):
+    """Suspend-to-RAM for the outage duration.
+
+    Args:
+        low_power: Enter the suspend path in the deepest P-state (Sleep-L),
+            halving suspend-phase power at the cost of a slower suspend.
+    """
+
+    name = "sleep"
+
+    def __init__(self, low_power: bool = False):
+        self.low_power = low_power
+        self.name = "sleep-l" if low_power else "sleep"
+
+    def plan(self, context: TechniqueContext) -> OutagePlan:
+        cluster = context.cluster
+        server = context.server
+        workload = context.workload
+        active = context.active_servers
+
+        if self.low_power:
+            pstate = server.pstates.slowest
+            stretch = throttled_save_stretch(pstate.frequency_ratio)
+        else:
+            pstate = server.pstates.fastest
+            stretch = 1.0
+
+        suspend_power = cluster.power_watts(
+            active_servers=active,
+            utilization=workload.utilization,
+            pstate=pstate,
+            parked_power_watts=0.0,
+        )
+        suspend = PlanPhase(
+            name="suspend" + ("-throttled" if self.low_power else ""),
+            power_watts=suspend_power,
+            performance=0.0,
+            duration_seconds=server.sleep.s3_enter_seconds * stretch,
+            committed=True,
+            state_safe=False,
+            resume_downtime_seconds=server.sleep.s3_exit_seconds,
+            active_servers=active,
+        )
+        asleep = PlanPhase(
+            name="asleep-s3",
+            power_watts=active * server.sleep.s3_power_watts,
+            performance=0.0,
+            duration_seconds=float("inf"),
+            state_safe=False,  # self-refresh dies with the battery
+            resume_downtime_seconds=server.sleep.s3_exit_seconds,
+            active_servers=active,
+        )
+        phases = [suspend, asleep]
+        check_budget(phases, context.power_budget_watts, self.name)
+        return OutagePlan(technique_name=self.name, phases=phases)

@@ -1,0 +1,143 @@
+"""Throttling: sustain execution in a lower P/T state (Section 5).
+
+Transitioning to a P/T state takes tens of microseconds — comfortably inside
+the 30 ms PSU hold-up — so throttling is the only technique *guaranteed* to
+cut the peak power the backup must be rated for (Table 5).  The cost is
+throughput: a workload with CPU-bound fraction ``c`` throttled to an
+effective frequency ratio ``r`` delivers ``1 / (c/r + (1-c))`` of its normal
+performance, which is why memory-stalled Memcached throttles almost for free
+while Specjbb pays full freight.
+
+The paper's servers expose two ladders (Section 6): 7 DVFS **P-states**
+(frequency and voltage drop together — the efficient knob) and 8 clock
+**T-states** (duty-cycle gating at constant voltage — less efficient, but
+composable below the P-state floor).  ``Throttling()`` picks the fastest
+P-state fitting the power budget, engaging T-states only when even the
+deepest P-state is too hot; explicit indices pin either ladder:
+
+* ``Throttling(pstate_index=k)`` — state ``Pk``, no duty cycling;
+* ``Throttling(pstate_index=k, tstate_index=j)`` — ``Pk`` + ``Tj``.
+
+The evaluation's (Min, Max) bars sweep these.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError, TechniqueError
+from repro.servers.pstates import DEFAULT_TSTATE_TABLE, PState, TState
+from repro.techniques.base import (
+    OutagePlan,
+    OutageTechnique,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+
+
+class Throttling(OutageTechnique):
+    """Run the whole outage in a throttled active state.
+
+    Args:
+        pstate_index: Index into the server's P-state ladder (0 = fastest).
+            ``None`` selects the fastest state fitting the power budget.
+        tstate_index: Index into the T-state ladder (0 = no gating).
+            ``None`` engages duty cycling only as a last resort when the
+            budget is below the deepest P-state's draw.
+    """
+
+    name = "throttling"
+
+    def __init__(
+        self,
+        pstate_index: Optional[int] = None,
+        tstate_index: Optional[int] = None,
+    ):
+        if pstate_index is not None and pstate_index < 0:
+            raise TechniqueError("pstate_index must be >= 0 or None")
+        if tstate_index is not None and tstate_index < 0:
+            raise TechniqueError("tstate_index must be >= 0 or None")
+        self.pstate_index = pstate_index
+        self.tstate_index = tstate_index
+        if pstate_index is not None:
+            self.name = f"throttling-p{pstate_index}"
+            if tstate_index:
+                self.name += f"t{tstate_index}"
+
+    # -- state selection ---------------------------------------------------------
+
+    def _pinned_tstate(self, context: TechniqueContext) -> Optional[TState]:
+        if self.tstate_index is None:
+            return None
+        if self.tstate_index >= len(DEFAULT_TSTATE_TABLE):
+            raise TechniqueError(
+                f"T-state index {self.tstate_index} out of range "
+                f"(ladder has {len(DEFAULT_TSTATE_TABLE)})"
+            )
+        return DEFAULT_TSTATE_TABLE[self.tstate_index]
+
+    def select_states(
+        self, context: TechniqueContext
+    ) -> Tuple[PState, Optional[TState]]:
+        """The (P-state, T-state) this plan will run in."""
+        server = context.server
+        tstate = self._pinned_tstate(context)
+        if self.pstate_index is not None:
+            if self.pstate_index >= len(server.pstates):
+                raise TechniqueError(
+                    f"P-state index {self.pstate_index} out of range "
+                    f"(ladder has {len(server.pstates)})"
+                )
+            return server.pstates[self.pstate_index], tstate
+
+        per_server_budget = context.power_budget_watts / context.cluster.num_servers
+        utilization = context.workload.utilization
+        try:
+            return (
+                server.pstate_for_power_budget(per_server_budget, utilization),
+                tstate,
+            )
+        except ConfigurationError:
+            pass
+        # Even the deepest P-state is too hot: gate the clock on top of it.
+        deepest = server.pstates.slowest
+        for candidate in DEFAULT_TSTATE_TABLE:
+            power = server.power_watts(utilization, deepest, candidate)
+            if power <= per_server_budget + 1e-9:
+                return deepest, candidate
+        raise TechniqueError(
+            f"throttling cannot fit budget {context.power_budget_watts:.0f} W "
+            "even at the deepest P+T combination"
+        )
+
+    def select_pstate(self, context: TechniqueContext) -> PState:
+        """The P-state alone (legacy helper used by policy code)."""
+        return self.select_states(context)[0]
+
+    # -- plan -------------------------------------------------------------------------
+
+    def plan(self, context: TechniqueContext) -> OutagePlan:
+        pstate, tstate = self.select_states(context)
+        power = context.cluster.power_watts(
+            utilization=context.workload.utilization, pstate=pstate, tstate=tstate
+        )
+        effective_ratio = pstate.frequency_ratio * (
+            tstate.duty_cycle if tstate is not None else 1.0
+        )
+        performance = context.workload.throttled_performance(effective_ratio)
+        label = f"throttled@{pstate.name}"
+        if tstate is not None and tstate.duty_cycle < 1.0:
+            label += f"+{tstate.name}"
+        phases = [
+            PlanPhase(
+                name=label,
+                power_watts=power,
+                performance=performance,
+                duration_seconds=float("inf"),
+                state_safe=False,
+                resume_downtime_seconds=0.0,
+            )
+        ]
+        check_budget(phases, context.power_budget_watts, self.name)
+        return OutagePlan(technique_name=self.name, phases=phases)

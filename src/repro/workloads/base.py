@@ -1,0 +1,279 @@
+"""The workload abstraction consumed by techniques and the simulator.
+
+Section 6.2 shows that what differentiates applications under an
+underprovisioned backup is a small set of characteristics:
+
+* **memory state size** — drives save/hibernate/migration times (Table 8),
+* **CPU-boundedness** — drives the performance cost of Throttling
+  (Memcached, stalled on memory, throttles almost for free; Specjbb does
+  not),
+* **dirty-state behaviour** — drives pre-copy convergence and how much
+  Proactive Migration / Hibernation can shrink the post-failure transfer
+  (Specjbb 18 GB -> 10 GB),
+* **the hibernation image** — anonymous memory must be written out, but
+  page-cache-resident read-only data (Web-search's index) is dropped and
+  re-read on resume, while slab-allocated caches (Memcached) must be
+  persisted in full; this asymmetry produces the paper's surprise that
+  hibernation is *worse* than crashing for Memcached (1140 s vs 480 s) yet
+  *better* than crashing for Web-search (400 s vs 600 s),
+* **the crash-recovery pipeline** — reboot, application start, data reload,
+  warm-up, and recompute of lost work, which together produce the very
+  different MinCost down times of Figures 5-9.
+
+:class:`WorkloadSpec` captures exactly these, plus the performance-metric
+labelling of Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.errors import WorkloadError
+from repro.servers.pstates import throttled_performance
+from repro.servers.server import PAPER_SERVER, ServerSpec
+
+
+class PerformanceMetric(Enum):
+    """How Table 7 scores each application."""
+
+    LATENCY_BOUND_THROUGHPUT = "latency-constrained throughput"
+    THROUGHPUT = "throughput"
+    COMPLETION_TIME = "completion time"
+
+
+@dataclass(frozen=True)
+class CrashRecovery:
+    """The pipeline an application walks after losing volatile state.
+
+    Down time after power restoration is the sum of the server reboot (owned
+    by the server model), then these application phases:
+
+    Attributes:
+        app_start_seconds: Process creation / sockets / authorisations
+            (Section 4's items (a)-(c), beyond the OS reboot).
+        reload_bytes: Persistent data re-read from storage before serving
+            (Web-search's index pre-population, Memcached's cache reload).
+        warmup_seconds: Application-specific warm-up window after serving
+            resumes (Section 4 item (d)).
+        warmup_performance: Normalised throughput delivered *during* warm-up.
+            The shortfall ``warmup_seconds * (1 - warmup_performance)`` is
+            booked as performance-induced down time, as the paper does for
+            Web-search's 30-50 % degraded first minutes.
+        recompute_horizon_seconds: Upper bound of work lost and recomputed
+            (Section 4 item (e)).  Zero for stateless serving; the full job
+            length for SpecCPU, whose down time therefore spans a large
+            range depending on when the outage strikes.
+    """
+
+    app_start_seconds: float = 0.0
+    reload_bytes: float = 0.0
+    warmup_seconds: float = 0.0
+    warmup_performance: float = 0.0
+    recompute_horizon_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "app_start_seconds",
+            "reload_bytes",
+            "warmup_seconds",
+            "recompute_horizon_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise WorkloadError(f"{name} must be >= 0")
+        if not 0 <= self.warmup_performance <= 1:
+            raise WorkloadError("warmup_performance must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete application model.
+
+    Attributes:
+        name: Workload name (Table 7 row).
+        memory_state_bytes: Volatile application state (Table 7 column).
+        cpu_bound_fraction: Fraction of execution limited by core frequency;
+            feeds :func:`~repro.servers.pstates.throttled_performance`.
+        dirty_bytes_per_second: Rate at which the application dirties memory
+            during normal operation (drives pre-copy convergence).
+        hot_dirty_bytes: Residual dirty working set that proactive flushing
+            cannot retire (the state still to move after a failure; Specjbb:
+            10 GB of its 18 GB).
+        read_mostly: Whether the in-memory state is reconstructible from
+            persistent storage (Web-search index, Memcached values).
+        hibernate_image_bytes: Bytes the hibernation image actually writes.
+            Defaults to ``memory_state_bytes``.  Page-cache-resident state
+            (Web-search) is dropped from the image — set this smaller and
+            the difference is re-read from disk on resume.  Slab or
+            fragmented anonymous state plus entangled OS caches (Memcached)
+            can make the image *larger* than the application state.
+        hibernate_bandwidth_factor: Effective fraction of the disk's
+            sequential bandwidth the hibernation path achieves for this
+            workload's memory layout (random-layout slabs write slower).
+        metric: Table 7 performance metric label.
+        recovery: Crash-recovery pipeline.
+        utilization: Per-server utilisation at the normal operating point.
+    """
+
+    name: str
+    memory_state_bytes: float
+    cpu_bound_fraction: float
+    dirty_bytes_per_second: float
+    hot_dirty_bytes: float
+    read_mostly: bool
+    metric: PerformanceMetric
+    hibernate_image_bytes: "float | None" = None
+    hibernate_bandwidth_factor: float = 1.0
+    recovery: CrashRecovery = field(default_factory=CrashRecovery)
+    utilization: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.memory_state_bytes <= 0:
+            raise WorkloadError("memory_state_bytes must be positive")
+        if not 0 <= self.cpu_bound_fraction <= 1:
+            raise WorkloadError("cpu_bound_fraction must be in [0, 1]")
+        if self.dirty_bytes_per_second < 0:
+            raise WorkloadError("dirty_bytes_per_second must be >= 0")
+        if not 0 <= self.hot_dirty_bytes <= self.memory_state_bytes:
+            raise WorkloadError(
+                "hot_dirty_bytes must be within [0, memory_state_bytes]"
+            )
+        if self.hibernate_image_bytes is not None and self.hibernate_image_bytes < 0:
+            raise WorkloadError("hibernate_image_bytes must be >= 0")
+        if not 0 < self.hibernate_bandwidth_factor <= 1:
+            raise WorkloadError("hibernate_bandwidth_factor must be in (0, 1]")
+        if not 0 < self.utilization <= 1:
+            raise WorkloadError("utilization must be in (0, 1]")
+
+    # -- performance under throttling ------------------------------------------
+
+    def throttled_performance(self, frequency_ratio: float) -> float:
+        """Normalised throughput at a throttled frequency ratio."""
+        return throttled_performance(self.cpu_bound_fraction, frequency_ratio)
+
+    # -- scaling ------------------------------------------------------------------
+
+    def with_memory_state(self, memory_state_bytes: float) -> "WorkloadSpec":
+        """This workload re-sized to a different memory footprint.
+
+        Implements the Section 6.2 "Impact of Application Memory Usage"
+        study: footprint-proportional quantities (hot dirty set, hibernation
+        image, reload bytes) scale with the new size; intrinsic rates and
+        fixed latencies do not.
+        """
+        if memory_state_bytes <= 0:
+            raise WorkloadError("memory_state_bytes must be positive")
+        ratio = memory_state_bytes / self.memory_state_bytes
+        image = (
+            None
+            if self.hibernate_image_bytes is None
+            else self.hibernate_image_bytes * ratio
+        )
+        recovery = replace(
+            self.recovery, reload_bytes=self.recovery.reload_bytes * ratio
+        )
+        return replace(
+            self,
+            memory_state_bytes=memory_state_bytes,
+            hot_dirty_bytes=self.hot_dirty_bytes * ratio,
+            hibernate_image_bytes=image,
+            recovery=recovery,
+        )
+
+    # -- hibernation --------------------------------------------------------------
+
+    @property
+    def effective_hibernate_image_bytes(self) -> float:
+        """Bytes the hibernation image writes (see class docstring)."""
+        if self.hibernate_image_bytes is not None:
+            return self.hibernate_image_bytes
+        return self.memory_state_bytes
+
+    @property
+    def dropped_cache_bytes(self) -> float:
+        """Page-cache state dropped from the hibernation image, which must
+        be re-read from persistent storage after resume."""
+        return max(0.0, self.memory_state_bytes - self.effective_hibernate_image_bytes)
+
+    def hibernate_save_seconds(
+        self,
+        server: "ServerSpec" = PAPER_SERVER,
+        image_bytes: "float | None" = None,
+    ) -> float:
+        """Time to write the hibernation image to local disk."""
+        if image_bytes is None:
+            image_bytes = self.effective_hibernate_image_bytes
+        bandwidth = (
+            server.disk_write_bandwidth_bytes_per_second
+            * self.hibernate_bandwidth_factor
+        )
+        return server.sleep.s4_fixed_enter_seconds + image_bytes / bandwidth
+
+    def hibernate_resume_seconds(
+        self,
+        server: "ServerSpec" = PAPER_SERVER,
+        image_bytes: "float | None" = None,
+    ) -> float:
+        """Time to restore the hibernation image *and* re-read any dropped
+        page cache before the application serves at full quality again."""
+        if image_bytes is None:
+            image_bytes = self.effective_hibernate_image_bytes
+        bandwidth = (
+            server.disk_read_bandwidth_bytes_per_second
+            * self.hibernate_bandwidth_factor
+        )
+        refill = (
+            self.dropped_cache_bytes / server.disk_read_bandwidth_bytes_per_second
+        )
+        return server.sleep.s4_fixed_exit_seconds + image_bytes / bandwidth + refill
+
+    def proactive_residual_bytes(self) -> float:
+        """State still to move after a failure under proactive flushing."""
+        return self.hot_dirty_bytes
+
+    # -- crash recovery -----------------------------------------------------------
+
+    def crash_downtime_after_restore_seconds(
+        self,
+        server: "ServerSpec" = PAPER_SERVER,
+        lost_work_seconds: "float | None" = None,
+    ) -> float:
+        """Down time *after power is restored* following a state-losing crash.
+
+        Includes OS reboot, application start, persistent-data reload, the
+        warm-up shortfall (the paper books degraded warm-up throughput as
+        additional down time), and recompute of lost work.
+
+        Args:
+            server: Platform constants (reboot time, disk bandwidth).
+            lost_work_seconds: Work to recompute; defaults to half the
+                recompute horizon (expected loss for an outage uniform in
+                the job's lifetime).
+        """
+        rec = self.recovery
+        reload_seconds = rec.reload_bytes / server.disk_read_bandwidth_bytes_per_second
+        if lost_work_seconds is None:
+            lost_work_seconds = rec.recompute_horizon_seconds / 2.0
+        lost_work_seconds = min(lost_work_seconds, rec.recompute_horizon_seconds)
+        warmup_downtime = rec.warmup_seconds * (1.0 - rec.warmup_performance)
+        return (
+            server.sleep.reboot_seconds
+            + rec.app_start_seconds
+            + reload_seconds
+            + warmup_downtime
+            + lost_work_seconds
+        )
+
+    def crash_downtime_bounds_seconds(
+        self, server: "ServerSpec" = PAPER_SERVER
+    ) -> "tuple[float, float]":
+        """(best, worst) post-restore down time across outage arrival times.
+
+        For recompute-style workloads (SpecCPU) the spread is the whole
+        recompute horizon — the wide MinCost range of Figure 9.
+        """
+        best = self.crash_downtime_after_restore_seconds(server, lost_work_seconds=0.0)
+        worst = self.crash_downtime_after_restore_seconds(
+            server, lost_work_seconds=self.recovery.recompute_horizon_seconds
+        )
+        return best, worst

@@ -1,0 +1,56 @@
+"""Memcached: the in-memory key-value store (Table 7).
+
+Characteristics from the paper:
+
+* 20 GB of slab-allocated values exercised by a *read-only* client workload,
+  so almost nothing is dirtied — proactive migration retires nearly all
+  state ahead of time ("applications with lower frequency of page
+  modifications may benefit more from the Proactive Migration technique",
+  Section 6.2, where PM+throttling saves 20 % more than plain Migration).
+* Memory stalls dominate ("high memory-related CPU stalls ... due to its
+  random memory access"), so throttling barely dents throughput.
+* The paper's surprise: hibernation down time (1140 s) exceeds the crash
+  path (480 s) for a 30 s outage.  Crashing reloads 20 GB of values
+  sequentially from disk; hibernation must write out the slab heap — random
+  layout, entangled with OS caches — and read it back, which is slower than
+  regenerating the cache.  We model this as a large hibernation image
+  written at a fraction of sequential bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.units import gigabytes, megabytes_per_second
+from repro.workloads.base import CrashRecovery, PerformanceMetric, WorkloadSpec
+
+
+def memcached() -> WorkloadSpec:
+    """The calibrated Memcached model.
+
+    Calibration notes:
+
+    * Crash recovery ~480 s for a 30 s outage: 30 (outage) + 120 (reboot) +
+      10 (memcached start) + ~153 (20 GB reload at 131 MB/s) + 170
+      (client-driven re-population tail booked as down time).
+    * Hibernation ~1140 s: a 45 GB image (slab heap plus the page cache of
+      the backing store it is entangled with) at 80 % of sequential
+      bandwidth -> ~710 s save + ~450 s resume.
+    """
+    return WorkloadSpec(
+        name="memcached",
+        memory_state_bytes=gigabytes(20),
+        cpu_bound_fraction=0.30,
+        dirty_bytes_per_second=megabytes_per_second(5),
+        hot_dirty_bytes=gigabytes(1),
+        read_mostly=True,
+        metric=PerformanceMetric.THROUGHPUT,
+        hibernate_image_bytes=gigabytes(45),
+        hibernate_bandwidth_factor=0.8,
+        recovery=CrashRecovery(
+            app_start_seconds=10.0,
+            reload_bytes=gigabytes(20),
+            warmup_seconds=170.0,
+            warmup_performance=0.0,
+            recompute_horizon_seconds=0.0,
+        ),
+        utilization=0.9,
+    )

@@ -1,0 +1,43 @@
+"""Name-based lookup of the paper's workloads.
+
+Keeps string-driven entry points (benchmarks, examples, CLI sweeps) from
+importing each workload module directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.memcached import memcached
+from repro.workloads.speccpu import speccpu_mcf
+from repro.workloads.specjbb import specjbb
+from repro.workloads.websearch import websearch
+
+_FACTORIES: Dict[str, Callable[[], WorkloadSpec]] = {
+    "specjbb": specjbb,
+    "websearch": websearch,
+    "memcached": memcached,
+    "speccpu": speccpu_mcf,
+    "speccpu-mcf": speccpu_mcf,
+}
+
+
+def workload_names() -> List[str]:
+    """Canonical workload names, in the paper's Table 7 order."""
+    return ["specjbb", "websearch", "memcached", "speccpu"]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Instantiate a paper workload by name (case-insensitive)."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+        )
+    return factory()
+
+
+#: The four Table 7 workloads, instantiated.
+PAPER_WORKLOADS = tuple(get_workload(name) for name in workload_names())

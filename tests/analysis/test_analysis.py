@@ -1,0 +1,172 @@
+"""Availability Monte-Carlo, Pareto frontier, sweeps, and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.availability import AvailabilityAnalyzer
+from repro.analysis.frontier import dominates, pareto_frontier
+from repro.analysis.report import (
+    format_figure_bars,
+    format_paper_vs_measured,
+    format_table,
+)
+from repro.analysis.sweep import (
+    index_results,
+    sweep_configurations,
+    sweep_techniques,
+)
+from repro.core.configurations import get_configuration
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+class TestAvailability:
+    def test_maxperf_nearly_perfect(self):
+        analyzer = AvailabilityAnalyzer(specjbb(), seed=1)
+        report = analyzer.analyze(
+            get_configuration("MaxPerf"), get_technique("full-service"), years=30
+        )
+        assert report.mean_downtime_minutes_per_year == 0.0
+        assert report.availability == 1.0
+        assert math.isinf(report.nines)
+        assert report.crash_fraction == 0.0
+
+    def test_mincost_suffers(self):
+        analyzer = AvailabilityAnalyzer(specjbb(), seed=1)
+        report = analyzer.analyze(
+            get_configuration("MinCost"), get_technique("full-service"), years=30
+        )
+        assert report.crash_fraction == 1.0
+        assert report.mean_downtime_minutes_per_year > 10
+        assert report.expected_loss_dollars_per_kw_year > 0
+
+    def test_sleep_hybrid_between_extremes(self):
+        analyzer = AvailabilityAnalyzer(specjbb(), seed=1)
+        maxperf = analyzer.analyze(
+            get_configuration("MaxPerf"), get_technique("full-service"), years=25
+        )
+        hybrid = analyzer.analyze(
+            get_configuration("LargeEUPS"), get_technique("throttle+sleep-l"), years=25
+        )
+        mincost = analyzer.analyze(
+            get_configuration("MinCost"), get_technique("full-service"), years=25
+        )
+        assert (
+            maxperf.mean_downtime_minutes_per_year
+            <= hybrid.mean_downtime_minutes_per_year
+            <= mincost.mean_downtime_minutes_per_year
+        )
+
+    def test_reproducible(self):
+        a = AvailabilityAnalyzer(specjbb(), seed=5).analyze(
+            get_configuration("NoDG"), get_technique("sleep-l"), years=10
+        )
+        b = AvailabilityAnalyzer(specjbb(), seed=5).analyze(
+            get_configuration("NoDG"), get_technique("sleep-l"), years=10
+        )
+        assert a.mean_downtime_minutes_per_year == b.mean_downtime_minutes_per_year
+
+    def test_p95_at_least_mean_shape(self):
+        report = AvailabilityAnalyzer(specjbb(), seed=2).analyze(
+            get_configuration("MinCost"), get_technique("full-service"), years=40
+        )
+        assert (
+            report.p95_downtime_minutes_per_year
+            >= report.mean_downtime_minutes_per_year * 0.5
+        )
+
+    def test_invalid_years_rejected(self):
+        analyzer = AvailabilityAnalyzer(specjbb())
+        with pytest.raises(ValueError):
+            analyzer.analyze(
+                get_configuration("MaxPerf"), get_technique("full-service"), years=0
+            )
+
+
+class TestFrontier:
+    def test_dominates(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 3), (2, 1))
+        assert not dominates((1, 1), (1, 1))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def test_frontier_filters_dominated(self):
+        points = [(1, 5), (2, 2), (5, 1), (3, 3), (6, 6)]
+        frontier = pareto_frontier(points, lambda p: p)
+        assert (6, 6) not in frontier
+        assert (3, 3) not in frontier
+        assert set(frontier) == {(1, 5), (2, 2), (5, 1)}
+
+    def test_frontier_keeps_order(self):
+        points = [(2, 2), (1, 5)]
+        assert pareto_frontier(points, lambda p: p) == [(2, 2), (1, 5)]
+
+    def test_empty(self):
+        assert pareto_frontier([], lambda p: p) == []
+
+
+class TestSweeps:
+    def test_configuration_sweep_grid(self):
+        results = sweep_configurations(
+            specjbb(), ["MaxPerf", "MinCost"], [30, minutes(5)]
+        )
+        assert len(results) == 4
+        indexed = index_results(results)
+        maxperf_cell = indexed[("MaxPerf", 30)]
+        assert maxperf_cell.feasible
+        assert maxperf_cell.downtime_minutes == 0.0
+        assert maxperf_cell.normalized_cost == pytest.approx(1.0)
+
+    def test_technique_sweep_sizes_backups(self):
+        results = sweep_techniques(specjbb(), ["sleep-l"], [30])
+        (cell,) = results
+        assert cell.feasible
+        assert cell.normalized_cost < 0.25
+        assert cell.performance == 0.0  # sleep serves nothing
+
+    def test_technique_sweep_marks_infeasible(self):
+        # Full-service for 30 minutes needs > 30 min of battery; cap the
+        # search implicitly by picking a technique that cannot fit any UPS
+        # power grid point: use throttling against an impossible budget by
+        # sweeping a workload pinned to full utilisation and a tiny grid.
+        results = sweep_techniques(
+            specjbb(), ["throttling-p0"], [minutes(300)]
+        )
+        (cell,) = results
+        # Either sized (huge battery) or infeasible; both are reported, not
+        # raised. The cell must be well-formed.
+        assert cell.row_key == "throttling-p0"
+        assert cell.outage_seconds == minutes(300)
+        assert cell.normalized_cost > 0
+
+
+class TestReport:
+    def test_table_renders_rows(self):
+        text = format_table(
+            ("a", "b"), [(1, 2.5), ("x", float("inf"))], title="T"
+        )
+        assert "T" in text
+        assert "2.500" in text
+        assert "inf" in text
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [(1, 2)])
+
+    def test_bars_render(self):
+        text = format_figure_bars({"x": 1.0, "y": 0.5}, title="B")
+        assert "B" in text and "#" in text
+
+    def test_bars_mark_infeasible(self):
+        text = format_figure_bars({"x": float("inf")})
+        assert "(infeasible)" in text
+
+    def test_paper_vs_measured(self):
+        text = format_paper_vs_measured([("cost", 0.38, 0.375)])
+        assert "paper" in text and "measured" in text

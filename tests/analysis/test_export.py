@@ -1,0 +1,113 @@
+"""CSV/JSON export of results."""
+
+import csv
+import io
+import json
+import math
+
+import pytest
+
+from repro.analysis.export import (
+    ExportError,
+    availability_record,
+    point_record,
+    sweep_records,
+    to_csv,
+    to_json,
+    trace_records,
+)
+from repro.analysis.sweep import sweep_configurations
+from repro.core.configurations import get_configuration
+from repro.core.performability import evaluate_point
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+@pytest.fixture(scope="module")
+def point():
+    return evaluate_point(
+        get_configuration("LargeEUPS"), get_technique("sleep-l"), specjbb(), 60
+    )
+
+
+class TestRecords:
+    def test_point_record_fields(self, point):
+        record = point_record(point)
+        assert record["configuration"] == "LargeEUPS"
+        assert record["technique"] == "sleep-l"
+        assert record["crashed"] is False
+        assert isinstance(record["downtime_seconds"], float)
+
+    def test_sweep_records(self):
+        cells = sweep_configurations(specjbb(), ["MaxPerf"], [30, minutes(5)])
+        records = sweep_records(cells)
+        assert len(records) == 2
+        assert records[0]["row_key"] == "MaxPerf"
+        assert records[0]["feasible"] is True
+
+    def test_trace_records(self, point):
+        records = trace_records(point.outcome.trace)
+        assert records
+        assert set(records[0]) == {
+            "start_seconds", "end_seconds", "power_watts",
+            "performance", "source", "label",
+        }
+
+    def test_availability_record(self):
+        from repro.analysis.availability import AvailabilityAnalyzer
+
+        report = AvailabilityAnalyzer(specjbb(), num_servers=4, seed=1).analyze(
+            get_configuration("MaxPerf"), get_technique("full-service"), years=3
+        )
+        record = availability_record(report)
+        assert record["configuration_name"] == "MaxPerf"
+        assert record["nines"] == "inf"  # serialised infinity
+
+    def test_infinity_serialised_as_string(self):
+        records = [{"x": math.inf, "y": -math.inf, "z": math.nan}]
+        text = to_json(records)
+        data = json.loads(text)
+        assert data[0] == {"x": "inf", "y": "-inf", "z": "nan"}
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(ExportError):
+            to_json([{"x": object()}])
+
+
+class TestCSV:
+    def test_round_trip(self, point):
+        text = to_csv([point_record(point)])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["configuration"] == "LargeEUPS"
+        assert float(rows[0]["performance"]) == pytest.approx(point.performance)
+
+    def test_column_union_preserves_order(self):
+        text = to_csv([{"a": 1, "b": 2}, {"a": 3, "c": 4}])
+        header = text.splitlines()[0]
+        assert header == "a,b,c"
+
+    def test_empty_records(self):
+        assert to_csv([]) == ""
+
+    def test_write_to_file(self, tmp_path, point):
+        path = tmp_path / "points.csv"
+        to_csv([point_record(point)], path=str(path))
+        assert path.read_text().startswith("configuration,")
+
+
+class TestJSON:
+    def test_round_trip(self, point):
+        data = json.loads(to_json([point_record(point)]))
+        assert data[0]["technique"] == "sleep-l"
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        to_json([{"a": 1}], path=str(path))
+        assert json.loads(path.read_text()) == [{"a": 1}]
+
+    def test_enum_values_serialised(self):
+        from repro.sim.metrics import SourceKind
+
+        data = json.loads(to_json([{"source": SourceKind.UPS}]))
+        assert data[0]["source"] == "ups"

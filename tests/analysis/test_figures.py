@@ -1,0 +1,95 @@
+"""The technique-figure builders (repro.analysis.figures)."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    FIGURE_TECHNIQUES,
+    FigureCell,
+    best_downtime_technique,
+    build_cell,
+    build_figure,
+    cheapest_surviving_technique,
+    render_figure,
+)
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+@pytest.fixture(scope="module")
+def small_figure():
+    techniques = (
+        ("throttling", ("throttling-p1", "throttling-p6")),
+        ("sleep-l", ("sleep-l",)),
+    )
+    durations = (30.0, minutes(30))
+    cells = build_figure(specjbb(), durations, techniques)
+    return cells, durations, techniques
+
+
+class TestBuildCell:
+    def test_single_variant_ranges_collapse(self):
+        cell = build_cell("sleep-l", ("sleep-l",), specjbb(), 30.0)
+        assert cell.feasible
+        assert cell.cost_range[0] == cell.cost_range[1]
+        assert cell.performance == cell.performance_range[1]
+
+    def test_variant_pair_produces_ranges(self):
+        cell = build_cell(
+            "throttling", ("throttling-p1", "throttling-p6"), specjbb(), minutes(30)
+        )
+        lo, hi = cell.performance_range
+        assert lo < hi
+
+    def test_all_variants_infeasible(self):
+        # Plain throttling-p0 cannot survive 5 h on the search grid with a
+        # tight runtime cap... use an impossible variant set instead: an
+        # empty-feasibility probe via a crafted duration is brittle, so use
+        # a throttle variant against a multi-day outage.
+        cell = build_cell("throttling", ("throttling-p0",), specjbb(), hours(40))
+        if not cell.feasible:
+            assert math.isinf(cell.cost)
+            assert cell.performance == 0.0
+
+    def test_figure_techniques_cover_paper_set(self):
+        names = {display for display, _ in FIGURE_TECHNIQUES}
+        assert {"throttling", "sleep-l", "hibernate", "migration",
+                "throttle+sleep-l"} <= names
+
+
+class TestBuildFigure:
+    def test_grid_complete(self, small_figure):
+        cells, durations, techniques = small_figure
+        assert set(cells) == {
+            (display, duration)
+            for display, _ in techniques
+            for duration in durations
+        }
+
+    def test_render_contains_three_panels(self, small_figure):
+        cells, durations, techniques = small_figure
+        text = render_figure(cells, durations, "Specjbb", techniques)
+        assert "Specjbb: cost" in text
+        assert "Specjbb: down time (min)" in text
+        assert "Specjbb: performance" in text
+
+    def test_winner_helpers(self, small_figure):
+        cells, durations, _ = small_figure
+        down_winner = best_downtime_technique(cells, 30.0)
+        cheap_winner = cheapest_surviving_technique(cells, 30.0)
+        assert down_winner == "throttling"  # rides through, zero down
+        assert cheap_winner in {"sleep-l", "throttling"}
+
+    def test_cell_properties(self):
+        cell = FigureCell(
+            technique="x",
+            outage_seconds=30.0,
+            cost_range=(0.2, 0.4),
+            performance_range=(0.5, 0.9),
+            downtime_minutes_range=(0.0, 1.0),
+            feasible=True,
+        )
+        assert cell.cost == 0.2  # min cost
+        assert cell.performance == 0.9  # max perf
+        assert cell.downtime_minutes == 0.0  # min down

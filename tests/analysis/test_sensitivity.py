@@ -1,0 +1,106 @@
+"""Sensitivity harness, including a domain study over the backup model."""
+
+import pytest
+
+from repro.analysis.sensitivity import SensitivityStudy, sweep
+from repro.errors import ConfigurationError
+
+
+class TestHarness:
+    def test_linear_metric_elasticity_one(self):
+        study = SensitivityStudy(
+            metric=lambda p: 10 * p["x"],
+            baseline={"x": 2.0},
+            ranges={"x": (1.0, 3.0)},
+        )
+        (row,) = study.run()
+        assert row.baseline_metric == 20.0
+        assert row.swing == 20.0
+        assert row.elasticity() == pytest.approx(1.0)
+
+    def test_rows_sorted_by_swing(self):
+        study = SensitivityStudy(
+            metric=lambda p: p["big"] * 10 + p["small"],
+            baseline={"big": 1.0, "small": 1.0},
+            ranges={"big": (0.5, 1.5), "small": (0.5, 1.5)},
+        )
+        rows = study.run()
+        assert rows[0].parameter == "big"
+        assert rows[0].swing > rows[1].swing
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityStudy(
+                metric=lambda p: 0.0, baseline={"x": 1.0}, ranges={"y": (0, 1)}
+            )
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityStudy(
+                metric=lambda p: 0.0, baseline={"x": 1.0}, ranges={"x": (0,)}
+            )
+
+    def test_insensitive_parameter_zero_swing(self):
+        study = SensitivityStudy(
+            metric=lambda p: p["x"],
+            baseline={"x": 1.0, "dead": 5.0},
+            ranges={"dead": (0.0, 10.0)},
+        )
+        (row,) = study.run()
+        assert row.swing == 0.0
+        assert row.elasticity() == 0.0
+
+    def test_sweep_helper(self):
+        result = sweep(lambda v: v * v, [1, 2, 3])
+        assert result == {1.0: 1.0, 2.0: 4.0, 3.0: 9.0}
+
+
+class TestDomainStudy:
+    def test_backup_cost_tornado(self):
+        """Which Table 1 rate moves LargeEUPS's normalised cost the most?"""
+        from repro.core.configurations import get_configuration
+        from repro.core.costs import BackupCostModel, CostParameters
+
+        def metric(params):
+            model = BackupCostModel(
+                CostParameters(
+                    dg_power_cost_per_kw_year=params["dg"],
+                    ups_power_cost_per_kw_year=params["ups_power"],
+                    ups_energy_cost_per_kwh_year=params["ups_energy"],
+                )
+            )
+            return get_configuration("LargeEUPS").normalized_cost(model)
+
+        study = SensitivityStudy(
+            metric=metric,
+            baseline={"dg": 83.3, "ups_power": 50.0, "ups_energy": 50.0},
+            ranges={
+                "dg": (41.65, 166.6),
+                "ups_power": (25.0, 100.0),
+                "ups_energy": (25.0, 100.0),
+            },
+        )
+        rows = study.run()
+        by_name = {row.parameter: row for row in rows}
+        # A DG-less configuration's NORMALISED cost is most sensitive to the
+        # DG rate (the baseline's denominator), and falls as DGs get pricier.
+        assert rows[0].parameter == "dg"
+        assert by_name["dg"].high_metric < by_name["dg"].low_metric
+
+    def test_peukert_exponent_drives_sleep_survival(self):
+        """Sleep-load runtime responds super-linearly to the exponent."""
+        from repro.power.battery import BatteryChemistry, BatterySpec
+        from repro.units import minutes
+
+        def runtime_hours(params):
+            chem = BatteryChemistry("probe", params["k"], 4.0)
+            spec = BatterySpec(4000.0, minutes(2), chemistry=chem)
+            return spec.runtime_at(80.0) / 3600.0
+
+        study = SensitivityStudy(
+            metric=runtime_hours,
+            baseline={"k": 1.2925},
+            ranges={"k": (1.0, 1.4)},
+        )
+        (row,) = study.run()
+        assert row.elasticity() > 2.0

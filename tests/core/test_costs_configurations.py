@@ -1,0 +1,186 @@
+"""Cost model (Eq. 1/2, Tables 1-3) and the configuration space."""
+
+import pytest
+
+from repro.core.configurations import (
+    FIGURE5_CONFIGURATIONS,
+    PAPER_CONFIGURATIONS,
+    BackupConfiguration,
+    configuration_names,
+    get_configuration,
+)
+from repro.core.costs import (
+    PAPER_COST_PARAMETERS,
+    BackupCostModel,
+    CostParameters,
+)
+from repro.errors import ConfigurationError
+from repro.power.battery import LI_ION
+from repro.power.generator import DieselGeneratorSpec
+from repro.power.ups import UPSSpec
+from repro.units import megawatts, minutes
+
+
+@pytest.fixture
+def model():
+    return BackupCostModel()
+
+
+class TestTable1:
+    def test_parameters(self):
+        p = PAPER_COST_PARAMETERS
+        assert p.dg_power_cost_per_kw_year == 83.3
+        assert p.ups_power_cost_per_kw_year == 50.0
+        assert p.ups_energy_cost_per_kwh_year == 50.0
+        assert p.free_runtime_seconds == minutes(2)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostParameters(dg_power_cost_per_kw_year=-1)
+
+
+class TestTable2:
+    """The paper's three illustrative facility sizings."""
+
+    def test_1mw_base(self, model):
+        ups = UPSSpec(megawatts(1), minutes(2))
+        dg = DieselGeneratorSpec(megawatts(1))
+        assert model.dg_cost(dg) == pytest.approx(0.083e6, rel=0.01)
+        assert model.ups_cost(ups) == pytest.approx(0.05e6, rel=0.01)
+        assert model.total_cost(ups, dg) == pytest.approx(0.13e6, rel=0.03)
+
+    def test_10mw_base(self, model):
+        ups = UPSSpec(megawatts(10), minutes(2))
+        dg = DieselGeneratorSpec(megawatts(10))
+        assert model.total_cost(ups, dg) == pytest.approx(1.34e6, rel=0.01)
+
+    def test_10mw_42min(self, model):
+        ups = UPSSpec(megawatts(10), minutes(42))
+        dg = DieselGeneratorSpec(megawatts(10))
+        assert model.ups_cost(ups) == pytest.approx(0.83e6, rel=0.01)
+        assert model.total_cost(ups, dg) == pytest.approx(1.66e6, rel=0.01)
+
+    def test_20x_energy_costs_24_percent_more(self, model):
+        # Paper observation (ii): 2 min -> 42 min (21x) raises total ~24 %.
+        dg = DieselGeneratorSpec(megawatts(10))
+        base = model.total_cost(UPSSpec(megawatts(10), minutes(2)), dg)
+        big = model.total_cost(UPSSpec(megawatts(10), minutes(42)), dg)
+        assert (big - base) / base == pytest.approx(0.24, abs=0.02)
+
+    def test_40min_ups_cheaper_than_dg(self, model):
+        # Paper observation (iii): below ~40 min of runtime, batteries
+        # undercut the DG.
+        peak = megawatts(10)
+        dg_cost = model.dg_cost(DieselGeneratorSpec(peak))
+        ups_40 = model.ups_cost(UPSSpec(peak, minutes(40)))
+        ups_45 = model.ups_cost(UPSSpec(peak, minutes(45)))
+        assert ups_40 < dg_cost
+        assert ups_45 > dg_cost
+
+
+class TestEquation2Details:
+    def test_free_runtime_not_billed(self, model):
+        base = model.ups_cost(UPSSpec(1000.0, minutes(2)))
+        below = model.ups_cost(UPSSpec(1000.0, minutes(1)))
+        assert base == below == pytest.approx(50.0)
+
+    def test_energy_billed_beyond_free(self, model):
+        cost = model.ups_cost(UPSSpec(1000.0, minutes(62)))
+        # 1 KW power ($50) + 1 KWh extra energy ($50).
+        assert cost == pytest.approx(100.0)
+
+    def test_unprovisioned_ups_free(self, model):
+        assert model.ups_cost(UPSSpec.none()) == 0.0
+
+    def test_breakdown_sums(self, model):
+        ups = UPSSpec(megawatts(1), minutes(30))
+        dg = DieselGeneratorSpec(megawatts(2))
+        b = model.breakdown(ups, dg)
+        assert b.total_dollars_per_year == pytest.approx(model.total_cost(ups, dg))
+        assert b.ups_dollars_per_year == pytest.approx(model.ups_cost(ups))
+
+    def test_li_ion_multipliers(self, model):
+        lead = UPSSpec(1000.0, minutes(62))
+        li = UPSSpec(1000.0, minutes(62), chemistry=LI_ION)
+        lead_cost = model.ups_cost(lead)
+        li_cost = model.ups_cost(li)
+        # Power x0.8 ($40) + energy x2 ($100).
+        assert lead_cost == pytest.approx(100.0)
+        assert li_cost == pytest.approx(140.0)
+
+    def test_baseline_requires_positive_peak(self, model):
+        with pytest.raises(ConfigurationError):
+            model.baseline_cost(0)
+
+
+class TestTable3:
+    EXPECTED = {
+        "MaxPerf": 1.0,
+        "MinCost": 0.0,
+        "NoDG": 0.38,
+        "NoUPS": 0.63,
+        "DG-SmallPUPS": 0.81,
+        "SmallDG-SmallPUPS": 0.50,
+        "SmallPUPS": 0.19,
+        "LargeEUPS": 0.55,
+        "SmallP-LargeEUPS": 0.38,
+    }
+
+    @pytest.mark.parametrize("name,expected", sorted(EXPECTED.items()))
+    def test_normalized_costs(self, name, expected):
+        assert get_configuration(name).normalized_cost() == pytest.approx(
+            expected, abs=0.01
+        )
+
+    def test_nine_configurations(self):
+        assert len(PAPER_CONFIGURATIONS) == 9
+
+    def test_names(self):
+        assert configuration_names()[0] == "MaxPerf"
+        assert "LargeEUPS" in configuration_names()
+
+    def test_figure5_selection(self):
+        assert len(FIGURE5_CONFIGURATIONS) == 6
+        assert "MaxPerf" in FIGURE5_CONFIGURATIONS
+
+    def test_lookup_case_insensitive(self):
+        assert get_configuration("maxperf").name == "MaxPerf"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_configuration("MegaUPS")
+
+    def test_cost_is_scale_free(self):
+        config = get_configuration("LargeEUPS")
+        model = BackupCostModel()
+        small_ups, small_dg = config.materialize(1e3)
+        big_ups, big_dg = config.materialize(1e7)
+        small = model.normalized_cost(small_ups, small_dg, 1e3)
+        big = model.normalized_cost(big_ups, big_dg, 1e7)
+        assert small == pytest.approx(big)
+
+    def test_materialize_maxperf(self):
+        ups, dg = get_configuration("MaxPerf").materialize(1e6)
+        assert ups.power_capacity_watts == 1e6
+        assert ups.rated_runtime_seconds == minutes(2)
+        assert dg.power_capacity_watts == 1e6
+
+    def test_materialize_mincost(self):
+        ups, dg = get_configuration("MinCost").materialize(1e6)
+        assert not ups.is_provisioned
+        assert not dg.is_provisioned
+
+    def test_runtime_without_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackupConfiguration("bad", 0.0, 0.0, minutes(5))
+
+    def test_with_runtime_helper(self):
+        bigger = get_configuration("NoDG").with_runtime(minutes(60))
+        assert bigger.ups_runtime_seconds == minutes(60)
+        assert bigger.normalized_cost() > get_configuration("NoDG").normalized_cost()
+
+    def test_smallp_largeeups_matches_nodg_cost(self):
+        # The paper's trade: half power + 62 min runtime = NoDG's cost.
+        a = get_configuration("SmallP-LargeEUPS").normalized_cost()
+        b = get_configuration("NoDG").normalized_cost()
+        assert a == pytest.approx(b, abs=0.005)

@@ -1,0 +1,103 @@
+"""Deterministic per-outage expectations (repro.core.whatif)."""
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.whatif import ExpectedOutageAnalyzer, TAIL_TRUNCATION_SECONDS
+from repro.errors import ConfigurationError
+from repro.techniques.registry import get_technique
+from repro.workloads.specjbb import specjbb
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return ExpectedOutageAnalyzer(specjbb(), num_servers=8)
+
+
+class TestQuadrature:
+    def test_weights_sum_to_one(self, analyzer):
+        nodes = analyzer.quadrature_nodes()
+        assert sum(weight for _, weight in nodes) == pytest.approx(1.0)
+
+    def test_node_count(self, analyzer):
+        # 6 buckets x 3 nodes.
+        assert len(analyzer.quadrature_nodes()) == 18
+
+    def test_durations_within_buckets(self, analyzer):
+        for duration, _ in analyzer.quadrature_nodes():
+            assert 1.0 <= duration <= TAIL_TRUNCATION_SECONDS
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExpectedOutageAnalyzer(specjbb(), nodes_per_bucket=0)
+
+
+class TestExpectations:
+    def test_maxperf_expects_nothing_bad(self, analyzer):
+        report = analyzer.analyze(
+            get_configuration("MaxPerf"), get_technique("full-service")
+        )
+        assert report.expected_downtime_seconds == 0.0
+        assert report.expected_performance == pytest.approx(1.0)
+        assert report.crash_probability == 0.0
+
+    def test_mincost_always_crashes(self, analyzer):
+        report = analyzer.analyze(
+            get_configuration("MinCost"), get_technique("full-service")
+        )
+        assert report.crash_probability == pytest.approx(1.0)
+        # Expected downtime = E[duration] + recovery; well over 10 minutes.
+        assert report.expected_downtime_minutes > 10
+
+    def test_hybrid_on_largeeups_rarely_crashes(self, analyzer):
+        report = analyzer.analyze(
+            get_configuration("LargeEUPS"), get_technique("throttle+sleep-l")
+        )
+        assert report.crash_probability < 0.1
+        # Most outages are short and fully ridden through at full perf.
+        assert report.expected_performance > 0.6
+        # Strictly better than crashing through, though the long-outage
+        # tail (where even the hybrid sleeps) dominates both expectations.
+        mincost = analyzer.analyze(
+            get_configuration("MinCost"), get_technique("full-service")
+        )
+        assert report.expected_downtime_minutes < 0.75 * mincost.expected_downtime_minutes
+
+    def test_deterministic(self, analyzer):
+        a = analyzer.analyze(
+            get_configuration("NoDG"), get_technique("sleep-l")
+        )
+        b = analyzer.analyze(
+            get_configuration("NoDG"), get_technique("sleep-l")
+        )
+        assert a.expected_downtime_seconds == b.expected_downtime_seconds
+        assert a.nodes == b.nodes
+
+    def test_uncompilable_pairing_raises(self, analyzer):
+        with pytest.raises(ConfigurationError):
+            analyzer.analyze(
+                get_configuration("SmallPUPS"), get_technique("full-service")
+            )
+
+    def test_tracks_monte_carlo_direction(self):
+        """The quadrature expectation and the Monte-Carlo availability study
+        must order configurations the same way."""
+        from repro.analysis.availability import AvailabilityAnalyzer
+
+        quad = ExpectedOutageAnalyzer(specjbb(), num_servers=8)
+        mc = AvailabilityAnalyzer(specjbb(), num_servers=8, seed=3)
+        pairs = [
+            ("LargeEUPS", "throttle+sleep-l"),
+            ("MinCost", "full-service"),
+        ]
+        quad_down = [
+            quad.analyze(get_configuration(c), get_technique(t)).expected_downtime_seconds
+            for c, t in pairs
+        ]
+        mc_down = [
+            mc.analyze(
+                get_configuration(c), get_technique(t), years=30
+            ).mean_downtime_minutes_per_year
+            for c, t in pairs
+        ]
+        assert (quad_down[0] < quad_down[1]) == (mc_down[0] < mc_down[1])

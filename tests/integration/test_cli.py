@@ -1,0 +1,101 @@
+"""CLI surface: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListingCommands:
+    def test_configs(self, capsys):
+        code, out, _ = run(capsys, "configs")
+        assert code == 0
+        assert "MaxPerf" in out and "LargeEUPS" in out
+
+    def test_techniques(self, capsys):
+        code, out, _ = run(capsys, "techniques")
+        assert code == 0
+        assert "sleep-l" in out and "nvdimm" in out
+
+    def test_workloads(self, capsys):
+        code, out, _ = run(capsys, "workloads")
+        assert code == 0
+        assert "specjbb" in out and "40 GB" in out
+
+
+class TestEvaluate:
+    def test_basic(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "evaluate", "-w", "specjbb", "-c", "LargeEUPS",
+            "-t", "sleep-l", "-m", "30",
+        )
+        assert code == 0
+        assert "down time (min)" in out
+        assert "crashed" in out
+
+    def test_domain_error_exits_2(self, capsys):
+        code, _, err = run(
+            capsys,
+            "evaluate", "-w", "specjbb", "-c", "NoSuchConfig",
+            "-t", "sleep-l",
+        )
+        assert code == 2
+        assert "error" in err
+
+    def test_bad_workload_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "-w", "doom", "-c", "MaxPerf", "-t", "sleep"])
+
+
+class TestPlan:
+    def test_feasible(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "plan", "-w", "specjbb", "-m", "30",
+            "--min-performance", "0.9", "--max-down-minutes", "0",
+        )
+        assert code == 0
+        assert "cheapest plan" in out
+        assert "UPS runtime" in out
+
+    def test_infeasible_exits_1(self, capsys):
+        code, _, err = run(
+            capsys,
+            "plan", "-w", "specjbb", "-m", "30", "--min-performance", "1.01",
+        )
+        assert code == 1
+        assert "infeasible" in err
+
+
+class TestRankAvailabilityTCO:
+    def test_rank(self, capsys):
+        code, out, _ = run(capsys, "rank", "-w", "memcached", "-m", "5")
+        assert code == 0
+        assert "sleep-l" in out
+
+    def test_availability(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "availability", "-w", "specjbb", "-c", "MaxPerf",
+            "-t", "full-service", "--years", "5", "--servers", "4",
+        )
+        assert code == 0
+        assert "availability" in out
+
+    def test_tco(self, capsys):
+        code, out, _ = run(capsys, "tco")
+        assert code == 0
+        assert "crossover" in out
+
+
+class TestTiers:
+    def test_tiers(self, capsys):
+        code, out, _ = run(capsys, "tiers")
+        assert code == 0
+        assert "Tier IV" in out and "2N" in out

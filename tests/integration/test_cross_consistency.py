@@ -1,0 +1,129 @@
+"""Cross-consistency: independent code paths that must agree.
+
+Each test computes the same quantity two different ways — through the
+high-level driver and through the underlying primitives — and asserts the
+answers coincide.  These are the checks that catch drift when one layer is
+refactored without the other.
+"""
+
+import pytest
+
+from repro.analysis.sweep import sweep_techniques
+from repro.core.configurations import PAPER_CONFIGURATIONS, get_configuration
+from repro.core.costs import BackupCostModel
+from repro.core.performability import (
+    evaluate_point,
+    make_datacenter,
+    plan_power_budget_watts,
+)
+from repro.core.selection import lowest_cost_backup
+from repro.experiments import table3
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+class TestCostPathsAgree:
+    def test_experiments_table3_matches_configuration_api(self):
+        records = {r["configuration"]: r["cost"] for r in table3().records}
+        for configuration in PAPER_CONFIGURATIONS:
+            assert records[configuration.name] == pytest.approx(
+                round(configuration.normalized_cost(), 3)
+            )
+
+    def test_baseline_cost_is_materialized_maxperf(self):
+        model = BackupCostModel()
+        peak = 123456.0
+        ups, dg = get_configuration("MaxPerf").materialize(peak)
+        assert model.baseline_cost(peak) == pytest.approx(
+            model.total_cost(ups, dg)
+        )
+
+    def test_normalized_cost_agrees_with_explicit_division(self):
+        model = BackupCostModel()
+        peak = 4000.0
+        config = get_configuration("LargeEUPS")
+        ups, dg = config.materialize(peak)
+        explicit = model.total_cost(ups, dg) / model.baseline_cost(peak)
+        assert config.normalized_cost(model) == pytest.approx(explicit)
+
+
+class TestEvaluationPathsAgree:
+    def test_evaluate_point_wraps_simulate_outage(self):
+        workload = specjbb()
+        configuration = get_configuration("LargeEUPS")
+        technique = get_technique("throttle+sleep-l")
+        duration = minutes(45)
+
+        point = evaluate_point(configuration, technique, workload, duration)
+
+        datacenter = make_datacenter(workload, configuration)
+        context = TechniqueContext(
+            cluster=datacenter.cluster,
+            workload=workload,
+            power_budget_watts=plan_power_budget_watts(datacenter),
+        )
+        outcome = simulate_outage(datacenter, technique.plan(context), duration)
+
+        assert point.performance == pytest.approx(outcome.mean_performance)
+        assert point.downtime_seconds == pytest.approx(outcome.downtime_seconds)
+        assert point.crashed == outcome.crashed
+
+    def test_sweep_cell_matches_direct_sizing(self):
+        workload = specjbb()
+        duration = minutes(30)
+        (cell,) = sweep_techniques(workload, ["sleep-l"], [duration])
+        sized = lowest_cost_backup(get_technique("sleep-l"), workload, duration)
+        assert cell.normalized_cost == pytest.approx(sized.normalized_cost)
+        assert cell.downtime_minutes == pytest.approx(
+            sized.point.downtime_minutes
+        )
+
+    def test_evaluation_is_deterministic(self):
+        args = (
+            get_configuration("NoDG"),
+            get_technique("throttle+hibernate"),
+            specjbb(),
+            minutes(20),
+        )
+        a = evaluate_point(*args)
+        b = evaluate_point(*args)
+        assert a.performance == b.performance
+        assert a.downtime_seconds == b.downtime_seconds
+        assert len(a.outcome.trace) == len(b.outcome.trace)
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("num_servers", [4, 16, 64])
+    def test_performability_scale_free(self, num_servers):
+        """Homogeneous scaling leaves the normalised metrics unchanged —
+        the justification for the paper's small-testbed methodology."""
+        point = evaluate_point(
+            get_configuration("LargeEUPS"),
+            get_technique("throttle+sleep-l"),
+            specjbb(),
+            minutes(45),
+            num_servers=num_servers,
+        )
+        reference = evaluate_point(
+            get_configuration("LargeEUPS"),
+            get_technique("throttle+sleep-l"),
+            specjbb(),
+            minutes(45),
+            num_servers=8,
+        )
+        assert point.performance == pytest.approx(reference.performance, rel=1e-6)
+        assert point.downtime_seconds == pytest.approx(
+            reference.downtime_seconds, rel=1e-6
+        )
+
+    def test_cost_scale_free_across_peaks(self):
+        model = BackupCostModel()
+        config = get_configuration("SmallP-LargeEUPS")
+        costs = []
+        for peak in (1e3, 1e5, 1e7):
+            ups, dg = config.materialize(peak)
+            costs.append(model.normalized_cost(ups, dg, peak))
+        assert max(costs) - min(costs) < 1e-9

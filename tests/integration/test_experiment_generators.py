@@ -1,0 +1,94 @@
+"""Record-level checks for every experiments-driver generator."""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table2,
+)
+
+
+class TestFigure1:
+    def test_both_panels_present(self):
+        result = figure1()
+        panels = {record["panel"] for record in result.records}
+        assert panels == {"frequency/yr", "duration"}
+
+    def test_masses_sum_to_one_per_panel(self):
+        result = figure1()
+        for panel in ("frequency/yr", "duration"):
+            total = sum(
+                record["probability"]
+                for record in result.records
+                if record["panel"] == panel
+            )
+            assert total == pytest.approx(1.0)
+
+
+class TestFigure3:
+    def test_anchor_rows(self):
+        result = figure3()
+        by_load = {record["load_watts"]: record for record in result.records}
+        assert by_load[1000.0]["runtime_minutes"] == pytest.approx(60.0)
+        assert by_load[4000.0]["runtime_minutes"] == pytest.approx(10.0)
+        assert by_load[4000.0]["delivered_kwh"] == pytest.approx(0.67, abs=0.01)
+
+    def test_monotone_runtime(self):
+        result = figure3()
+        runtimes = [record["runtime_minutes"] for record in result.records]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+
+class TestTable2:
+    def test_three_rows(self):
+        result = table2()
+        assert len(result.records) == 3
+        totals = {r["peak_mw"]: r["total_m$"] for r in result.records
+                  if r["ups_runtime_min"] == 2}
+        assert totals[1] == pytest.approx(0.13, abs=0.01)
+        assert totals[10] == pytest.approx(1.34, abs=0.02)
+
+
+class TestTechniqueFigures:
+    @pytest.mark.parametrize(
+        "generator,workload",
+        [
+            (figure6, "specjbb"),
+            (figure7, "memcached"),
+            (figure8, "websearch"),
+            (figure9, "speccpu"),
+        ],
+    )
+    def test_quick_grids_well_formed(self, generator, workload):
+        result = generator(quick=True)
+        assert result.records
+        techniques = {record["technique"] for record in result.records}
+        assert "sleep-l" in techniques
+        for record in result.records:
+            if record["cost"] != "infeasible":
+                assert 0 < record["cost"] <= 1.5
+                assert 0.0 <= record["performance"] <= 1.0
+
+    def test_figure7_memcached_throttles_well(self):
+        result = figure7(quick=True)
+        cells = [
+            record
+            for record in result.records
+            if record["technique"] == "throttling-p6"
+            and record["outage_min"] == 0.5
+        ]
+        assert cells[0]["performance"] > 0.7  # the memory-stall dividend
+
+    def test_figure6_sleep_hybrid_cheap(self):
+        result = figure6(quick=True)
+        cells = [
+            record
+            for record in result.records
+            if record["technique"] == "throttle+sleep-l"
+        ]
+        assert all(record["cost"] < 0.3 for record in cells)

@@ -1,0 +1,101 @@
+"""The one-shot reproduction driver (`repro reproduce` / repro.experiments)."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import to_json
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments import (
+    EXPERIMENTS,
+    figure5,
+    figure10,
+    run_all,
+    run_experiment,
+    table3,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == {
+            "figure1",
+            "figure3",
+            "table2",
+            "table3",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            run_experiment("figure99")
+
+    def test_lookup_case_insensitive(self):
+        assert run_experiment("TABLE3").experiment_id == "table3"
+
+
+class TestGenerators:
+    def test_table3_matches_published_costs(self):
+        result = table3()
+        costs = {r["configuration"]: r["cost"] for r in result.records}
+        assert costs["NoDG"] == pytest.approx(0.375)
+        assert costs["LargeEUPS"] == pytest.approx(0.55)
+        assert "Table 3" in result.rendered
+
+    def test_figure5_quick_grid(self):
+        result = figure5(quick=True)
+        durations = {r["outage_min"] for r in result.records}
+        assert durations == {0.5, 30.0}
+        maxperf = [
+            r for r in result.records
+            if r["configuration"] == "MaxPerf" and r["outage_min"] == 30.0
+        ]
+        assert maxperf[0]["performance"] == 1.0
+        assert maxperf[0]["down_min"] == 0.0
+
+    def test_figure10_marks_crossover(self):
+        result = figure10()
+        last = result.records[-1]
+        assert last["loss_$per_kw_yr"] == "CROSSOVER"
+        assert last["outage_min_per_year"] == pytest.approx(294.3, abs=0.5)
+
+    def test_records_are_exportable(self):
+        result = table3()
+        data = json.loads(to_json(list(result.records)))
+        assert len(data) == 9
+
+    def test_run_all_quick(self):
+        results = run_all(quick=True)
+        assert len(results) == len(EXPERIMENTS)
+        assert all(result.records for result in results)
+        assert [r.experiment_id for r in results] == list(EXPERIMENTS)
+
+
+class TestCLI:
+    def run(self, capsys, *argv):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_single_experiment(self, capsys):
+        code, out = self.run(capsys, "reproduce", "table2")
+        assert code == 0
+        assert "Table 2" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        code = main(["reproduce", "figure99"])
+        assert code == 2
+
+    def test_csv_export(self, capsys, tmp_path):
+        code, out = self.run(
+            capsys, "reproduce", "table3", "--csv-dir", str(tmp_path)
+        )
+        assert code == 0
+        csv_file = tmp_path / "table3.csv"
+        assert csv_file.exists()
+        assert csv_file.read_text().startswith("configuration,")

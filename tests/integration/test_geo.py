@@ -1,0 +1,227 @@
+"""Geo-replication: sites, failover model, technique, and economics."""
+
+import math
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import evaluate_point
+from repro.errors import ConfigurationError, TechniqueError
+from repro.geo.economics import GeoEconomics
+from repro.geo.failover import CloudBurstTechnique, GeoFailoverTechnique
+from repro.geo.replication import GeoReplicationModel
+from repro.geo.site import Site
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.memcached import memcached
+from repro.workloads.specjbb import specjbb
+from repro.workloads.websearch import websearch
+
+
+def three_site_fleet(load=70.0, capacity=100.0):
+    return GeoReplicationModel(
+        [
+            Site("west", capacity, load, power_region="west", rtt_seconds=0.05),
+            Site("east", capacity, load, power_region="east", rtt_seconds=0.12),
+            Site("eu", capacity, load, power_region="eu", rtt_seconds=0.15),
+        ]
+    )
+
+
+class TestSite:
+    def test_spare_capacity(self):
+        site = Site("a", 100, 60)
+        assert site.spare_capacity == 40
+        assert site.utilization == pytest.approx(0.6)
+
+    def test_with_spare_fraction(self):
+        site = Site("a", 100, 60).with_spare_fraction(0.5)
+        assert site.load == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Site("a", 0, 0)
+        with pytest.raises(ConfigurationError):
+            Site("a", 100, 150)
+        with pytest.raises(ConfigurationError):
+            Site("a", 100, 50).with_spare_fraction(1.5)
+
+
+class TestReplicationModel:
+    def test_survivors_exclude_same_power_region(self):
+        fleet = GeoReplicationModel(
+            [
+                Site("a1", 100, 50, power_region="a"),
+                Site("a2", 100, 50, power_region="a"),
+                Site("b", 100, 50, power_region="b"),
+            ]
+        )
+        survivors = fleet.survivors_for(fleet.site("a1"))
+        assert [s.name for s in survivors] == ["b"]
+
+    def test_full_absorption_at_high_spare(self):
+        fleet = three_site_fleet(load=40.0)
+        outcome = fleet.fail_over("west")
+        assert outcome.absorbed_load == pytest.approx(40.0)
+        # Latency penalty still applies even with full absorption.
+        assert 0.8 < outcome.performance < 1.0
+
+    def test_overload_at_low_spare(self):
+        fleet = three_site_fleet(load=90.0)
+        outcome = fleet.fail_over("west")
+        assert outcome.absorbed_load == pytest.approx(20.0)
+        assert outcome.performance < 0.25
+
+    def test_absorption_proportional_to_spare(self):
+        fleet = GeoReplicationModel(
+            [
+                Site("a", 100, 80, power_region="a"),
+                Site("b", 100, 40, power_region="b"),  # spare 60
+                Site("c", 100, 70, power_region="c"),  # spare 30
+            ]
+        )
+        outcome = fleet.fail_over("a")
+        assert outcome.per_site_absorption["b"] == pytest.approx(
+            2 * outcome.per_site_absorption["c"]
+        )
+
+    def test_no_survivors_means_nothing_absorbed(self):
+        fleet = GeoReplicationModel(
+            [
+                Site("a1", 100, 50, power_region="a"),
+                Site("a2", 100, 50, power_region="a"),
+            ]
+        )
+        outcome = fleet.fail_over("a1")
+        assert outcome.absorbed_load == 0.0
+        assert outcome.performance == 0.0
+
+    def test_required_spare_fraction(self):
+        fleet = three_site_fleet(load=70.0)
+        fraction = fleet.required_spare_fraction_for_full_performance("west")
+        assert fraction == pytest.approx(70.0 / 200.0)
+
+    def test_required_spare_infinite_without_survivors(self):
+        fleet = GeoReplicationModel([Site("only", 100, 50)])
+        assert math.isinf(
+            fleet.required_spare_fraction_for_full_performance("only")
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeoReplicationModel([Site("x", 1, 0), Site("x", 1, 0)])
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            three_site_fleet().fail_over("mars")
+
+
+class TestGeoFailoverTechnique:
+    def test_performance_flat_across_very_long_outages(self):
+        # The paper's point: redirection makes outage duration irrelevant.
+        tech = GeoFailoverTechnique(three_site_fleet(), "west")
+        perfs = []
+        for duration in (minutes(30), hours(2), hours(8)):
+            point = evaluate_point(
+                get_configuration("SmallPUPS"), tech, websearch(), duration
+            )
+            perfs.append(point.performance)
+        assert max(perfs) - min(perfs) < 0.05
+        assert all(p > 0.5 for p in perfs)
+
+    def test_beats_local_techniques_for_4h_outage(self):
+        tech = GeoFailoverTechnique(three_site_fleet(), "west")
+        geo = evaluate_point(
+            get_configuration("SmallPUPS"), tech, websearch(), hours(4)
+        )
+        local = evaluate_point(
+            get_configuration("SmallPUPS"),
+            get_technique("throttle+sleep-l"),
+            websearch(),
+            hours(4),
+        )
+        assert geo.performance > local.performance + 0.3
+        assert geo.downtime_seconds < local.downtime_seconds
+
+    def test_local_battery_death_degrades_but_keeps_serving(self):
+        tech = GeoFailoverTechnique(three_site_fleet(), "west")
+        point = evaluate_point(
+            get_configuration("SmallPUPS"), tech, websearch(), hours(8)
+        )
+        # Local fleet crashed (S3 died), but remote perf carried the outage.
+        assert point.crashed
+        assert point.performance > 0.5
+        assert point.downtime_minutes < 30
+
+    def test_infeasible_redirect_budget_raises(self):
+        tech = GeoFailoverTechnique(three_site_fleet(), "west")
+        from repro.servers.cluster import Cluster
+        from repro.servers.server import PAPER_SERVER
+
+        workload = websearch()
+        cluster = Cluster(PAPER_SERVER, 8, utilization=workload.utilization)
+        context = TechniqueContext(
+            cluster=cluster, workload=workload, power_budget_watts=100.0
+        )
+        with pytest.raises(TechniqueError):
+            tech.plan(context)
+
+
+class TestCloudBurst:
+    def test_burst_cost_scales_with_duration(self):
+        fleet = GeoReplicationModel(
+            [
+                Site("own", 100, 70, power_region="own"),
+                Site("cloud", 1000, 0, power_region="cloud", rtt_seconds=0.08),
+            ]
+        )
+        tech = CloudBurstTechnique(fleet, "own", dollars_per_server_hour=0.5)
+        from repro.servers.cluster import Cluster
+        from repro.servers.server import PAPER_SERVER
+
+        workload = memcached()
+        cluster = Cluster(PAPER_SERVER, 8, utilization=workload.utilization)
+        context = TechniqueContext(cluster=cluster, workload=workload)
+        one_hour = tech.burst_cost_dollars(context, hours(1))
+        four_hours = tech.burst_cost_dollars(context, hours(4))
+        assert one_hour > 0
+        assert four_hours > 3 * one_hour
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TechniqueError):
+            CloudBurstTechnique(
+                three_site_fleet(), "west", dollars_per_server_hour=-1
+            )
+
+
+class TestEconomics:
+    def test_spare_server_amortisation(self):
+        econ = GeoEconomics()
+        # $2000 * 1.6 overhead / 4 years = $800/yr.
+        assert econ.spare_server_dollars_per_year == pytest.approx(800.0)
+
+    def test_spare_capacity_cost_positive(self):
+        econ = GeoEconomics()
+        cost = econ.spare_capacity_cost_per_kw_year(three_site_fleet(), "west")
+        assert cost > 0
+        assert math.isfinite(cost)
+
+    def test_dedicated_spare_pricier_than_backup_hardware(self):
+        # Holding idle SERVERS for failover costs far more per KW than DG +
+        # UPS — which is why geo-failover pairs with fleets that already
+        # have diurnal headroom, not with purpose-bought spares.
+        econ = GeoEconomics()
+        assert not econ.cheaper_than_local_backup(three_site_fleet(), "west")
+
+    def test_cloud_breakeven_monotone_in_alternative_cost(self):
+        econ = GeoEconomics()
+        cheap = econ.breakeven_outage_seconds_per_year(70, 70, 0.5, 50.0)
+        rich = econ.breakeven_outage_seconds_per_year(70, 70, 0.5, 150.0)
+        assert rich > cheap
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeoEconomics(server_peak_watts=0)
+        with pytest.raises(ConfigurationError):
+            GeoEconomics().cloud_burst_cost_per_kw_year(1, -1, 1, 1)

@@ -1,0 +1,76 @@
+"""The full workload x technique x duration matrix: structural invariants.
+
+The property suite samples this space; this test walks it exhaustively at
+three durations so every (workload, technique) pairing in the paper's
+evaluation is exercised deterministically on every run.
+"""
+
+import math
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import evaluate_point
+from repro.techniques.registry import PAPER_TECHNIQUES, get_technique
+from repro.units import hours, minutes
+from repro.workloads.registry import workload_names, get_workload
+
+DURATIONS = (30.0, minutes(30), hours(2))
+ALL_TECHNIQUES = PAPER_TECHNIQUES + ("full-service", "nvdimm", "rdma-sleep")
+
+
+@pytest.mark.parametrize("workload_name", workload_names())
+@pytest.mark.parametrize("technique_name", ALL_TECHNIQUES)
+def test_matrix_cell_invariants(workload_name, technique_name):
+    workload = get_workload(workload_name)
+    technique = get_technique(technique_name)
+    previous_downtime = None
+    for duration in DURATIONS:
+        point = evaluate_point(
+            get_configuration("LargeEUPS"),
+            technique,
+            workload,
+            duration,
+            num_servers=8,
+        )
+        # Structural invariants every cell must satisfy.
+        if not point.feasible:
+            # Exactly one legitimate infeasibility exists on a full-power
+            # UPS: the migration copy spike (1.05x normal) of a fully
+            # utilised cluster (SpecCPU runs at u = 1.0) exceeds the peak
+            # rating.  Everything else must compile.
+            assert "migration" in technique_name
+            assert workload.utilization == 1.0
+            assert math.isinf(point.downtime_seconds)
+            continue
+        outcome = point.outcome
+        assert 0.0 <= point.performance <= 1.0 + 1e-9
+        assert point.downtime_seconds >= 0.0
+        assert math.isfinite(point.downtime_seconds)
+        assert outcome.trace.end_seconds <= duration + 1e-6
+        assert 0.0 <= outcome.ups_charge_consumed <= 1.0 + 1e-9
+
+        # Save-state techniques never serve during the outage...
+        if technique_name in ("sleep", "sleep-l", "hibernate", "hibernate-l",
+                              "proactive-hibernate", "nvdimm"):
+            assert point.performance == 0.0
+            # ...so their down time is at least the outage duration.
+            assert point.downtime_seconds >= duration - 1e-6
+
+        # Sustain-execution techniques that survive deliver something.
+        if technique_name in ("throttling", "migration", "proactive-migration"):
+            if not outcome.crashed:
+                assert point.performance > 0.2
+
+        # NVDIMM never crashes (zero draw, state-safe everywhere).
+        if technique_name == "nvdimm":
+            assert not outcome.crashed
+
+        # Down time is non-decreasing in duration for uncrashed save-state
+        # runs of the same technique.
+        if previous_downtime is not None and not outcome.crashed:
+            if technique_name in ("sleep-l", "hibernate-l", "nvdimm"):
+                assert point.downtime_seconds >= previous_downtime - 1e-6
+        previous_downtime = (
+            point.downtime_seconds if not outcome.crashed else None
+        )

@@ -1,0 +1,192 @@
+"""Outage distributions (Figure 1), events, and the Monte-Carlo generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.outages.distributions import (
+    OUTAGE_DURATION_DISTRIBUTION,
+    OUTAGE_FREQUENCY_DISTRIBUTION,
+    PAPER_OUTAGE_DURATIONS_SECONDS,
+    DurationBucket,
+    EmpiricalDistribution,
+    fraction_shorter_than,
+    sample_outage_count,
+)
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.outages.generator import OutageGenerator
+from repro.units import SECONDS_PER_YEAR, hours, minutes
+
+
+class TestFigure1b:
+    def test_bucket_masses_match_paper(self):
+        masses = [b.probability for b in OUTAGE_DURATION_DISTRIBUTION.buckets]
+        assert masses == [0.31, 0.27, 0.14, 0.17, 0.06, 0.05]
+
+    def test_majority_shorter_than_5_minutes(self):
+        # Paper: "a large majority (over 58%) of these outages are shorter
+        # than 5 minutes".
+        assert fraction_shorter_than(minutes(5)) >= 0.58
+
+    def test_a_third_end_before_dg_transfer(self):
+        # Paper: utility restored before DG start for >30 % of outages.
+        assert fraction_shorter_than(minutes(2)) > 0.30
+
+    def test_cdf_monotone(self):
+        xs = [10, 60, 300, 1800, 7200, 14400, 100000]
+        cdf = [OUTAGE_DURATION_DISTRIBUTION.probability_at_most(x) for x in xs]
+        assert all(a <= b + 1e-12 for a, b in zip(cdf, cdf[1:]))
+
+    def test_cdf_limits(self):
+        assert OUTAGE_DURATION_DISTRIBUTION.probability_at_most(0) == 0.0
+        assert OUTAGE_DURATION_DISTRIBUTION.probability_at_most(1e9) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_bucket_lookup(self):
+        bucket = OUTAGE_DURATION_DISTRIBUTION.bucket_for(minutes(10))
+        assert bucket.label == "5 to 30"
+
+    def test_samples_follow_bucket_masses(self):
+        rng = np.random.default_rng(42)
+        samples = OUTAGE_DURATION_DISTRIBUTION.sample(rng, size=20000)
+        short = np.mean(samples < minutes(5))
+        assert short == pytest.approx(0.58, abs=0.02)
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(0)
+        samples = OUTAGE_DURATION_DISTRIBUTION.sample(rng, size=1000)
+        assert np.all(samples > 0)
+
+    def test_mean_duration_tens_of_minutes(self):
+        mean = OUTAGE_DURATION_DISTRIBUTION.mean_seconds()
+        assert minutes(5) < mean < minutes(60)
+
+    def test_paper_sweep_durations(self):
+        assert PAPER_OUTAGE_DURATIONS_SECONDS == (
+            30,
+            minutes(5),
+            minutes(30),
+            hours(1),
+            hours(2),
+        )
+
+
+class TestFigure1a:
+    def test_masses_match_paper(self):
+        masses = [b.probability for b in OUTAGE_FREQUENCY_DISTRIBUTION.buckets]
+        assert masses == [0.17, 0.40, 0.30, 0.13]
+
+    def test_87_percent_see_6_or_fewer(self):
+        cdf_6 = sum(b.probability for b in OUTAGE_FREQUENCY_DISTRIBUTION.buckets[:3])
+        assert cdf_6 == pytest.approx(0.87)
+
+    def test_count_sampling_range(self):
+        rng = np.random.default_rng(1)
+        counts = [sample_outage_count(rng) for _ in range(5000)]
+        assert min(counts) == 0
+        assert max(counts) <= 14
+        none_fraction = sum(c == 0 for c in counts) / len(counts)
+        assert none_fraction == pytest.approx(0.17, abs=0.02)
+
+
+class TestDistributionValidation:
+    def test_masses_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistribution([DurationBucket(0, 10, 0.5, "half")])
+
+    def test_overlapping_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmpiricalDistribution(
+                [
+                    DurationBucket(0, 10, 0.5, "a"),
+                    DurationBucket(5, 20, 0.5, "b"),
+                ]
+            )
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DurationBucket(10, 5, 0.5, "inverted")
+        with pytest.raises(ConfigurationError):
+            DurationBucket(0, 10, 1.5, "overweight")
+
+    def test_tail_midpoint(self):
+        tail = DurationBucket(100, math.inf, 1.0, "tail")
+        assert tail.midpoint_seconds() == 150.0
+
+
+class TestEvents:
+    def test_end_time(self):
+        event = OutageEvent(start_seconds=100, duration_seconds=60)
+        assert event.end_seconds == 160
+
+    def test_overlap_detection(self):
+        a = OutageEvent(0, 100)
+        b = OutageEvent(50, 100)
+        c = OutageEvent(100, 10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutageEvent(0, 0)
+
+    def test_schedule_totals(self):
+        schedule = OutageSchedule(
+            events=(OutageEvent(0, 60), OutageEvent(100, 120)),
+            horizon_seconds=1000,
+        )
+        assert schedule.total_outage_seconds == 180
+        assert schedule.utility_availability == pytest.approx(0.82)
+        assert schedule.longest_seconds() == 120
+        assert len(schedule) == 2
+
+    def test_overlapping_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutageSchedule(
+                events=(OutageEvent(0, 100), OutageEvent(50, 10)),
+                horizon_seconds=1000,
+            )
+
+    def test_event_past_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutageSchedule(events=(OutageEvent(990, 20),), horizon_seconds=1000)
+
+    def test_empty_schedule(self):
+        schedule = OutageSchedule(events=(), horizon_seconds=1000)
+        assert schedule.utility_availability == 1.0
+        assert schedule.longest_seconds() == 0.0
+
+
+class TestGenerator:
+    def test_reproducible(self):
+        a = OutageGenerator(seed=9).sample_year()
+        b = OutageGenerator(seed=9).sample_year()
+        assert a.durations() == b.durations()
+
+    def test_schedules_valid(self):
+        gen = OutageGenerator(seed=2)
+        for schedule in gen.sample_years(50):
+            assert schedule.horizon_seconds == SECONDS_PER_YEAR
+            # OutageSchedule validates disjointness on construction.
+            assert schedule.utility_availability <= 1.0
+
+    def test_exact_count(self):
+        schedule = OutageGenerator(seed=4).sample_schedule(5)
+        assert len(schedule) == 5
+
+    def test_zero_count(self):
+        assert len(OutageGenerator(seed=4).sample_schedule(0)) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            OutageGenerator().sample_schedule(-1)
+
+    def test_mean_outages_per_year_plausible(self):
+        # Figure 1(a) implies roughly 2-4 outages/year on average.
+        gen = OutageGenerator(seed=11)
+        years = gen.sample_years(400)
+        mean = sum(len(y) for y in years) / len(years)
+        assert 1.5 < mean < 4.5

@@ -1,0 +1,210 @@
+"""Battery model: Peukert fitting, the Figure 3 chart, stateful discharge."""
+
+import math
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.power.battery import (
+    LEAD_ACID,
+    LEAD_ACID_PEUKERT_EXPONENT,
+    LI_ION,
+    Battery,
+    BatteryChemistry,
+    BatterySpec,
+    fit_peukert_exponent,
+)
+from repro.units import minutes, to_kilowatt_hours
+
+
+@pytest.fixture
+def apc_4kw():
+    """The paper's Figure 3 pack: 4 KW, 10 min at rated load."""
+    return BatterySpec(rated_power_watts=4000.0, rated_runtime_seconds=minutes(10))
+
+
+class TestPeukertFit:
+    def test_paper_anchor_points(self):
+        k = fit_peukert_exponent(4000, minutes(10), 1000, minutes(60))
+        assert k == pytest.approx(math.log(6) / math.log(4))
+
+    def test_module_constant_matches(self):
+        assert LEAD_ACID_PEUKERT_EXPONENT == pytest.approx(1.2925, abs=1e-4)
+
+    def test_symmetric_anchors(self):
+        k1 = fit_peukert_exponent(4000, 600, 1000, 3600)
+        k2 = fit_peukert_exponent(1000, 3600, 4000, 600)
+        assert k1 == pytest.approx(k2)
+
+    def test_linear_battery_fits_exponent_one(self):
+        assert fit_peukert_exponent(100, 100, 50, 200) == pytest.approx(1.0)
+
+    def test_equal_loads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_peukert_exponent(100, 100, 100, 200)
+
+    def test_nonpositive_anchor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_peukert_exponent(0, 100, 50, 200)
+
+
+class TestFigure3Chart:
+    """The runtime chart the paper prints for the APC 4 KW battery."""
+
+    def test_runtime_at_full_load_is_10_minutes(self, apc_4kw):
+        assert apc_4kw.runtime_at(4000) == pytest.approx(minutes(10))
+
+    def test_runtime_at_quarter_load_is_60_minutes(self, apc_4kw):
+        assert apc_4kw.runtime_at(1000) == pytest.approx(minutes(60), rel=1e-9)
+
+    def test_energy_at_full_load_is_two_thirds_kwh(self, apc_4kw):
+        kwh = to_kilowatt_hours(apc_4kw.deliverable_energy_at(4000))
+        assert kwh == pytest.approx(0.666, abs=0.01)
+
+    def test_energy_at_quarter_load_is_one_kwh(self, apc_4kw):
+        kwh = to_kilowatt_hours(apc_4kw.deliverable_energy_at(1000))
+        assert kwh == pytest.approx(1.0, abs=0.01)
+
+    def test_runtime_disproportionately_higher_at_low_load(self, apc_4kw):
+        # Peukert: halving load MORE than doubles runtime.
+        assert apc_4kw.runtime_at(2000) > 2 * apc_4kw.runtime_at(4000)
+
+    def test_chart_is_monotone_decreasing_in_load(self, apc_4kw):
+        chart = apc_4kw.runtime_chart([0.25, 0.5, 0.75, 1.0])
+        runtimes = [runtime for _, runtime in chart]
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_overload_raises(self, apc_4kw):
+        with pytest.raises(CapacityError):
+            apc_4kw.runtime_at(4400)
+
+    def test_zero_load_never_drains(self, apc_4kw):
+        assert math.isinf(apc_4kw.runtime_at(0))
+        assert math.isinf(apc_4kw.deliverable_energy_at(0))
+
+
+class TestLoadForRuntime:
+    def test_inverse_of_runtime(self, apc_4kw):
+        load = apc_4kw.load_for_runtime(minutes(60))
+        assert load == pytest.approx(1000.0, rel=1e-9)
+
+    def test_short_runtimes_power_limited(self, apc_4kw):
+        assert apc_4kw.load_for_runtime(minutes(5)) == 4000.0
+
+    def test_roundtrip(self, apc_4kw):
+        for target in [minutes(15), minutes(45), minutes(120)]:
+            load = apc_4kw.load_for_runtime(target)
+            assert apc_4kw.runtime_at(load) == pytest.approx(target, rel=1e-9)
+
+
+class TestSpecValidationAndDerivation:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatterySpec(rated_power_watts=-1, rated_runtime_seconds=60)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatterySpec(rated_power_watts=100, rated_runtime_seconds=-1)
+
+    def test_with_runtime(self, apc_4kw):
+        bigger = apc_4kw.with_runtime(minutes(30))
+        assert bigger.rated_runtime_seconds == minutes(30)
+        assert bigger.rated_power_watts == apc_4kw.rated_power_watts
+
+    def test_with_power(self, apc_4kw):
+        smaller = apc_4kw.with_power(2000)
+        assert smaller.rated_power_watts == 2000
+        assert smaller.rated_runtime_seconds == apc_4kw.rated_runtime_seconds
+
+    def test_scaled_parallel_composition(self, apc_4kw):
+        double = apc_4kw.scaled(2)
+        assert double.rated_power_watts == 8000
+        # Parallel packs at proportional load keep the same runtime.
+        assert double.runtime_at(8000) == pytest.approx(apc_4kw.runtime_at(4000))
+
+    def test_scaled_zero_rejected(self, apc_4kw):
+        with pytest.raises(ConfigurationError):
+            apc_4kw.scaled(0)
+
+    def test_rated_energy(self, apc_4kw):
+        assert apc_4kw.rated_energy_joules == pytest.approx(4000 * minutes(10))
+
+
+class TestChemistry:
+    def test_lead_acid_exponent(self):
+        assert LEAD_ACID.peukert_exponent == pytest.approx(1.2925, abs=1e-4)
+
+    def test_li_ion_flatter_than_lead_acid(self):
+        assert LI_ION.peukert_exponent < LEAD_ACID.peukert_exponent
+
+    def test_li_ion_energy_costlier(self):
+        assert LI_ION.energy_cost_multiplier > LEAD_ACID.energy_cost_multiplier
+
+    def test_exponent_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatteryChemistry(name="bogus", peukert_exponent=0.9, lifetime_years=4)
+
+    def test_nonpositive_lifetime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatteryChemistry(name="bogus", peukert_exponent=1.1, lifetime_years=0)
+
+    def test_li_ion_runtime_closer_to_linear(self, apc_4kw):
+        li = BatterySpec(4000, minutes(10), chemistry=LI_ION)
+        # At quarter load the lead-acid pack stretches further than li-ion.
+        assert apc_4kw.runtime_at(1000) > li.runtime_at(1000)
+        assert li.runtime_at(1000) > 4 * minutes(10) * 0.99  # at least ~linear
+
+
+class TestStatefulBattery:
+    def test_full_charge_initial(self, apc_4kw):
+        battery = Battery(apc_4kw)
+        assert battery.state_of_charge == 1.0
+        assert not battery.is_empty
+
+    def test_invalid_soc_rejected(self, apc_4kw):
+        with pytest.raises(ConfigurationError):
+            Battery(apc_4kw, state_of_charge=1.5)
+
+    def test_constant_load_drains_in_rated_runtime(self, apc_4kw):
+        battery = Battery(apc_4kw)
+        sustained = battery.discharge(4000, minutes(10))
+        assert sustained == pytest.approx(minutes(10))
+        assert battery.is_empty
+
+    def test_discharge_shortfall_reported(self, apc_4kw):
+        battery = Battery(apc_4kw)
+        sustained = battery.discharge(4000, minutes(20))
+        assert sustained == pytest.approx(minutes(10))
+
+    def test_piecewise_constant_composition_matches_closed_form(self, apc_4kw):
+        # Half the pack at full load, then the rest at quarter load should
+        # last half of each closed-form runtime.
+        battery = Battery(apc_4kw)
+        battery.discharge(4000, minutes(5))
+        assert battery.state_of_charge == pytest.approx(0.5)
+        remaining = battery.remaining_runtime_at(1000)
+        assert remaining == pytest.approx(minutes(30), rel=1e-9)
+
+    def test_energy_delivered_accounting(self, apc_4kw):
+        battery = Battery(apc_4kw)
+        battery.discharge(2000, 600)
+        assert battery.energy_delivered_joules == pytest.approx(2000 * 600)
+
+    def test_zero_load_consumes_nothing(self, apc_4kw):
+        battery = Battery(apc_4kw)
+        sustained = battery.discharge(0, minutes(60))
+        assert sustained == minutes(60)
+        assert battery.state_of_charge == 1.0
+
+    def test_negative_duration_rejected(self, apc_4kw):
+        with pytest.raises(ValueError):
+            Battery(apc_4kw).discharge(100, -1)
+
+    def test_recharge_full(self, apc_4kw):
+        battery = Battery(apc_4kw)
+        battery.discharge(4000, minutes(10))
+        battery.recharge_full()
+        assert battery.state_of_charge == 1.0
+
+    def test_remaining_runtime_zero_load_infinite(self, apc_4kw):
+        assert math.isinf(Battery(apc_4kw).remaining_runtime_at(0))

@@ -1,0 +1,104 @@
+"""Diesel generator model."""
+
+import math
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.power.generator import (
+    DEFAULT_START_DELAY_SECONDS,
+    DEFAULT_TRANSFER_COMPLETE_SECONDS,
+    DieselGenerator,
+    DieselGeneratorSpec,
+)
+from repro.units import hours, minutes
+
+
+@pytest.fixture
+def one_mw():
+    return DieselGeneratorSpec(power_capacity_watts=1e6)
+
+
+class TestSpec:
+    def test_start_delay_in_paper_band(self):
+        # Section 3: 20-30 seconds to start and stabilise.
+        assert 20 <= DEFAULT_START_DELAY_SECONDS <= 30
+
+    def test_transfer_completes_around_two_minutes(self):
+        assert DEFAULT_TRANSFER_COMPLETE_SECONDS == minutes(2)
+
+    def test_none_is_unprovisioned(self):
+        assert not DieselGeneratorSpec.none().is_provisioned
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DieselGeneratorSpec(power_capacity_watts=-1)
+
+    def test_transfer_before_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DieselGeneratorSpec(
+                power_capacity_watts=100,
+                start_delay_seconds=60,
+                transfer_complete_seconds=30,
+            )
+
+    def test_fuel_energy(self, one_mw):
+        assert one_mw.fuel_energy_joules == pytest.approx(1e6 * hours(24))
+
+    def test_with_power(self, one_mw):
+        assert one_mw.with_power(5e5).power_capacity_watts == 5e5
+
+
+class TestGenerator:
+    def test_not_available_during_transfer(self, one_mw):
+        dg = DieselGenerator(one_mw)
+        assert not dg.available_at(minutes(1))
+        assert dg.available_at(minutes(2))
+
+    def test_unprovisioned_never_available(self):
+        dg = DieselGenerator(DieselGeneratorSpec.none())
+        assert not dg.available_at(hours(10))
+        assert not dg.can_carry(1.0)
+
+    def test_carry_within_rating(self, one_mw):
+        dg = DieselGenerator(one_mw)
+        sustained = dg.carry(1e6, hours(1))
+        assert sustained == pytest.approx(hours(1))
+        assert dg.started
+
+    def test_carry_overload_raises(self, one_mw):
+        with pytest.raises(CapacityError):
+            DieselGenerator(one_mw).carry(2e6, 1)
+
+    def test_fuel_exhaustion_limits_runtime(self):
+        spec = DieselGeneratorSpec(
+            power_capacity_watts=1000, fuel_runtime_seconds=hours(1)
+        )
+        dg = DieselGenerator(spec)
+        sustained = dg.carry(1000, hours(2))
+        assert sustained == pytest.approx(hours(1))
+        assert dg.fuel_energy_joules == pytest.approx(0.0)
+
+    def test_partial_load_stretches_fuel_linearly(self):
+        # A DG is a fuel-energy store without the Peukert effect.
+        spec = DieselGeneratorSpec(
+            power_capacity_watts=1000, fuel_runtime_seconds=hours(1)
+        )
+        dg = DieselGenerator(spec)
+        assert dg.remaining_runtime_at(500) == pytest.approx(hours(2))
+
+    def test_remaining_runtime_zero_load_infinite(self, one_mw):
+        assert math.isinf(DieselGenerator(one_mw).remaining_runtime_at(0))
+
+    def test_refuel(self):
+        spec = DieselGeneratorSpec(
+            power_capacity_watts=1000, fuel_runtime_seconds=hours(1)
+        )
+        dg = DieselGenerator(spec)
+        dg.carry(1000, hours(1))
+        dg.refuel_full()
+        assert dg.fuel_energy_joules == pytest.approx(spec.fuel_energy_joules)
+
+    def test_negative_duration_rejected(self, one_mw):
+        with pytest.raises(ValueError):
+            DieselGenerator(one_mw).carry(100, -1)

@@ -1,0 +1,123 @@
+"""Server-level battery placement: private packs, stranding, concentration."""
+
+from dataclasses import replace
+
+import math
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.errors import CapacityError, ConfigurationError
+from repro.power.battery import BatterySpec
+from repro.power.placement import ServerLevelBatteryBank, UPSPlacement
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+@pytest.fixture
+def bank():
+    """16 private 250 W packs rated for 2 minutes each."""
+    return ServerLevelBatteryBank(
+        BatterySpec(250.0, minutes(2)), num_units=16
+    )
+
+
+class TestBank:
+    def test_full_fleet_behaves_like_pool_at_uniform_load(self, bank):
+        # All 16 active at aggregate 4000 W = 250 W each = rated: 2 minutes.
+        assert bank.remaining_runtime_at(4000.0, 16) == pytest.approx(minutes(2))
+
+    def test_light_uniform_load_stretches(self, bank):
+        runtime = bank.remaining_runtime_at(16 * 5.0, 16)  # 5 W per server
+        assert runtime > hours(1)
+
+    def test_concentration_penalty(self, bank):
+        # 2000 W on 8 servers = 250 W each (rated) -> 2 min; the pooled
+        # equivalent would see 50 % load and stretch well past 2 min.
+        concentrated = bank.remaining_runtime_at(2000.0, 8)
+        pooled = BatterySpec(4000.0, minutes(2)).runtime_at(2000.0)
+        assert concentrated == pytest.approx(minutes(2))
+        assert pooled > 2 * concentrated
+
+    def test_shrinking_strands_charge(self, bank):
+        bank.discharge(4000.0, 30.0, 16)  # burn a quarter of everyone
+        bank.discharge(2000.0, 1.0, 8)  # park half the fleet
+        assert bank.stranded_fraction == pytest.approx(0.5 * 0.75, abs=0.01)
+
+    def test_overload_of_private_pack_raises(self, bank):
+        with pytest.raises(CapacityError):
+            bank.discharge(4000.0, 1.0, 8)  # 500 W per 250 W pack
+
+    def test_active_set_never_reexpands(self, bank):
+        bank.discharge(2000.0, 1.0, 8)
+        with pytest.raises(ConfigurationError):
+            bank.remaining_runtime_at(4000.0, 20)
+        # Asking for "all" after shrinking keeps the shrunken set.
+        runtime = bank.remaining_runtime_at(2000.0, None)
+        assert math.isfinite(runtime)
+
+    def test_exhaustion(self, bank):
+        sustained = bank.discharge(4000.0, minutes(5), 16)
+        assert sustained == pytest.approx(minutes(2))
+        assert bank.is_empty
+
+    def test_energy_accounting(self, bank):
+        bank.discharge(4000.0, 60.0, 16)
+        assert bank.energy_delivered_joules == pytest.approx(4000.0 * 60.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerLevelBatteryBank(BatterySpec(250.0, 60.0), num_units=0)
+        with pytest.raises(ConfigurationError):
+            ServerLevelBatteryBank(
+                BatterySpec(250.0, 60.0), num_units=4, state_of_charge=2.0
+            )
+
+
+class TestPlacementInSimulator:
+    def _pair(self, config_name="LargeEUPS"):
+        dc = make_datacenter(specjbb(), get_configuration(config_name))
+        server_dc = replace(dc, ups=replace(dc.ups, placement=UPSPlacement.SERVER))
+        context = TechniqueContext(
+            cluster=dc.cluster,
+            workload=specjbb(),
+            power_budget_watts=plan_power_budget_watts(dc),
+        )
+        return dc, server_dc, context
+
+    def test_uniform_phases_identical_under_both_placements(self):
+        # Full-fleet throttling at uniform load: pooling buys nothing.
+        rack_dc, server_dc, context = self._pair()
+        plan = get_technique("throttling-p6").plan(context)
+        rack = simulate_outage(rack_dc, plan, minutes(30))
+        server = simulate_outage(server_dc, plan, minutes(30))
+        assert rack.crashed == server.crashed
+        assert rack.ups_charge_consumed == pytest.approx(
+            server.ups_charge_consumed, rel=1e-6
+        )
+
+    def test_consolidation_suffers_under_private_packs(self):
+        # migration+sleep-l: survivors draw at rated load from their own
+        # packs while the parked half's charge strands.
+        rack_dc, server_dc, context = self._pair()
+        plan = get_technique("migration+sleep-l").plan(context)
+        rack = simulate_outage(rack_dc, plan, minutes(70))
+        server = simulate_outage(server_dc, plan, minutes(70))
+        assert server.mean_performance < 0.7 * rack.mean_performance
+
+    def test_sleep_unaffected_by_placement(self):
+        # Sleep keeps every server powered (uniform 5 W): no stranding.
+        rack_dc, server_dc, context = self._pair("SmallPUPS")
+        plan = get_technique("sleep-l").plan(context)
+        rack = simulate_outage(rack_dc, plan, minutes(60))
+        server = simulate_outage(server_dc, plan, minutes(60))
+        assert not rack.crashed and not server.crashed
+        assert rack.downtime_seconds == pytest.approx(server.downtime_seconds)
+
+    def test_rack_placement_is_the_default(self):
+        dc = make_datacenter(specjbb(), get_configuration("MaxPerf"))
+        assert dc.ups.placement is UPSPlacement.RACK

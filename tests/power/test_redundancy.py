@@ -1,0 +1,121 @@
+"""Redundancy schemes and the Tier classification comparator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.redundancy import (
+    ALL_TIERS,
+    TIER_I,
+    TIER_II,
+    TIER_III,
+    TIER_IV,
+    RedundancyScheme,
+    TierLevel,
+)
+from repro.units import megawatts
+
+
+class TestSchemes:
+    def test_module_counts(self):
+        assert RedundancyScheme.N.modules_installed(4) == 4
+        assert RedundancyScheme.N_PLUS_1.modules_installed(4) == 5
+        assert RedundancyScheme.TWO_N.modules_installed(4) == 8
+
+    def test_capacity_multipliers(self):
+        assert RedundancyScheme.N.capacity_multiplier(2) == 1.0
+        assert RedundancyScheme.N_PLUS_1.capacity_multiplier(2) == 1.5
+        assert RedundancyScheme.TWO_N.capacity_multiplier(2) == 2.0
+
+    def test_n_plus_1_multiplier_shrinks_with_fleet_size(self):
+        # The classic argument for large module counts.
+        small = RedundancyScheme.N_PLUS_1.capacity_multiplier(2)
+        large = RedundancyScheme.N_PLUS_1.capacity_multiplier(10)
+        assert large < small
+
+    def test_invalid_needed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RedundancyScheme.N.modules_installed(0)
+
+    def test_delivery_probability_n(self):
+        # All modules must work: r^n.
+        p = RedundancyScheme.N.delivery_probability(0.985, 2)
+        assert p == pytest.approx(0.985**2)
+
+    def test_delivery_probability_improves_with_redundancy(self):
+        r = 0.985
+        n = RedundancyScheme.N.delivery_probability(r, 2)
+        n1 = RedundancyScheme.N_PLUS_1.delivery_probability(r, 2)
+        n2 = RedundancyScheme.TWO_N.delivery_probability(r, 2)
+        assert n < n1 < n2
+
+    def test_perfect_modules_always_deliver(self):
+        for scheme in RedundancyScheme:
+            assert scheme.delivery_probability(1.0, 3) == pytest.approx(1.0)
+
+    def test_dead_modules_never_deliver(self):
+        for scheme in RedundancyScheme:
+            assert scheme.delivery_probability(0.0, 2) == 0.0
+
+    def test_invalid_reliability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RedundancyScheme.N.delivery_probability(1.5, 2)
+
+
+class TestTiers:
+    def test_four_tiers(self):
+        assert len(ALL_TIERS) == 4
+        assert ALL_TIERS[0] is TIER_I and ALL_TIERS[-1] is TIER_IV
+
+    def test_availability_monotone_up_the_ladder(self):
+        availabilities = [tier.expected_availability for tier in ALL_TIERS]
+        assert availabilities == sorted(availabilities)
+
+    def test_allowed_downtime_tier_i(self):
+        # 99.671 % -> ~28.8 h/yr.
+        assert TIER_I.allowed_downtime_minutes_per_year == pytest.approx(
+            28.8 * 60, rel=0.01
+        )
+
+    def test_allowed_downtime_tier_iv(self):
+        # 99.995 % -> ~26 min/yr.
+        assert TIER_IV.allowed_downtime_minutes_per_year == pytest.approx(
+            26.3, rel=0.02
+        )
+
+    def test_cost_monotone_up_the_ladder(self):
+        peak = megawatts(1)
+        costs = [tier.backup_cost(peak) for tier in ALL_TIERS]
+        assert costs == sorted(costs)
+
+    def test_tier_iv_costs_at_least_double_tier_i(self):
+        peak = megawatts(1)
+        assert TIER_IV.backup_cost(peak) >= 2 * TIER_I.backup_cost(peak)
+
+    def test_delivery_probability_ladder(self):
+        p1 = TIER_I.backup_delivery_probability()
+        p2 = TIER_II.backup_delivery_probability()
+        p4 = TIER_IV.backup_delivery_probability()
+        assert p1 < p2 <= p4
+        # N+1 with realistic engines already clears four nines of delivery.
+        assert p2 > 0.999
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TierLevel("bogus", RedundancyScheme.N, 0.0)
+
+
+class TestTierVsUnderprovisioning:
+    def test_tier_upgrades_and_underprovisioning_share_an_axis(self):
+        """The paper's framing: the Tier ladder only moves cost UP for more
+        availability; underprovisioning explores the other direction.  Both
+        are priced by the same model, so the Table 3 points slot under
+        Tier I's cost."""
+        from repro.core.configurations import get_configuration
+        from repro.core.costs import BackupCostModel
+
+        peak = megawatts(1)
+        model = BackupCostModel()
+        tier1 = TIER_I.backup_cost(peak, cost_model=model)
+        ups, dg = get_configuration("LargeEUPS").materialize(peak)
+        underprovisioned = model.total_cost(ups, dg)
+        assert underprovisioned < tier1 < TIER_IV.backup_cost(peak, cost_model=model)

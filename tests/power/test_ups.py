@@ -1,0 +1,127 @@
+"""UPS spec and unit behaviour."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.power.battery import LI_ION
+from repro.power.ups import (
+    DEFAULT_FREE_RUNTIME_SECONDS,
+    OFFLINE_SWITCH_DELAY_SECONDS,
+    UPSSpec,
+    UPSTopology,
+    UPSUnit,
+)
+from repro.units import kilowatt_hours, minutes
+
+
+@pytest.fixture
+def rack_ups():
+    """A 4 KW rack UPS with the 2-minute free base runtime."""
+    return UPSSpec(power_capacity_watts=4000.0)
+
+
+class TestUPSSpec:
+    def test_default_runtime_is_free_runtime(self, rack_ups):
+        assert rack_ups.rated_runtime_seconds == DEFAULT_FREE_RUNTIME_SECONDS
+
+    def test_offline_switch_delay_default(self, rack_ups):
+        assert rack_ups.switch_delay_seconds == OFFLINE_SWITCH_DELAY_SECONDS
+
+    def test_online_topology_has_zero_delay(self):
+        spec = UPSSpec(power_capacity_watts=1000, topology=UPSTopology.ONLINE)
+        assert spec.switch_delay_seconds == 0.0
+
+    def test_explicit_delay_respected(self):
+        spec = UPSSpec(power_capacity_watts=1000, switch_delay_seconds=0.5)
+        assert spec.switch_delay_seconds == 0.5
+
+    def test_none_is_unprovisioned(self):
+        spec = UPSSpec.none()
+        assert not spec.is_provisioned
+        assert spec.rated_energy_joules == 0.0
+        assert spec.extra_energy_joules == 0.0
+
+    def test_unprovisioned_battery_access_raises(self):
+        with pytest.raises(ConfigurationError):
+            _ = UPSSpec.none().battery_spec
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UPSSpec(power_capacity_watts=-1)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UPSSpec(power_capacity_watts=100, rated_runtime_seconds=-1)
+
+    def test_rated_energy(self, rack_ups):
+        assert rack_ups.rated_energy_joules == pytest.approx(4000 * minutes(2))
+
+    def test_free_energy(self, rack_ups):
+        assert rack_ups.free_energy_joules == pytest.approx(4000 * minutes(2))
+
+    def test_extra_energy_at_base_is_zero(self, rack_ups):
+        assert rack_ups.extra_energy_joules == 0.0
+
+    def test_extra_energy_beyond_base(self, rack_ups):
+        big = rack_ups.with_runtime(minutes(30))
+        expected = 4000 * minutes(28)
+        assert big.extra_energy_joules == pytest.approx(expected)
+
+    def test_extra_energy_never_negative(self, rack_ups):
+        small = rack_ups.with_runtime(minutes(1))
+        assert small.extra_energy_joules == 0.0
+
+    def test_with_power(self, rack_ups):
+        halved = rack_ups.with_power(2000)
+        assert halved.power_capacity_watts == 2000
+        assert halved.rated_runtime_seconds == rack_ups.rated_runtime_seconds
+
+    def test_battery_spec_inherits_chemistry(self):
+        spec = UPSSpec(power_capacity_watts=1000, chemistry=LI_ION)
+        assert spec.battery_spec.chemistry is LI_ION
+
+
+class TestUPSUnit:
+    def test_carries_load_within_rating(self, rack_ups):
+        unit = UPSUnit(rack_ups)
+        assert unit.can_carry(4000)
+        assert not unit.can_carry(4001)
+
+    def test_carry_drains_battery(self, rack_ups):
+        unit = UPSUnit(rack_ups)
+        sustained = unit.carry(4000, minutes(2))
+        assert sustained == pytest.approx(minutes(2))
+        assert unit.is_exhausted
+
+    def test_carry_overload_raises(self, rack_ups):
+        with pytest.raises(CapacityError):
+            UPSUnit(rack_ups).carry(5000, 1)
+
+    def test_remaining_runtime_over_rating_is_zero(self, rack_ups):
+        assert UPSUnit(rack_ups).remaining_runtime_at(8000) == 0.0
+
+    def test_remaining_runtime_light_load_stretches(self, rack_ups):
+        # Peukert: 25 % load gives far more than 4x the rated 2 minutes.
+        unit = UPSUnit(rack_ups)
+        assert unit.remaining_runtime_at(1000) > 4 * minutes(2)
+
+    def test_unprovisioned_unit(self):
+        unit = UPSUnit(UPSSpec.none())
+        assert unit.is_exhausted
+        assert unit.carry(0, 10) == 0.0
+        assert unit.remaining_runtime_at(100) == 0.0
+        with pytest.raises(ConfigurationError):
+            _ = unit.battery
+
+    def test_recharge(self, rack_ups):
+        unit = UPSUnit(rack_ups)
+        unit.carry(4000, minutes(2))
+        unit.recharge_full()
+        assert not unit.is_exhausted
+
+    def test_free_runtime_energy_delivered_matches_paper_base(self, rack_ups):
+        # 4 KW for 2 min = 0.133 kWh of base ride-through energy.
+        unit = UPSUnit(rack_ups)
+        unit.carry(4000, minutes(2))
+        delivered = unit.battery.energy_delivered_joules
+        assert delivered == pytest.approx(kilowatt_hours(4 * 2 / 60.0), rel=1e-6)

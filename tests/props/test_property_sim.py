@@ -1,0 +1,143 @@
+"""Property-based tests on simulator and distribution invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.core.configurations import BackupConfiguration, get_configuration
+from repro.core.performability import evaluate_point, make_datacenter
+from repro.outages.distributions import OUTAGE_DURATION_DISTRIBUTION
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import PAPER_TECHNIQUES, get_technique
+from repro.units import minutes
+from repro.workloads.registry import get_workload, workload_names
+
+outage_durations = st.floats(min_value=5.0, max_value=7200.0)
+technique_names_st = st.sampled_from(list(PAPER_TECHNIQUES))
+workload_names_st = st.sampled_from(workload_names())
+config_names = st.sampled_from(
+    ["MaxPerf", "MinCost", "NoDG", "NoUPS", "LargeEUPS", "SmallP-LargeEUPS"]
+)
+
+
+class TestOutcomeInvariants:
+    @given(duration=outage_durations, tech=technique_names_st, cfg=config_names)
+    @settings(max_examples=60, deadline=None)
+    def test_outcome_well_formed(self, duration, tech, cfg):
+        """Every (config, technique, duration) produces sane metrics."""
+        point = evaluate_point(
+            get_configuration(cfg), get_technique(tech), get_workload("specjbb"),
+            duration, num_servers=4,
+        )
+        if not point.feasible:
+            assert math.isinf(point.downtime_seconds)
+            return
+        outcome = point.outcome
+        assert 0.0 <= outcome.mean_performance <= 1.0 + 1e-9
+        assert outcome.downtime_during_outage_seconds <= duration + 1e-6
+        assert outcome.downtime_after_restore_seconds >= 0.0
+        assert 0.0 <= outcome.ups_charge_consumed <= 1.0 + 1e-9
+        assert outcome.ups_energy_joules >= 0.0
+        assert outcome.dg_energy_joules >= 0.0
+        if outcome.crashed:
+            assert outcome.crash_time_seconds is not None
+            assert 0.0 <= outcome.crash_time_seconds <= duration + 1e-6
+        else:
+            assert outcome.state_preserved
+
+    @given(duration=outage_durations, tech=technique_names_st)
+    @settings(max_examples=40, deadline=None)
+    def test_trace_time_ordered_within_window(self, duration, tech):
+        point = evaluate_point(
+            get_configuration("LargeEUPS"), get_technique(tech),
+            get_workload("specjbb"), duration, num_servers=4,
+        )
+        if not point.feasible:
+            return
+        trace = point.outcome.trace
+        previous_end = 0.0
+        for seg in trace:
+            assert seg.start_seconds >= previous_end - 1e-9
+            previous_end = seg.end_seconds
+
+    @given(
+        duration=st.floats(min_value=30, max_value=3600),
+        wl=workload_names_st,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_maxperf_always_seamless(self, duration, wl):
+        """Today's practice never sees down time, any workload/duration."""
+        point = evaluate_point(
+            get_configuration("MaxPerf"), get_technique("full-service"),
+            get_workload(wl), duration, num_servers=4,
+        )
+        assert point.downtime_seconds == 0.0
+        assert point.performance == 1.0
+
+    @given(
+        runtime_minutes=st.floats(min_value=2, max_value=120),
+        duration=st.floats(min_value=30, max_value=7200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_battery_never_hurts(self, runtime_minutes, duration):
+        """Downtime is monotone non-increasing in battery runtime."""
+        workload = get_workload("specjbb")
+        small = BackupConfiguration("s", 0.0, 1.0, minutes(runtime_minutes))
+        big = BackupConfiguration("b", 0.0, 1.0, minutes(runtime_minutes * 2))
+        tech = get_technique("throttle+sleep-l")
+        p_small = evaluate_point(small, tech, workload, duration, num_servers=4)
+        p_big = evaluate_point(big, tech, workload, duration, num_servers=4)
+        assert p_big.downtime_seconds <= p_small.downtime_seconds + 1.0
+        assert p_big.performance >= p_small.performance - 1e-6
+
+
+class TestDistributionProperties:
+    @given(x=st.floats(min_value=0, max_value=1e6))
+    def test_cdf_in_unit_interval(self, x):
+        cdf = OUTAGE_DURATION_DISTRIBUTION.probability_at_most(x)
+        assert 0.0 <= cdf <= 1.0
+
+    @given(
+        x=st.floats(min_value=0, max_value=1e5),
+        dx=st.floats(min_value=0, max_value=1e5),
+    )
+    def test_cdf_monotone(self, x, dx):
+        a = OUTAGE_DURATION_DISTRIBUTION.probability_at_most(x)
+        b = OUTAGE_DURATION_DISTRIBUTION.probability_at_most(x + dx)
+        assert b >= a - 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25)
+    def test_samples_positive_and_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = OUTAGE_DURATION_DISTRIBUTION.sample(rng, size=50)
+        assert np.all(samples > 0)
+        assert np.all(np.isfinite(samples))
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25)
+    def test_sample_lands_in_its_bucket_or_tail(self, seed):
+        rng = np.random.default_rng(seed)
+        (sample,) = OUTAGE_DURATION_DISTRIBUTION.sample(rng, size=1)
+        bucket = OUTAGE_DURATION_DISTRIBUTION.bucket_for(float(sample))
+        assert bucket.contains(float(sample)) or math.isinf(bucket.high_seconds)
+
+
+class TestPlanInvariants:
+    @given(tech=technique_names_st, wl=workload_names_st)
+    @settings(max_examples=60, deadline=None)
+    def test_plans_well_formed_for_all_pairs(self, tech, wl):
+        workload = get_workload(wl)
+        dc = make_datacenter(workload, get_configuration("MaxPerf"), num_servers=4)
+        context = TechniqueContext(cluster=dc.cluster, workload=workload)
+        plan = get_technique(tech).plan(context)
+        assert plan.phases[-1].is_terminal
+        adaptive = [p for p in plan.phases if p.is_adaptive]
+        assert len(adaptive) <= 1
+        for phase in plan.phases:
+            assert phase.power_watts <= dc.cluster.peak_power_watts * 1.1
+            assert 0.0 <= phase.performance <= 1.0

@@ -1,0 +1,117 @@
+"""Property-based tests for units and the cost model's structural laws."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro import units
+from repro.core.costs import BackupCostModel, CostParameters
+from repro.power.generator import DieselGeneratorSpec
+from repro.power.ups import UPSSpec
+from repro.units import minutes
+
+positive = st.floats(min_value=1e-6, max_value=1e9)
+powers = st.floats(min_value=100.0, max_value=1e8)
+runtimes = st.floats(min_value=0.0, max_value=4 * 3600.0)
+
+
+class TestUnitRoundTrips:
+    @given(x=positive)
+    def test_time_round_trips(self, x):
+        assert units.to_minutes(units.minutes(x)) == pytest.approx(x)
+        assert units.to_hours(units.hours(x)) == pytest.approx(x)
+
+    @given(x=positive)
+    def test_power_round_trips(self, x):
+        assert units.to_kilowatts(units.kilowatts(x)) == pytest.approx(x)
+        assert units.to_megawatts(units.megawatts(x)) == pytest.approx(x)
+
+    @given(x=positive)
+    def test_energy_round_trips(self, x):
+        assert units.to_kilowatt_hours(units.kilowatt_hours(x)) == pytest.approx(x)
+
+    @given(p=positive, t=positive)
+    def test_energy_runtime_inverse(self, p, t):
+        energy = units.energy(p, t)
+        assert units.runtime_at_power(energy, p) == pytest.approx(t)
+
+    @given(x=st.floats(min_value=-100, max_value=100))
+    def test_clamp_idempotent(self, x):
+        once = units.clamp(x, -1.0, 1.0)
+        assert units.clamp(once, -1.0, 1.0) == once
+        assert -1.0 <= once <= 1.0
+
+
+class TestCostLaws:
+    @given(power=powers, runtime=runtimes)
+    @settings(max_examples=100)
+    def test_costs_nonnegative(self, power, runtime):
+        model = BackupCostModel()
+        ups = UPSSpec(power, runtime)
+        dg = DieselGeneratorSpec(power)
+        assert model.ups_cost(ups) >= 0
+        assert model.dg_cost(dg) >= 0
+
+    @given(power=powers, runtime=runtimes, scale=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=100)
+    def test_cost_scales_linearly_with_capacity(self, power, runtime, scale):
+        """Homogeneity: scaling power AND energy by k scales cost by k."""
+        model = BackupCostModel()
+        base = model.total_cost(UPSSpec(power, runtime), DieselGeneratorSpec(power))
+        scaled = model.total_cost(
+            UPSSpec(power * scale, runtime), DieselGeneratorSpec(power * scale)
+        )
+        assert scaled == pytest.approx(base * scale, rel=1e-9)
+
+    @given(power=powers, r1=runtimes, r2=runtimes)
+    @settings(max_examples=100)
+    def test_cost_monotone_in_runtime(self, power, r1, r2):
+        model = BackupCostModel()
+        if r1 <= r2:
+            assert model.ups_cost(UPSSpec(power, r1)) <= model.ups_cost(
+                UPSSpec(power, r2)
+            ) + 1e-9
+
+    @given(power=powers, runtime=runtimes)
+    @settings(max_examples=100)
+    def test_normalized_cost_scale_free(self, power, runtime):
+        model = BackupCostModel()
+        a = model.normalized_cost(
+            UPSSpec(power, runtime), DieselGeneratorSpec(power), power
+        )
+        b = model.normalized_cost(
+            UPSSpec(power * 7, runtime), DieselGeneratorSpec(power * 7), power * 7
+        )
+        assert a == pytest.approx(b, rel=1e-9)
+
+    @given(
+        power=powers,
+        runtime=runtimes,
+        free_minutes=st.floats(min_value=0.0, max_value=30.0),
+    )
+    @settings(max_examples=100)
+    def test_free_runtime_only_reduces_cost(self, power, runtime, free_minutes):
+        base = BackupCostModel(CostParameters(free_runtime_seconds=0.0))
+        banded = BackupCostModel(
+            CostParameters(free_runtime_seconds=minutes(free_minutes))
+        )
+        ups = UPSSpec(power, runtime)
+        assert banded.ups_cost(ups) <= base.ups_cost(ups) + 1e-9
+
+    @given(power=powers)
+    def test_breakdown_sums_to_total(self, power):
+        model = BackupCostModel()
+        ups = UPSSpec(power, minutes(30))
+        dg = DieselGeneratorSpec(power * 0.5)
+        breakdown = model.breakdown(ups, dg)
+        assert breakdown.total_dollars_per_year == pytest.approx(
+            model.total_cost(ups, dg), rel=1e-12
+        )
+
+    @given(power=powers, runtime=runtimes)
+    def test_finite(self, power, runtime):
+        model = BackupCostModel()
+        assert math.isfinite(model.ups_cost(UPSSpec(power, runtime)))

@@ -1,0 +1,134 @@
+"""P/T-state ladders and the throttled-performance model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.servers.pstates import (
+    DEFAULT_PSTATE_TABLE,
+    DEFAULT_TSTATE_TABLE,
+    PState,
+    PStateTable,
+    TState,
+    throttled_performance,
+)
+
+
+class TestLadderShape:
+    def test_seven_pstates_like_the_paper(self):
+        assert len(DEFAULT_PSTATE_TABLE) == 7
+
+    def test_eight_tstates_like_the_paper(self):
+        assert len(DEFAULT_TSTATE_TABLE) == 8
+
+    def test_p0_is_full_speed(self):
+        assert DEFAULT_PSTATE_TABLE.fastest.frequency_ratio == 1.0
+
+    def test_frequencies_strictly_decreasing(self):
+        ratios = [s.frequency_ratio for s in DEFAULT_PSTATE_TABLE]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    def test_deepest_state_near_half_frequency(self):
+        # 1.6 GHz floor on a 3.4 GHz part.
+        assert DEFAULT_PSTATE_TABLE.slowest.frequency_ratio == pytest.approx(
+            1.6 / 3.4
+        )
+
+    def test_tstate_duty_cycles(self):
+        cycles = [t.duty_cycle for t in DEFAULT_TSTATE_TABLE]
+        assert cycles[0] == 1.0
+        assert cycles[-1] == pytest.approx(0.125)
+
+    def test_by_name(self):
+        assert DEFAULT_PSTATE_TABLE.by_name("P0") is DEFAULT_PSTATE_TABLE.fastest
+        with pytest.raises(KeyError):
+            DEFAULT_PSTATE_TABLE.by_name("P99")
+
+    def test_index_of(self):
+        assert DEFAULT_PSTATE_TABLE.index_of(DEFAULT_PSTATE_TABLE.slowest) == 6
+
+    def test_unordered_table_rejected(self):
+        states = [
+            PState("P0", 0.5, 0.8),
+            PState("P1", 1.0, 1.0),
+        ]
+        with pytest.raises(ConfigurationError):
+            PStateTable(states)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PStateTable([])
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PState("bad", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            PState("bad", 1.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            TState("bad", 0.0)
+
+
+class TestPowerScaling:
+    def test_p0_dynamic_ratio_is_one(self):
+        assert DEFAULT_PSTATE_TABLE.dynamic_power_ratio(
+            DEFAULT_PSTATE_TABLE.fastest
+        ) == pytest.approx(1.0)
+
+    def test_dynamic_ratio_monotone(self):
+        ratios = [
+            DEFAULT_PSTATE_TABLE.dynamic_power_ratio(s) for s in DEFAULT_PSTATE_TABLE
+        ]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    def test_deepest_state_cuts_dynamic_power_hard(self):
+        # The "-L" operating points halve peak draw (Table 8); the dynamic
+        # span must drop well below half to achieve that on top of idle.
+        deep = DEFAULT_PSTATE_TABLE.dynamic_power_ratio(DEFAULT_PSTATE_TABLE.slowest)
+        assert deep < 0.45
+
+    def test_cpu_dynamic_power_is_f_v_squared(self):
+        state = PState("X", 0.5, 0.8)
+        assert state.cpu_dynamic_power_ratio == pytest.approx(0.5 * 0.64)
+
+    def test_deepest_within_budget(self):
+        table = DEFAULT_PSTATE_TABLE
+        state = table.deepest_within(0.7)
+        assert table.dynamic_power_ratio(state) <= 0.7
+        # It must be the FASTEST fitting state.
+        idx = table.index_of(state)
+        if idx > 0:
+            assert table.dynamic_power_ratio(table[idx - 1]) > 0.7
+
+    def test_deepest_within_impossible_budget_raises(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_PSTATE_TABLE.deepest_within(0.01)
+
+    def test_invalid_cpu_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PStateTable([PState("P0", 1.0, 1.0)], cpu_power_fraction=1.5)
+
+
+class TestThrottledPerformance:
+    def test_full_speed_is_unity(self):
+        assert throttled_performance(0.8, 1.0) == 1.0
+
+    def test_fully_cpu_bound_scales_with_frequency(self):
+        assert throttled_performance(1.0, 0.5) == pytest.approx(0.5)
+
+    def test_fully_memory_bound_is_immune(self):
+        assert throttled_performance(0.0, 0.25) == 1.0
+
+    def test_memcached_throttles_cheaper_than_specjbb(self):
+        # The Section 6.2 contrast: memory stalls make throttling cheap.
+        memcached_like = throttled_performance(0.3, 0.5)
+        specjbb_like = throttled_performance(0.85, 0.5)
+        assert memcached_like > specjbb_like
+
+    def test_monotone_in_frequency(self):
+        perfs = [throttled_performance(0.7, r) for r in (0.3, 0.5, 0.8, 1.0)]
+        assert all(a < b for a, b in zip(perfs, perfs[1:]))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            throttled_performance(-0.1, 0.5)
+        with pytest.raises(ConfigurationError):
+            throttled_performance(0.5, 0.0)

@@ -1,0 +1,175 @@
+"""Server power model, sleep states, and cluster/consolidation arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.servers.cluster import Cluster
+from repro.servers.server import PAPER_SERVER, ServerSpec
+from repro.servers.sleepstates import SleepState, SleepStateTable
+from repro.units import gigabytes, gigabits_per_second, megabytes_per_second
+
+
+class TestPaperServer:
+    def test_idle_and_peak_match_section6(self):
+        assert PAPER_SERVER.idle_power_watts == 80.0
+        assert PAPER_SERVER.peak_power_watts == 250.0
+
+    def test_twelve_cores_64gb(self):
+        assert PAPER_SERVER.num_cores == 12
+        assert PAPER_SERVER.dram_bytes == gigabytes(64)
+
+    def test_power_at_idle(self):
+        assert PAPER_SERVER.power_watts(0.0) == pytest.approx(80.0)
+
+    def test_power_at_peak(self):
+        assert PAPER_SERVER.power_watts(1.0) == pytest.approx(250.0)
+
+    def test_power_monotone_in_utilization(self):
+        powers = [PAPER_SERVER.power_watts(u) for u in (0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_throttled_power_lower(self):
+        slow = PAPER_SERVER.pstates.slowest
+        assert PAPER_SERVER.power_watts(1.0, slow) < PAPER_SERVER.power_watts(1.0)
+
+    def test_deepest_state_halves_peak_power(self):
+        # Table 8: the "-L" variants draw ~0.5x server peak.
+        low = PAPER_SERVER.min_active_power_watts()
+        assert low / PAPER_SERVER.peak_power_watts == pytest.approx(0.5, abs=0.06)
+
+    def test_pstate_for_power_budget(self):
+        state = PAPER_SERVER.pstate_for_power_budget(150.0, utilization=1.0)
+        assert PAPER_SERVER.power_watts(1.0, state) <= 150.0
+
+    def test_pstate_for_impossible_budget_raises(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_SERVER.pstate_for_power_budget(50.0, utilization=1.0)
+
+    def test_hibernate_save_matches_table8(self):
+        # 18 GB at the calibrated write bandwidth -> ~230 s (Table 8).
+        t = PAPER_SERVER.hibernate_save_seconds(gigabytes(18))
+        assert t == pytest.approx(230.0, rel=0.01)
+
+    def test_hibernate_resume_matches_table8(self):
+        # 18 GB at the calibrated read bandwidth -> ~157 s (Table 8).
+        t = PAPER_SERVER.hibernate_resume_seconds(gigabytes(18))
+        assert t == pytest.approx(157.0, rel=0.01)
+
+    def test_migration_lower_bound(self):
+        t = PAPER_SERVER.migration_transfer_seconds(gigabytes(18))
+        assert t == pytest.approx(144.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerSpec(
+                name="bad", idle_power_watts=100, peak_power_watts=90,
+                num_cores=1, dram_bytes=1,
+                nic_bandwidth_bytes_per_second=1,
+                disk_write_bandwidth_bytes_per_second=1,
+                disk_read_bandwidth_bytes_per_second=1,
+            )
+        with pytest.raises(ConfigurationError):
+            ServerSpec(
+                name="bad", idle_power_watts=10, peak_power_watts=90,
+                num_cores=0, dram_bytes=1,
+                nic_bandwidth_bytes_per_second=1,
+                disk_write_bandwidth_bytes_per_second=1,
+                disk_read_bandwidth_bytes_per_second=1,
+            )
+
+
+class TestSleepStates:
+    def test_s3_power_about_5w(self):
+        assert SleepStateTable().s3_power_watts == pytest.approx(5.0)
+
+    def test_s3_save_resume_match_table8(self):
+        table = SleepStateTable()
+        assert table.s3_enter_seconds == pytest.approx(6.0)
+        assert table.s3_exit_seconds == pytest.approx(8.0)
+
+    def test_reboot_two_minutes(self):
+        assert SleepStateTable().reboot_seconds == pytest.approx(120.0)
+
+    def test_standby_power_s3(self):
+        table = SleepStateTable()
+        assert table.standby_power_watts(SleepState.SUSPEND_TO_RAM) == 5.0
+
+    def test_standby_power_off_states_zero(self):
+        table = SleepStateTable()
+        assert table.standby_power_watts(SleepState.HIBERNATE) == 0.0
+        assert table.standby_power_watts(SleepState.OFF) == 0.0
+
+    def test_active_standby_query_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SleepStateTable().standby_power_watts(SleepState.ACTIVE)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SleepStateTable(s3_enter_seconds=-1)
+
+
+class TestCluster:
+    @pytest.fixture
+    def cluster(self):
+        return Cluster(spec=PAPER_SERVER, num_servers=16, utilization=0.9)
+
+    def test_peak_power(self, cluster):
+        assert cluster.peak_power_watts == 16 * 250.0
+
+    def test_normal_power(self, cluster):
+        expected = 16 * PAPER_SERVER.power_watts(0.9)
+        assert cluster.normal_power_watts == pytest.approx(expected)
+
+    def test_power_with_parked_servers(self, cluster):
+        p = cluster.power_watts(active_servers=8, parked_power_watts=5.0)
+        expected = 8 * PAPER_SERVER.power_watts(0.9) + 8 * 5.0
+        assert p == pytest.approx(expected)
+
+    def test_invalid_active_count_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.power_watts(active_servers=17)
+
+    def test_consolidation_targets_half(self, cluster):
+        assert cluster.consolidation_targets(0.5) == 8
+
+    def test_consolidation_targets_at_least_one(self):
+        tiny = Cluster(spec=PAPER_SERVER, num_servers=1, utilization=0.5)
+        assert tiny.consolidation_targets(0.5) == 1
+
+    def test_consolidated_utilization_saturates(self, cluster):
+        # 16 servers at 0.9 packed onto 8 saturates them.
+        assert cluster.consolidated_utilization(8) == 1.0
+
+    def test_consolidated_performance_is_delivered_over_offered(self, cluster):
+        # 14.4 server-equivalents of work, 8 delivered.
+        assert cluster.consolidated_performance(8) == pytest.approx(8 / 14.4)
+
+    def test_low_utilization_consolidates_for_free(self):
+        light = Cluster(spec=PAPER_SERVER, num_servers=16, utilization=0.4)
+        assert light.consolidated_performance(8) == pytest.approx(1.0)
+
+    def test_consolidation_beats_throttling_on_efficiency(self, cluster):
+        # The energy-proportionality argument (Section 6.2): consolidated
+        # servers deliver more performance per watt than deep throttling,
+        # because idle power is paid on every powered-on server.
+        consolidated_power = cluster.consolidated_power_watts(8)
+        consolidated_perf = cluster.consolidated_performance(8)
+        throttled_power = cluster.power_watts(pstate=PAPER_SERVER.pstates.slowest)
+        from repro.workloads.specjbb import specjbb
+
+        throttled_perf = specjbb().throttled_performance(
+            PAPER_SERVER.pstates.slowest.frequency_ratio
+        )
+        assert (consolidated_power / consolidated_perf) < (
+            throttled_power / throttled_perf
+        )
+
+    def test_invalid_shrink_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.consolidation_targets(0.0)
+
+    def test_invalid_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(spec=PAPER_SERVER, num_servers=0)
+        with pytest.raises(ConfigurationError):
+            Cluster(spec=PAPER_SERVER, num_servers=4, utilization=1.5)

@@ -1,0 +1,279 @@
+"""The outage simulator: source selection, crashes, DG hand-over, adaptive
+phases, and the paper's calibrated end-to-end numbers."""
+
+import math
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.errors import SimulationError
+from repro.sim.outage_sim import OutageSimulator, simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build(config_name, workload=None, num_servers=16):
+    workload = workload if workload is not None else specjbb()
+    return make_datacenter(workload, get_configuration(config_name), num_servers)
+
+
+def plan_for(datacenter, technique_name):
+    technique = get_technique(technique_name)
+    context = TechniqueContext(
+        cluster=datacenter.cluster,
+        workload=datacenter.workload,
+        power_budget_watts=plan_power_budget_watts(datacenter),
+    )
+    return technique.plan(context)
+
+
+class TestEndpoints:
+    def test_maxperf_is_seamless(self):
+        dc = build("MaxPerf")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), minutes(30))
+        assert outcome.downtime_seconds == 0.0
+        assert outcome.mean_performance == pytest.approx(1.0)
+        assert not outcome.crashed
+        assert outcome.restored_by_dg
+
+    def test_mincost_crashes_immediately(self):
+        dc = build("MinCost")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), 30)
+        assert outcome.crashed
+        assert outcome.crash_time_seconds == 0.0
+        assert outcome.mean_performance == 0.0
+        # Paper: ~400 s down for a 30 s outage.
+        assert outcome.downtime_seconds == pytest.approx(400, rel=0.05)
+
+    def test_mincost_downtime_scales_with_outage(self):
+        dc = build("MinCost")
+        short = simulate_outage(dc, plan_for(dc, "full-service"), 30)
+        long = simulate_outage(dc, plan_for(dc, "full-service"), minutes(30))
+        # Recovery pipeline is constant; the extra downtime is the outage.
+        delta = long.downtime_seconds - short.downtime_seconds
+        assert delta == pytest.approx(minutes(30) - 30, rel=0.01)
+
+    def test_invalid_duration_rejected(self):
+        dc = build("MaxPerf")
+        with pytest.raises(SimulationError):
+            OutageSimulator(dc).run(plan_for(dc, "full-service"), 0)
+
+
+class TestUPSPhysics:
+    def test_nodg_full_service_survives_within_free_runtime(self):
+        dc = build("NoDG")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), 60)
+        assert not outcome.crashed
+        assert outcome.downtime_seconds == 0.0
+        assert outcome.ups_charge_consumed < 1.0
+
+    def test_nodg_full_service_crashes_past_battery(self):
+        dc = build("NoDG")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), minutes(10))
+        assert outcome.crashed
+        # Normal draw is below nameplate peak, so Peukert stretches the
+        # 2-minute rated runtime slightly past 2 minutes.
+        assert minutes(2) < outcome.crash_time_seconds < minutes(3)
+
+    def test_ups_energy_accounting(self):
+        dc = build("NoDG")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), 60)
+        expected = dc.normal_power_watts * 60
+        assert outcome.ups_energy_joules == pytest.approx(expected, rel=1e-6)
+
+    def test_overloaded_ups_crashes_at_start(self):
+        # SmallPUPS (0.5x power) cannot carry full service: even if a plan
+        # over budget is forced through, the UPS trips immediately.
+        dc = build("SmallPUPS")
+        context = TechniqueContext(
+            cluster=dc.cluster, workload=dc.workload, power_budget_watts=math.inf
+        )
+        plan = get_technique("full-service").plan(context)
+        outcome = simulate_outage(dc, plan, 60)
+        assert outcome.crashed
+        assert outcome.crash_time_seconds == 0.0
+
+    def test_peak_backup_power_recorded(self):
+        dc = build("NoDG")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), 60)
+        assert outcome.peak_backup_power_watts == pytest.approx(dc.normal_power_watts)
+
+
+class TestSaveStateTechniques:
+    def test_sleep_l_downtime_38s_for_30s_outage(self):
+        # Paper (Section 6.2): Sleep-L down time 38 s vs MinCost 400+ s.
+        dc = build("SmallPUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "sleep-l"), 30)
+        assert not outcome.crashed
+        assert outcome.downtime_seconds == pytest.approx(38, abs=2)
+
+    def test_sleep_survives_very_long_outage_on_tiny_battery(self):
+        # The Peukert stretch at ~5 W/server: ~2 hours of S3 on a pack
+        # rated for 2 minutes at half the facility peak.
+        dc = build("SmallPUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "sleep-l"), minutes(90))
+        assert not outcome.crashed
+        assert outcome.downtime_seconds == pytest.approx(minutes(90) + 8, rel=0.01)
+
+    def test_hibernation_save_interrupted_by_restore_still_completes(self):
+        # A 30 s outage catches hibernate mid-save (230 s): the image write
+        # commits, then the resume path runs — all booked after restore.
+        dc = build("NoDG")
+        outcome = simulate_outage(dc, plan_for(dc, "hibernate"), 30)
+        assert not outcome.crashed
+        save = dc.workload.hibernate_save_seconds(dc.cluster.spec)
+        resume = dc.workload.hibernate_resume_seconds(dc.cluster.spec)
+        expected_after = (save - 30) + resume
+        assert outcome.downtime_after_restore_seconds == pytest.approx(
+            expected_after, rel=0.02
+        )
+
+    def test_base_runtime_cannot_finish_hibernate_save(self):
+        # The free 2-minute pack dies before the ~6-minute throttled image
+        # write completes: hibernation NEEDS extra battery energy.
+        dc = build("SmallPUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "hibernate-l"), hours(4))
+        assert outcome.crashed
+        assert outcome.crash_time_seconds < minutes(6)
+
+    def test_hibernated_state_safe_after_battery_death(self):
+        # With enough runtime to finish the save, the battery may then die
+        # harmlessly: state rests on disk for the remaining hours.
+        from repro.core.configurations import BackupConfiguration
+
+        config = BackupConfiguration(
+            name="ups-for-hibernate",
+            dg_power_fraction=0.0,
+            ups_power_fraction=0.5,
+            ups_runtime_seconds=minutes(10),
+        )
+        dc = make_datacenter(specjbb(), config, 16)
+        plan = plan_for(dc, "hibernate-l")
+        outcome = simulate_outage(dc, plan, hours(4))
+        assert not outcome.crashed
+        assert outcome.state_preserved
+
+    def test_sleep_battery_death_loses_state(self):
+        # S3 self-refresh dies with the battery: a long enough outage on a
+        # tiny pack crashes even after a successful suspend.
+        dc = build("SmallPUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "sleep-l"), hours(100))
+        assert outcome.crashed
+        assert outcome.crash_time_seconds > minutes(30)
+
+
+class TestDieselGenerator:
+    def test_noups_crash_then_dg_recovery(self):
+        dc = build("NoUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), minutes(30))
+        assert outcome.crashed
+        assert outcome.crash_time_seconds == 0.0
+        # DG restores power at 2 min; recovery completes inside the outage.
+        recovery = dc.workload.crash_downtime_after_restore_seconds(dc.cluster.spec)
+        expected_down = minutes(2) + recovery
+        assert outcome.downtime_seconds == pytest.approx(expected_down, rel=0.02)
+        assert outcome.mean_performance > 0.5  # serving on DG afterwards
+
+    def test_dg_smallpups_throttle_through_gap(self):
+        dc = build("DG-SmallPUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "throttling"), minutes(30))
+        assert not outcome.crashed
+        assert outcome.restored_by_dg
+        assert outcome.downtime_seconds == 0.0
+        # Throttled for 2 of 30 minutes, full speed after.
+        assert 0.9 < outcome.mean_performance < 1.0
+
+    def test_dg_fuel_accounted(self):
+        dc = build("MaxPerf")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), minutes(30))
+        expected = dc.normal_power_watts * (minutes(30) - minutes(2))
+        assert outcome.dg_energy_joules == pytest.approx(expected, rel=1e-6)
+
+    def test_small_dg_carries_throttled_load_indefinitely(self):
+        dc = build("SmallDG-SmallPUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "throttling"), hours(2))
+        assert not outcome.crashed
+        assert not outcome.restored_by_dg  # DG cannot carry FULL load
+        assert outcome.downtime_seconds == 0.0
+        assert 0.3 < outcome.mean_performance < 0.9
+
+    def test_sleep_resume_on_dg(self):
+        # Sleep through the gap, then the full-power DG wakes the fleet.
+        dc = build("DG-SmallPUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "sleep-l"), minutes(30))
+        assert not outcome.crashed
+        assert outcome.restored_by_dg
+        # Down only during the gap + resume: ~2 min + 8 s.
+        assert outcome.downtime_seconds == pytest.approx(minutes(2) + 8, rel=0.05)
+
+
+class TestAdaptivePhases:
+    def test_throttle_sleep_l_transitions_before_battery_death(self):
+        dc = build("LargeEUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "throttle+sleep-l"), hours(2))
+        assert not outcome.crashed
+        labels = [seg.label for seg in outcome.trace]
+        assert any("throttled" in label for label in labels)
+        assert any(label == "asleep-s3" for label in labels)
+
+    def test_hold_time_shrinks_with_longer_outage(self):
+        dc = build("LargeEUPS")
+        plan = plan_for(dc, "throttle+sleep-l")
+
+        def throttled_seconds(outage):
+            outcome = simulate_outage(dc, plan, outage)
+            return sum(
+                seg.duration_seconds
+                for seg in outcome.trace
+                if "throttled@" in seg.label
+            )
+
+        assert throttled_seconds(hours(2)) < throttled_seconds(minutes(45))
+
+    def test_short_outage_never_sleeps(self):
+        dc = build("LargeEUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "throttle+sleep-l"), minutes(5))
+        labels = {seg.label for seg in outcome.trace}
+        assert "asleep-s3" not in labels
+        assert outcome.downtime_seconds == 0.0
+
+    def test_migration_sleep_l_ladder(self):
+        dc = build("LargeEUPS")
+        outcome = simulate_outage(dc, plan_for(dc, "migration+sleep-l"), hours(3))
+        assert not outcome.crashed
+        labels = [seg.label for seg in outcome.trace]
+        assert labels[0] == "migrating"
+
+
+class TestOutcomeBookkeeping:
+    def test_trace_covers_outage_window(self):
+        dc = build("MaxPerf")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), minutes(10))
+        assert outcome.trace.end_seconds == pytest.approx(minutes(10))
+
+    def test_summary_string(self):
+        dc = build("MaxPerf")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), 60)
+        text = outcome.summary()
+        assert "full-service" in text and "ok" in text
+
+    def test_downtime_property_is_sum(self):
+        dc = build("MinCost")
+        outcome = simulate_outage(dc, plan_for(dc, "full-service"), 30)
+        assert outcome.downtime_seconds == pytest.approx(
+            outcome.downtime_during_outage_seconds
+            + outcome.downtime_after_restore_seconds
+        )
+
+    def test_lost_work_override(self):
+        from repro.workloads.speccpu import speccpu_mcf
+
+        workload = speccpu_mcf(job_length_seconds=7200)
+        dc = build("MinCost", workload=workload)
+        plan = plan_for(dc, "full-service")
+        best = simulate_outage(dc, plan, 30, lost_work_seconds=0.0)
+        worst = simulate_outage(dc, plan, 30, lost_work_seconds=7200.0)
+        assert worst.downtime_seconds - best.downtime_seconds == pytest.approx(7200)

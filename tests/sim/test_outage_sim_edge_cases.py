@@ -1,0 +1,224 @@
+"""Failure injection and edge cases for the outage simulator."""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.configurations import BackupConfiguration, get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.power.generator import DieselGeneratorSpec
+from repro.power.ups import UPSSpec, UPSTopology
+from repro.sim.datacenter import Datacenter
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import OutagePlan, PlanPhase, TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build(config_name, technique="full-service", workload=None, num_servers=8):
+    workload = workload if workload is not None else specjbb()
+    dc = make_datacenter(workload, get_configuration(config_name), num_servers)
+    context = TechniqueContext(
+        cluster=dc.cluster,
+        workload=workload,
+        power_budget_watts=plan_power_budget_watts(dc),
+    )
+    return dc, get_technique(technique).plan(context)
+
+
+class TestDGFuelExhaustion:
+    def _fuel_limited(self, fuel_runtime_seconds):
+        dc, plan = build("MaxPerf")
+        generator = replace(dc.generator, fuel_runtime_seconds=fuel_runtime_seconds)
+        return replace(dc, generator=generator), plan
+
+    def test_ample_fuel_carries_the_outage(self):
+        dc, plan = self._fuel_limited(hours(4))
+        outcome = simulate_outage(dc, plan, hours(2))
+        assert not outcome.crashed
+        assert outcome.downtime_seconds == 0.0
+
+    def test_tank_smaller_than_outage_strands_the_tail(self):
+        # 30 minutes of fuel against a 2-hour outage: the DG restores
+        # service, then runs dry mid-outage.
+        dc, plan = self._fuel_limited(minutes(30))
+        outcome = simulate_outage(dc, plan, hours(2))
+        # Fuel accounting shows exhaustion.
+        assert outcome.dg_energy_joules == pytest.approx(
+            dc.generator.fuel_energy_joules, rel=0.15
+        )
+        # The stranded tail shows up as lost performance.
+        assert outcome.mean_performance < 0.9
+
+    def test_fuel_consumption_never_exceeds_tank(self):
+        dc, plan = self._fuel_limited(minutes(10))
+        outcome = simulate_outage(dc, plan, hours(3))
+        assert outcome.dg_energy_joules <= dc.generator.fuel_energy_joules + 1e-6
+
+
+class TestOnlineUPS:
+    def test_online_topology_runs_identically_in_steady_state(self):
+        # Topology changes the switch-in path, not the energy physics our
+        # segment-level model integrates.
+        workload = specjbb()
+        cluster_dc, plan = build("NoDG")
+        online = Datacenter.assemble(
+            cluster=cluster_dc.cluster,
+            workload=workload,
+            ups=UPSSpec(
+                power_capacity_watts=cluster_dc.ups.power_capacity_watts,
+                rated_runtime_seconds=cluster_dc.ups.rated_runtime_seconds,
+                topology=UPSTopology.ONLINE,
+            ),
+            generator=DieselGeneratorSpec.none(),
+        )
+        offline_outcome = simulate_outage(cluster_dc, plan, 60)
+        online_outcome = simulate_outage(online, plan, 60)
+        assert online_outcome.ups_energy_joules == pytest.approx(
+            offline_outcome.ups_energy_joules
+        )
+        assert online.ups.switch_delay_seconds == 0.0
+
+
+class TestHandCraftedPlans:
+    def _dc(self, config="NoDG"):
+        return make_datacenter(specjbb(), get_configuration(config), 8)
+
+    def _plan(self, phases):
+        return OutagePlan(technique_name="hand", phases=phases)
+
+    def test_zero_power_terminal_never_drains(self):
+        dc = self._dc()
+        plan = self._plan(
+            [
+                PlanPhase("park", 0.0, 0.0, float("inf"), state_safe=True),
+            ]
+        )
+        outcome = simulate_outage(dc, plan, hours(12))
+        assert not outcome.crashed
+        assert outcome.ups_charge_consumed == 0.0
+
+    def test_committed_phase_straddling_restore(self):
+        # A 100 s committed phase against a 40 s outage: 60 s of remainder
+        # plus the resume bill land after restore.
+        dc = self._dc()
+        plan = self._plan(
+            [
+                PlanPhase(
+                    "save", 1000.0, 0.0, 100.0,
+                    committed=True, resume_downtime_seconds=20.0,
+                ),
+                PlanPhase("parked", 0.0, 0.0, float("inf"), state_safe=True,
+                          resume_downtime_seconds=20.0),
+            ]
+        )
+        outcome = simulate_outage(dc, plan, 40.0)
+        assert outcome.downtime_during_outage_seconds == pytest.approx(40.0)
+        assert outcome.downtime_after_restore_seconds == pytest.approx(60.0 + 20.0)
+
+    def test_noncommitted_phase_abandoned_at_restore(self):
+        dc = self._dc()
+        plan = self._plan(
+            [
+                PlanPhase(
+                    "soft-save", 1000.0, 0.0, 100.0,
+                    committed=False, resume_downtime_seconds=5.0,
+                ),
+                PlanPhase("parked", 0.0, 0.0, float("inf"), state_safe=True),
+            ]
+        )
+        outcome = simulate_outage(dc, plan, 40.0)
+        assert outcome.downtime_after_restore_seconds == pytest.approx(5.0)
+
+    def test_multi_phase_sequence_executes_in_order(self):
+        dc = self._dc()
+        plan = self._plan(
+            [
+                PlanPhase("a", 2000.0, 0.8, 30.0),
+                PlanPhase("b", 1000.0, 0.5, 30.0),
+                PlanPhase("c", 80.0, 0.0, float("inf")),
+            ]
+        )
+        outcome = simulate_outage(dc, plan, 120.0)
+        labels = [seg.label for seg in outcome.trace]
+        assert labels == ["a", "b", "c"]
+        assert outcome.mean_performance == pytest.approx(
+            (30 * 0.8 + 30 * 0.5) / 120.0
+        )
+
+    def test_crash_performance_keeps_serving_after_exhaustion(self):
+        # A phase promising 0.6 crash performance (remote serving): battery
+        # death degrades rather than zeroes the rest of the outage.
+        dc = self._dc("SmallPUPS")
+        plan = self._plan(
+            [
+                PlanPhase(
+                    "remote", 1500.0, 0.8, float("inf"),
+                    crash_performance=0.6,
+                ),
+            ]
+        )
+        outcome = simulate_outage(dc, plan, hours(2))
+        assert outcome.crashed
+        assert outcome.mean_performance > 0.5
+        # Post-restore recovery is degraded-service, discounted accordingly.
+        full_recovery = dc.workload.crash_downtime_after_restore_seconds(
+            dc.cluster.spec
+        )
+        assert outcome.downtime_after_restore_seconds == pytest.approx(
+            0.4 * full_recovery
+        )
+
+    def test_crash_perf_with_dg_recovery(self):
+        # DG restores power mid-outage; remote serving bridges the reboot.
+        dc = self._dc("NoUPS")
+        plan = self._plan(
+            [
+                PlanPhase(
+                    "remote", 1.0, 0.7, float("inf"), crash_performance=0.7
+                ),
+            ]
+        )
+        # NoUPS cannot carry even 1 W before the DG arrives -> crash at 0,
+        # but crash_performance covers the gap and the recovery window.
+        outcome = simulate_outage(dc, plan, hours(1))
+        assert outcome.crashed
+        assert outcome.mean_performance > 0.6
+
+
+class TestPathologicalBackups:
+    def test_tiny_ups_with_huge_runtime(self):
+        # 5 % power rating with hours of runtime: can only carry sleep-class
+        # loads, but carries them a very long way.
+        config = BackupConfiguration("odd", 0.0, 0.05, hours(2))
+        dc = make_datacenter(specjbb(), config, 8)
+        context = TechniqueContext(
+            cluster=dc.cluster,
+            workload=specjbb(),
+            power_budget_watts=plan_power_budget_watts(dc),
+        )
+        plan = get_technique("nvdimm").plan(context)
+        outcome = simulate_outage(dc, plan, hours(6))
+        assert not outcome.crashed
+
+    def test_simultaneous_phase_end_and_outage_end(self):
+        dc = make_datacenter(specjbb(), get_configuration("NoDG"), 8)
+        plan = OutagePlan(
+            technique_name="boundary",
+            phases=[
+                PlanPhase("x", 1000.0, 1.0, 60.0),
+                PlanPhase("y", 80.0, 0.0, float("inf")),
+            ],
+        )
+        outcome = simulate_outage(dc, plan, 60.0)
+        assert not outcome.crashed
+        assert outcome.mean_performance == pytest.approx(1.0)
+
+    def test_outage_much_longer_than_everything(self):
+        dc, plan = build("SmallPUPS", technique="hibernate-l")
+        outcome = simulate_outage(dc, plan, hours(48))
+        # Either the save completed (state safe) or the battery died first
+        # (crash); in both cases the run terminates cleanly.
+        assert math.isfinite(outcome.downtime_seconds)

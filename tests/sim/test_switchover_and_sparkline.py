@@ -1,0 +1,116 @@
+"""Switchover seamlessness (PSU hold-up vs UPS switch-in) and the trace
+sparkline renderer."""
+
+import pytest
+
+from repro.analysis.report import format_trace_sparkline
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.power.psu import PowerSupplySpec
+from repro.sim.datacenter import Datacenter
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build(psu_holdup_seconds=None, config="NoDG"):
+    dc = make_datacenter(specjbb(), get_configuration(config))
+    if psu_holdup_seconds is not None:
+        dc = Datacenter(
+            cluster=dc.cluster,
+            workload=dc.workload,
+            ups=dc.ups,
+            generator=dc.generator,
+            psu=PowerSupplySpec(holdup_seconds=psu_holdup_seconds),
+        )
+    context = TechniqueContext(
+        cluster=dc.cluster,
+        workload=dc.workload,
+        power_budget_watts=plan_power_budget_watts(dc),
+    )
+    return dc, context
+
+
+class TestSwitchoverSeamlessness:
+    def test_default_specs_are_seamless(self):
+        dc, _ = build()
+        assert dc.switchover_is_seamless
+
+    def test_weak_psu_is_not_seamless(self):
+        dc, _ = build(psu_holdup_seconds=0.005)  # 5 ms < 10 ms detection
+        assert not dc.switchover_is_seamless
+
+    def test_no_ups_is_vacuously_seamless(self):
+        dc, _ = build(config="MinCost")
+        assert dc.switchover_is_seamless
+
+    def test_weak_psu_crashes_at_outage_start(self):
+        dc, context = build(psu_holdup_seconds=0.005)
+        plan = get_technique("full-service").plan(context)
+        outcome = simulate_outage(dc, plan, 60)
+        assert outcome.crashed
+        assert outcome.crash_time_seconds == 0.0
+
+    def test_healthy_psu_rides_through(self):
+        dc, context = build(psu_holdup_seconds=0.030)
+        plan = get_technique("full-service").plan(context)
+        outcome = simulate_outage(dc, plan, 60)
+        assert not outcome.crashed
+
+    def test_online_topology_needs_no_holdup(self):
+        from dataclasses import replace
+
+        from repro.power.ups import UPSTopology
+
+        dc, context = build(psu_holdup_seconds=0.0)
+        online = replace(
+            dc,
+            ups=replace(
+                dc.ups, topology=UPSTopology.ONLINE, switch_delay_seconds=0.0
+            ),
+        )
+        assert online.switchover_is_seamless
+        plan = get_technique("full-service").plan(context)
+        outcome = simulate_outage(online, plan, 60)
+        assert not outcome.crashed
+
+
+class TestSparkline:
+    def _trace(self):
+        dc, context = build(config="LargeEUPS")
+        plan = get_technique("throttle+sleep-l").plan(context)
+        return simulate_outage(dc, plan, minutes(60)).trace
+
+    def test_renders_two_lines_plus_axis(self):
+        text = format_trace_sparkline(self._trace(), width=40, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("power |")
+        assert lines[2].startswith("perf  |")
+        assert "3600" in lines[3]
+
+    def test_width_respected(self):
+        text = format_trace_sparkline(self._trace(), width=25)
+        power_line = text.splitlines()[0]
+        assert power_line.count("|") == 2
+        inner = power_line.split("|")[1]
+        assert len(inner) == 25
+
+    def test_sleep_tail_reads_as_low_power(self):
+        text = format_trace_sparkline(self._trace(), width=40)
+        power_inner = text.splitlines()[0].split("|")[1]
+        # The trace starts hot (throttled) and ends near-zero (S3).
+        assert power_inner[0] in "%@#*"
+        assert power_inner[-1] in " .:"
+
+    def test_empty_trace(self):
+        from repro.sim.trace import PowerTrace
+
+        text = format_trace_sparkline(PowerTrace())
+        assert "(empty trace)" in text
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            format_trace_sparkline(self._trace(), width=0)

@@ -1,0 +1,142 @@
+"""Cross-validation: closed-form battery/adaptive math vs brute force."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.power.battery import BatterySpec
+from repro.sim.outage_sim import simulate_outage
+from repro.sim.validation import (
+    numeric_adaptive_hold,
+    numeric_battery_runtime,
+    replay_phases,
+    trace_energy_balance_error,
+    verify_peukert_consistency,
+)
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+def spec_4kw(runtime_minutes=10.0):
+    return BatterySpec(4000.0, minutes(runtime_minutes))
+
+
+class TestNumericRuntime:
+    @pytest.mark.parametrize("load", [4000.0, 3000.0, 2000.0, 1000.0, 500.0])
+    def test_matches_closed_form(self, load):
+        spec = spec_4kw()
+        numeric = numeric_battery_runtime(spec, load, step_seconds=0.5)
+        assert numeric == pytest.approx(spec.runtime_at(load), abs=1.0)
+
+    def test_invalid_step_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import SimulationError
+
+        with _pytest.raises(SimulationError):
+            numeric_battery_runtime(spec_4kw(), 1000, step_seconds=0)
+
+
+class TestReplay:
+    def test_survivable_segments(self):
+        assert replay_phases(spec_4kw(), [(4000.0, minutes(5)), (1000.0, minutes(20))])
+
+    def test_unsurvivable_segments(self):
+        assert not replay_phases(spec_4kw(), [(4000.0, minutes(11))])
+
+    def test_zero_power_free(self):
+        assert replay_phases(spec_4kw(), [(0.0, 1e9)])
+
+
+class TestAdaptiveHoldCrossValidation:
+    def test_simulator_hold_matches_numeric_search(self):
+        """The throttle+sleep-l hold time the simulator picks must match an
+        independent brute-force scan to within its resolution."""
+        dc = make_datacenter(specjbb(), get_configuration("LargeEUPS"))
+        context = TechniqueContext(
+            cluster=dc.cluster,
+            workload=specjbb(),
+            power_budget_watts=plan_power_budget_watts(dc),
+        )
+        plan = get_technique("throttle+sleep-l").plan(context)
+        outage = minutes(120)
+        outcome = simulate_outage(dc, plan, outage)
+        simulated_hold = sum(
+            seg.duration_seconds
+            for seg in outcome.trace
+            if seg.label.startswith("throttled@")
+        )
+
+        throttle, suspend, asleep = plan.phases
+        numeric_hold = numeric_adaptive_hold(
+            dc.ups.battery_spec,
+            hold_power_watts=throttle.power_watts,
+            committed=[(suspend.power_watts, suspend.duration_seconds)],
+            save_power_watts=asleep.power_watts,
+            window_seconds=outage,
+            resolution_seconds=2.0,
+        )
+        assert simulated_hold == pytest.approx(numeric_hold, abs=4.0)
+
+    @given(
+        runtime_min=st.floats(min_value=5, max_value=60),
+        outage_min=st.floats(min_value=10, max_value=240),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_hold_never_overcommits(self, runtime_min, outage_min):
+        """Whatever hold the simulator picks, replaying the realised trace
+        against a fresh battery must succeed (no hidden over-draw)."""
+        from repro.core.configurations import BackupConfiguration
+
+        config = BackupConfiguration("probe", 0.0, 1.0, minutes(runtime_min))
+        dc = make_datacenter(specjbb(), config)
+        context = TechniqueContext(
+            cluster=dc.cluster,
+            workload=specjbb(),
+            power_budget_watts=plan_power_budget_watts(dc),
+        )
+        plan = get_technique("throttle+sleep-l").plan(context)
+        outcome = simulate_outage(dc, plan, minutes(outage_min))
+        if outcome.crashed:
+            return
+        segments = [
+            (seg.power_watts, seg.duration_seconds)
+            for seg in outcome.trace
+            if seg.source == "ups"
+        ]
+        assert replay_phases(dc.ups.battery_spec, segments)
+
+
+class TestEnergyBalance:
+    @pytest.mark.parametrize(
+        "technique", ["full-service", "throttle+sleep-l", "hibernate-l", "sleep"]
+    )
+    def test_trace_integral_matches_battery_counter(self, technique):
+        dc = make_datacenter(specjbb(), get_configuration("LargeEUPS"))
+        context = TechniqueContext(
+            cluster=dc.cluster,
+            workload=specjbb(),
+            power_budget_watts=plan_power_budget_watts(dc),
+        )
+        plan = get_technique(technique).plan(context)
+        outcome = simulate_outage(dc, plan, minutes(25))
+        error = trace_energy_balance_error(outcome.trace, outcome.ups_energy_joules)
+        assert error < 1e-9
+
+
+class TestPeukertConsistency:
+    def test_standard_pack(self):
+        verify_peukert_consistency(spec_4kw(), [4000, 2000, 1000, 250, 80])
+
+    def test_linear_pack(self):
+        from repro.power.battery import BatteryChemistry
+
+        linear = BatteryChemistry("lin", 1.0, 4.0)
+        verify_peukert_consistency(
+            BatterySpec(4000.0, minutes(2), chemistry=linear), [4000, 100]
+        )

@@ -1,0 +1,131 @@
+"""Yearly runner: cross-outage battery recharge and DG reliability state."""
+
+import numpy as np
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.errors import SimulationError
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.sim.yearly import YearlyRunner
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build(config_name, technique_name="full-service"):
+    dc = make_datacenter(specjbb(), get_configuration(config_name), num_servers=8)
+    context = TechniqueContext(
+        cluster=dc.cluster,
+        workload=specjbb(),
+        power_budget_watts=plan_power_budget_watts(dc),
+    )
+    plan = get_technique(technique_name).plan(context)
+    return dc, plan
+
+
+def schedule(*events, horizon=hours(24 * 365)):
+    return OutageSchedule(events=tuple(events), horizon_seconds=horizon)
+
+
+class TestRechargeCoupling:
+    def test_back_to_back_outages_share_the_battery(self):
+        # Two 90-second outages 5 minutes apart: the second starts on a
+        # barely recharged string and crashes where an isolated outage
+        # would have survived.
+        dc, plan = build("NoDG")
+        close = schedule(
+            OutageEvent(0, 90),
+            OutageEvent(90 + minutes(5), 90),
+        )
+        result = YearlyRunner(dc, plan, recharge_seconds=hours(8)).run_schedule(close)
+        first, second = result.outcomes
+        assert not first.crashed
+        assert second.crashed
+
+    def test_widely_spaced_outages_independent(self):
+        dc, plan = build("NoDG")
+        far = schedule(
+            OutageEvent(0, 90),
+            OutageEvent(hours(24), 90),
+        )
+        result = YearlyRunner(dc, plan, recharge_seconds=hours(8)).run_schedule(far)
+        assert result.crashes == 0
+
+    def test_faster_recharge_restores_independence(self):
+        dc, plan = build("NoDG")
+        close = schedule(
+            OutageEvent(0, 90),
+            OutageEvent(90 + minutes(5), 90),
+        )
+        fast = YearlyRunner(dc, plan, recharge_seconds=minutes(5)).run_schedule(close)
+        assert fast.crashes == 0
+
+    def test_invalid_recharge_rejected(self):
+        dc, plan = build("NoDG")
+        with pytest.raises(SimulationError):
+            YearlyRunner(dc, plan, recharge_seconds=0)
+
+
+class TestDGReliability:
+    def _flaky_datacenter(self, reliability):
+        from dataclasses import replace
+
+        dc, plan = build("MaxPerf")
+        dc = replace(dc, generator=replace(dc.generator, start_reliability=reliability))
+        return dc, plan
+
+    def test_reliable_engine_never_fails(self):
+        dc, plan = self._flaky_datacenter(1.0)
+        events = schedule(
+            *[OutageEvent(hours(i * 24), minutes(30)) for i in range(10)]
+        )
+        result = YearlyRunner(
+            dc, plan, rng=np.random.default_rng(0)
+        ).run_schedule(events)
+        assert result.dg_start_failures == 0
+        assert result.crashes == 0
+
+    def test_unreliable_engine_fails_sometimes(self):
+        dc, plan = self._flaky_datacenter(0.5)
+        events = schedule(
+            *[OutageEvent(hours(i * 24), minutes(30)) for i in range(30)]
+        )
+        result = YearlyRunner(
+            dc, plan, rng=np.random.default_rng(7)
+        ).run_schedule(events)
+        assert 0 < result.dg_start_failures < 30
+        # A failed start on a 30-minute outage crashes MaxPerf (its UPS is
+        # only a 2-minute bridge).
+        assert result.crashes == result.dg_start_failures
+
+    def test_no_rng_means_deterministic_starts(self):
+        dc, plan = self._flaky_datacenter(0.5)
+        events = schedule(OutageEvent(0, minutes(30)))
+        result = YearlyRunner(dc, plan, rng=None).run_schedule(events)
+        assert result.dg_start_failures == 0
+
+
+class TestAggregates:
+    def test_totals(self):
+        dc, plan = build("MinCost")
+        events = schedule(
+            OutageEvent(0, 30),
+            OutageEvent(hours(10), 60),
+        )
+        result = YearlyRunner(dc, plan).run_schedule(events)
+        assert result.crashes == 2
+        assert result.total_downtime_seconds == pytest.approx(
+            sum(outcome.downtime_seconds for outcome in result.outcomes)
+        )
+        assert result.worst_event_downtime_seconds == max(
+            outcome.downtime_seconds for outcome in result.outcomes
+        )
+
+    def test_empty_schedule(self):
+        dc, plan = build("MaxPerf")
+        result = YearlyRunner(dc, plan).run_schedule(schedule())
+        assert result.total_downtime_seconds == 0.0
+        assert result.worst_event_downtime_seconds == 0.0
+        assert result.crashes == 0

@@ -1,0 +1,158 @@
+"""Systematic plan-semantics checks: every technique, every workload.
+
+Where the per-technique test files check calibrations on Specjbb, this
+suite checks the *structural contracts* plans must honour for all four
+workloads: durations derived from the right workload quantities, budget
+threading, hybrid composition order, and phase annotations the simulator
+relies on.
+"""
+
+import math
+
+import pytest
+
+from repro.servers.cluster import Cluster
+from repro.servers.server import PAPER_SERVER
+from repro.techniques.base import TechniqueContext
+from repro.techniques.hibernation import Hibernation
+from repro.techniques.migration import Migration
+from repro.techniques.registry import PAPER_TECHNIQUES, get_technique
+from repro.techniques.sleep import Sleep
+from repro.workloads.registry import get_workload, workload_names
+
+ALL_WORKLOADS = workload_names()
+
+
+def context_for(workload_name, budget_fraction=None, num_servers=8):
+    workload = get_workload(workload_name)
+    cluster = Cluster(PAPER_SERVER, num_servers, utilization=workload.utilization)
+    budget = (
+        budget_fraction * cluster.peak_power_watts
+        if budget_fraction is not None
+        else math.inf
+    )
+    return TechniqueContext(
+        cluster=cluster, workload=workload, power_budget_watts=budget
+    )
+
+
+class TestDurationDerivations:
+    @pytest.mark.parametrize("workload_name", ALL_WORKLOADS)
+    def test_hibernate_save_matches_workload_arithmetic(self, workload_name):
+        context = context_for(workload_name)
+        plan = Hibernation().plan(context)
+        expected = context.workload.hibernate_save_seconds(PAPER_SERVER)
+        assert plan.phases[0].duration_seconds == pytest.approx(expected)
+
+    @pytest.mark.parametrize("workload_name", ALL_WORKLOADS)
+    def test_hibernate_resume_matches_workload_arithmetic(self, workload_name):
+        context = context_for(workload_name)
+        plan = Hibernation().plan(context)
+        expected = context.workload.hibernate_resume_seconds(PAPER_SERVER)
+        assert plan.phases[-1].resume_downtime_seconds == pytest.approx(expected)
+
+    @pytest.mark.parametrize("workload_name", ALL_WORKLOADS)
+    def test_sleep_durations_are_footprint_independent(self, workload_name):
+        context = context_for(workload_name)
+        plan = Sleep().plan(context)
+        assert plan.phases[0].duration_seconds == pytest.approx(6.0)
+        assert plan.phases[-1].resume_downtime_seconds == pytest.approx(8.0)
+
+    @pytest.mark.parametrize("workload_name", ALL_WORKLOADS)
+    def test_migration_time_tracks_state_and_dirty_rate(self, workload_name):
+        context = context_for(workload_name)
+        workload = context.workload
+        plan = Migration().plan(context)
+        bandwidth = PAPER_SERVER.nic_bandwidth_bytes_per_second
+        dirty = min(workload.dirty_bytes_per_second, 0.8 * bandwidth)
+        expected = workload.memory_state_bytes / (bandwidth - dirty)
+        assert plan.phases[0].duration_seconds == pytest.approx(expected)
+
+    @pytest.mark.parametrize("workload_name", ALL_WORKLOADS)
+    def test_proactive_migration_never_slower(self, workload_name):
+        context = context_for(workload_name)
+        plain = Migration().plan(context).phases[0].duration_seconds
+        proactive = (
+            get_technique("proactive-migration").plan(context).phases[0].duration_seconds
+        )
+        assert proactive <= plain + 1e-9
+
+
+class TestBudgetThreading:
+    @pytest.mark.parametrize(
+        "technique_name", ["sleep-l", "hibernate-l", "throttle+sleep-l"]
+    )
+    def test_half_budget_plans_fit_half_budget(self, technique_name):
+        context = context_for("specjbb", budget_fraction=0.5)
+        plan = get_technique(technique_name).plan(context)
+        assert plan.peak_power_watts <= context.power_budget_watts * (1 + 1e-9)
+
+    @pytest.mark.parametrize("technique_name", PAPER_TECHNIQUES)
+    def test_unbudgeted_plans_never_exceed_nameplate_much(self, technique_name):
+        context = context_for("specjbb")
+        plan = get_technique(technique_name).plan(context)
+        # Migration's copy spike is the only sanctioned overshoot (1.05x
+        # of normal, still below nameplate for u=0.9 workloads).
+        assert plan.peak_power_watts <= context.cluster.peak_power_watts * 1.05
+
+
+class TestHybridComposition:
+    @pytest.mark.parametrize("workload_name", ALL_WORKLOADS)
+    def test_throttle_sleep_l_shape(self, workload_name):
+        context = context_for(workload_name)
+        plan = get_technique("throttle+sleep-l").plan(context)
+        adaptive = [p for p in plan.phases if p.is_adaptive]
+        assert len(adaptive) == 1
+        assert plan.phases[0] is adaptive[0]  # sustain leads
+        assert plan.phases[-1].is_terminal
+        assert plan.phases[-1].name == "asleep-s3"
+        # The committed suspend sits between them.
+        assert plan.phases[-2].committed
+
+    @pytest.mark.parametrize("workload_name", ALL_WORKLOADS)
+    def test_migration_sleep_l_save_stage_sees_concentration(self, workload_name):
+        context = context_for(workload_name)
+        plan = get_technique("migration+sleep-l").plan(context)
+        asleep = plan.phases[-1]
+        # Half the fleet sleeps; the other half is off entirely.
+        assert asleep.power_watts == pytest.approx(
+            context.cluster.consolidation_targets(0.5)
+            * PAPER_SERVER.sleep.s3_power_watts
+        )
+
+    def test_throttle_hibernate_image_unconcentrated(self):
+        # Throttle+Hibernate does NOT consolidate: every server persists
+        # its own (1x) state.
+        context = context_for("specjbb")
+        plan = get_technique("throttle+hibernate").plan(context)
+        persist = [p for p in plan.phases if p.name.startswith("persist")]
+        base = Hibernation(low_power=True).plan(context).phases[0]
+        assert persist[0].duration_seconds == pytest.approx(base.duration_seconds)
+
+
+class TestPhaseAnnotations:
+    @pytest.mark.parametrize("technique_name", PAPER_TECHNIQUES)
+    def test_committed_phases_are_finite(self, technique_name):
+        context = context_for("websearch")
+        plan = get_technique(technique_name).plan(context)
+        for phase in plan.phases:
+            if phase.committed:
+                assert phase.duration_seconds is not None
+                assert math.isfinite(phase.duration_seconds)
+
+    @pytest.mark.parametrize("technique_name", PAPER_TECHNIQUES)
+    def test_state_safe_phases_draw_nothing(self, technique_name):
+        context = context_for("websearch")
+        plan = get_technique(technique_name).plan(context)
+        for phase in plan.phases:
+            if phase.state_safe:
+                assert phase.power_watts == 0.0
+
+    @pytest.mark.parametrize("technique_name", PAPER_TECHNIQUES)
+    def test_zero_perf_phases_have_resume_paths_or_sustain(self, technique_name):
+        context = context_for("websearch")
+        plan = get_technique(technique_name).plan(context)
+        terminal = plan.terminal_phase
+        if terminal.performance == 0.0:
+            # A parked fleet must know how to come back.
+            assert terminal.resume_downtime_seconds > 0.0

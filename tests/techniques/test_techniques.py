@@ -1,0 +1,328 @@
+"""Technique plan compilation: phases, powers, durations, Table 5/8 anchors."""
+
+import math
+
+import pytest
+
+from repro.errors import TechniqueError
+from repro.servers.cluster import Cluster
+from repro.servers.server import PAPER_SERVER
+from repro.techniques.base import (
+    OutagePlan,
+    PlanPhase,
+    TechniqueContext,
+    check_budget,
+)
+from repro.techniques.hibernation import Hibernation
+from repro.techniques.hybrid import SustainThenSave
+from repro.techniques.migration import Migration, precopy_migration_seconds
+from repro.techniques.nop import FullService
+from repro.techniques.proactive import ProactiveHibernation, ProactiveMigration
+from repro.techniques.registry import PAPER_TECHNIQUES, get_technique, technique_names
+from repro.techniques.sleep import Sleep
+from repro.techniques.throttling import Throttling
+from repro.units import gigabytes, megabytes_per_second, minutes
+from repro.workloads.memcached import memcached
+from repro.workloads.specjbb import specjbb
+
+
+@pytest.fixture
+def context():
+    workload = specjbb()
+    cluster = Cluster(PAPER_SERVER, num_servers=16, utilization=workload.utilization)
+    return TechniqueContext(cluster=cluster, workload=workload)
+
+
+def budgeted(context, fraction):
+    return TechniqueContext(
+        cluster=context.cluster,
+        workload=context.workload,
+        power_budget_watts=fraction * context.cluster.peak_power_watts,
+    )
+
+
+class TestPlanValidation:
+    def test_plan_requires_terminal_phase(self):
+        with pytest.raises(TechniqueError):
+            OutagePlan(
+                technique_name="x",
+                phases=[
+                    PlanPhase("only", 100, 1.0, duration_seconds=10),
+                ],
+            )
+
+    def test_terminal_must_be_last(self):
+        with pytest.raises(TechniqueError):
+            OutagePlan(
+                technique_name="x",
+                phases=[
+                    PlanPhase("inf", 100, 1.0, duration_seconds=math.inf),
+                    PlanPhase("tail", 100, 1.0, duration_seconds=math.inf),
+                ],
+            )
+
+    def test_peak_power(self):
+        plan = OutagePlan(
+            technique_name="x",
+            phases=[
+                PlanPhase("a", 300, 1.0, duration_seconds=5),
+                PlanPhase("b", 100, 0.0, duration_seconds=math.inf),
+            ],
+        )
+        assert plan.peak_power_watts == 300
+        assert plan.fixed_prefix_seconds() == 5
+
+    def test_phase_validation(self):
+        with pytest.raises(TechniqueError):
+            PlanPhase("bad", -1, 0.5, duration_seconds=1)
+        with pytest.raises(TechniqueError):
+            PlanPhase("bad", 1, 1.5, duration_seconds=1)
+        with pytest.raises(TechniqueError):
+            PlanPhase("bad", 1, 0.5, duration_seconds=-1)
+
+    def test_check_budget(self):
+        phases = [PlanPhase("a", 100, 1.0, duration_seconds=math.inf)]
+        check_budget(phases, 100.0, "t")
+        with pytest.raises(TechniqueError):
+            check_budget(phases, 99.0, "t")
+
+    def test_context_concentration(self, context):
+        assert context.state_concentration == 1.0
+        consolidated = TechniqueContext(
+            cluster=context.cluster, workload=context.workload, holding_servers=8
+        )
+        assert consolidated.state_concentration == 2.0
+
+    def test_bad_holding_servers_rejected(self, context):
+        with pytest.raises(TechniqueError):
+            TechniqueContext(
+                cluster=context.cluster, workload=context.workload, holding_servers=0
+            )
+
+
+class TestFullService:
+    def test_single_full_phase(self, context):
+        plan = FullService().plan(context)
+        assert len(plan.phases) == 1
+        phase = plan.phases[0]
+        assert phase.performance == 1.0
+        assert phase.power_watts == pytest.approx(context.normal_power_watts)
+        assert phase.is_terminal
+
+    def test_rejects_insufficient_budget(self, context):
+        with pytest.raises(TechniqueError):
+            FullService().plan(budgeted(context, 0.5))
+
+
+class TestThrottling:
+    def test_auto_picks_fastest_within_budget(self, context):
+        tech = Throttling()
+        state = tech.select_pstate(budgeted(context, 0.6))
+        plan = tech.plan(budgeted(context, 0.6))
+        assert plan.phases[0].power_watts <= 0.6 * context.cluster.peak_power_watts
+        idx = PAPER_SERVER.pstates.index_of(state)
+        if idx > 0:
+            faster = PAPER_SERVER.pstates[idx - 1]
+            power = context.cluster.power_watts(
+                utilization=context.workload.utilization, pstate=faster
+            )
+            assert power > 0.6 * context.cluster.peak_power_watts
+
+    def test_pinned_pstate(self, context):
+        plan = Throttling(pstate_index=6).plan(context)
+        slow = PAPER_SERVER.pstates.slowest
+        expected_perf = context.workload.throttled_performance(slow.frequency_ratio)
+        assert plan.phases[0].performance == pytest.approx(expected_perf)
+
+    def test_performance_degrades_with_deeper_states(self, context):
+        perfs = [
+            Throttling(pstate_index=i).plan(context).phases[0].performance
+            for i in range(7)
+        ]
+        assert all(a > b for a, b in zip(perfs, perfs[1:]))
+
+    def test_infeasible_budget_raises(self, context):
+        with pytest.raises(TechniqueError):
+            Throttling().plan(budgeted(context, 0.1))
+
+    def test_out_of_range_index_raises(self, context):
+        with pytest.raises(TechniqueError):
+            Throttling(pstate_index=9).plan(context)
+
+    def test_deepest_state_near_half_power(self, context):
+        plan = Throttling(pstate_index=6).plan(context)
+        fraction = plan.phases[0].power_watts / context.cluster.peak_power_watts
+        assert fraction == pytest.approx(0.47, abs=0.05)
+
+
+class TestSleep:
+    def test_phase_structure(self, context):
+        plan = Sleep().plan(context)
+        suspend, asleep = plan.phases
+        assert suspend.committed and not suspend.state_safe
+        assert suspend.duration_seconds == pytest.approx(6.0)  # Table 8
+        assert asleep.is_terminal
+        assert asleep.power_watts == pytest.approx(16 * 5.0)  # ~5 W/server
+        assert asleep.resume_downtime_seconds == pytest.approx(8.0)  # Table 8
+
+    def test_sleep_l_halves_suspend_power(self, context):
+        normal = Sleep().plan(context).phases[0].power_watts
+        low = Sleep(low_power=True).plan(context).phases[0].power_watts
+        assert low / normal == pytest.approx(0.5, abs=0.08)
+
+    def test_sleep_l_suspend_slower(self, context):
+        normal = Sleep().plan(context).phases[0].duration_seconds
+        low = Sleep(low_power=True).plan(context).phases[0].duration_seconds
+        assert low > normal
+        assert low == pytest.approx(8.0, rel=0.25)  # Table 8: 8 s
+
+    def test_s3_not_state_safe(self, context):
+        # Battery death in S3 loses DRAM self-refresh.
+        assert not Sleep().plan(context).phases[1].state_safe
+
+    def test_consolidated_sleep_power_scales(self, context):
+        consolidated = TechniqueContext(
+            cluster=context.cluster, workload=context.workload, holding_servers=8
+        )
+        plan = Sleep().plan(consolidated)
+        assert plan.phases[1].power_watts == pytest.approx(8 * 5.0)
+
+
+class TestHibernation:
+    def test_save_matches_table8(self, context):
+        plan = Hibernation().plan(context)
+        assert plan.phases[0].duration_seconds == pytest.approx(230, rel=0.02)
+
+    def test_resume_matches_table8(self, context):
+        plan = Hibernation().plan(context)
+        assert plan.phases[1].resume_downtime_seconds == pytest.approx(157, rel=0.05)
+
+    def test_hibernated_phase_is_state_safe_zero_power(self, context):
+        off = Hibernation().plan(context).phases[1]
+        assert off.state_safe
+        assert off.power_watts == 0.0
+
+    def test_hibernate_l_slower_save_half_power(self, context):
+        base = Hibernation().plan(context)
+        low = Hibernation(low_power=True).plan(context)
+        assert low.phases[0].duration_seconds > base.phases[0].duration_seconds
+        # Table 8: 385 s vs 230 s (we land within ~10 %).
+        assert low.phases[0].duration_seconds == pytest.approx(385, rel=0.12)
+        assert low.phases[0].power_watts < 0.55 * base.phases[0].power_watts * 1.2
+
+    def test_proactive_reduces_save_22_percent(self, context):
+        base = Hibernation().plan(context).phases[0].duration_seconds
+        pro = ProactiveHibernation().plan(context).phases[0].duration_seconds
+        reduction = 1 - pro / base
+        assert reduction == pytest.approx(0.22, abs=0.05)  # paper: 230 -> 179 s
+
+    def test_proactive_resume_unchanged(self, context):
+        base = Hibernation().plan(context).phases[1].resume_downtime_seconds
+        pro = ProactiveHibernation().plan(context).phases[1].resume_downtime_seconds
+        assert pro == pytest.approx(base)
+
+    def test_consolidation_doubles_image(self, context):
+        consolidated = TechniqueContext(
+            cluster=context.cluster, workload=context.workload, holding_servers=8
+        )
+        tech = Hibernation()
+        assert tech.save_image_bytes(consolidated) == pytest.approx(
+            2 * tech.save_image_bytes(context)
+        )
+
+
+class TestMigration:
+    def test_precopy_model_specjbb_10_minutes(self):
+        t = precopy_migration_seconds(
+            gigabytes(18), megabytes_per_second(95), 1.25e8
+        )
+        assert t == pytest.approx(600, rel=0.02)
+
+    def test_precopy_caps_divergent_dirty_rate(self):
+        t = precopy_migration_seconds(gigabytes(1), 1e12, 1e8)
+        assert math.isfinite(t) and t > 0
+
+    def test_precopy_zero_state_instant(self):
+        assert precopy_migration_seconds(0, 10, 100) == 0.0
+
+    def test_specjbb_migration_10_minutes(self, context):
+        plan = Migration().plan(context)
+        assert plan.phases[0].duration_seconds == pytest.approx(600, rel=0.05)
+
+    def test_proactive_migration_5_minutes(self, context):
+        plan = ProactiveMigration().plan(context)
+        # Paper: 18 GB -> 10 GB residual halves migration time.
+        assert plan.phases[0].duration_seconds == pytest.approx(333, rel=0.05)
+
+    def test_consolidated_phase_power_below_migrate_power(self, context):
+        plan = Migration().plan(context)
+        assert plan.phases[1].power_watts < plan.phases[0].power_watts
+
+    def test_consolidated_performance_is_cluster_packing(self, context):
+        plan = Migration().plan(context)
+        expected = context.cluster.consolidated_performance(8)
+        assert plan.phases[1].performance == pytest.approx(expected)
+
+    def test_throttled_variant_fits_smaller_budget(self, context):
+        full = Migration().plan(context).peak_power_watts
+        throttled = Migration(pstate_index=6).plan(context).peak_power_watts
+        assert throttled < full
+
+    def test_memcached_proactive_residual_tiny(self):
+        workload = memcached()
+        cluster = Cluster(PAPER_SERVER, 16, utilization=workload.utilization)
+        ctx = TechniqueContext(cluster=cluster, workload=workload)
+        pro = ProactiveMigration().plan(ctx).phases[0].duration_seconds
+        full = Migration().plan(ctx).phases[0].duration_seconds
+        assert pro < 0.1 * full
+
+    def test_consolidated_context(self, context):
+        tech = Migration()
+        ctx2 = tech.consolidated_context(context)
+        assert ctx2.holding_servers == 8
+
+
+class TestHybrids:
+    def test_throttle_sleep_l_structure(self, context):
+        plan = get_technique("throttle+sleep-l").plan(context)
+        assert plan.phases[0].is_adaptive  # throttle stretches
+        assert plan.phases[-1].name == "asleep-s3"
+
+    def test_migration_sleep_l_sleeps_survivors_only(self, context):
+        plan = get_technique("migration+sleep-l").plan(context)
+        asleep = plan.phases[-1]
+        assert asleep.power_watts == pytest.approx(8 * 5.0)
+
+    def test_adaptive_sustain_stage_rejected(self, context):
+        hybrid = SustainThenSave(
+            SustainThenSave(Throttling(), Sleep()), Sleep()
+        )
+        with pytest.raises(TechniqueError):
+            hybrid.plan(context)
+
+    def test_hybrid_name(self):
+        hybrid = SustainThenSave(Throttling(), Sleep(low_power=True))
+        assert hybrid.name == "throttling+sleep-l"
+
+
+class TestRegistry:
+    def test_all_paper_techniques_compile(self, context):
+        for name in PAPER_TECHNIQUES:
+            plan = get_technique(name).plan(context)
+            assert plan.phases[-1].is_terminal
+
+    def test_pstate_suffix_parsing(self, context):
+        tech = get_technique("throttling-p3")
+        assert tech.pstate_index == 3
+        tech = get_technique("migration-p2")
+        assert tech.pstate_index == 2
+        tech = get_technique("proactive-migration-p1")
+        assert tech.proactive and tech.pstate_index == 1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TechniqueError):
+            get_technique("teleportation")
+
+    def test_names_listed(self):
+        names = technique_names()
+        assert "sleep-l" in names and "throttle+hibernate" in names

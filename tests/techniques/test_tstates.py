@@ -1,0 +1,120 @@
+"""T-state (clock duty-cycling) throttling: the second ladder of Section 6."""
+
+import pytest
+
+from repro.core.configurations import BackupConfiguration
+from repro.core.performability import evaluate_point
+from repro.errors import TechniqueError
+from repro.servers.cluster import Cluster
+from repro.servers.pstates import DEFAULT_TSTATE_TABLE
+from repro.servers.server import PAPER_SERVER
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.techniques.throttling import Throttling
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+@pytest.fixture
+def context():
+    workload = specjbb()
+    cluster = Cluster(PAPER_SERVER, 16, utilization=workload.utilization)
+    return TechniqueContext(cluster=cluster, workload=workload)
+
+
+def budgeted(context, fraction):
+    return TechniqueContext(
+        cluster=context.cluster,
+        workload=context.workload,
+        power_budget_watts=fraction * context.cluster.peak_power_watts,
+    )
+
+
+class TestServerPowerWithTStates:
+    def test_duty_cycle_scales_dynamic_power(self):
+        t4 = DEFAULT_TSTATE_TABLE[4]  # 50 % duty
+        full = PAPER_SERVER.power_watts(1.0)
+        gated = PAPER_SERVER.power_watts(1.0, tstate=t4)
+        dynamic = PAPER_SERVER.dynamic_power_watts
+        assert gated == pytest.approx(full - dynamic * 0.5)
+
+    def test_t0_is_identity(self):
+        assert PAPER_SERVER.power_watts(0.9, tstate=DEFAULT_TSTATE_TABLE[0]) == (
+            pytest.approx(PAPER_SERVER.power_watts(0.9))
+        )
+
+    def test_composition_below_pstate_floor(self):
+        deep_p = PAPER_SERVER.pstates.slowest
+        t7 = DEFAULT_TSTATE_TABLE[7]  # 12.5 % duty
+        combined = PAPER_SERVER.power_watts(1.0, deep_p, t7)
+        assert combined < PAPER_SERVER.min_active_power_watts()
+        assert combined > PAPER_SERVER.idle_power_watts * 0.5  # leakage floor
+
+
+class TestThrottlingWithTStates:
+    def test_pinned_combination(self, context):
+        plan = Throttling(pstate_index=6, tstate_index=4).plan(context)
+        phase = plan.phases[0]
+        p_only = Throttling(pstate_index=6).plan(context).phases[0]
+        assert phase.power_watts < p_only.power_watts
+        assert phase.performance < p_only.performance
+        assert "+T4" in phase.name
+
+    def test_effective_frequency_composes(self, context):
+        plan = Throttling(pstate_index=6, tstate_index=4).plan(context)
+        deep = PAPER_SERVER.pstates.slowest
+        expected_ratio = deep.frequency_ratio * 0.5
+        expected = context.workload.throttled_performance(expected_ratio)
+        assert plan.phases[0].performance == pytest.approx(expected)
+
+    def test_auto_fallback_engages_tstates_below_pstate_floor(self, context):
+        # A 35 % budget sits below the deepest P-state's ~47 %: the auto
+        # selector must gate the clock rather than fail.
+        tech = Throttling()
+        pstate, tstate = tech.select_states(budgeted(context, 0.35))
+        assert pstate is PAPER_SERVER.pstates.slowest
+        assert tstate is not None and tstate.duty_cycle < 1.0
+
+    def test_auto_prefers_pure_pstates_when_they_fit(self, context):
+        _, tstate = Throttling().select_states(budgeted(context, 0.6))
+        assert tstate is None
+
+    def test_even_deepest_combination_can_fail(self, context):
+        with pytest.raises(TechniqueError):
+            Throttling().plan(budgeted(context, 0.2))
+
+    def test_out_of_range_tstate_rejected(self, context):
+        with pytest.raises(TechniqueError):
+            Throttling(pstate_index=6, tstate_index=99).plan(context)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(TechniqueError):
+            Throttling(tstate_index=-1)
+
+
+class TestEndToEnd:
+    def test_tiny_budget_survives_via_duty_cycling(self):
+        tiny = BackupConfiguration("tiny", 0.0, 0.35, minutes(10))
+        point = evaluate_point(tiny, Throttling(), specjbb(), minutes(5))
+        assert point.feasible and not point.crashed
+        assert 0.1 < point.performance < 0.35
+        assert "+T" in point.outcome.trace.segments[0].label
+
+    def test_registry_parses_combined_suffix(self):
+        tech = get_technique("throttling-p6t4")
+        assert tech.pstate_index == 6 and tech.tstate_index == 4
+
+    def test_registry_rejects_tstate_on_migration(self):
+        with pytest.raises(TechniqueError):
+            get_technique("migration-p2t3")
+
+    def test_tstates_widen_the_minmax_range(self, context):
+        # The figure bars' Min edge moves lower with duty cycling in play.
+        p_only = Throttling(pstate_index=6).plan(context).phases[0].performance
+        with_t = (
+            Throttling(pstate_index=6, tstate_index=6)
+            .plan(context)
+            .phases[0]
+            .performance
+        )
+        assert with_t < 0.6 * p_only

@@ -1,0 +1,100 @@
+"""Repository-level sanity: docs exist, exports resolve, errors behave."""
+
+import pathlib
+
+import pytest
+
+import repro
+from repro import errors
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocs:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/MODELING.md"]
+    )
+    def test_doc_exists_and_nonempty(self, name):
+        path = REPO_ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 500
+
+    def test_experiments_doc_covers_every_artifact(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        for artifact in (
+            "Figure 1", "Figure 3", "Table 1", "Table 2", "Table 3",
+            "Table 5", "Table 8", "Figure 5", "Figure 6", "Figure 7",
+            "Figure 8", "Figure 9", "Figure 10",
+        ):
+            assert artifact in text, artifact
+
+    def test_design_doc_maps_every_bench(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        bench_dir = REPO_ROOT / "benchmarks"
+        for bench in bench_dir.glob("test_fig*.py"):
+            assert bench.name in text, bench.name
+        for bench in bench_dir.glob("test_tab*.py"):
+            assert bench.name in text, bench.name
+
+    def test_every_example_is_runnable_python(self):
+        import ast
+
+        for example in (REPO_ROOT / "examples").glob("*.py"):
+            tree = ast.parse(example.read_text())
+            names = {
+                node.name for node in ast.walk(tree)
+                if isinstance(node, ast.FunctionDef)
+            }
+            assert "main" in names, example.name
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.geo
+        import repro.power
+        import repro.sim
+        import repro.techniques
+        import repro.workloads
+
+        for module in (
+            repro.analysis, repro.geo, repro.power,
+            repro.sim, repro.techniques, repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_domain_errors_are_repro_errors(self):
+        for name in (
+            "ConfigurationError", "CapacityError", "SimulationError",
+            "WorkloadError", "TechniqueError", "InfeasibleError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_validation_errors_are_value_errors(self):
+        for cls in (
+            errors.ConfigurationError,
+            errors.CapacityError,
+            errors.WorkloadError,
+            errors.TechniqueError,
+        ):
+            assert issubclass(cls, ValueError), cls
+
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.InfeasibleError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.CapacityError("x")

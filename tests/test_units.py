@@ -1,0 +1,105 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_seconds_identity(self):
+        assert units.seconds(42) == 42.0
+
+    def test_minutes(self):
+        assert units.minutes(2) == 120.0
+
+    def test_hours(self):
+        assert units.hours(1.5) == 5400.0
+
+    def test_days(self):
+        assert units.days(2) == 172800.0
+
+    def test_to_minutes_roundtrip(self):
+        assert units.to_minutes(units.minutes(7.5)) == pytest.approx(7.5)
+
+    def test_to_hours_roundtrip(self):
+        assert units.to_hours(units.hours(3.25)) == pytest.approx(3.25)
+
+    def test_year_constant(self):
+        assert units.SECONDS_PER_YEAR == pytest.approx(365 * 86400)
+
+
+class TestPowerEnergy:
+    def test_kilowatts(self):
+        assert units.kilowatts(2.5) == 2500.0
+
+    def test_megawatts(self):
+        assert units.megawatts(10) == 1e7
+
+    def test_to_kilowatts_roundtrip(self):
+        assert units.to_kilowatts(units.kilowatts(3.3)) == pytest.approx(3.3)
+
+    def test_to_megawatts_roundtrip(self):
+        assert units.to_megawatts(units.megawatts(0.26)) == pytest.approx(0.26)
+
+    def test_kwh_in_joules(self):
+        assert units.kilowatt_hours(1) == 3.6e6
+
+    def test_watt_hours(self):
+        assert units.watt_hours(1000) == units.kilowatt_hours(1)
+
+    def test_to_kwh_roundtrip(self):
+        assert units.to_kilowatt_hours(units.kilowatt_hours(0.66)) == pytest.approx(0.66)
+
+    def test_energy_is_power_times_time(self):
+        assert units.energy(250, 60) == 15000.0
+
+    def test_runtime_at_power(self):
+        assert units.runtime_at_power(units.kilowatt_hours(1), 1000) == pytest.approx(3600)
+
+    def test_runtime_at_zero_power_is_infinite(self):
+        assert math.isinf(units.runtime_at_power(100.0, 0.0))
+
+    def test_runtime_at_negative_power_is_infinite(self):
+        assert math.isinf(units.runtime_at_power(100.0, -5.0))
+
+
+class TestData:
+    def test_gigabytes(self):
+        assert units.gigabytes(18) == 18e9
+
+    def test_megabytes(self):
+        assert units.megabytes(80) == 8e7
+
+    def test_to_gigabytes_roundtrip(self):
+        assert units.to_gigabytes(units.gigabytes(40)) == pytest.approx(40)
+
+    def test_gigabit_link_in_bytes(self):
+        assert units.gigabits_per_second(1) == pytest.approx(1.25e8)
+
+    def test_transfer_time(self):
+        # 18 GB at 1 Gbps is 144 s raw.
+        t = units.transfer_time(units.gigabytes(18), units.gigabits_per_second(1))
+        assert t == pytest.approx(144.0)
+
+    def test_transfer_time_zero_size(self):
+        assert units.transfer_time(0, 0) == 0.0
+
+    def test_transfer_time_zero_bandwidth_is_infinite(self):
+        assert math.isinf(units.transfer_time(1, 0))
+
+
+class TestClamp:
+    def test_inside(self):
+        assert units.clamp(0.5, 0, 1) == 0.5
+
+    def test_below(self):
+        assert units.clamp(-1, 0, 1) == 0
+
+    def test_above(self):
+        assert units.clamp(2, 0, 1) == 1
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1, 0)

@@ -1,0 +1,137 @@
+"""The M/M/1 latency-SLO model behind Table 7's latency-constrained metric."""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.latency import LatencySLOModel, slo_amplification
+
+
+@pytest.fixture
+def model():
+    """1000 q/s server, 100 ms p99 target (headroom ~46 q/s)."""
+    return LatencySLOModel(
+        service_rate_per_second=1000.0,
+        slo_latency_seconds=0.100,
+        slo_percentile=0.99,
+    )
+
+
+class TestQueueingArithmetic:
+    def test_headroom(self, model):
+        assert model.headroom_per_second == pytest.approx(
+            math.log(100) / 0.1, rel=1e-9
+        )
+
+    def test_max_slo_throughput_full_capacity(self, model):
+        expected = 1000.0 - math.log(100) / 0.1
+        assert model.max_slo_throughput(1.0) == pytest.approx(expected)
+
+    def test_latency_at_light_load_fast(self, model):
+        latency = model.quantile_latency_seconds(100.0)
+        assert latency < 0.01
+
+    def test_latency_diverges_at_saturation(self, model):
+        assert math.isinf(model.quantile_latency_seconds(1000.0))
+
+    def test_latency_at_admission_bound_equals_slo(self, model):
+        bound = model.max_slo_throughput(1.0)
+        assert model.quantile_latency_seconds(bound) == pytest.approx(0.100)
+
+    def test_delivered_fraction_sheds_excess(self, model):
+        bound = model.max_slo_throughput(1.0)
+        assert model.delivered_fraction(2 * bound) == pytest.approx(0.5)
+        assert model.delivered_fraction(0.5 * bound) == 1.0
+
+    def test_zero_offered_is_fully_served(self, model):
+        assert model.delivered_fraction(0.0) == 1.0
+
+
+class TestThrottlingCliff:
+    def test_slo_performance_unity_at_full_capacity(self, model):
+        assert model.slo_performance(1.0) == pytest.approx(1.0)
+
+    def test_slo_metric_falls_faster_than_capacity(self, model):
+        # Half the capacity -> LESS than half the SLO throughput.
+        assert model.slo_performance(0.5) < 0.5
+        assert slo_amplification(model, 0.5) > 1.0
+
+    def test_cliff_sharpens_with_tight_slo(self):
+        loose = LatencySLOModel(1000.0, 0.500)
+        tight = LatencySLOModel(1000.0, 0.050)
+        assert slo_amplification(tight, 0.5) > slo_amplification(loose, 0.5)
+
+    def test_deep_throttle_can_zero_the_metric(self, model):
+        # Below the headroom, NOTHING meets the SLO.
+        deep = model.headroom_per_second / 1000.0 * 0.9
+        assert model.slo_performance(deep) == 0.0
+
+    def test_inverse_planning_query(self, model):
+        factor = model.capacity_factor_for_performance(0.6)
+        assert model.slo_performance(factor) == pytest.approx(0.6)
+
+    def test_websearch_warmup_band(self):
+        """Section 6.2: Web-search serves 30-50 % below normal throughput
+        while latency-degraded.  A ~55-65 % capacity factor (warm-up cache
+        misses) lands the SLO metric in exactly that band."""
+        model = LatencySLOModel(1000.0, 0.100)
+        slo = model.slo_performance(0.62)
+        assert 0.5 < slo < 0.7
+
+    def test_unattainable_slo_raises(self):
+        impossible = LatencySLOModel(10.0, 0.100)  # headroom 46 > rate 10
+        with pytest.raises(WorkloadError):
+            impossible.slo_performance(0.5)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            LatencySLOModel(0.0, 0.1)
+        with pytest.raises(WorkloadError):
+            LatencySLOModel(100.0, 0.0)
+        with pytest.raises(WorkloadError):
+            LatencySLOModel(100.0, 0.1, slo_percentile=1.0)
+        with pytest.raises(WorkloadError):
+            LatencySLOModel(100.0, 0.1).quantile_latency_seconds(-1)
+        with pytest.raises(WorkloadError):
+            LatencySLOModel(100.0, 0.1).capacity_factor_for_performance(2.0)
+
+
+class TestProperties:
+    @given(factor=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80)
+    def test_slo_performance_bounded_and_below_capacity(self, factor):
+        model = LatencySLOModel(1000.0, 0.100)
+        slo = model.slo_performance(factor)
+        assert 0.0 <= slo <= 1.0 + 1e-12
+        assert slo <= factor + 1e-9  # the metric never beats raw capacity
+
+    @given(
+        a=st.floats(min_value=0.1, max_value=1.0),
+        b=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_monotone_in_capacity(self, a, b):
+        model = LatencySLOModel(1000.0, 0.100)
+        if a <= b:
+            assert model.slo_performance(a) <= model.slo_performance(b) + 1e-12
+
+    @given(
+        rate=st.floats(min_value=500, max_value=5000),
+        latency=st.floats(min_value=0.02, max_value=1.0),
+        target=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80)
+    def test_inverse_roundtrip(self, rate, latency, target):
+        model = LatencySLOModel(rate, latency)
+        if model.max_slo_throughput(1.0) <= 0:
+            return
+        factor = model.capacity_factor_for_performance(target)
+        assert model.slo_performance(min(factor, 1.0) if factor <= 1 else factor) == (
+            pytest.approx(target, abs=1e-9)
+        )

@@ -1,0 +1,201 @@
+"""Workload models: Table 7 parameters and the calibrated recovery pipelines."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.servers.server import PAPER_SERVER
+from repro.units import gigabytes
+from repro.workloads.base import CrashRecovery, PerformanceMetric, WorkloadSpec
+from repro.workloads.memcached import memcached
+from repro.workloads.registry import PAPER_WORKLOADS, get_workload, workload_names
+from repro.workloads.speccpu import speccpu_mcf
+from repro.workloads.specjbb import specjbb
+from repro.workloads.websearch import websearch
+
+
+class TestTable7Footprints:
+    def test_specjbb_18gb(self):
+        assert specjbb().memory_state_bytes == gigabytes(18)
+
+    def test_websearch_40gb(self):
+        assert websearch().memory_state_bytes == gigabytes(40)
+
+    def test_memcached_20gb(self):
+        assert memcached().memory_state_bytes == gigabytes(20)
+
+    def test_speccpu_16gb(self):
+        assert speccpu_mcf().memory_state_bytes == gigabytes(16)
+
+    def test_metrics_match_table7(self):
+        assert specjbb().metric is PerformanceMetric.LATENCY_BOUND_THROUGHPUT
+        assert websearch().metric is PerformanceMetric.LATENCY_BOUND_THROUGHPUT
+        assert memcached().metric is PerformanceMetric.THROUGHPUT
+        assert speccpu_mcf().metric is PerformanceMetric.COMPLETION_TIME
+
+
+class TestThrottlingSensitivity:
+    def test_memcached_most_tolerant(self):
+        # Section 6.2: memory stalls make Memcached throttle cheaply.
+        ratio = 0.5
+        perfs = {w.name: w.throttled_performance(ratio) for w in PAPER_WORKLOADS}
+        assert perfs["memcached"] == max(perfs.values())
+
+    def test_specjbb_least_tolerant(self):
+        ratio = 0.5
+        perfs = {w.name: w.throttled_performance(ratio) for w in PAPER_WORKLOADS}
+        assert perfs["specjbb"] == min(perfs.values())
+
+    def test_full_speed_is_unity_for_all(self):
+        for workload in PAPER_WORKLOADS:
+            assert workload.throttled_performance(1.0) == 1.0
+
+
+class TestHibernationCalibration:
+    def test_specjbb_save_near_230s(self):
+        assert specjbb().hibernate_save_seconds(PAPER_SERVER) == pytest.approx(
+            230, rel=0.02
+        )
+
+    def test_specjbb_resume_near_157s(self):
+        assert specjbb().hibernate_resume_seconds(PAPER_SERVER) == pytest.approx(
+            157, rel=0.05
+        )
+
+    def test_memcached_hibernate_save_slower_than_crash_reload(self):
+        # The paper's surprise: hibernation costs MORE than losing state.
+        mc = memcached()
+        save_plus_resume = mc.hibernate_save_seconds() + mc.hibernate_resume_seconds()
+        crash = mc.crash_downtime_after_restore_seconds()
+        assert save_plus_resume > crash
+
+    def test_memcached_hibernate_total_near_1140(self):
+        mc = memcached()
+        total = mc.hibernate_save_seconds() + mc.hibernate_resume_seconds()
+        assert total == pytest.approx(1140, rel=0.1)
+
+    def test_websearch_small_image_large_refill(self):
+        ws = websearch()
+        assert ws.effective_hibernate_image_bytes == gigabytes(4)
+        assert ws.dropped_cache_bytes == gigabytes(36)
+
+    def test_websearch_hibernate_cheaper_than_crash(self):
+        ws = websearch()
+        hib = ws.hibernate_save_seconds() + ws.hibernate_resume_seconds()
+        crash = ws.crash_downtime_after_restore_seconds()
+        assert hib < crash
+
+    def test_default_image_is_full_state(self):
+        assert specjbb().effective_hibernate_image_bytes == gigabytes(18)
+        assert specjbb().dropped_cache_bytes == 0.0
+
+    def test_image_override_respected_in_save_time(self):
+        ws = websearch()
+        explicit = ws.hibernate_save_seconds(PAPER_SERVER, image_bytes=gigabytes(8))
+        default = ws.hibernate_save_seconds(PAPER_SERVER)
+        assert explicit > default
+
+
+class TestCrashRecoveryCalibration:
+    def test_specjbb_mincost_downtime_near_400s_for_30s_outage(self):
+        # 30 s of outage + post-restore pipeline = ~400 s (Section 6.1).
+        total = 30 + specjbb().crash_downtime_after_restore_seconds()
+        assert total == pytest.approx(400, rel=0.05)
+
+    def test_memcached_mincost_near_480s(self):
+        total = 30 + memcached().crash_downtime_after_restore_seconds()
+        assert total == pytest.approx(480, rel=0.05)
+
+    def test_websearch_mincost_near_600s(self):
+        total = 30 + websearch().crash_downtime_after_restore_seconds()
+        assert total == pytest.approx(600, rel=0.05)
+
+    def test_speccpu_bounds_span_recompute_horizon(self):
+        mcf = speccpu_mcf(job_length_seconds=7200)
+        best, worst = mcf.crash_downtime_bounds_seconds()
+        assert worst - best == pytest.approx(7200)
+
+    def test_lost_work_clamped_to_horizon(self):
+        mcf = speccpu_mcf(job_length_seconds=100)
+        at_horizon = mcf.crash_downtime_after_restore_seconds(lost_work_seconds=100)
+        beyond = mcf.crash_downtime_after_restore_seconds(lost_work_seconds=500)
+        assert beyond == at_horizon
+
+    def test_warmup_shortfall_booked_not_full_window(self):
+        ws = websearch()
+        # 400 s of warm-up at 0.4 throughput books 240 s of down time.
+        rec = ws.recovery
+        shortfall = rec.warmup_seconds * (1 - rec.warmup_performance)
+        assert shortfall == pytest.approx(240)
+
+
+class TestProactiveResiduals:
+    def test_specjbb_residual_10gb(self):
+        assert specjbb().proactive_residual_bytes() == gigabytes(10)
+
+    def test_readonly_workloads_have_tiny_residuals(self):
+        assert memcached().proactive_residual_bytes() <= gigabytes(1)
+        assert websearch().proactive_residual_bytes() <= gigabytes(2)
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="x",
+            memory_state_bytes=gigabytes(1),
+            cpu_bound_fraction=0.5,
+            dirty_bytes_per_second=1e6,
+            hot_dirty_bytes=1e8,
+            read_mostly=False,
+            metric=PerformanceMetric.THROUGHPUT,
+        )
+
+    def test_zero_memory_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["memory_state_bytes"] = 0
+        kwargs["hot_dirty_bytes"] = 0
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_hot_dirty_above_footprint_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["hot_dirty_bytes"] = gigabytes(2)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_bad_cpu_fraction_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["cpu_bound_fraction"] = 1.5
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_bad_hibernate_factor_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["hibernate_bandwidth_factor"] = 0.0
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_bad_warmup_performance_rejected(self):
+        with pytest.raises(WorkloadError):
+            CrashRecovery(warmup_performance=2.0)
+
+    def test_negative_recovery_field_rejected(self):
+        with pytest.raises(WorkloadError):
+            CrashRecovery(app_start_seconds=-1)
+
+
+class TestRegistry:
+    def test_names_in_table7_order(self):
+        assert workload_names() == ["specjbb", "websearch", "memcached", "speccpu"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("SpecJBB").name == "specjbb"
+
+    def test_alias(self):
+        assert get_workload("speccpu-mcf").name == "speccpu-mcf"
+
+    def test_unknown_raises(self):
+        with pytest.raises(WorkloadError):
+            get_workload("doom")
+
+    def test_paper_workloads_tuple(self):
+        assert len(PAPER_WORKLOADS) == 4

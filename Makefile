@@ -1,0 +1,19 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree package on PYTHONPATH — no install step required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# One cached-vs-uncached sweep through repro.runner: populates a fresh
+# on-disk ResultCache, reruns, and fails unless the second pass is
+# served entirely from cache with identical results.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_smoke.py

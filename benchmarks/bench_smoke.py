@@ -1,0 +1,62 @@
+"""Cached-vs-uncached smoke run through the runner (``make bench-smoke``).
+
+Runs one configuration sweep twice against the same on-disk cache: the
+first pass populates it, the second must be served entirely from disk
+with identical results.  Exits nonzero if the cache misses or the
+results drift — a fast end-to-end check of the fingerprint → cache →
+aggregate pipeline on real sweep workloads.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from repro.analysis.sweep import sweep_configurations
+from repro.runner import ResultCache
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+def main() -> int:
+    rows = ["MaxPerf", "LargeEUPS", "NoDG", "MinCost"]
+    durations = [30.0, minutes(5), minutes(30), minutes(120)]
+    n_cells = len(rows) * len(durations)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as root:
+        started = time.perf_counter()
+        cold_cache = ResultCache(root)
+        cold = sweep_configurations(
+            specjbb(), rows, durations, cache=cold_cache
+        )
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm_cache = ResultCache(root)
+        warm = sweep_configurations(
+            specjbb(), rows, durations, cache=warm_cache
+        )
+        warm_seconds = time.perf_counter() - started
+
+    print(
+        f"bench-smoke: {n_cells} sweep cells | "
+        f"uncached {cold_seconds:.3f}s ({cold_cache.stores} stored) | "
+        f"cached {warm_seconds:.3f}s ({warm_cache.hits} hits, "
+        f"{warm_cache.misses} misses)"
+    )
+
+    if warm_cache.hits != n_cells or warm_cache.misses != 0:
+        print(
+            f"FAIL: expected {n_cells} cache hits and 0 misses", file=sys.stderr
+        )
+        return 1
+    if warm != cold:
+        print("FAIL: cached sweep differs from uncached", file=sys.stderr)
+        return 1
+    print("OK: cached rerun served entirely from disk with identical results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ from repro.errors import (
     ConfigurationError,
     InfeasibleError,
     ReproError,
+    RunnerError,
     SimulationError,
     TechniqueError,
     WorkloadError,
@@ -74,6 +75,15 @@ from repro.power.battery import LEAD_ACID, LI_ION, Battery, BatterySpec
 from repro.power.generator import DieselGenerator, DieselGeneratorSpec
 from repro.power.placement import ServerLevelBatteryBank, UPSPlacement
 from repro.power.ups import UPSSpec, UPSUnit
+from repro.runner import (
+    Job,
+    ParallelExecutor,
+    ResultCache,
+    RunStats,
+    SerialExecutor,
+    make_executor,
+    make_jobs,
+)
 from repro.servers.cluster import Cluster
 from repro.servers.server import PAPER_SERVER, ServerSpec
 from repro.sim.datacenter import Datacenter
@@ -111,6 +121,7 @@ __all__ = [
     "DieselGeneratorSpec",
     "FIGURE5_CONFIGURATIONS",
     "InfeasibleError",
+    "Job",
     "LEAD_ACID",
     "LI_ION",
     "OUTAGE_DURATION_DISTRIBUTION",
@@ -129,10 +140,15 @@ __all__ = [
     "PAPER_SERVER",
     "PAPER_TECHNIQUES",
     "PAPER_WORKLOADS",
+    "ParallelExecutor",
     "PerformabilityPoint",
     "ProvisioningPlanner",
     "ProvisioningResult",
     "ReproError",
+    "ResultCache",
+    "RunStats",
+    "RunnerError",
+    "SerialExecutor",
     "ServerLevelBatteryBank",
     "ServerSpec",
     "SimulationError",
@@ -151,6 +167,8 @@ __all__ = [
     "hours",
     "lowest_cost_backup",
     "make_datacenter",
+    "make_executor",
+    "make_jobs",
     "minutes",
     "rank_techniques",
     "seconds",

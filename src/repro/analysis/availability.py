@@ -5,12 +5,18 @@ whether to drop the DGs wants the *yearly* picture: draw outage schedules
 from the Figure 1 statistics, run every outage through the simulator, and
 aggregate down time, availability and the dollar cost of unavailability
 (via the Figure 10 TCO frame).
+
+Each simulated year is an independent :class:`repro.runner.Job` whose
+random streams are spawned from ``SeedSequence(seed)`` by year position,
+so the study produces **bit-identical statistics at any worker count**:
+``analyze(..., jobs=8)`` equals ``analyze(..., jobs=1)`` exactly, and an
+on-disk cache can answer repeated years across runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -24,6 +30,10 @@ from repro.core.tco import TCOModel
 from repro.errors import TechniqueError
 from repro.outages.generator import OutageGenerator
 from repro.power.ups import DEFAULT_RECHARGE_SECONDS
+from repro.runner.cache import ResultCache
+from repro.runner.executor import BaseExecutor, make_executor
+from repro.runner.jobs import make_jobs
+from repro.runner.progress import ProgressListener, RunStats
 from repro.servers.server import PAPER_SERVER, ServerSpec
 from repro.sim.yearly import YearlyRunner
 from repro.techniques.base import OutageTechnique, TechniqueContext
@@ -68,6 +78,40 @@ class AvailabilityReport:
         return -float(np.log10(unavailability))
 
 
+def _simulate_year(
+    spec: Mapping[str, Any], seed: Optional[np.random.SeedSequence]
+) -> Dict[str, float]:
+    """Runner job: one simulated year, reduced to its aggregates.
+
+    The year's two random consumers — the outage schedule and the DG
+    start rolls — get independent child streams of the per-year seed, so
+    neither perturbs the other and every year is independent of every
+    other regardless of execution order.
+    """
+    schedule_seed, dg_seed = seed.spawn(2)
+    generator = OutageGenerator(seed=schedule_seed)
+    runner = YearlyRunner(
+        spec["datacenter"],
+        spec["plan"],
+        recharge_seconds=spec["recharge_seconds"],
+        rng=np.random.default_rng(dg_seed),
+    )
+    result = runner.run_schedule(generator.sample_year())
+    perf_sum = 0.0
+    perf_weight = 0.0
+    for event, outcome in zip(result.events, result.outcomes):
+        perf_sum += outcome.mean_performance * event.duration_seconds
+        perf_weight += event.duration_seconds
+    return {
+        "downtime_seconds": result.total_downtime_seconds,
+        "crashes": float(result.crashes),
+        "outages": float(len(result.outcomes)),
+        "perf_sum": perf_sum,
+        "perf_weight": perf_weight,
+        "dg_start_failures": float(result.dg_start_failures),
+    }
+
+
 class AvailabilityAnalyzer:
     """Runs the Monte-Carlo study for one workload."""
 
@@ -85,7 +129,7 @@ class AvailabilityAnalyzer:
         num_servers: Cluster size (metrics are scale-free).
         server: Server model.
         tco: Dollar-loss model for the expected-loss column.
-        seed: RNG seed for outage schedules, DG start rolls.
+        seed: Root of the per-year RNG tree (outage schedules, DG rolls).
         recharge_seconds: Full battery recharge time — back-to-back
             outages inside this window start with a partially charged
             string, a second-order effect single-outage studies miss.
@@ -98,14 +142,33 @@ class AvailabilityAnalyzer:
         self.tco = tco if tco is not None else TCOModel()
         self.seed = seed
         self.recharge_seconds = recharge_seconds
+        #: Telemetry of the most recent :meth:`analyze` run.
+        self.last_run_stats: Optional[RunStats] = None
 
     def analyze(
         self,
         configuration: BackupConfiguration,
         technique: OutageTechnique,
         years: int = 200,
+        jobs: int = 1,
+        executor: Optional[BaseExecutor] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressListener] = None,
     ) -> AvailabilityReport:
-        """Simulate ``years`` of Figure 1 outages under the pairing."""
+        """Simulate ``years`` of Figure 1 outages under the pairing.
+
+        Args:
+            configuration: Backup sizing under study.
+            technique: Outage-handling technique under study.
+            years: Monte-Carlo sample size.
+            jobs: Worker processes (1 = in-process serial); ignored when
+                ``executor`` is given.  Results are identical for every
+                value.
+            executor: Pre-built executor (overrides ``jobs``/``cache``/
+                ``progress``).
+            cache: Optional on-disk result cache for the per-year jobs.
+            progress: Optional per-job event listener.
+        """
         if years <= 0:
             raise ValueError("years must be positive")
         datacenter = make_datacenter(
@@ -126,28 +189,27 @@ class AvailabilityAnalyzer:
                 TechniqueContext(cluster=datacenter.cluster, workload=self.workload)
             )
 
-        generator = OutageGenerator(seed=self.seed)
-        runner = YearlyRunner(
-            datacenter,
-            plan,
-            recharge_seconds=self.recharge_seconds,
-            rng=np.random.default_rng(self.seed + 1),
+        year_spec = {
+            "datacenter": datacenter,
+            "plan": plan,
+            "recharge_seconds": self.recharge_seconds,
+        }
+        job_list = make_jobs(
+            _simulate_year,
+            [year_spec] * years,
+            base_seed=self.seed,
+            labels=[f"year={i}" for i in range(years)],
         )
-        yearly_downtime: List[float] = []
-        crashes = 0
-        outages = 0
-        perf_sum = 0.0
-        perf_weight = 0.0
-        for _ in range(years):
-            result = runner.run_schedule(generator.sample_year())
-            yearly_downtime.append(result.total_downtime_seconds)
-            crashes += result.crashes
-            outages += len(result.outcomes)
-            for event, outcome in zip(result.events, result.outcomes):
-                perf_sum += outcome.mean_performance * event.duration_seconds
-                perf_weight += event.duration_seconds
+        if executor is None:
+            executor = make_executor(jobs=jobs, cache=cache, progress=progress)
+        report = executor.run(job_list)
+        self.last_run_stats = report.stats
 
-        downtime_arr = np.array(yearly_downtime)
+        downtime_arr = np.array([y["downtime_seconds"] for y in report.values])
+        crashes = sum(y["crashes"] for y in report.values)
+        outages = int(sum(y["outages"] for y in report.values))
+        perf_sum = sum(y["perf_sum"] for y in report.values)
+        perf_weight = sum(y["perf_weight"] for y in report.values)
         mean_seconds = float(downtime_arr.mean())
         p95_seconds = float(np.percentile(downtime_arr, 95))
         availability = 1.0 - mean_seconds / SECONDS_PER_YEAR

@@ -6,17 +6,29 @@ Two sweeps cover the evaluation:
   outage durations with best-technique selection (Figure 5);
 * :func:`sweep_techniques` — fixed workload, sweep techniques x outage
   durations, each at its lowest-cost UPS sizing (Figures 6-9).
+
+Every (row x duration) cell is an independent, deterministic
+:class:`repro.runner.Job`, so both sweeps accept the runner's knobs:
+``jobs=N`` fans the grid out over worker processes, ``cache=`` memoises
+cells across runs (repeated benchmark invocations skip already-computed
+cells), and results always come back in grid order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.configurations import BackupConfiguration, get_configuration
 from repro.core.performability import DEFAULT_NUM_SERVERS, PerformabilityPoint
 from repro.core.selection import best_technique, lowest_cost_backup
 from repro.errors import InfeasibleError
+from repro.runner.cache import ResultCache
+from repro.runner.executor import BaseExecutor, make_executor
+from repro.runner.jobs import make_jobs
+from repro.runner.progress import ProgressListener
 from repro.servers.server import PAPER_SERVER, ServerSpec
 from repro.techniques.registry import get_technique
 from repro.workloads.base import WorkloadSpec
@@ -52,30 +64,98 @@ class SweepResult:
         return self.point.downtime_minutes if self.point is not None else float("inf")
 
 
+# -- runner job callables (top-level: process pools pickle by name) -----------
+
+
+def _configuration_cell(
+    spec: Mapping[str, Any], seed: Optional[np.random.SeedSequence]
+) -> SweepResult:
+    """One Figure 5 cell: best technique for a configuration x duration."""
+    config: BackupConfiguration = spec["configuration"]
+    point = best_technique(
+        config,
+        spec["workload"],
+        spec["outage_seconds"],
+        num_servers=spec["num_servers"],
+        server=spec["server"],
+    )
+    return SweepResult(
+        row_key=config.name,
+        outage_seconds=spec["outage_seconds"],
+        point=point,
+        normalized_cost=config.normalized_cost(),
+    )
+
+
+def _technique_cell(
+    spec: Mapping[str, Any], seed: Optional[np.random.SeedSequence]
+) -> SweepResult:
+    """One Figures 6-9 cell: lowest-cost sizing for a technique x duration.
+
+    Infeasible cells (the technique cannot survive the duration on any
+    UPS in the grid) are data, not errors: ``point=None``, infinite cost.
+    """
+    name: str = spec["technique"]
+    try:
+        sized = lowest_cost_backup(
+            get_technique(name),
+            spec["workload"],
+            spec["outage_seconds"],
+            num_servers=spec["num_servers"],
+            server=spec["server"],
+        )
+    except InfeasibleError:
+        return SweepResult(
+            row_key=name,
+            outage_seconds=spec["outage_seconds"],
+            point=None,
+            normalized_cost=float("inf"),
+        )
+    return SweepResult(
+        row_key=name,
+        outage_seconds=spec["outage_seconds"],
+        point=sized.point,
+        normalized_cost=sized.normalized_cost,
+    )
+
+
+def _run_grid(
+    fn,
+    specs: List[Mapping[str, Any]],
+    labels: List[str],
+    jobs: int,
+    executor: Optional[BaseExecutor],
+    cache: Optional[ResultCache],
+    progress: Optional[ProgressListener],
+) -> List[SweepResult]:
+    if executor is None:
+        executor = make_executor(jobs=jobs, cache=cache, progress=progress)
+    return list(executor.run(make_jobs(fn, specs, labels=labels)).values)
+
+
 def sweep_configurations(
     workload: WorkloadSpec,
     configuration_names: Iterable[str],
     outage_durations_seconds: Sequence[float],
     num_servers: int = DEFAULT_NUM_SERVERS,
     server: ServerSpec = PAPER_SERVER,
+    jobs: int = 1,
+    executor: Optional[BaseExecutor] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> List[SweepResult]:
     """Figure 5 sweep: best technique per configuration per duration."""
-    results: List[SweepResult] = []
-    for name in configuration_names:
-        config = get_configuration(name)
-        for duration in outage_durations_seconds:
-            point = best_technique(
-                config, workload, duration, num_servers=num_servers, server=server
-            )
-            results.append(
-                SweepResult(
-                    row_key=config.name,
-                    outage_seconds=duration,
-                    point=point,
-                    normalized_cost=config.normalized_cost(),
-                )
-            )
-    return results
+    return custom_configuration_sweep(
+        workload,
+        [get_configuration(name) for name in configuration_names],
+        outage_durations_seconds,
+        num_servers=num_servers,
+        server=server,
+        jobs=jobs,
+        executor=executor,
+        cache=cache,
+        progress=progress,
+    )
 
 
 def sweep_techniques(
@@ -84,6 +164,10 @@ def sweep_techniques(
     outage_durations_seconds: Sequence[float],
     num_servers: int = DEFAULT_NUM_SERVERS,
     server: ServerSpec = PAPER_SERVER,
+    jobs: int = 1,
+    executor: Optional[BaseExecutor] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> List[SweepResult]:
     """Figures 6-9 sweep: lowest-cost sizing per technique per duration.
 
@@ -92,36 +176,21 @@ def sweep_techniques(
     renderer can mark them, as the paper's text does for Throttling past
     4 hours.
     """
-    results: List[SweepResult] = []
+    specs: List[Mapping[str, Any]] = []
+    labels: List[str] = []
     for name in technique_names:
-        technique = get_technique(name)
         for duration in outage_durations_seconds:
-            try:
-                sized = lowest_cost_backup(
-                    technique,
-                    workload,
-                    duration,
-                    num_servers=num_servers,
-                    server=server,
-                )
-                results.append(
-                    SweepResult(
-                        row_key=name,
-                        outage_seconds=duration,
-                        point=sized.point,
-                        normalized_cost=sized.normalized_cost,
-                    )
-                )
-            except InfeasibleError:
-                results.append(
-                    SweepResult(
-                        row_key=name,
-                        outage_seconds=duration,
-                        point=None,
-                        normalized_cost=float("inf"),
-                    )
-                )
-    return results
+            specs.append(
+                {
+                    "technique": name,
+                    "workload": workload,
+                    "outage_seconds": duration,
+                    "num_servers": num_servers,
+                    "server": server,
+                }
+            )
+            labels.append(f"{name}@{duration:g}s")
+    return _run_grid(_technique_cell, specs, labels, jobs, executor, cache, progress)
 
 
 def index_results(
@@ -137,20 +206,26 @@ def custom_configuration_sweep(
     outage_durations_seconds: Sequence[float],
     num_servers: int = DEFAULT_NUM_SERVERS,
     server: ServerSpec = PAPER_SERVER,
+    jobs: int = 1,
+    executor: Optional[BaseExecutor] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
 ) -> List[SweepResult]:
     """Like :func:`sweep_configurations` for ad-hoc configuration objects."""
-    results: List[SweepResult] = []
+    specs: List[Mapping[str, Any]] = []
+    labels: List[str] = []
     for config in configurations:
         for duration in outage_durations_seconds:
-            point = best_technique(
-                config, workload, duration, num_servers=num_servers, server=server
+            specs.append(
+                {
+                    "configuration": config,
+                    "workload": workload,
+                    "outage_seconds": duration,
+                    "num_servers": num_servers,
+                    "server": server,
+                }
             )
-            results.append(
-                SweepResult(
-                    row_key=config.name,
-                    outage_seconds=duration,
-                    point=point,
-                    normalized_cost=config.normalized_cost(),
-                )
-            )
-    return results
+            labels.append(f"{config.name}@{duration:g}s")
+    return _run_grid(
+        _configuration_cell, specs, labels, jobs, executor, cache, progress
+    )

@@ -10,6 +10,13 @@ Subcommands::
     python -m repro rank      -w memcached -m 30
     python -m repro availability -w specjbb -c LargeEUPS -t throttle+sleep-l
     python -m repro tco
+
+The ``availability``, ``rank`` and ``reproduce`` subcommands run on the
+:mod:`repro.runner` subsystem and accept ``--jobs N`` (worker processes;
+results are bit-identical at every worker count), ``--cache DIR`` (an
+on-disk result cache — reruns skip already-computed jobs and report the
+hits) and ``--seed S`` (root of the per-job RNG tree).  Each prints a
+``[runner] ...`` telemetry line after its table.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.core.planner import ProvisioningPlanner
 from repro.core.selection import rank_techniques
 from repro.core.tco import TCOModel
 from repro.errors import InfeasibleError, ReproError
+from repro.runner import ResultCache, make_executor
 from repro.techniques.registry import get_technique, technique_names
 from repro.units import minutes, to_minutes
 from repro.workloads.registry import get_workload, workload_names
@@ -130,11 +138,25 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_executor(args: argparse.Namespace):
+    """Build the runner executor the ``--jobs/--cache`` flags describe."""
+    cache = ResultCache(args.cache) if getattr(args, "cache", None) else None
+    return make_executor(jobs=getattr(args, "jobs", 1), cache=cache)
+
+
+def _print_run_stats(executor) -> None:
+    report = getattr(executor, "last_report", None)
+    if report is not None:
+        print(f"[runner] {report.stats.summary()}")
+
+
 def _cmd_rank(args: argparse.Namespace) -> int:
+    executor = _make_executor(args)
     ranking = rank_techniques(
         get_workload(args.workload),
         minutes(args.outage_minutes),
         num_servers=args.servers,
+        executor=executor,
     )
     rows = [
         (
@@ -153,6 +175,7 @@ def _cmd_rank(args: argparse.Namespace) -> int:
             "(each at its lowest-cost UPS)",
         )
     )
+    _print_run_stats(executor)
     return 0
 
 
@@ -160,10 +183,12 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     analyzer = AvailabilityAnalyzer(
         get_workload(args.workload), num_servers=args.servers, seed=args.seed
     )
+    executor = _make_executor(args)
     report = analyzer.analyze(
         get_configuration(args.configuration),
         get_technique(args.technique),
         years=args.years,
+        executor=executor,
     )
     rows = [
         ("years simulated", report.years_simulated),
@@ -176,6 +201,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
         ("expected loss ($/KW/yr)", report.expected_loss_dollars_per_kw_year),
     ]
     print(format_table(("quantity", "value"), rows, title="availability"))
+    _print_run_stats(executor)
     return 0
 
 
@@ -183,10 +209,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS, run_all, run_experiment
 
     quick = not args.full
+    executor = _make_executor(args)
     if args.experiment:
         results = [run_experiment(args.experiment, quick=quick)]
     else:
-        results = run_all(quick=quick)
+        results = run_all(quick=quick, executor=executor)
     for result in results:
         print(result.rendered)
         print()
@@ -206,6 +233,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         missing = set(EXPERIMENTS) - {r.experiment_id for r in results}
         if missing:  # pragma: no cover - registry bookkeeping
             print(f"warning: experiments not run: {sorted(missing)}")
+        _print_run_stats(executor)
     return 0
 
 
@@ -289,14 +317,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--max-down-minutes", type=float, default=None)
     p_plan.set_defaults(func=_cmd_plan)
 
+    def add_runner_flags(p: argparse.ArgumentParser, with_seed: bool = True):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes (1 = serial; results identical either way)",
+        )
+        p.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="on-disk result cache directory (reruns skip computed jobs)",
+        )
+        if with_seed:
+            p.add_argument(
+                "--seed",
+                type=int,
+                default=0,
+                help="root RNG seed for stochastic stages (deterministic "
+                "analyses ignore it)",
+            )
+
     p_rank = sub.add_parser("rank", help="rank techniques by sized cost")
     add_common(p_rank)
+    add_runner_flags(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
 
     p_avail = sub.add_parser("availability", help="Monte-Carlo yearly study")
     add_common(p_avail, needs_config=True, needs_tech=True)
     p_avail.add_argument("--years", type=int, default=100)
-    p_avail.add_argument("--seed", type=int, default=0)
+    add_runner_flags(p_avail)
     p_avail.set_defaults(func=_cmd_availability)
 
     sub.add_parser("tco", help="Figure 10 crossover").set_defaults(func=_cmd_tco)
@@ -319,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.add_argument(
         "--csv-dir", default=None, help="also write each experiment as CSV here"
     )
+    add_runner_flags(p_repro)
     p_repro.set_defaults(func=_cmd_reproduce)
     return parser
 

@@ -209,28 +209,54 @@ def _minimal_runtime(
     return hi
 
 
+def _rank_job(spec, seed) -> Optional["SizedBackup"]:
+    """Runner job: one technique's lowest-cost sizing (None if infeasible)."""
+    try:
+        return lowest_cost_backup(
+            get_technique(spec["technique"]),
+            spec["workload"],
+            spec["outage_seconds"],
+            num_servers=spec["num_servers"],
+            server=spec["server"],
+        )
+    except InfeasibleError:
+        return None
+
+
 def rank_techniques(
     workload: WorkloadSpec,
     outage_seconds: float,
     technique_names: Iterable[str] = PAPER_TECHNIQUES,
     num_servers: int = DEFAULT_NUM_SERVERS,
     server: ServerSpec = PAPER_SERVER,
+    executor: Optional["BaseExecutor"] = None,
 ) -> List[SizedBackup]:
     """Every technique's lowest-cost sizing, sorted cheapest-first; the
-    Figure 6-9 bar-chart generator.  Infeasible techniques are omitted."""
-    results: List[SizedBackup] = []
-    for name in technique_names:
-        try:
-            results.append(
-                lowest_cost_backup(
-                    get_technique(name),
-                    workload,
-                    outage_seconds,
-                    num_servers=num_servers,
-                    server=server,
-                )
-            )
-        except InfeasibleError:
-            continue
+    Figure 6-9 bar-chart generator.  Infeasible techniques are omitted.
+
+    Args:
+        executor: Optional :class:`repro.runner.BaseExecutor` — the
+            per-technique sizing searches run as independent jobs on it
+            (parallel and/or cached); ``None`` keeps the in-process loop.
+    """
+    names = list(technique_names)
+    specs = [
+        {
+            "technique": name,
+            "workload": workload,
+            "outage_seconds": outage_seconds,
+            "num_servers": num_servers,
+            "server": server,
+        }
+        for name in names
+    ]
+    if executor is None:
+        from repro.runner.executor import SerialExecutor
+
+        executor = SerialExecutor()
+    from repro.runner.jobs import make_jobs
+
+    report = executor.run(make_jobs(_rank_job, specs, labels=names))
+    results = [sized for sized in report.values if sized is not None]
     results.sort(key=lambda sized: sized.normalized_cost)
     return results

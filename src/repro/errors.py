@@ -46,3 +46,12 @@ class InfeasibleError(ReproError):
     concrete simulation, this signals that a *search* (e.g. the provisioning
     planner) proved no feasible answer exists.
     """
+
+
+class RunnerError(ReproError, RuntimeError):
+    """The experiment-execution subsystem failed.
+
+    Raised for malformed job lists (duplicate indices, unpicklable
+    callables), invalid executor/cache parameters, and — under
+    ``strict=True`` — when any job in a run fails.
+    """

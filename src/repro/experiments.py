@@ -251,6 +251,24 @@ def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
     return generator(quick)
 
 
-def run_all(quick: bool = True) -> List[ExperimentResult]:
-    """Regenerate every registered experiment, in paper order."""
-    return [generator(quick) for generator in EXPERIMENTS.values()]
+def _experiment_job(spec, seed) -> ExperimentResult:
+    """Runner job: regenerate one experiment by id."""
+    return run_experiment(spec["experiment_id"], quick=spec["quick"])
+
+
+def run_all(quick: bool = True, executor=None) -> List[ExperimentResult]:
+    """Regenerate every registered experiment, in paper order.
+
+    Args:
+        quick: Trimmed duration grids (seconds instead of minutes).
+        executor: Optional :class:`repro.runner.BaseExecutor` — each
+            experiment becomes an independent job (parallel and/or
+            cached); ``None`` keeps the in-process loop.
+    """
+    if executor is None:
+        return [generator(quick) for generator in EXPERIMENTS.values()]
+    from repro.runner.jobs import make_jobs
+
+    ids = list(EXPERIMENTS)
+    specs = [{"experiment_id": eid, "quick": quick} for eid in ids]
+    return list(executor.run(make_jobs(_experiment_job, specs, labels=ids)).values)

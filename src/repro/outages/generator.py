@@ -28,14 +28,16 @@ class OutageGenerator:
         duration_distribution: Distribution of per-outage durations
             (defaults to Figure 1(b)).
         horizon_seconds: Schedule length (defaults to one year).
-        seed: RNG seed.
+        seed: RNG seed — an int, or a :class:`numpy.random.SeedSequence`
+            (what the runner subsystem spawns per job) — anything
+            :func:`numpy.random.default_rng` accepts.
     """
 
     def __init__(
         self,
         duration_distribution: EmpiricalDistribution = OUTAGE_DURATION_DISTRIBUTION,
         horizon_seconds: float = SECONDS_PER_YEAR,
-        seed: int = 0,
+        seed: "int | np.random.SeedSequence" = 0,
     ):
         self._durations = duration_distribution
         self._horizon = float(horizon_seconds)

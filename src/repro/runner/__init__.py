@@ -1,0 +1,69 @@
+"""repro.runner: parallel, cached, observable experiment execution.
+
+Everything quantitative in the reproduction — Monte-Carlo availability
+studies, the Figure 5-9 sweep grids, the ``reproduce`` driver — reduces
+to "run many independent simulations and aggregate".  This package makes
+that a first-class service:
+
+* :mod:`repro.runner.jobs` — picklable :class:`Job` units with stable
+  SHA-256 fingerprints and :class:`numpy.random.SeedSequence`-spawned
+  per-job random streams (bit-identical results at any worker count);
+* :mod:`repro.runner.executor` — :class:`SerialExecutor` and a
+  process-pool :class:`ParallelExecutor` with windowed dispatch,
+  per-job timeouts, and automatic serial fallback;
+* :mod:`repro.runner.cache` — an on-disk :class:`ResultCache` keyed by
+  job fingerprint + code version;
+* :mod:`repro.runner.progress` — :class:`JobEvent` callbacks and the
+  :class:`RunStats` aggregate every run returns.
+
+Quickstart::
+
+    from repro.runner import ResultCache, make_executor, make_jobs
+
+    def cell(spec, seed):          # top-level, picklable
+        rng = __import__("numpy").random.default_rng(seed)
+        return spec["x"] ** 2 + rng.standard_normal()
+
+    jobs = make_jobs(cell, [{"x": x} for x in range(100)], base_seed=7)
+    report = make_executor(jobs=4, cache=ResultCache("/tmp/cells")).run(jobs)
+    print(report.values, report.stats.summary())
+"""
+
+from repro.runner.cache import ResultCache, default_cache_version
+from repro.runner.executor import (
+    BaseExecutor,
+    JobFailure,
+    ParallelExecutor,
+    RunReport,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runner.jobs import Job, JobFn, canonical_encode, make_jobs, spawn_seeds
+from repro.runner.progress import (
+    CollectingProgress,
+    ConsoleProgress,
+    JobEvent,
+    ProgressListener,
+    RunStats,
+)
+
+__all__ = [
+    "BaseExecutor",
+    "CollectingProgress",
+    "ConsoleProgress",
+    "Job",
+    "JobEvent",
+    "JobFailure",
+    "JobFn",
+    "ParallelExecutor",
+    "ProgressListener",
+    "ResultCache",
+    "RunReport",
+    "RunStats",
+    "SerialExecutor",
+    "canonical_encode",
+    "default_cache_version",
+    "make_executor",
+    "make_jobs",
+    "spawn_seeds",
+]

@@ -1,0 +1,108 @@
+"""On-disk result cache keyed by job fingerprint + code version.
+
+Repeated sweeps and benchmark re-runs recompute mostly identical cells;
+the cache turns those into disk reads.  Entries are pickles stored under
+``root/<version>/<fp[:2]>/<fp>.pkl`` — the version prefix (defaulting to
+the installed ``repro`` version) invalidates the whole cache on upgrade
+without touching any files, and the two-character fan-out keeps
+directories small for large sweeps.
+
+Robustness over cleverness: a corrupt, truncated, or unreadable entry is
+a miss; a failed write is ignored (the value is simply recomputed next
+time).  Writes go through a same-directory temp file and ``os.replace``
+so concurrent runs never observe half-written entries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.errors import RunnerError
+from repro.runner.jobs import Job
+
+_SENTINEL = object()
+
+
+def default_cache_version() -> str:
+    """The installed library version (the default cache namespace)."""
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+class ResultCache:
+    """Pickle-on-disk memoisation of job results.
+
+    Args:
+        root: Cache directory (created on first write).
+        version: Namespace folded into every path; results computed by a
+            different code version are invisible, not deleted.
+    """
+
+    def __init__(self, root: os.PathLike, version: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.version = version if version is not None else default_cache_version()
+        if not self.version or any(sep in self.version for sep in ("/", "\\")):
+            raise RunnerError(f"invalid cache version {self.version!r}")
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / self.version / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def get(self, job: Job) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        value = self._read(self._path(job.fingerprint))
+        if value is _SENTINEL:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, job: Job, value: Any) -> bool:
+        """Store ``value``; returns False (and stays silent) on failure."""
+        path = self._path(job.fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            return False
+        self.stores += 1
+        return True
+
+    def _read(self, path: Path) -> Any:
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _SENTINEL
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # Corrupt or stale entry: treat as a miss and drop it so the
+            # next run rewrites a clean copy.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return _SENTINEL
+
+    def __len__(self) -> int:
+        base = self.root / self.version
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.glob("*/*.pkl"))

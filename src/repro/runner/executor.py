@@ -1,0 +1,322 @@
+"""Executors: run job lists serially or on a process pool.
+
+Both executors share one contract:
+
+* results come back **in submission order** (by :attr:`Job.index`), so
+  callers aggregate identically regardless of completion order;
+* the optional :class:`~repro.runner.cache.ResultCache` is consulted in
+  the coordinating process before any dispatch, so cache hits never pay
+  worker-transfer costs;
+* every transition is reported to the optional
+  :class:`~repro.runner.progress.ProgressListener`, and the returned
+  :class:`RunReport` carries a full :class:`RunStats`.
+
+:class:`ParallelExecutor` dispatches misses to a
+:class:`concurrent.futures.ProcessPoolExecutor` in bounded windows
+(``chunk_size`` futures in flight per worker) with a per-job timeout,
+and degrades to in-process execution when the pool cannot start or
+breaks mid-run — sandboxes without ``fork``/semaphores get a slower run,
+not a crash.  Because jobs carry their own
+:class:`numpy.random.SeedSequence` streams, a fallback (or any worker
+count) changes nothing about the numbers produced.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+import traceback
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RunnerError
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import Job
+from repro.runner.progress import JobEvent, ProgressListener, RunStats
+
+DEFAULT_CHUNK_SIZE = 8
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One failed job.
+
+    Attributes:
+        index: The job's submission index.
+        label: The job's display name.
+        error: Exception message (with the exception type's name).
+        traceback_text: Formatted worker-side traceback when available.
+    """
+
+    index: int
+    label: str
+    error: str
+    traceback_text: str = ""
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The outcome of one executor run.
+
+    Attributes:
+        values: Per-job results in submission order; failed jobs hold
+            ``None`` (only observable with ``strict=False``).
+        stats: Aggregate run telemetry.
+        failures: The failed jobs, submission order.
+    """
+
+    values: Sequence[Any]
+    stats: RunStats
+    failures: Sequence[JobFailure] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _execute_job(job: Job) -> Tuple[int, bool, Any, str, float]:
+    """Worker-side wrapper: never raises, always reports duration.
+
+    Returns ``(index, ok, value_or_error, traceback_text, seconds)``.
+    Exceptions are rendered to strings here because traceback objects do
+    not survive pickling back to the coordinator.
+    """
+    start = time.perf_counter()
+    try:
+        value = job.run()
+    except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
+        elapsed = time.perf_counter() - start
+        message = f"{type(exc).__name__}: {exc}"
+        return job.index, False, message, traceback.format_exc(), elapsed
+    return job.index, True, value, "", time.perf_counter() - start
+
+
+class BaseExecutor:
+    """Shared cache/progress/aggregation plumbing; subclasses dispatch.
+
+    Args:
+        cache: Optional on-disk result cache.
+        progress: Optional event listener.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressListener] = None,
+    ) -> None:
+        self.cache = cache
+        self.progress = progress
+        #: The most recent :class:`RunReport`; lets callers that hand an
+        #: executor to a library function still read the run telemetry.
+        self.last_report: Optional[RunReport] = None
+
+    # -- subclass hook --------------------------------------------------------
+
+    def _dispatch(
+        self, jobs: Sequence[Job], stats: RunStats
+    ) -> List[Tuple[int, bool, Any, str, float]]:
+        """Compute every job in ``jobs``; any order, all of them."""
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job], strict: bool = True) -> RunReport:
+        """Run ``jobs``; values return in submission order.
+
+        Args:
+            jobs: The work list; indices must be unique.
+            strict: Raise :class:`RunnerError` on the first failure
+                (after all jobs finish) instead of returning ``None``
+                holes in :attr:`RunReport.values`.
+        """
+        jobs = list(jobs)
+        indices = [job.index for job in jobs]
+        if len(set(indices)) != len(indices):
+            raise RunnerError("job indices must be unique")
+        stats = RunStats(jobs_total=len(jobs))
+        started = time.perf_counter()
+        values: Dict[int, Any] = {}
+        failures: List[JobFailure] = []
+
+        misses: List[Job] = []
+        for job in jobs:
+            if self.cache is not None:
+                hit, value = self.cache.get(job)
+                if hit:
+                    values[job.index] = value
+                    stats.cache_hits += 1
+                    self._emit(JobEvent("cache-hit", job.index,
+                                        job.display_name(), job.fingerprint))
+                    continue
+            misses.append(job)
+
+        if misses:
+            by_index = {job.index: job for job in misses}
+            for index, ok, payload, tb_text, seconds in self._dispatch(
+                misses, stats
+            ):
+                job = by_index[index]
+                stats.jobs_run += 1
+                stats.job_seconds += seconds
+                if ok:
+                    values[index] = payload
+                    if self.cache is not None:
+                        self.cache.put(job, payload)
+                    self._emit(JobEvent("finished", index, job.display_name(),
+                                        job.fingerprint, seconds))
+                else:
+                    values[index] = None
+                    stats.failures += 1
+                    failures.append(
+                        JobFailure(index, job.display_name(), payload, tb_text)
+                    )
+                    self._emit(JobEvent("failed", index, job.display_name(),
+                                        job.fingerprint, seconds, error=payload))
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        failures.sort(key=lambda f: f.index)
+        report = RunReport(
+            values=[values[i] for i in sorted(values)],
+            stats=stats,
+            failures=tuple(failures),
+        )
+        self.last_report = report
+        if strict and failures:
+            first = failures[0]
+            detail = f"\n{first.traceback_text}" if first.traceback_text else ""
+            raise RunnerError(
+                f"{len(failures)} of {len(jobs)} jobs failed; first: "
+                f"{first.label}: {first.error}{detail}"
+            )
+        return report
+
+    def _emit(self, event: JobEvent) -> None:
+        if self.progress is not None:
+            self.progress.on_event(event)
+
+
+class SerialExecutor(BaseExecutor):
+    """In-process, in-order execution — the reference semantics."""
+
+    def _dispatch(
+        self, jobs: Sequence[Job], stats: RunStats
+    ) -> List[Tuple[int, bool, Any, str, float]]:
+        results = []
+        for job in jobs:
+            self._emit(JobEvent("started", job.index, job.display_name(),
+                                job.fingerprint))
+            results.append(_execute_job(job))
+        return results
+
+
+class ParallelExecutor(BaseExecutor):
+    """Process-pool execution with windowed dispatch and serial fallback.
+
+    Args:
+        max_workers: Pool size (None lets the pool pick; values are
+            clamped to >= 1).
+        cache: Optional on-disk result cache.
+        progress: Optional event listener.
+        timeout_seconds: Per-job wall-clock limit; an overrun marks the
+            job failed (the worker is abandoned, not killed — pools
+            cannot interrupt a running task).
+        chunk_size: Futures kept in flight per worker; bounds coordinator
+            memory on very large job lists.
+        fallback_serial: Degrade to in-process execution when the pool
+            cannot start or breaks; ``False`` re-raises instead.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressListener] = None,
+        timeout_seconds: Optional[float] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        fallback_serial: bool = True,
+    ) -> None:
+        super().__init__(cache=cache, progress=progress)
+        if max_workers is not None and max_workers < 1:
+            raise RunnerError("max_workers must be >= 1")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise RunnerError("timeout_seconds must be positive")
+        if chunk_size < 1:
+            raise RunnerError("chunk_size must be >= 1")
+        self.max_workers = max_workers
+        self.timeout_seconds = timeout_seconds
+        self.chunk_size = chunk_size
+        self.fallback_serial = fallback_serial
+
+    def _dispatch(
+        self, jobs: Sequence[Job], stats: RunStats
+    ) -> List[Tuple[int, bool, Any, str, float]]:
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+        except (OSError, ValueError, NotImplementedError) as exc:
+            return self._fallback(jobs, stats, exc)
+        stats.workers = getattr(pool, "_max_workers", self.max_workers or 1)
+        results: List[Tuple[int, bool, Any, str, float]] = []
+        pending: List[Job] = list(jobs)
+        window = self.chunk_size * max(stats.workers, 1)
+        try:
+            with pool:
+                in_flight: "List[Tuple[concurrent.futures.Future, Job]]" = []
+                cursor = 0
+                while cursor < len(pending) or in_flight:
+                    while cursor < len(pending) and len(in_flight) < window:
+                        job = pending[cursor]
+                        cursor += 1
+                        self._emit(JobEvent("started", job.index,
+                                            job.display_name(), job.fingerprint))
+                        in_flight.append((pool.submit(_execute_job, job), job))
+                    future, job = in_flight.pop(0)
+                    try:
+                        results.append(future.result(timeout=self.timeout_seconds))
+                    except concurrent.futures.TimeoutError:
+                        future.cancel()
+                        results.append((
+                            job.index, False,
+                            f"TimeoutError: job exceeded "
+                            f"{self.timeout_seconds:.1f}s", "", 0.0,
+                        ))
+        except BrokenProcessPool as exc:
+            done = {r[0] for r in results}
+            remaining = [job for job in jobs if job.index not in done]
+            return results + self._fallback(remaining, stats, exc)
+        return results
+
+    def _fallback(
+        self, jobs: Sequence[Job], stats: RunStats, cause: BaseException
+    ) -> List[Tuple[int, bool, Any, str, float]]:
+        if not self.fallback_serial:
+            raise RunnerError(f"process pool unavailable: {cause}") from cause
+        stats.fell_back_to_serial = True
+        stats.workers = 1
+        results = []
+        for job in jobs:
+            self._emit(JobEvent("started", job.index, job.display_name(),
+                                job.fingerprint))
+            results.append(_execute_job(job))
+        return results
+
+
+def make_executor(
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressListener] = None,
+    timeout_seconds: Optional[float] = None,
+) -> BaseExecutor:
+    """The conventional ``--jobs N`` mapping: 1 → serial, N → pool of N."""
+    if jobs < 1:
+        raise RunnerError("jobs must be >= 1")
+    if jobs == 1:
+        return SerialExecutor(cache=cache, progress=progress)
+    return ParallelExecutor(
+        max_workers=jobs,
+        cache=cache,
+        progress=progress,
+        timeout_seconds=timeout_seconds,
+    )

@@ -1,0 +1,149 @@
+"""Run observability: per-job events and whole-run statistics.
+
+Executors emit a :class:`JobEvent` at every state transition (started,
+finished, failed, cache-hit) to a :class:`ProgressListener`.  Listeners
+are synchronous and run in the coordinating process, so they may touch
+shared state freely; a slow listener slows the run, so keep them cheap.
+
+:class:`RunStats` is the aggregate every run returns: how many jobs ran,
+how many came from cache, how many failed, wall-clock elapsed, and the
+sum of per-job compute seconds (> elapsed when workers overlap — the
+ratio is the achieved parallel speedup).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import IO, List, Optional
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One job state transition.
+
+    Attributes:
+        kind: "started", "finished", "failed", or "cache-hit".
+        index: The job's submission index.
+        label: The job's display name.
+        fingerprint: The job's stable identity (cache key material).
+        duration_seconds: Wall-clock compute time ("finished"/"failed"
+            only; 0.0 otherwise).
+        error: Failure description ("failed" only).
+    """
+
+    kind: str
+    index: int
+    label: str
+    fingerprint: str
+    duration_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+class ProgressListener:
+    """Callback protocol; subclass and override :meth:`on_event`."""
+
+    def on_event(self, event: JobEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+
+@dataclass
+class RunStats:
+    """Aggregate telemetry for one executor run.
+
+    Attributes:
+        jobs_total: Jobs submitted.
+        jobs_run: Jobs actually computed (misses).
+        cache_hits: Jobs answered from the result cache.
+        failures: Jobs that raised or timed out.
+        job_seconds: Sum of per-job compute durations.
+        elapsed_seconds: Wall-clock for the whole run.
+        workers: Worker count the executor settled on (1 = serial).
+        fell_back_to_serial: True when a parallel run degraded to serial
+            (pool could not start, e.g. in a sandbox).
+    """
+
+    jobs_total: int = 0
+    jobs_run: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    job_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+    fell_back_to_serial: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """Achieved compute-to-wall ratio (1.0 for a serial run)."""
+        if self.elapsed_seconds <= 0:
+            return 1.0
+        return self.job_seconds / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """One-line human-readable digest (the CLI prints this)."""
+        parts = [
+            f"{self.jobs_total} jobs",
+            f"{self.jobs_run} run",
+            f"{self.cache_hits} cache hits",
+            f"{self.failures} failed",
+            f"{self.elapsed_seconds:.2f}s elapsed",
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}",
+        ]
+        if self.fell_back_to_serial:
+            parts.append("(fell back to serial)")
+        return ", ".join(parts)
+
+
+class CollectingProgress(ProgressListener):
+    """Records every event; used by tests and ad-hoc inspection."""
+
+    def __init__(self) -> None:
+        self.events: List[JobEvent] = []
+
+    def on_event(self, event: JobEvent) -> None:
+        self.events.append(event)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+
+class ConsoleProgress(ProgressListener):
+    """Prints a progress line every ``every`` completions.
+
+    Args:
+        total: Expected job count (for the ``done/total`` readout).
+        every: Print cadence in completions (1 = every job).
+        stream: Output stream; defaults to stderr so stdout stays
+            machine-parseable.
+    """
+
+    def __init__(
+        self, total: int, every: int = 10, stream: Optional[IO[str]] = None
+    ) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.total = total
+        self.every = every
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.hits = 0
+        self.failed = 0
+
+    def on_event(self, event: JobEvent) -> None:
+        if event.kind == "started":
+            return
+        self.done += 1
+        if event.kind == "cache-hit":
+            self.hits += 1
+        elif event.kind == "failed":
+            self.failed += 1
+            print(
+                f"[runner] FAILED {event.label or event.index}: {event.error}",
+                file=self.stream,
+            )
+        if self.done % self.every == 0 or self.done == self.total:
+            print(
+                f"[runner] {self.done}/{self.total} done "
+                f"({self.hits} cache hits, {self.failed} failed)",
+                file=self.stream,
+            )

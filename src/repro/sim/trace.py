@@ -91,6 +91,20 @@ class PowerTrace:
     def __len__(self) -> int:
         return len(self._segments)
 
+    def __eq__(self, other: object) -> bool:
+        # Value equality (two traces with the same segments are the same
+        # measurement) so outcomes compare equal across process
+        # boundaries — the runner's serial == parallel guarantee.
+        if not isinstance(other, PowerTrace):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerTrace({len(self._segments)} segments, "
+            f"0..{self.end_seconds:g}s)"
+        )
+
     @property
     def segments(self) -> List[TraceSegment]:
         return list(self._segments)

@@ -1,0 +1,106 @@
+"""Result cache: hits, versioning, corruption tolerance, executor wiring."""
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.cache import ResultCache
+from repro.runner.executor import SerialExecutor
+from repro.runner.jobs import make_jobs
+from repro.runner.progress import CollectingProgress
+
+CALLS = {"n": 0}
+
+
+def counting(spec, seed):
+    CALLS["n"] += 1
+    return spec["x"] * 2
+
+
+SPECS = [{"x": x} for x in range(6)]
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (job,) = make_jobs(counting, [{"x": 4}])
+        hit, _ = cache.get(job)
+        assert not hit
+        assert cache.put(job, 8)
+        hit, value = cache.get(job)
+        assert hit and value == 8
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for job in make_jobs(counting, SPECS):
+            cache.put(job, 0)
+        assert len(cache) == 6
+
+    def test_version_partitions_results(self, tmp_path):
+        (job,) = make_jobs(counting, [{"x": 1}])
+        ResultCache(tmp_path, version="v1").put(job, "old")
+        hit, _ = ResultCache(tmp_path, version="v2").get(job)
+        assert not hit
+        hit, value = ResultCache(tmp_path, version="v1").get(job)
+        assert hit and value == "old"
+
+    def test_invalid_version_rejected(self, tmp_path):
+        with pytest.raises(RunnerError):
+            ResultCache(tmp_path, version="a/b")
+        with pytest.raises(RunnerError):
+            ResultCache(tmp_path, version="")
+
+    def test_corrupt_entry_is_a_miss_and_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (job,) = make_jobs(counting, [{"x": 1}])
+        cache.put(job, 2)
+        path = cache._path(job.fingerprint)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(job)
+        assert not hit
+        assert not path.exists()  # corrupt entry removed for rewrite
+
+    def test_unpicklable_value_is_nonfatal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (job,) = make_jobs(counting, [{"x": 1}])
+        assert not cache.put(job, lambda: None)
+        hit, _ = cache.get(job)
+        assert not hit
+
+
+class TestExecutorIntegration:
+    def test_second_run_is_all_hits(self, tmp_path):
+        CALLS["n"] = 0
+        jobs = make_jobs(counting, SPECS)
+        first = SerialExecutor(cache=ResultCache(tmp_path)).run(jobs)
+        assert CALLS["n"] == 6
+        progress = CollectingProgress()
+        second = SerialExecutor(
+            cache=ResultCache(tmp_path), progress=progress
+        ).run(jobs)
+        assert CALLS["n"] == 6  # nothing recomputed
+        assert second.values == first.values
+        assert second.stats.cache_hits == 6
+        assert second.stats.jobs_run == 0
+        assert progress.count("cache-hit") == 6
+
+    def test_partial_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SerialExecutor(cache=cache).run(make_jobs(counting, SPECS[:3]))
+        report = SerialExecutor(cache=ResultCache(tmp_path)).run(
+            make_jobs(counting, SPECS)
+        )
+        assert report.stats.cache_hits == 3
+        assert report.stats.jobs_run == 3
+        assert report.values == [x * 2 for x in range(6)]
+
+    def test_failures_are_not_cached(self, tmp_path):
+        report = SerialExecutor(cache=ResultCache(tmp_path)).run(
+            make_jobs(_always_fails, [{"x": 0}]), strict=False
+        )
+        assert report.stats.failures == 1
+        assert len(ResultCache(tmp_path)) == 0
+
+
+def _always_fails(spec, seed):
+    raise ValueError("boom")

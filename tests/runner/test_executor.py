@@ -1,0 +1,169 @@
+"""Executors: ordering, determinism, failures, fallback, progress."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runner.jobs import Job, make_jobs
+from repro.runner.progress import CollectingProgress
+
+
+def square(spec, seed):
+    return spec["x"] ** 2
+
+
+def draw(spec, seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def fail_on_three(spec, seed):
+    if spec["x"] == 3:
+        raise ValueError("three is right out")
+    return spec["x"]
+
+
+SPECS = [{"x": x} for x in range(8)]
+
+
+class TestSerialExecutor:
+    def test_values_in_submission_order(self):
+        report = SerialExecutor().run(make_jobs(square, SPECS))
+        assert report.values == [x**2 for x in range(8)]
+        assert report.ok
+
+    def test_stats(self):
+        report = SerialExecutor().run(make_jobs(square, SPECS))
+        assert report.stats.jobs_total == 8
+        assert report.stats.jobs_run == 8
+        assert report.stats.cache_hits == 0
+        assert report.stats.failures == 0
+        assert report.stats.workers == 1
+        assert report.stats.elapsed_seconds >= 0
+
+    def test_strict_failure_raises_with_context(self):
+        jobs = make_jobs(fail_on_three, SPECS, labels=[f"x={x}" for x in range(8)])
+        with pytest.raises(RunnerError, match="x=3.*three is right out"):
+            SerialExecutor().run(jobs)
+
+    def test_lenient_failure_leaves_none_hole(self):
+        report = SerialExecutor().run(make_jobs(fail_on_three, SPECS), strict=False)
+        assert report.values[3] is None
+        assert report.values[4] == 4
+        assert len(report.failures) == 1
+        assert report.failures[0].index == 3
+        assert "ValueError" in report.failures[0].error
+        assert report.stats.failures == 1
+
+    def test_duplicate_indices_rejected(self):
+        jobs = [Job(square, {"x": 1}, index=0), Job(square, {"x": 2}, index=0)]
+        with pytest.raises(RunnerError):
+            SerialExecutor().run(jobs)
+
+    def test_empty_job_list(self):
+        report = SerialExecutor().run([])
+        assert report.values == []
+        assert report.stats.jobs_total == 0
+
+
+class TestParallelExecutor:
+    def test_matches_serial_exactly(self):
+        jobs = make_jobs(draw, [{}] * 16, base_seed=42)
+        serial = SerialExecutor().run(jobs).values
+        parallel = ParallelExecutor(max_workers=4).run(jobs).values
+        assert parallel == serial  # bit-identical, not approximately
+
+    def test_failure_collection(self):
+        report = ParallelExecutor(max_workers=2).run(
+            make_jobs(fail_on_three, SPECS), strict=False
+        )
+        assert report.values[3] is None
+        assert [f.index for f in report.failures] == [3]
+
+    def test_fallback_serial_when_pool_unavailable(self, monkeypatch):
+        import concurrent.futures
+
+        def refuse(*args, **kwargs):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", refuse
+        )
+        executor = ParallelExecutor(max_workers=4)
+        report = executor.run(make_jobs(square, SPECS))
+        assert report.values == [x**2 for x in range(8)]
+        assert report.stats.fell_back_to_serial
+        assert report.stats.workers == 1
+
+    def test_no_fallback_raises(self, monkeypatch):
+        import concurrent.futures
+
+        def refuse(*args, **kwargs):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", refuse
+        )
+        with pytest.raises(RunnerError, match="process pool unavailable"):
+            ParallelExecutor(max_workers=4, fallback_serial=False).run(
+                make_jobs(square, SPECS)
+            )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(RunnerError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(RunnerError):
+            ParallelExecutor(timeout_seconds=0)
+        with pytest.raises(RunnerError):
+            ParallelExecutor(chunk_size=0)
+
+
+class TestProgressEvents:
+    def test_serial_event_stream(self):
+        progress = CollectingProgress()
+        SerialExecutor(progress=progress).run(make_jobs(square, SPECS))
+        assert progress.count("started") == 8
+        assert progress.count("finished") == 8
+        assert progress.count("failed") == 0
+
+    def test_failure_events_carry_error(self):
+        progress = CollectingProgress()
+        SerialExecutor(progress=progress).run(
+            make_jobs(fail_on_three, SPECS), strict=False
+        )
+        (failed,) = [e for e in progress.events if e.kind == "failed"]
+        assert failed.index == 3
+        assert "three is right out" in failed.error
+
+    def test_finished_events_have_durations(self):
+        progress = CollectingProgress()
+        SerialExecutor(progress=progress).run(make_jobs(square, SPECS))
+        for event in progress.events:
+            if event.kind == "finished":
+                assert event.duration_seconds >= 0
+
+
+class TestMakeExecutor:
+    def test_one_job_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_many_jobs_is_parallel(self):
+        executor = make_executor(4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 4
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(RunnerError):
+            make_executor(0)
+
+    def test_last_report_retained(self):
+        executor = make_executor(1)
+        assert executor.last_report is None
+        executor.run(make_jobs(square, SPECS))
+        assert executor.last_report is not None
+        assert executor.last_report.stats.jobs_total == 8

@@ -1,0 +1,147 @@
+"""Job model: fingerprint stability, seed spawning, canonical encoding."""
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.jobs import Job, canonical_encode, make_jobs, spawn_seeds
+
+
+def echo(spec, seed):
+    return spec["x"]
+
+
+def draw(spec, seed):
+    return float(np.random.default_rng(seed).random())
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclass(frozen=True)
+class Point:
+    x: float
+    y: float
+
+
+class Bag:
+    def __init__(self):
+        self.a = 1
+        self.b = (2, 3)
+
+
+class Opaque:
+    __slots__ = ()
+
+
+class TestCanonicalEncode:
+    def test_primitives_pass_through(self):
+        assert canonical_encode(None) is None
+        assert canonical_encode(3) == 3
+        assert canonical_encode("s") == "s"
+        assert canonical_encode(True) is True
+        assert canonical_encode(2.5) == 2.5
+
+    def test_nonfinite_floats_encoded(self):
+        assert canonical_encode(float("nan")) == {"__float__": "nan"}
+        assert canonical_encode(float("inf")) == {"__float__": "inf"}
+        assert canonical_encode(float("-inf")) == {"__float__": "-inf"}
+
+    def test_numpy_scalars_and_arrays(self):
+        assert canonical_encode(np.float64(1.5)) == 1.5
+        assert canonical_encode(np.array([1, 2]))["__ndarray__"] == [1, 2]
+
+    def test_mapping_key_order_irrelevant(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode(
+            {"b": 2, "a": 1}
+        )
+
+    def test_dataclass_by_fields(self):
+        enc = canonical_encode(Point(1.0, 2.0))
+        assert enc["__dataclass__"] == "Point"
+        assert enc["fields"] == {"x": 1.0, "y": 2.0}
+
+    def test_enum_by_value(self):
+        assert canonical_encode(Color.RED) == {"__enum__": "Color", "value": "red"}
+
+    def test_plain_object_by_vars(self):
+        enc = canonical_encode(Bag())
+        assert enc["__object__"] == "Bag"
+
+    def test_address_bearing_repr_rejected(self):
+        with pytest.raises(RunnerError):
+            canonical_encode(Opaque())
+
+
+class TestFingerprint:
+    def test_same_inputs_same_fingerprint(self):
+        a = Job(echo, {"x": 1}, index=0)
+        b = Job(echo, {"x": 1}, index=5)  # index is not identity
+        assert a.fingerprint == b.fingerprint
+
+    def test_spec_changes_fingerprint(self):
+        assert (
+            Job(echo, {"x": 1}).fingerprint != Job(echo, {"x": 2}).fingerprint
+        )
+
+    def test_fn_changes_fingerprint(self):
+        assert (
+            Job(echo, {"x": 1}).fingerprint != Job(draw, {"x": 1}).fingerprint
+        )
+
+    def test_seed_changes_fingerprint(self):
+        s0, s1 = spawn_seeds(7, 2)
+        base = Job(echo, {}, seed=None).fingerprint
+        assert Job(echo, {}, seed=s0).fingerprint != base
+        assert Job(echo, {}, seed=s0).fingerprint != Job(echo, {}, seed=s1).fingerprint
+
+    def test_lambda_rejected(self):
+        with pytest.raises(RunnerError):
+            Job(lambda spec, seed: None, {})
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(RunnerError):
+            Job(echo, {}, index=-1)
+
+
+class TestSeeds:
+    def test_spawn_is_positional(self):
+        # The same (base_seed, position) always yields the same stream,
+        # regardless of how many siblings exist.
+        first = spawn_seeds(7, 3)
+        second = spawn_seeds(7, 10)
+        for a, b in zip(first, second):
+            assert np.random.default_rng(a).random() == np.random.default_rng(
+                b
+            ).random()
+
+    def test_streams_differ_across_positions(self):
+        seeds = spawn_seeds(7, 4)
+        draws = {np.random.default_rng(s).random() for s in seeds}
+        assert len(draws) == 4
+
+    def test_none_base_means_no_seeds(self):
+        assert spawn_seeds(None, 3) == [None, None, None]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(RunnerError):
+            spawn_seeds(0, -1)
+
+
+class TestMakeJobs:
+    def test_indices_and_labels(self):
+        jobs = make_jobs(echo, [{"x": 1}, {"x": 2}], labels=["a", "b"])
+        assert [j.index for j in jobs] == [0, 1]
+        assert [j.display_name() for j in jobs] == ["a", "b"]
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(RunnerError):
+            make_jobs(echo, [{"x": 1}], labels=["a", "b"])
+
+    def test_run_executes(self):
+        (job,) = make_jobs(echo, [{"x": 9}])
+        assert job.run() == 9

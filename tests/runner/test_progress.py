@@ -1,0 +1,64 @@
+"""Progress listeners and run statistics."""
+
+import io
+
+import pytest
+
+from repro.runner.executor import SerialExecutor
+from repro.runner.jobs import make_jobs
+from repro.runner.progress import ConsoleProgress, JobEvent, RunStats
+
+
+def ident(spec, seed):
+    return spec["x"]
+
+
+class TestRunStats:
+    def test_summary_mentions_everything(self):
+        stats = RunStats(
+            jobs_total=10, jobs_run=7, cache_hits=3, failures=1,
+            job_seconds=4.0, elapsed_seconds=2.0, workers=4,
+        )
+        text = stats.summary()
+        assert "10 jobs" in text
+        assert "7 run" in text
+        assert "3 cache hits" in text
+        assert "1 failed" in text
+        assert "4 workers" in text
+
+    def test_speedup(self):
+        stats = RunStats(job_seconds=4.0, elapsed_seconds=2.0)
+        assert stats.speedup == pytest.approx(2.0)
+        assert RunStats().speedup == 1.0
+
+    def test_fallback_flag_rendered(self):
+        assert "fell back" in RunStats(fell_back_to_serial=True).summary()
+
+
+class TestConsoleProgress:
+    def test_prints_on_cadence(self):
+        stream = io.StringIO()
+        progress = ConsoleProgress(total=4, every=2, stream=stream)
+        SerialExecutor(progress=progress).run(
+            make_jobs(ident, [{"x": x} for x in range(4)])
+        )
+        lines = stream.getvalue().strip().splitlines()
+        assert lines == [
+            "[runner] 2/4 done (0 cache hits, 0 failed)",
+            "[runner] 4/4 done (0 cache hits, 0 failed)",
+        ]
+
+    def test_reports_failures(self):
+        stream = io.StringIO()
+        progress = ConsoleProgress(total=1, every=1, stream=stream)
+        progress.on_event(
+            JobEvent("failed", 0, "bad-job", "ff", error="ValueError: no")
+        )
+        out = stream.getvalue()
+        assert "FAILED bad-job" in out
+        assert "ValueError: no" in out
+        assert "1/1 done (0 cache hits, 1 failed)" in out
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            ConsoleProgress(total=1, every=0)

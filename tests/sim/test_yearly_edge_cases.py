@@ -1,0 +1,157 @@
+"""YearlyRunner edge cases: partial-recharge coupling and DG accounting.
+
+These paths were previously exercised only indirectly through the
+availability analyzer; here they are pinned directly: the exact
+state-of-charge threaded between back-to-back outages, and the DG
+start-failure count under a seeded RNG.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.sim.outage_sim import simulate_outage
+from repro.sim.yearly import YearlyRunner
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build(config_name, technique_name="full-service"):
+    dc = make_datacenter(specjbb(), get_configuration(config_name), num_servers=8)
+    context = TechniqueContext(
+        cluster=dc.cluster,
+        workload=specjbb(),
+        power_budget_watts=plan_power_budget_watts(dc),
+    )
+    plan = get_technique(technique_name).plan(context)
+    return dc, plan
+
+
+def schedule(*events, horizon=hours(24 * 365)):
+    return OutageSchedule(events=tuple(events), horizon_seconds=horizon)
+
+
+class TestPartialRechargeThreading:
+    """The runner must hand each outage exactly the charge the previous
+    one left plus the linear refill earned during the gap."""
+
+    RECHARGE = hours(8)
+
+    def test_second_outage_sees_partially_recharged_battery(self):
+        dc, plan = build("NoDG", "sleep-l")
+        # A 10-minute gap refills ~2% of an 8-hour recharge window — less
+        # than a 60-second sleep drains, so the coupling is observable.
+        gap = minutes(10)
+        first_len, second_len = 60.0, 60.0
+        result = YearlyRunner(dc, plan, recharge_seconds=self.RECHARGE).run_schedule(
+            schedule(
+                OutageEvent(0, first_len),
+                OutageEvent(first_len + gap, second_len),
+            )
+        )
+        first, second = result.outcomes
+
+        # Replay the second outage standalone at the state of charge the
+        # runner should have threaded: end-of-first + gap/recharge.
+        expected_start_soc = min(1.0, first.ups_state_of_charge_end + gap / self.RECHARGE)
+        replayed = simulate_outage(
+            dc, plan, second_len, initial_state_of_charge=expected_start_soc
+        )
+        assert second == replayed
+        # The coupling is real: the second outage ends with less charge
+        # than the first did, because it started from a partial battery.
+        assert second.ups_state_of_charge_end < first.ups_state_of_charge_end
+
+    def test_three_outage_chain_accumulates_drain(self):
+        dc, plan = build("NoDG", "sleep-l")
+        gap = minutes(5)  # ~1% refill between events, well under the drain
+        events, cursor = [], 0.0
+        for _ in range(3):
+            events.append(OutageEvent(cursor, 120.0))
+            cursor += 120.0 + gap
+        result = YearlyRunner(dc, plan, recharge_seconds=self.RECHARGE).run_schedule(
+            schedule(*events)
+        )
+        socs = [outcome.ups_state_of_charge_end for outcome in result.outcomes]
+        # Drain outpaces the trickle refill: monotonically falling floor.
+        assert socs[0] > socs[1] > socs[2]
+
+    def test_full_gap_restores_full_charge(self):
+        dc, plan = build("NoDG", "sleep-l")
+        result = YearlyRunner(dc, plan, recharge_seconds=self.RECHARGE).run_schedule(
+            schedule(
+                OutageEvent(0, 60.0),
+                OutageEvent(60.0 + self.RECHARGE, 60.0),
+            )
+        )
+        first, second = result.outcomes
+        assert second == simulate_outage(dc, plan, 60.0)
+        assert second.ups_state_of_charge_end == pytest.approx(
+            first.ups_state_of_charge_end
+        )
+
+
+class TestDGStartFailureAccounting:
+    RELIABILITY = 0.7
+
+    def _flaky(self):
+        dc, plan = build("MaxPerf")
+        dc = replace(
+            dc, generator=replace(dc.generator, start_reliability=self.RELIABILITY)
+        )
+        return dc, plan
+
+    def _daily_schedule(self, count):
+        return schedule(
+            *[OutageEvent(hours(i * 24), minutes(30)) for i in range(count)]
+        )
+
+    def test_failure_count_matches_rng_replay(self):
+        """dg_start_failures is exactly the count of RNG draws that land
+        at or above the start reliability, in schedule order."""
+        dc, plan = self._flaky()
+        seed, count = 123, 40
+        result = YearlyRunner(
+            dc, plan, rng=np.random.default_rng(seed)
+        ).run_schedule(self._daily_schedule(count))
+        draws = np.random.default_rng(seed).random(count)
+        expected = int(np.sum(draws >= self.RELIABILITY))
+        assert result.dg_start_failures == expected
+
+    def test_seeded_runs_reproduce(self):
+        dc, plan = self._flaky()
+        sched = self._daily_schedule(20)
+        a = YearlyRunner(dc, plan, rng=np.random.default_rng(9)).run_schedule(sched)
+        b = YearlyRunner(dc, plan, rng=np.random.default_rng(9)).run_schedule(sched)
+        assert a.dg_start_failures == b.dg_start_failures
+        assert list(a.outcomes) == list(b.outcomes)
+
+    def test_unprovisioned_dg_rolls_no_dice(self):
+        """A DG-less configuration must not consume RNG draws (or count
+        failures): start rolls only happen for provisioned engines."""
+        dc, plan = build("NoDG", "sleep-l")
+        rng = np.random.default_rng(5)
+        result = YearlyRunner(dc, plan, rng=rng).run_schedule(
+            self._daily_schedule(10)
+        )
+        assert result.dg_start_failures == 0
+        # The stream is untouched: the next draw equals a fresh stream's first.
+        assert rng.random() == np.random.default_rng(5).random()
+
+    def test_failed_start_drains_battery_like_no_dg(self):
+        dc, plan = self._flaky()
+        # reliability 0 + rng: every start fails deterministically.
+        dc = replace(dc, generator=replace(dc.generator, start_reliability=0.0))
+        result = YearlyRunner(
+            dc, plan, rng=np.random.default_rng(0)
+        ).run_schedule(schedule(OutageEvent(0, minutes(30))))
+        (outcome,) = result.outcomes
+        assert result.dg_start_failures == 1
+        assert outcome.crashed
+        assert outcome.dg_energy_joules == 0.0

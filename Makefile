@@ -4,10 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke selfcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fast invariant sweep: closed forms vs numeric oracles over the Table-3
+# space, plus a short guarded fuzz run (see docs/CHECKS.md).
+selfcheck:
+	$(PYTHON) -m repro.cli selfcheck --fast
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,26 @@
+"""Runtime invariant guards and self-check harnesses.
+
+Three layers, from always-on to on-demand:
+
+* :class:`InvariantGuard` (:mod:`repro.checks.guard`) — runtime invariant
+  checks threaded through the simulator behind a ``strict`` flag that is
+  free when off;
+* :func:`repro.checks.selfcheck.run_selfcheck` — sweeps the Table-3
+  configuration space cross-checking every closed form against the numeric
+  oracles of :mod:`repro.sim.validation` (``repro selfcheck`` on the CLI);
+* :func:`repro.checks.fuzz.run_fuzz` — randomised schedules/configurations
+  driven through :mod:`repro.runner` with a strict guard installed.
+
+Only the guard layer is imported eagerly: ``selfcheck`` and ``fuzz`` pull in
+the simulator stack, which itself imports this package.
+"""
+
+from repro.checks.guard import DEFAULT_TOLERANCE, InvariantGuard, Violation
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "InvariantGuard",
+    "InvariantViolation",
+    "Violation",
+]

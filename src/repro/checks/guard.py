@@ -1,0 +1,287 @@
+"""Runtime invariant guards for the outage simulator.
+
+The numeric oracles in :mod:`repro.sim.validation` cross-check the closed
+forms *offline*; this module enforces the same class of invariants *while a
+simulation runs*.  An :class:`InvariantGuard` is threaded — optionally —
+through :class:`~repro.sim.outage_sim.OutageSimulator`,
+:class:`~repro.sim.yearly.YearlyRunner`, :class:`~repro.power.battery.Battery`
+and :class:`~repro.power.ups.UPSUnit`; every hot-path hook is a single
+``if guard is not None`` branch, so leaving the guard off (the default)
+costs nothing measurable.
+
+Invariants enforced:
+
+* **State of charge** stays in ``[0, 1]`` at every observation point.
+* **Monotone discharge** — battery charge never increases across a
+  discharge step (charge only returns via explicit recharge).
+* **Energy conservation** — the trace's UPS-sourced energy integral matches
+  the battery's delivered-energy counter
+  (:func:`~repro.sim.validation.trace_energy_balance_error`).
+* **Non-negative outputs** — downtime, energy, charge-consumed and cost
+  quantities are never negative; performance stays in ``[0, 1]``.
+* **Schedules** are ordered, non-overlapping, and inside their horizon.
+* **Traces** are time-ordered and non-overlapping with sane segments.
+
+A violation raises :class:`~repro.errors.InvariantViolation` (a
+:class:`~repro.errors.SimulationError`) unless the guard was built with
+``collect=True``, in which case violations accumulate on
+:attr:`InvariantGuard.violations` for post-mortem inspection — the mode the
+fuzz harness uses to report every broken invariant instead of the first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.errors import InvariantViolation
+from repro.sim.validation import trace_energy_balance_error
+
+#: Default relative tolerance for float-accumulation slack on conserved
+#: quantities (energy balance, SoC bookkeeping).
+DEFAULT_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant.
+
+    Attributes:
+        invariant: Short invariant identifier (e.g. ``"soc-range"``).
+        message: Human-readable description with the offending values.
+        context: Where in the run the check fired (caller-supplied).
+    """
+
+    invariant: str
+    message: str
+    context: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.context}]" if self.context else ""
+        return f"{self.invariant}: {self.message}{where}"
+
+
+class InvariantGuard:
+    """Runtime invariant checker for simulations.
+
+    Args:
+        tolerance: Relative slack for conserved-quantity comparisons
+            (energy balance) and absolute slack for bound checks
+            (``soc <= 1 + tolerance``); covers float accumulation only,
+            never real bookkeeping errors.
+        collect: Record violations instead of raising on the first one.
+            :attr:`violations` then holds everything found and
+            :meth:`raise_if_violated` ends the run explicitly.
+    """
+
+    def __init__(
+        self, tolerance: float = DEFAULT_TOLERANCE, collect: bool = False
+    ) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self.tolerance = tolerance
+        self.collect = collect
+        self.checks_run = 0
+        self.violations: List[Violation] = []
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _fail(self, invariant: str, message: str, context: str) -> None:
+        violation = Violation(invariant, message, context)
+        self.violations.append(violation)
+        if not self.collect:
+            raise InvariantViolation(str(violation))
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`InvariantViolation` if any check failed (collect
+        mode); lists every violation in the message."""
+        if self.violations:
+            lines = "\n  ".join(str(v) for v in self.violations)
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violation(s):\n  {lines}"
+            )
+
+    def summary(self) -> str:
+        """One-line digest for CLI output."""
+        return (
+            f"{self.checks_run} checks, {len(self.violations)} violation"
+            f"{'s' if len(self.violations) != 1 else ''}"
+        )
+
+    # -- scalar invariants ----------------------------------------------------
+
+    def check_soc(self, soc: float, context: str = "") -> None:
+        """State of charge must sit in ``[0, 1]`` (within tolerance)."""
+        self.checks_run += 1
+        if math.isnan(soc) or soc < -self.tolerance or soc > 1.0 + self.tolerance:
+            self._fail("soc-range", f"state of charge {soc!r} outside [0, 1]", context)
+
+    def check_discharge_step(
+        self, soc_before: float, soc_after: float, context: str = ""
+    ) -> None:
+        """Charge must not increase across a discharge step."""
+        self.check_soc(soc_after, context)
+        self.checks_run += 1
+        if soc_after > soc_before + self.tolerance:
+            self._fail(
+                "discharge-monotone",
+                f"charge rose during discharge: {soc_before!r} -> {soc_after!r}",
+                context,
+            )
+
+    def check_nonnegative(self, value: float, name: str, context: str = "") -> None:
+        """A downtime/energy/cost quantity must be ``>= 0`` and not NaN."""
+        self.checks_run += 1
+        if math.isnan(value) or value < -self.tolerance:
+            self._fail("non-negative", f"{name} is {value!r}, expected >= 0", context)
+
+    def check_fraction(self, value: float, name: str, context: str = "") -> None:
+        """A normalised quantity (performance, charge fraction) in [0, 1]."""
+        self.checks_run += 1
+        if math.isnan(value) or value < -self.tolerance or value > 1.0 + self.tolerance:
+            self._fail(
+                "fraction-range", f"{name} is {value!r}, expected in [0, 1]", context
+            )
+
+    # -- structural invariants -------------------------------------------------
+
+    def check_schedule(
+        self,
+        events: Iterable,
+        horizon_seconds: Optional[float] = None,
+        context: str = "",
+    ) -> None:
+        """Events must be ordered, non-overlapping, and inside the horizon.
+
+        Accepts an :class:`~repro.outages.events.OutageSchedule` (whose
+        ``horizon_seconds`` is used when the argument is omitted) or any
+        iterable of :class:`~repro.outages.events.OutageEvent`-shaped
+        objects — which is exactly what lets the guard catch callers that
+        bypass ``OutageSchedule``'s constructor validation.
+        """
+        if horizon_seconds is None:
+            horizon_seconds = getattr(events, "horizon_seconds", None)
+        previous_end = -math.inf
+        last = None
+        for event in events:
+            self.checks_run += 1
+            if event.duration_seconds <= 0:
+                self._fail(
+                    "schedule-duration",
+                    f"event at {event.start_seconds}s has non-positive "
+                    f"duration {event.duration_seconds}",
+                    context,
+                )
+            if event.start_seconds < previous_end:
+                self._fail(
+                    "schedule-order",
+                    f"event at {event.start_seconds}s starts before the "
+                    f"previous event ended at {previous_end}s "
+                    "(unordered or overlapping schedule)",
+                    context,
+                )
+            previous_end = max(previous_end, event.end_seconds)
+            last = event
+        if (
+            last is not None
+            and horizon_seconds is not None
+            and last.end_seconds > horizon_seconds
+        ):
+            self.checks_run += 1
+            self._fail(
+                "schedule-horizon",
+                f"last event ends at {last.end_seconds}s, past the "
+                f"{horizon_seconds}s horizon",
+                context,
+            )
+
+    def check_trace(self, trace, context: str = "") -> None:
+        """Trace segments must be ordered, non-overlapping and physical."""
+        previous_end = -math.inf
+        for seg in trace:
+            self.checks_run += 1
+            if seg.start_seconds < previous_end - self.tolerance:
+                self._fail(
+                    "trace-order",
+                    f"segment at {seg.start_seconds}s overlaps the previous "
+                    f"one ending at {previous_end}s",
+                    context,
+                )
+            if seg.power_watts < -self.tolerance:
+                self._fail(
+                    "trace-power",
+                    f"segment {seg.label!r} draws negative power "
+                    f"{seg.power_watts}",
+                    context,
+                )
+            self.check_fraction(
+                seg.performance, f"segment {seg.label!r} performance", context
+            )
+            previous_end = seg.end_seconds
+
+    def check_energy_balance(
+        self, trace, ups_energy_joules: float, context: str = ""
+    ) -> None:
+        """The trace's UPS energy integral must match the battery counter."""
+        self.checks_run += 1
+        error = trace_energy_balance_error(trace, ups_energy_joules)
+        if error > self.tolerance:
+            self._fail(
+                "energy-balance",
+                f"UPS energy mismatch: trace integral vs battery counter "
+                f"differ by a relative {error:.3e} "
+                f"(counter={ups_energy_joules:.6g} J)",
+                context,
+            )
+
+    def check_outcome(self, outcome, context: str = "") -> None:
+        """Composite end-of-run check on an
+        :class:`~repro.sim.metrics.OutageOutcome`."""
+        ctx = context or outcome.technique_name
+        self.check_nonnegative(
+            outcome.downtime_during_outage_seconds, "downtime during outage", ctx
+        )
+        self.check_nonnegative(
+            outcome.downtime_after_restore_seconds, "downtime after restore", ctx
+        )
+        self.checks_run += 1
+        if (
+            outcome.downtime_during_outage_seconds
+            > outcome.outage_seconds * (1.0 + self.tolerance) + self.tolerance
+        ):
+            self._fail(
+                "downtime-bound",
+                f"downtime during outage "
+                f"({outcome.downtime_during_outage_seconds}s) exceeds the "
+                f"outage itself ({outcome.outage_seconds}s)",
+                ctx,
+            )
+        self.check_fraction(outcome.mean_performance, "mean performance", ctx)
+        self.check_fraction(outcome.ups_charge_consumed, "UPS charge consumed", ctx)
+        self.check_soc(outcome.ups_state_of_charge_end, ctx)
+        self.check_nonnegative(outcome.ups_energy_joules, "UPS energy", ctx)
+        self.check_nonnegative(outcome.dg_energy_joules, "DG energy", ctx)
+        self.check_nonnegative(
+            outcome.peak_backup_power_watts, "peak backup power", ctx
+        )
+        if outcome.crashed:
+            self.checks_run += 1
+            crash_time = outcome.crash_time_seconds
+            if crash_time is None or not (
+                -self.tolerance
+                <= crash_time
+                <= outcome.outage_seconds * (1.0 + self.tolerance) + self.tolerance
+            ):
+                self._fail(
+                    "crash-time",
+                    f"crash time {crash_time!r} outside the outage window "
+                    f"[0, {outcome.outage_seconds}]",
+                    ctx,
+                )
+        self.check_trace(outcome.trace, ctx)
+        self.check_energy_balance(outcome.trace, outcome.ups_energy_joules, ctx)

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro plan      -w websearch -m 30 --min-perf 0.9 --max-down 0
     python -m repro rank      -w memcached -m 30
     python -m repro availability -w specjbb -c LargeEUPS -t throttle+sleep-l
+    python -m repro selfcheck --fast
     python -m repro tco
 
 The ``availability``, ``rank`` and ``reproduce`` subcommands run on the
@@ -237,6 +238,47 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.checks.fuzz import run_fuzz
+    from repro.checks.selfcheck import run_selfcheck
+
+    executor = _make_executor(args)
+    report = run_selfcheck(
+        fast=args.fast, workload=args.workload, executor=executor
+    )
+    by_check = Counter(r["check"] for r in report.records)
+    failed_by_check = Counter(r["check"] for r in report.failures)
+    rows = [
+        (check, total, failed_by_check.get(check, 0))
+        for check, total in sorted(by_check.items())
+    ]
+    print(
+        format_table(
+            ("check", "run", "failed"),
+            rows,
+            title="selfcheck: closed forms vs numeric oracles (Table 3 sweep)",
+        )
+    )
+    for failure in report.failures:
+        print(f"FAIL {failure['check']} {failure['subject']}: {failure['detail']}")
+    _print_run_stats(executor)
+
+    fuzz_cases = args.fuzz if args.fuzz is not None else (10 if args.fast else 40)
+    fuzz_report = None
+    if fuzz_cases > 0:
+        fuzz_report = run_fuzz(cases=fuzz_cases, seed=args.seed, executor=executor)
+        print(f"[fuzz] {fuzz_report.summary()}")
+        for violation in fuzz_report.violations:
+            print(f"FAIL fuzz: {violation}")
+        _print_run_stats(executor)
+
+    ok = report.ok and (fuzz_report is None or fuzz_report.ok)
+    print(f"selfcheck: {'OK' if ok else 'FAILED'} ({report.summary()})")
+    return 0 if ok else 1
+
+
 def _cmd_tiers(_args: argparse.Namespace) -> int:
     from repro.power.redundancy import ALL_TIERS
     from repro.units import megawatts
@@ -350,6 +392,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_avail.add_argument("--years", type=int, default=100)
     add_runner_flags(p_avail)
     p_avail.set_defaults(func=_cmd_availability)
+
+    p_check = sub.add_parser(
+        "selfcheck",
+        help="cross-check closed forms against numeric oracles + fuzz invariants",
+    )
+    p_check.add_argument(
+        "--fast",
+        action="store_true",
+        help="coarser oracle grids and fewer cells (the CI smoke setting)",
+    )
+    p_check.add_argument(
+        "-w",
+        "--workload",
+        default="specjbb",
+        choices=workload_names(),
+        help="workload driving the strict-simulation cells",
+    )
+    p_check.add_argument(
+        "--fuzz",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fuzz case count (default: 10 fast / 40 full; 0 disables)",
+    )
+    add_runner_flags(p_check)
+    p_check.set_defaults(func=_cmd_selfcheck)
 
     sub.add_parser("tco", help="Figure 10 crossover").set_defaults(func=_cmd_tco)
     sub.add_parser("tiers", help="Tier classification comparator").set_defaults(

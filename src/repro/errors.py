@@ -31,6 +31,17 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime invariant guard caught an inconsistent simulation state.
+
+    Raised by :class:`repro.checks.InvariantGuard` when strict checking is
+    enabled and a physical invariant (state of charge in ``[0, 1]``, energy
+    conservation, monotone discharge, non-negative downtime, ordered
+    schedules) is violated mid-run.  Deriving from :class:`SimulationError`
+    keeps existing ``except SimulationError`` handlers working.
+    """
+
+
 class WorkloadError(ReproError, ValueError):
     """An invalid workload description or parameter was supplied."""
 

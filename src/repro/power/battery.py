@@ -29,8 +29,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import CapacityError, ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (checks -> battery)
+    from repro.checks.guard import InvariantGuard
 from repro.units import SECONDS_PER_MINUTE, minutes
 
 #: Fraction of state-of-charge below which we consider the pack empty.  Real
@@ -198,6 +202,10 @@ class BatterySpec:
         """
         if runtime_seconds <= self.rated_runtime_seconds:
             return self.rated_power_watts
+        if self.rated_runtime_seconds == 0:
+            # A zero-energy pack (NoUPS-style rating) sustains no positive
+            # runtime at any load.
+            return 0.0
         ratio = runtime_seconds / self.rated_runtime_seconds
         return self.rated_power_watts / ratio ** (1.0 / self.peukert_exponent)
 
@@ -240,7 +248,12 @@ class Battery:
     constant load segments.
     """
 
-    def __init__(self, spec: BatterySpec, state_of_charge: float = 1.0):
+    def __init__(
+        self,
+        spec: BatterySpec,
+        state_of_charge: float = 1.0,
+        guard: "Optional[InvariantGuard]" = None,
+    ):
         if not 0.0 <= state_of_charge <= 1.0:
             raise ConfigurationError(
                 f"state of charge must be in [0, 1], got {state_of_charge}"
@@ -248,6 +261,9 @@ class Battery:
         self.spec = spec
         self._soc = float(state_of_charge)
         self._energy_delivered_joules = 0.0
+        #: Optional :class:`~repro.checks.InvariantGuard` checking every
+        #: discharge step; None (the default) skips all checking.
+        self.guard = guard
 
     # -- observers ------------------------------------------------------------
 
@@ -263,7 +279,10 @@ class Battery:
 
     @property
     def is_empty(self) -> bool:
-        return self._soc <= _EMPTY_EPSILON
+        # A zero-runtime pack can deliver no energy at any charge level;
+        # reporting it non-empty would let the simulator select it as a
+        # source that never advances time.
+        return self._soc <= _EMPTY_EPSILON or self.spec.rated_runtime_seconds <= 0
 
     def remaining_runtime_at(self, load_watts: float) -> float:
         """Seconds of runtime left at a constant ``load_watts``."""
@@ -288,8 +307,15 @@ class Battery:
         available = self.remaining_runtime_at(load_watts)
         sustained = min(duration_seconds, available)
         full = self.spec.runtime_at(load_watts)
+        soc_before = self._soc
         self._soc = max(0.0, self._soc - sustained / full)
         self._energy_delivered_joules += load_watts * sustained
+        if self.guard is not None:
+            self.guard.check_discharge_step(
+                soc_before,
+                self._soc,
+                f"Battery.discharge({load_watts:.1f} W, {duration_seconds:.1f} s)",
+            )
         return sustained
 
     def recharge_full(self) -> None:

@@ -83,7 +83,12 @@ class ServerLevelBatteryBank:
 
     @property
     def is_empty(self) -> bool:
-        return self._active_soc <= 1e-12
+        # Zero-runtime packs deliver no energy at any charge (see
+        # Battery.is_empty): never offer them as a load source.
+        return (
+            self._active_soc <= 1e-12
+            or self.unit_spec.rated_runtime_seconds <= 0
+        )
 
     # -- plan interface ------------------------------------------------------------
 

@@ -18,8 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import CapacityError, ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (checks -> ups)
+    from repro.checks.guard import InvariantGuard
 from repro.power.battery import LEAD_ACID, Battery, BatteryChemistry, BatterySpec
 from repro.power.placement import UPSPlacement
 from repro.units import minutes
@@ -157,12 +161,20 @@ class UPSUnit:
         state_of_charge: Initial battery charge in ``[0, 1]`` — below 1.0
             when a previous outage drained the string and the recharge
             window was short (back-to-back outage studies).
+        guard: Optional :class:`~repro.checks.InvariantGuard` threaded into
+            the battery so every discharge step is checked; None (default)
+            costs nothing.
     """
 
-    def __init__(self, spec: UPSSpec, state_of_charge: float = 1.0):
+    def __init__(
+        self,
+        spec: UPSSpec,
+        state_of_charge: float = 1.0,
+        guard: "Optional[InvariantGuard]" = None,
+    ):
         self.spec = spec
         self._battery = (
-            Battery(spec.battery_spec, state_of_charge=state_of_charge)
+            Battery(spec.battery_spec, state_of_charge=state_of_charge, guard=guard)
             if spec.is_provisioned
             else None
         )

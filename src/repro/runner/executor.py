@@ -260,12 +260,17 @@ class ParallelExecutor(BaseExecutor):
         stats.workers = getattr(pool, "_max_workers", self.max_workers or 1)
         results: List[Tuple[int, bool, Any, str, float]] = []
         pending: List[Job] = list(jobs)
-        window = self.chunk_size * max(stats.workers, 1)
+        abandoned = 0
         try:
             with pool:
                 in_flight: "List[Tuple[concurrent.futures.Future, Job]]" = []
                 cursor = 0
                 while cursor < len(pending) or in_flight:
+                    # A timed-out job cannot be killed (pools cannot
+                    # interrupt a running task), so its worker stays busy
+                    # until the job finishes on its own: shrink the
+                    # dispatch window as if the pool had lost that worker.
+                    window = self.chunk_size * max(stats.workers - abandoned, 1)
                     while cursor < len(pending) and len(in_flight) < window:
                         job = pending[cursor]
                         cursor += 1
@@ -273,14 +278,20 @@ class ParallelExecutor(BaseExecutor):
                                             job.display_name(), job.fingerprint))
                         in_flight.append((pool.submit(_execute_job, job), job))
                     future, job = in_flight.pop(0)
+                    wait_started = time.perf_counter()
                     try:
                         results.append(future.result(timeout=self.timeout_seconds))
                     except concurrent.futures.TimeoutError:
+                        waited = time.perf_counter() - wait_started
                         future.cancel()
+                        abandoned += 1
+                        stats.timeouts += 1
                         results.append((
                             job.index, False,
                             f"TimeoutError: job exceeded "
-                            f"{self.timeout_seconds:.1f}s", "", 0.0,
+                            f"{self.timeout_seconds:.1f}s "
+                            f"(waited {waited:.1f}s; worker abandoned)",
+                            "", waited,
                         ))
         except BrokenProcessPool as exc:
             done = {r[0] for r in results}

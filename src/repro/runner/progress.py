@@ -56,7 +56,11 @@ class RunStats:
         jobs_run: Jobs actually computed (misses).
         cache_hits: Jobs answered from the result cache.
         failures: Jobs that raised or timed out.
-        job_seconds: Sum of per-job compute durations.
+        timeouts: Jobs that exceeded the per-job timeout (a subset of
+            ``failures``); each one also left a pool worker occupied until
+            its job finished on its own.
+        job_seconds: Sum of per-job compute durations (timed-out jobs
+            contribute the wall-clock the coordinator actually waited).
         elapsed_seconds: Wall-clock for the whole run.
         workers: Worker count the executor settled on (1 = serial).
         fell_back_to_serial: True when a parallel run degraded to serial
@@ -67,6 +71,7 @@ class RunStats:
     jobs_run: int = 0
     cache_hits: int = 0
     failures: int = 0
+    timeouts: int = 0
     job_seconds: float = 0.0
     elapsed_seconds: float = 0.0
     workers: int = 1
@@ -89,6 +94,8 @@ class RunStats:
             f"{self.elapsed_seconds:.2f}s elapsed",
             f"{self.workers} worker{'s' if self.workers != 1 else ''}",
         ]
+        if self.timeouts:
+            parts.insert(4, f"{self.timeouts} timed out")
         if self.fell_back_to_serial:
             parts.append("(fell back to serial)")
         return ", ".join(parts)

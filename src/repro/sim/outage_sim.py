@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+from repro.checks.guard import InvariantGuard
 from repro.errors import SimulationError
 from repro.power.generator import DieselGenerator
 from repro.power.ups import UPSUnit
@@ -50,11 +51,57 @@ _RESERVE_SLACK = 1e-6
 _EPS = 1e-9
 
 
-class OutageSimulator:
-    """Simulates outages for one datacenter.  Stateless across runs."""
+def solve_hold_time(
+    soc: float,
+    rate_hold: float,
+    rate_save: float,
+    committed_soc: float,
+    committed_time: float,
+    remaining_window: float,
+) -> float:
+    """Closed-form adaptive hold: how long the sustain stage can run.
 
-    def __init__(self, datacenter: Datacenter):
+    Given drain rates in state-of-charge fraction per second, solves the
+    charge budget ``soc = x*rate_hold + committed_soc + (max_hold - x) *
+    rate_save`` for the hold time ``x``, clamped to ``[0, max_hold]`` where
+    ``max_hold = remaining_window - committed_time``.  This is the algebra
+    :class:`_OutageRun` applies at every adaptive phase, factored out so
+    ``repro selfcheck`` can cross-check it against
+    :func:`repro.sim.validation.numeric_adaptive_hold`.
+    """
+    if remaining_window <= 0:
+        return 0.0
+    if math.isinf(rate_hold):
+        return 0.0  # zero-runtime pack: holding is instantly infeasible
+    if rate_hold * remaining_window <= soc:
+        # The battery sustains the whole bridging window without ever
+        # transitioning to the save stage: ride it out.
+        return remaining_window
+    max_hold = max(0.0, remaining_window - committed_time)
+    if rate_hold <= rate_save + _EPS:
+        # Sustaining is no more expensive than saving: never transition.
+        return max_hold
+    budget = soc - committed_soc - max_hold * rate_save
+    hold = budget / (rate_hold - rate_save)
+    return min(max(0.0, hold), max_hold)
+
+
+class OutageSimulator:
+    """Simulates outages for one datacenter.  Stateless across runs.
+
+    Args:
+        datacenter: The facility under study.
+        guard: Optional :class:`~repro.checks.InvariantGuard` checking the
+            run's physical invariants (SoC range, monotone discharge,
+            energy conservation, non-negative downtime) as it executes;
+            None (the default) skips every check at zero cost.
+    """
+
+    def __init__(
+        self, datacenter: Datacenter, guard: Optional[InvariantGuard] = None
+    ):
         self.datacenter = datacenter
+        self.guard = guard
 
     # -- public API ---------------------------------------------------------
 
@@ -90,6 +137,7 @@ class OutageSimulator:
             lost_work_seconds,
             initial_state_of_charge=initial_state_of_charge,
             dg_starts=dg_starts,
+            guard=self.guard,
         )
         return run.execute()
 
@@ -101,9 +149,10 @@ def simulate_outage(
     lost_work_seconds: Optional[float] = None,
     initial_state_of_charge: float = 1.0,
     dg_starts: bool = True,
+    guard: Optional[InvariantGuard] = None,
 ) -> OutageOutcome:
     """Functional convenience wrapper over :class:`OutageSimulator`."""
-    return OutageSimulator(datacenter).run(
+    return OutageSimulator(datacenter, guard=guard).run(
         plan,
         outage_seconds,
         lost_work_seconds,
@@ -115,8 +164,14 @@ def simulate_outage(
 class _PooledBackupStore:
     """Rack-level (pooled) battery adapter over :class:`UPSUnit`."""
 
-    def __init__(self, spec, num_servers: int, state_of_charge: float):
-        self._unit = UPSUnit(spec, state_of_charge=state_of_charge)
+    def __init__(
+        self,
+        spec,
+        num_servers: int,
+        state_of_charge: float,
+        guard: Optional[InvariantGuard] = None,
+    ):
+        self._unit = UPSUnit(spec, state_of_charge=state_of_charge, guard=guard)
         self.spec = spec
 
     def can_carry(self, power_watts: float, active: Optional[int]) -> bool:
@@ -134,6 +189,9 @@ class _PooledBackupStore:
         runtime = self.spec.battery_spec.runtime_at(
             min(power_watts, self.spec.power_capacity_watts)
         )
+        if runtime <= 0:
+            # Zero-runtime pack: any load drains it instantly.
+            return math.inf
         return 0.0 if math.isinf(runtime) else 1.0 / runtime
 
     @property
@@ -153,7 +211,16 @@ class _ServerBackupStore:
     """Server-level (private packs) adapter over
     :class:`~repro.power.placement.ServerLevelBatteryBank`."""
 
-    def __init__(self, spec, num_servers: int, state_of_charge: float):
+    def __init__(
+        self,
+        spec,
+        num_servers: int,
+        state_of_charge: float,
+        guard: Optional[InvariantGuard] = None,
+    ):
+        # The bank's per-step invariants are checked by _OutageRun._advance
+        # (the bank aggregates many private packs, so the guard observes it
+        # at the store level rather than per pack).
         from repro.power.placement import ServerLevelBatteryBank
 
         self.spec = spec
@@ -187,6 +254,9 @@ class _ServerBackupStore:
             power_watts / self._units(active), self._bank.unit_spec.rated_power_watts
         )
         runtime = self._bank.unit_spec.runtime_at(per_unit)
+        if runtime <= 0:
+            # Zero-runtime packs: any load drains them instantly.
+            return math.inf
         return 0.0 if math.isinf(runtime) else 1.0 / runtime
 
     @property
@@ -213,6 +283,7 @@ class _OutageRun:
         lost_work_seconds: Optional[float],
         initial_state_of_charge: float = 1.0,
         dg_starts: bool = True,
+        guard: Optional[InvariantGuard] = None,
     ):
         from repro.power.placement import UPSPlacement
 
@@ -221,6 +292,9 @@ class _OutageRun:
         self.phases: List[PlanPhase] = list(plan.phases)
         self.T = float(outage_seconds)
         self.lost_work_seconds = lost_work_seconds
+        self.guard = guard
+        if guard is not None:
+            guard.check_soc(initial_state_of_charge, "initial state of charge")
 
         if not datacenter.ups.is_provisioned:
             self.ups = None
@@ -229,12 +303,14 @@ class _OutageRun:
                 datacenter.ups,
                 datacenter.cluster.num_servers,
                 initial_state_of_charge,
+                guard=guard,
             )
         else:
             self.ups = _PooledBackupStore(
                 datacenter.ups,
                 datacenter.cluster.num_servers,
                 initial_state_of_charge,
+                guard=guard,
             )
         self._initial_soc = initial_state_of_charge
         self.dg = DieselGenerator(datacenter.generator)
@@ -298,24 +374,19 @@ class _OutageRun:
         soc = self.ups.state_of_charge * (1.0 - _RESERVE_SLACK)
         rate_hold = self._drain_rate(phase.power_watts, phase.active_servers)
         rate_save = self._drain_rate(terminal.power_watts, terminal.active_servers)
-        if rate_hold * remaining_window <= soc:
-            # The battery sustains the whole bridging window without ever
-            # transitioning to the save stage: ride it out.
-            return remaining_window
         committed_soc = sum(
             self._drain_rate(p.power_watts, p.active_servers) * float(p.duration_seconds)
             for p in fixed
         )
         committed_time = sum(float(p.duration_seconds) for p in fixed)
-        max_hold = max(0.0, remaining_window - committed_time)
-
-        if rate_hold <= rate_save + _EPS:
-            # Sustaining is no more expensive than saving: never transition.
-            return max_hold
-        # soc = x*rate_hold + committed + (max_hold - x)*rate_save  ->  x
-        budget = soc - committed_soc - max_hold * rate_save
-        hold = budget / (rate_hold - rate_save)
-        return min(max(0.0, hold), max_hold)
+        return solve_hold_time(
+            soc,
+            rate_hold,
+            rate_save,
+            committed_soc,
+            committed_time,
+            remaining_window,
+        )
 
     # -- source selection ---------------------------------------------------------
 
@@ -407,7 +478,16 @@ class _OutageRun:
         )
         if source is SourceKind.UPS:
             assert self.ups is not None
-            self.ups.carry(phase.power_watts, duration, phase.active_servers)
+            if self.guard is not None:
+                soc_before = self.ups.state_of_charge
+                self.ups.carry(phase.power_watts, duration, phase.active_servers)
+                self.guard.check_discharge_step(
+                    soc_before,
+                    self.ups.state_of_charge,
+                    f"phase {phase.name!r} at t={self.t:.1f}s",
+                )
+            else:
+                self.ups.carry(phase.power_watts, duration, phase.active_servers)
         elif source is SourceKind.DG:
             self.dg.carry(phase.power_watts, duration)
         if not math.isinf(self.phase_remaining):
@@ -547,7 +627,7 @@ class _OutageRun:
             soc_end = self.ups.state_of_charge
             charge_used = self._initial_soc - soc_end
             ups_energy = self.ups.energy_delivered_joules
-        return OutageOutcome(
+        outcome = OutageOutcome(
             technique_name=self.plan.technique_name,
             outage_seconds=self.T,
             crashed=self.crashed,
@@ -565,3 +645,6 @@ class _OutageRun:
             restored_by_dg=self.restored_by_dg,
             trace=self.trace,
         )
+        if self.guard is not None:
+            self.guard.check_outcome(outcome)
+        return outcome

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.checks.guard import InvariantGuard
 from repro.errors import SimulationError
 from repro.outages.events import OutageEvent, OutageSchedule
 from repro.power.ups import DEFAULT_RECHARGE_SECONDS
@@ -68,6 +69,12 @@ class YearlyRunner:
             outages).
         rng: Source for DG start rolls (None -> deterministic: the engine
             always starts).
+        strict: Install an :class:`~repro.checks.InvariantGuard` (unless one
+            is supplied) so every event's outcome is invariant-checked;
+            off (the default) costs nothing.
+        guard: An explicit guard instance (implies strict checking);
+            supply one with ``collect=True`` to gather violations instead
+            of raising on the first.
     """
 
     def __init__(
@@ -76,6 +83,8 @@ class YearlyRunner:
         plan: OutagePlan,
         recharge_seconds: float = DEFAULT_RECHARGE_SECONDS,
         rng: Optional[np.random.Generator] = None,
+        strict: bool = False,
+        guard: Optional[InvariantGuard] = None,
     ):
         if recharge_seconds <= 0:
             raise SimulationError("recharge_seconds must be positive")
@@ -83,6 +92,9 @@ class YearlyRunner:
         self.plan = plan
         self.recharge_seconds = recharge_seconds
         self.rng = rng
+        self.guard = guard if guard is not None else (
+            InvariantGuard() if strict else None
+        )
 
     def _dg_starts(self) -> bool:
         generator = self.datacenter.generator
@@ -93,14 +105,33 @@ class YearlyRunner:
         return bool(self.rng.random() < generator.start_reliability)
 
     def run_schedule(self, schedule: OutageSchedule) -> YearlyResult:
-        """Simulate every event of ``schedule`` in order."""
+        """Simulate every event of ``schedule`` in order.
+
+        Raises:
+            SimulationError: If the events are unordered or overlapping.
+                (:class:`~repro.outages.events.OutageSchedule` validates
+                this at construction, but any iterable of events is
+                accepted here, so the runner re-checks rather than letting
+                a negative recharge gap drive the state of charge below 0.)
+        """
+        if self.guard is not None:
+            self.guard.check_schedule(schedule, context="run_schedule")
         outcomes: List[OutageOutcome] = []
         failures = 0
         soc = 1.0
         previous_end = -float("inf")
         for event in schedule:
             gap = event.start_seconds - previous_end
-            soc = min(1.0, soc + gap / self.recharge_seconds)
+            if gap < 0:
+                raise SimulationError(
+                    f"schedule events must be ordered and non-overlapping: "
+                    f"event at {event.start_seconds:g}s starts before the "
+                    f"previous event ended at {previous_end:g}s"
+                )
+            # Clamp: a fully drained string plus float rounding in the
+            # previous outcome must never push the next outage's initial
+            # charge outside [0, 1].
+            soc = min(1.0, max(0.0, soc + gap / self.recharge_seconds))
             dg_starts = self._dg_starts()
             if self.datacenter.generator.is_provisioned and not dg_starts:
                 failures += 1
@@ -110,8 +141,15 @@ class YearlyRunner:
                 event.duration_seconds,
                 initial_state_of_charge=soc,
                 dg_starts=dg_starts,
+                guard=self.guard,
             )
             outcomes.append(outcome)
+            if self.guard is not None:
+                self.guard.check_discharge_step(
+                    soc,
+                    outcome.ups_state_of_charge_end,
+                    f"event at {event.start_seconds:g}s",
+                )
             soc = outcome.ups_state_of_charge_end
             previous_end = event.end_seconds
         return YearlyResult(

@@ -1,0 +1,178 @@
+"""InvariantGuard: scalar/structural checks, collect mode, sim wiring."""
+
+import math
+
+import pytest
+
+from repro.checks import DEFAULT_TOLERANCE, InvariantGuard, Violation
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.errors import InvariantViolation, SimulationError
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.power.battery import Battery, BatterySpec
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+def simulate(config_name="NoDG", technique="sleep-l", duration=minutes(2), guard=None):
+    dc = make_datacenter(specjbb(), get_configuration(config_name), num_servers=8)
+    context = TechniqueContext(
+        cluster=dc.cluster,
+        workload=specjbb(),
+        power_budget_watts=plan_power_budget_watts(dc),
+    )
+    plan = get_technique(technique).plan(context)
+    return simulate_outage(dc, plan, duration, guard=guard)
+
+
+class TestExceptionHierarchy:
+    def test_violation_is_a_simulation_error(self):
+        # Existing `except SimulationError` handlers keep working.
+        assert issubclass(InvariantViolation, SimulationError)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            InvariantGuard(tolerance=-1e-9)
+
+
+class TestScalarChecks:
+    def test_soc_in_range_passes(self):
+        guard = InvariantGuard()
+        for soc in (0.0, 0.5, 1.0, 1.0 + DEFAULT_TOLERANCE / 2):
+            guard.check_soc(soc)
+        assert guard.ok
+        assert guard.checks_run == 4
+
+    @pytest.mark.parametrize("soc", [-0.01, 1.01, float("nan")])
+    def test_soc_out_of_range_raises(self, soc):
+        with pytest.raises(InvariantViolation, match="soc-range"):
+            InvariantGuard().check_soc(soc)
+
+    def test_discharge_must_not_raise_charge(self):
+        guard = InvariantGuard()
+        guard.check_discharge_step(0.8, 0.5)
+        guard.check_discharge_step(0.5, 0.5)
+        with pytest.raises(InvariantViolation, match="discharge-monotone"):
+            guard.check_discharge_step(0.5, 0.6)
+
+    def test_nonnegative(self):
+        guard = InvariantGuard()
+        guard.check_nonnegative(0.0, "downtime")
+        with pytest.raises(InvariantViolation, match="downtime is -1.0"):
+            guard.check_nonnegative(-1.0, "downtime")
+
+    def test_fraction(self):
+        guard = InvariantGuard()
+        guard.check_fraction(1.0, "performance")
+        with pytest.raises(InvariantViolation, match="fraction-range"):
+            guard.check_fraction(1.5, "performance")
+
+
+class TestCollectMode:
+    def test_collects_instead_of_raising(self):
+        guard = InvariantGuard(collect=True)
+        guard.check_soc(-1.0, context="here")
+        guard.check_fraction(2.0, "perf")
+        assert not guard.ok
+        assert len(guard.violations) == 2
+        assert isinstance(guard.violations[0], Violation)
+        assert "here" in str(guard.violations[0])
+
+    def test_raise_if_violated_lists_everything(self):
+        guard = InvariantGuard(collect=True)
+        guard.check_soc(-1.0)
+        guard.check_soc(2.0)
+        with pytest.raises(InvariantViolation, match="2 invariant violation"):
+            guard.raise_if_violated()
+
+    def test_raise_if_violated_noop_when_clean(self):
+        InvariantGuard(collect=True).raise_if_violated()
+
+    def test_summary(self):
+        guard = InvariantGuard(collect=True)
+        guard.check_soc(0.5)
+        guard.check_soc(-1.0)
+        assert guard.summary() == "2 checks, 1 violation"
+
+
+class TestScheduleChecks:
+    def test_valid_schedule_passes(self):
+        schedule = OutageSchedule(
+            events=(OutageEvent(0.0, minutes(5)), OutageEvent(hours(1), minutes(5))),
+            horizon_seconds=hours(24),
+        )
+        guard = InvariantGuard()
+        guard.check_schedule(schedule)
+        assert guard.ok
+
+    def test_unordered_events_flagged(self):
+        events = [OutageEvent(hours(1), minutes(5)), OutageEvent(0.0, minutes(5))]
+        with pytest.raises(InvariantViolation, match="schedule-order"):
+            InvariantGuard().check_schedule(events)
+
+    def test_overlapping_events_flagged(self):
+        events = [OutageEvent(0.0, minutes(10)), OutageEvent(minutes(5), minutes(10))]
+        with pytest.raises(InvariantViolation, match="schedule-order"):
+            InvariantGuard().check_schedule(events)
+
+    def test_event_past_horizon_flagged(self):
+        events = [OutageEvent(0.0, hours(2))]
+        with pytest.raises(InvariantViolation, match="schedule-horizon"):
+            InvariantGuard().check_schedule(events, horizon_seconds=hours(1))
+
+    def test_raw_list_without_horizon_skips_horizon_check(self):
+        guard = InvariantGuard()
+        guard.check_schedule([OutageEvent(0.0, hours(100))])
+        assert guard.ok
+
+    def test_nonpositive_duration_flagged(self):
+        # OutageEvent itself rejects this at construction; the guard exists
+        # for event-shaped objects that bypass that validation.
+        class RawEvent:
+            start_seconds = 0.0
+            duration_seconds = 0.0
+            end_seconds = 0.0
+
+        with pytest.raises(InvariantViolation, match="schedule-duration"):
+            InvariantGuard().check_schedule([RawEvent()])
+
+
+class TestSimulationWiring:
+    def test_guarded_outage_runs_clean(self):
+        guard = InvariantGuard()
+        outcome = simulate(guard=guard)
+        assert guard.ok
+        assert guard.checks_run > 10
+        assert outcome.downtime_during_outage_seconds >= 0
+
+    def test_outcome_check_catches_tampered_energy_counter(self):
+        outcome = simulate()
+        assert outcome.ups_energy_joules > 0
+        guard = InvariantGuard()
+        guard.check_energy_balance(outcome.trace, outcome.ups_energy_joules)
+        with pytest.raises(InvariantViolation, match="energy-balance"):
+            guard.check_energy_balance(
+                outcome.trace, outcome.ups_energy_joules * 2 + 1
+            )
+
+    def test_outcome_composite_check_passes_on_real_outcome(self):
+        guard = InvariantGuard()
+        guard.check_outcome(simulate("MaxPerf", "full-service", minutes(10)))
+        assert guard.ok
+
+    def test_guarded_battery_counts_discharge_checks(self):
+        guard = InvariantGuard()
+        spec = BatterySpec(rated_power_watts=4000.0, rated_runtime_seconds=minutes(10))
+        battery = Battery(spec, guard=guard)
+        battery.discharge(2000.0, minutes(5))
+        assert guard.checks_run > 0
+        assert guard.ok
+
+    def test_unguarded_paths_by_default(self):
+        # The guard hooks are all nullable: no guard object is created
+        # anywhere unless the caller asks for one.
+        outcome = simulate()
+        assert outcome is not None

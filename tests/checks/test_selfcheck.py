@@ -1,0 +1,71 @@
+"""Selfcheck sweep: oracles agree, strict sims run clean, cells dispatch."""
+
+import pytest
+
+from repro.checks.selfcheck import (
+    FAST_TECHNIQUES,
+    FULL_TECHNIQUES,
+    SelfCheckReport,
+    run_selfcheck,
+    run_selfcheck_cell,
+)
+from repro.core.configurations import PAPER_CONFIGURATIONS
+from repro.errors import InvariantViolation
+
+
+@pytest.fixture(scope="module")
+def fast_report():
+    return run_selfcheck(fast=True)
+
+
+class TestFastSweep:
+    def test_everything_passes(self, fast_report):
+        assert fast_report.ok, "\n".join(
+            f"{r['check']} {r['subject']}: {r['detail']}"
+            for r in fast_report.failures
+        )
+
+    def test_summary(self, fast_report):
+        assert fast_report.summary().endswith("0 failed")
+
+    def test_every_check_family_ran(self, fast_report):
+        families = {r["check"] for r in fast_report.records}
+        assert {
+            "battery-oracle",
+            "load-roundtrip",
+            "peukert-split",
+            "adaptive-oracle",
+            "strict-sim",
+            "strict-yearly",
+        } <= families
+
+    def test_every_table3_configuration_covered(self, fast_report):
+        subjects = " | ".join(r["subject"] for r in fast_report.records)
+        for config in PAPER_CONFIGURATIONS:
+            assert config.name in subjects
+
+    def test_zero_runtime_probe_present(self, fast_report):
+        # The ZeroDivisionError regression is probed on every configuration.
+        probes = [
+            r for r in fast_report.records if r["subject"].endswith("zero-runtime")
+        ]
+        assert probes and all(r["status"] == "pass" for r in probes)
+
+
+class TestCellDispatch:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvariantViolation, match="unknown selfcheck cell"):
+            run_selfcheck_cell({"kind": "nonsense"}, None)
+
+    def test_fast_techniques_subset_of_full(self):
+        assert set(FAST_TECHNIQUES) < set(FULL_TECHNIQUES)
+
+    def test_report_failures_view(self):
+        report = SelfCheckReport(
+            records=(
+                {"check": "a", "subject": "s", "status": "pass", "detail": ""},
+                {"check": "b", "subject": "t", "status": "FAIL", "detail": "boom"},
+            )
+        )
+        assert not report.ok
+        assert [r["check"] for r in report.failures] == ["b"]

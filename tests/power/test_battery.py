@@ -208,3 +208,30 @@ class TestStatefulBattery:
 
     def test_remaining_runtime_zero_load_infinite(self, apc_4kw):
         assert math.isinf(Battery(apc_4kw).remaining_runtime_at(0))
+
+
+class TestZeroRuntimePack:
+    """A zero-energy pack (a NoUPS-style rating: power electronics, no
+    usable battery) — ``load_for_runtime`` used to raise
+    ``ZeroDivisionError`` for any positive requested runtime."""
+
+    @pytest.fixture
+    def zero_pack(self, apc_4kw):
+        return apc_4kw.with_runtime(0.0)
+
+    def test_positive_runtime_sustains_no_load(self, zero_pack):
+        assert zero_pack.load_for_runtime(minutes(1)) == 0.0
+
+    def test_no_zero_division_at_any_target(self, zero_pack):
+        for target in (1e-9, 1.0, minutes(10), minutes(60)):
+            assert zero_pack.load_for_runtime(target) == 0.0
+
+    def test_zero_target_stays_power_limited(self, zero_pack):
+        # runtime <= rated runtime is the power-limited branch even here.
+        assert zero_pack.load_for_runtime(0.0) == 4000.0
+
+    def test_stateful_pack_is_empty_at_full_charge(self, zero_pack):
+        # Never offered as a load source: a full zero-runtime pack holds
+        # no energy, and reporting it non-empty used to hang the
+        # simulator on state-safe phases.
+        assert Battery(zero_pack).is_empty

@@ -1,0 +1,101 @@
+"""Property-based schedule fuzzing through the runtime invariant guards.
+
+Hypothesis builds arbitrary valid and invalid outage schedules and drives
+:class:`~repro.sim.yearly.YearlyRunner` with a strict
+:class:`~repro.checks.InvariantGuard`: valid schedules must run clean under
+every invariant, invalid ones must be rejected at the runner boundary with
+a :class:`~repro.errors.SimulationError` — never a crash from deeper in.
+"""
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.checks import InvariantGuard
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.errors import SimulationError
+from repro.outages.events import OutageEvent
+from repro.sim.yearly import YearlyRunner
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import hours, minutes
+from repro.workloads.specjbb import specjbb
+
+
+@lru_cache(maxsize=None)
+def _dc_and_plan(config_name, technique_name):
+    dc = make_datacenter(specjbb(), get_configuration(config_name), num_servers=4)
+    context = TechniqueContext(
+        cluster=dc.cluster,
+        workload=specjbb(),
+        power_budget_watts=plan_power_budget_watts(dc),
+    )
+    return dc, get_technique(technique_name).plan(context)
+
+
+# (gap before event, event duration) pairs; cumulative sums keep every
+# generated schedule ordered and disjoint by construction.
+gap_duration_pairs = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=hours(6)),
+        st.floats(min_value=30.0, max_value=hours(1)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+configs = st.sampled_from(["NoDG", "MinCost", "LargeEUPS", "NoUPS"])
+techniques = st.sampled_from(["sleep-l", "throttle+sleep-l"])
+recharges = st.sampled_from([minutes(30), hours(8), hours(24)])
+
+
+def build_events(pairs):
+    events, clock = [], 0.0
+    for gap, duration in pairs:
+        clock += gap
+        events.append(OutageEvent(clock, duration))
+        clock += duration
+    return events
+
+
+class TestGuardedScheduleProperties:
+    @given(pairs=gap_duration_pairs, cfg=configs, tech=techniques, recharge=recharges)
+    @settings(max_examples=50, deadline=None)
+    def test_valid_schedules_run_clean_under_strict_guard(
+        self, pairs, cfg, tech, recharge
+    ):
+        dc, plan = _dc_and_plan(cfg, tech)
+        guard = InvariantGuard(collect=True)
+        result = YearlyRunner(
+            dc, plan, recharge_seconds=recharge, guard=guard
+        ).run_schedule(build_events(pairs))
+        assert guard.ok, "; ".join(str(v) for v in guard.violations)
+        assert len(result.outcomes) == len(pairs)
+        assert result.total_downtime_seconds >= 0.0
+        for outcome in result.outcomes:
+            assert 0.0 <= outcome.ups_state_of_charge_end <= 1.0 + 1e-9
+
+    @given(pairs=gap_duration_pairs, cfg=configs, tech=techniques)
+    @settings(max_examples=50, deadline=None)
+    def test_unordered_schedules_rejected_cleanly(self, pairs, cfg, tech):
+        assume(len(pairs) >= 2)
+        events = list(reversed(build_events(pairs)))
+        dc, plan = _dc_and_plan(cfg, tech)
+        with pytest.raises(SimulationError):
+            YearlyRunner(dc, plan).run_schedule(events)
+
+    @given(pairs=gap_duration_pairs, cfg=configs, tech=techniques)
+    @settings(max_examples=30, deadline=None)
+    def test_overlapping_schedules_rejected_cleanly(self, pairs, cfg, tech):
+        events = build_events(pairs)
+        first = events[0]
+        # Duplicate the first event shifted half a duration: overlaps it.
+        events.insert(
+            1, OutageEvent(first.start_seconds + first.duration_seconds / 2,
+                           first.duration_seconds),
+        )
+        dc, plan = _dc_and_plan(cfg, tech)
+        with pytest.raises(SimulationError):
+            YearlyRunner(dc, plan).run_schedule(events)

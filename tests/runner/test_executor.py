@@ -1,5 +1,7 @@
 """Executors: ordering, determinism, failures, fallback, progress."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -26,6 +28,11 @@ def fail_on_three(spec, seed):
     if spec["x"] == 3:
         raise ValueError("three is right out")
     return spec["x"]
+
+
+def nap(spec, seed):
+    time.sleep(spec["seconds"])
+    return spec["seconds"]
 
 
 SPECS = [{"x": x} for x in range(8)]
@@ -121,6 +128,38 @@ class TestParallelExecutor:
             ParallelExecutor(timeout_seconds=0)
         with pytest.raises(RunnerError):
             ParallelExecutor(chunk_size=0)
+
+
+class TestTimeoutAccounting:
+    """A timed-out job must be charged the wall time actually waited and
+    counted in ``RunStats.timeouts`` — previously it was recorded with
+    ``seconds=0.0`` and left no trace beyond a generic failure."""
+
+    def test_timed_out_job_records_wait_and_stat(self):
+        jobs = make_jobs(
+            nap, [{"seconds": 1.0}] + [{"seconds": 0.0}] * 3,
+            labels=["sleeper", "q0", "q1", "q2"],
+        )
+        report = ParallelExecutor(max_workers=2, timeout_seconds=0.2).run(
+            jobs, strict=False
+        )
+        if report.stats.fell_back_to_serial:
+            pytest.skip("no process pool in this environment")
+        assert report.stats.timeouts == 1
+        assert report.values[0] is None
+        assert report.values[1:] == [0.0, 0.0, 0.0]
+        (failure,) = report.failures
+        assert failure.index == 0
+        assert "worker abandoned" in failure.error
+        assert "waited" in failure.error
+        # The wait itself is real work time, not zero.
+        assert report.stats.job_seconds >= 0.15
+        assert "timed out" in report.stats.summary()
+
+    def test_no_timeout_leaves_stat_zero(self):
+        report = SerialExecutor().run(make_jobs(square, SPECS))
+        assert report.stats.timeouts == 0
+        assert "timed out" not in report.stats.summary()
 
 
 class TestProgressEvents:

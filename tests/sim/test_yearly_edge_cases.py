@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.configurations import get_configuration
+from repro.errors import InvariantViolation, SimulationError
 from repro.core.performability import make_datacenter, plan_power_budget_watts
 from repro.outages.events import OutageEvent, OutageSchedule
 from repro.sim.outage_sim import simulate_outage
@@ -155,3 +156,57 @@ class TestDGStartFailureAccounting:
         assert result.dg_start_failures == 1
         assert outcome.crashed
         assert outcome.dg_energy_joules == 0.0
+
+
+class TestInvalidScheduleRejected:
+    """``run_schedule`` accepts any iterable of events, so it must re-check
+    ordering itself: a negative recharge gap used to drive the threaded
+    state of charge below zero and surface as a ``ConfigurationError``
+    from deep inside the simulator."""
+
+    def test_unordered_events_raise_simulation_error(self):
+        dc, plan = build("NoDG", "sleep-l")
+        events = [OutageEvent(hours(2), minutes(5)), OutageEvent(0.0, minutes(5))]
+        with pytest.raises(SimulationError, match="ordered and non-overlapping"):
+            YearlyRunner(dc, plan).run_schedule(events)
+
+    def test_overlapping_events_raise_simulation_error(self):
+        dc, plan = build("NoDG", "sleep-l")
+        events = [
+            OutageEvent(0.0, minutes(10)),
+            OutageEvent(minutes(5), minutes(10)),
+        ]
+        with pytest.raises(SimulationError, match="ordered and non-overlapping"):
+            YearlyRunner(dc, plan).run_schedule(events)
+
+    def test_strict_runner_flags_it_as_invariant_violation(self):
+        dc, plan = build("NoDG", "sleep-l")
+        events = [OutageEvent(hours(2), minutes(5)), OutageEvent(0.0, minutes(5))]
+        with pytest.raises(InvariantViolation, match="schedule-order"):
+            YearlyRunner(dc, plan, strict=True).run_schedule(events)
+
+    def test_valid_raw_event_list_accepted(self):
+        dc, plan = build("NoDG", "sleep-l")
+        events = [OutageEvent(0.0, minutes(5)), OutageEvent(hours(2), minutes(5))]
+        via_list = YearlyRunner(dc, plan).run_schedule(events)
+        via_schedule = YearlyRunner(dc, plan).run_schedule(
+            schedule(*events, horizon=hours(24))
+        )
+        assert list(via_list.outcomes) == list(via_schedule.outcomes)
+
+    def test_initial_charge_never_leaves_unit_interval(self):
+        """Back-to-back events with a huge gap/recharge ratio: the refill
+        clamp must cap the next event's initial charge at exactly 1."""
+        dc, plan = build("NoDG", "sleep-l")
+        result = YearlyRunner(
+            dc, plan, recharge_seconds=1.0, strict=True
+        ).run_schedule(
+            schedule(
+                OutageEvent(0.0, minutes(5)),
+                OutageEvent(hours(12), minutes(5)),
+                horizon=hours(24),
+            )
+        )
+        assert len(result.outcomes) == 2
+        for outcome in result.outcomes:
+            assert 0.0 <= outcome.ups_state_of_charge_end <= 1.0

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke selfcheck
+.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,3 +22,18 @@ bench:
 # served entirely from cache with identical results.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_smoke.py
+
+# Holds repro.obs's zero-overhead-when-off contract to measurement
+# (see docs/OBSERVABILITY.md).
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs_overhead.py
+
+# A tiny traced availability run across 2 workers, schema-validated as
+# Chrome trace_event JSON and rendered back through `repro stats`.
+# CI uploads the resulting trace-smoke.json as an artifact.
+trace-smoke:
+	$(PYTHON) -m repro.cli availability -w specjbb -c LargeEUPS -t sleep-l \
+		--years 3 --jobs 2 \
+		--trace trace-smoke.json --metrics trace-smoke.jsonl
+	$(PYTHON) -m repro.obs.validate trace-smoke.json
+	$(PYTHON) -m repro.cli stats trace-smoke.jsonl

@@ -180,12 +180,12 @@ class AvailabilityAnalyzer:
             power_budget_watts=plan_power_budget_watts(datacenter),
         )
         try:
-            plan = technique.plan(context)
+            plan = technique.compile_plan(context)
         except TechniqueError:
             # An uncompilable technique means every outage is a crash-through.
             from repro.techniques.nop import FullService
 
-            plan = FullService().plan(
+            plan = FullService().compile_plan(
                 TechniqueContext(cluster=datacenter.cluster, workload=self.workload)
             )
 

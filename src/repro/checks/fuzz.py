@@ -179,7 +179,7 @@ def fuzz_case(spec: Mapping[str, Any], seed) -> Record:
     plan = None
     for candidate in (technique_name, "throttle+sleep-l", "sleep-l", "full-service"):
         try:
-            plan = get_technique(candidate).plan(context)
+            plan = get_technique(candidate).compile_plan(context)
         except TechniqueError:
             continue
         if candidate != technique_name:

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.errors import InvariantViolation
+from repro.obs import current_metrics, current_tracer
 from repro.sim.validation import trace_energy_balance_error
 
 #: Default relative tolerance for float-accumulation slack on conserved
@@ -84,6 +85,11 @@ class InvariantGuard:
         self.collect = collect
         self.checks_run = 0
         self.violations: List[Violation] = []
+        # Ambient observability, captured at construction (None = off).  A
+        # traced strict run marks every violation as an instant event on
+        # whatever span is current — the timeline shows *where* it fired.
+        self._sink = current_tracer()
+        self._metrics = current_metrics()
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -94,6 +100,16 @@ class InvariantGuard:
     def _fail(self, invariant: str, message: str, context: str) -> None:
         violation = Violation(invariant, message, context)
         self.violations.append(violation)
+        if self._sink is not None:
+            self._sink.event(
+                "guard-violation",
+                invariant=invariant,
+                message=message,
+                context=context,
+            )
+        if self._metrics is not None:
+            self._metrics.counter("checks.violations").inc()
+            self._metrics.counter(f"checks.violations[{invariant}]").inc()
         if not self.collect:
             raise InvariantViolation(str(violation))
 

@@ -223,7 +223,7 @@ def check_strict_simulation(spec: Mapping[str, Any], seed) -> List[Record]:
     )
     for technique_name in spec["techniques"]:
         try:
-            plan = get_technique(technique_name).plan(context)
+            plan = get_technique(technique_name).compile_plan(context)
         except TechniqueError as exc:
             records.append(
                 _record(

@@ -18,6 +18,13 @@ results are bit-identical at every worker count), ``--cache DIR`` (an
 on-disk result cache — reruns skip already-computed jobs and report the
 hits) and ``--seed S`` (root of the per-job RNG tree).  Each prints a
 ``[runner] ...`` telemetry line after its table.
+
+Every subcommand additionally accepts the :mod:`repro.obs` flags:
+``--trace FILE`` writes a Chrome/Perfetto ``trace_event`` JSON of the run
+(open it at https://ui.perfetto.dev) and ``--metrics FILE`` writes a JSONL
+event log (spans + metrics snapshot) that ``repro stats FILE`` renders as
+a human summary.  With neither flag, observability stays off and costs
+nothing.
 """
 
 from __future__ import annotations
@@ -311,6 +318,14 @@ def _cmd_tiers(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.export import read_events_jsonl, render_summary
+
+    spans, metrics = read_events_jsonl(args.events)
+    print(render_summary(spans, metrics))
+    return 0
+
+
 def _cmd_tco(_args: argparse.Namespace) -> int:
     model = TCOModel()
     rows = [
@@ -441,14 +456,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runner_flags(p_repro)
     p_repro.set_defaults(func=_cmd_reproduce)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a --metrics JSONL event log as summary tables"
+    )
+    p_stats.add_argument("events", help="events JSONL file written by --metrics")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    # Observability flags go on *every* subcommand (so they read naturally
+    # after it: ``repro availability ... --trace out.json``).
+    for p in sub.choices.values():
+        group = p.add_argument_group("observability")
+        group.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="write a Chrome/Perfetto trace_event JSON of this run",
+        )
+        group.add_argument(
+            "--metrics",
+            default=None,
+            metavar="FILE",
+            help="write a JSONL event log (spans + metrics) for `repro stats`",
+        )
     return parser
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch to the subcommand, under an observability session when
+    ``--trace``/``--metrics`` ask for one."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return args.func(args)
+
+    from repro import obs
+    from repro.obs.export import write_chrome_trace, write_events_jsonl
+
+    session = obs.activate()
+    try:
+        with session.tracer.span("cli", "cli", command=args.command) as span:
+            code = args.func(args)
+            span.set("exit_code", code)
+    finally:
+        obs.deactivate()
+    if trace_path is not None:
+        count = write_chrome_trace(trace_path, session.tracer)
+        print(f"[obs] wrote {count} trace events to {trace_path}", file=sys.stderr)
+    if metrics_path is not None:
+        count = write_events_jsonl(
+            metrics_path, session.tracer, session.metrics
+        )
+        print(f"[obs] wrote {count} event lines to {metrics_path}", file=sys.stderr)
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        return _run_command(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -123,7 +123,7 @@ def evaluate_point(
         power_budget_watts=plan_power_budget_watts(datacenter),
     )
     try:
-        plan = technique.plan(context)
+        plan = technique.compile_plan(context)
     except TechniqueError:
         return PerformabilityPoint(
             configuration_name=configuration.name,

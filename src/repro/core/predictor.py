@@ -195,7 +195,7 @@ class AdaptivePolicy(OutageTechnique):
                 )
             )
             previous_edge = edge
-        sleep_plan = Sleep(low_power=True).plan(context)
+        sleep_plan = Sleep(low_power=True).compile_plan(context)
         phases.extend(sleep_plan.phases)
         check_budget(phases, context.power_budget_watts, self.name)
         return OutagePlan(technique_name=self.name, phases=phases)

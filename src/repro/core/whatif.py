@@ -126,7 +126,7 @@ class ExpectedOutageAnalyzer:
             power_budget_watts=plan_power_budget_watts(datacenter),
         )
         try:
-            plan = technique.plan(context)
+            plan = technique.compile_plan(context)
         except TechniqueError as exc:
             raise ConfigurationError(
                 f"{technique.name} cannot compile on {configuration.name}: {exc}"

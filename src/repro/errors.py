@@ -59,6 +59,16 @@ class InfeasibleError(ReproError):
     """
 
 
+class ObsError(ReproError, RuntimeError):
+    """The observability subsystem was misused or fed malformed data.
+
+    Raised for double activation of an ambient session, ending a span on
+    the wrong thread, metric type mismatches (a counter re-registered as a
+    gauge), and trace/event files that fail schema validation.  Never
+    raised from a disabled-path hook — observability off cannot fail.
+    """
+
+
 class RunnerError(ReproError, RuntimeError):
     """The experiment-execution subsystem failed.
 

@@ -1,0 +1,132 @@
+"""repro.obs: spans, metrics and trace export across the simulation stack.
+
+The paper's methodology is instrumentation — a power meter samples every
+experiment so demand and downtime can be attributed to technique phases.
+This package gives the reproduction the same visibility over its own
+execution:
+
+* :mod:`repro.obs.tracer` — a context-propagating :class:`Tracer` whose
+  spans wrap executor runs, jobs, outages and technique phases, with
+  process-safe ids so pool workers ship their span trees back to the
+  coordinator;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and magnitude-binned histograms with deterministic
+  snapshot/merge semantics (bit-identical aggregates at any worker
+  count);
+* :mod:`repro.obs.export` — JSONL event logs, Chrome/Perfetto
+  ``trace_event`` JSON, and the human summary ``repro stats`` renders.
+
+**The off switch is the default.**  Instrumented classes capture the
+*ambient* session at construction time (:func:`current_tracer` /
+:func:`current_metrics`, both ``None`` unless :func:`activate` ran), and
+every hot-path hook is a single ``if self._tracer is None`` check — a run
+without ``--trace``/``--metrics`` executes the exact pre-instrumentation
+code path.  ``benchmarks/bench_obs_overhead.py`` holds that contract to
+measurement.
+
+Quickstart::
+
+    from repro import obs
+    from repro.obs.export import write_chrome_trace
+
+    with obs.session() as s:
+        report = analyzer.analyze(config, technique, years=20, jobs=4)
+    write_chrome_trace("trace.json", s.tracer)      # open in Perfetto
+    print(s.metrics.snapshot()["battery.discharge_wh"])
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import ObsError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import RECORD_VERSION, Span, Tracer
+
+
+@dataclass
+class ObsSession:
+    """One observability session: a tracer plus a metrics registry.
+
+    Sessions are what gets activated as the process-wide ambient context;
+    pool workers build a private one per job and ship its contents back.
+    """
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
+#: The process-wide ambient session (None = observability off, the default).
+_ACTIVE: Optional[ObsSession] = None
+
+
+def activate(session: Optional[ObsSession] = None) -> ObsSession:
+    """Install ``session`` (or a fresh one) as the ambient context.
+
+    Instrumentation constructed *after* this call records into it; code
+    constructed before stays dark.  Activating over an active session is
+    an error — nest with :func:`session` instead.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ObsError(
+            "an observability session is already active; deactivate() first"
+        )
+    _ACTIVE = session if session is not None else ObsSession()
+    return _ACTIVE
+
+
+def deactivate() -> Optional[ObsSession]:
+    """Remove the ambient session (idempotent); returns what was active."""
+    global _ACTIVE
+    session, _ACTIVE = _ACTIVE, None
+    return session
+
+
+def current() -> Optional[ObsSession]:
+    """The ambient session, or None when observability is off."""
+    return _ACTIVE
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer, or None — what instrumented constructors capture."""
+    return _ACTIVE.tracer if _ACTIVE is not None else None
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The ambient metrics registry, or None when observability is off."""
+    return _ACTIVE.metrics if _ACTIVE is not None else None
+
+
+@contextmanager
+def session(existing: Optional[ObsSession] = None) -> Iterator[ObsSession]:
+    """Activate a session for the body of a ``with`` block.
+
+    The deactivation is unconditional, so an exception inside the block
+    never leaks an ambient session into unrelated code (or other tests).
+    """
+    active = activate(existing)
+    try:
+        yield active
+    finally:
+        deactivate()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "RECORD_VERSION",
+    "Span",
+    "Tracer",
+    "activate",
+    "current",
+    "current_metrics",
+    "current_tracer",
+    "deactivate",
+    "session",
+]

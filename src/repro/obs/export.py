@@ -1,0 +1,290 @@
+"""Exporters: JSONL event logs, Chrome ``trace_event`` JSON, summary tables.
+
+Three consumers, three formats:
+
+* **JSONL** (``--metrics FILE``) — one JSON object per line: a ``meta``
+  header, every finished span record, and one ``metrics`` snapshot.  This
+  is the machine-readable archive; ``repro stats FILE`` renders it back
+  into tables, and anything else (pandas, jq) can stream it.
+* **Chrome trace JSON** (``--trace FILE``) — the ``trace_event`` format
+  that ``chrome://tracing`` and https://ui.perfetto.dev open directly:
+  complete (``"ph": "X"``) events for spans, instant (``"ph": "i"``)
+  events for span events, and process-name metadata.  Worker spans carry
+  their own pid, so a parallel run renders as one track per worker.
+* **Summary tables** — the human digest: per-span-name counts and
+  durations plus every metric, via the same fixed-width renderer the rest
+  of the CLI uses.
+
+:func:`validate_chrome_trace` is the schema check ``make trace-smoke`` and
+the exporter tests share; it validates structure, not semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RECORD_VERSION, Tracer
+
+# -- JSONL event log -----------------------------------------------------------
+
+
+def write_events_jsonl(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write the session's spans + metrics as JSONL; returns line count."""
+    lines = [{"type": "meta", "version": RECORD_VERSION}]
+    if tracer is not None:
+        for record in tracer.records:
+            lines.append({"type": "span", **record})
+    if metrics is not None:
+        lines.append({"type": "metrics", "metrics": metrics.snapshot()})
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(lines)
+
+
+def read_events_jsonl(
+    path: str,
+) -> Tuple[List[Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+    """Load a JSONL event log back into (span records, metrics snapshot)."""
+    spans: List[Dict[str, Any]] = []
+    metrics: Dict[str, Dict[str, Any]] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                obj = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ObsError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            kind = obj.pop("type", None)
+            if kind == "span":
+                spans.append(obj)
+            elif kind == "metrics":
+                merged = MetricsRegistry()
+                merged.merge(metrics)
+                merged.merge(obj.get("metrics", {}))
+                metrics = merged.snapshot()
+            elif kind not in ("meta",):
+                raise ObsError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return spans, metrics
+
+
+# -- Chrome trace_event JSON ---------------------------------------------------
+
+
+def chrome_trace_events(
+    records: Sequence[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Convert span records to ``trace_event`` dicts.
+
+    Timestamps are rebased to the earliest record so the viewer opens at
+    t=0 instead of the Unix epoch; microsecond units per the spec.
+    """
+    if not records:
+        return []
+    epoch = min(float(r["ts"]) for r in records)
+    events: List[Dict[str, Any]] = []
+    pids = set()
+    for record in records:
+        pid = int(record["pid"])
+        tid = int(record["tid"])
+        pids.add(pid)
+        ts_us = (float(record["ts"]) - epoch) * 1e6
+        args = dict(record.get("attrs", {}))
+        args["span_id"] = record["span_id"]
+        if record.get("parent_id"):
+            args["parent_id"] = record["parent_id"]
+        events.append(
+            {
+                "name": record["name"],
+                "cat": record.get("cat") or "repro",
+                "ph": "X",
+                "ts": ts_us,
+                "dur": float(record["dur"]) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for inner in record.get("events", ()):
+            events.append(
+                {
+                    "name": inner["name"],
+                    "cat": record.get("cat") or "repro",
+                    "ph": "i",
+                    "ts": (float(inner["ts"]) - epoch) * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": dict(inner.get("attrs", {})),
+                }
+            )
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> int:
+    """Write the tracer's spans as a Chrome trace file; returns event count."""
+    events = chrome_trace_events(tracer.records)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(events)
+
+
+def validate_chrome_trace(
+    trace: Union[str, Mapping[str, Any], Sequence[Any]]
+) -> Dict[str, int]:
+    """Structural schema check of a ``trace_event`` document.
+
+    Accepts a file path, the parsed JSON object form, or the bare event
+    array form.  Raises :class:`~repro.errors.ObsError` on the first
+    problem; returns ``{"events", "spans", "instants", "pids"}`` counts.
+    """
+    if isinstance(trace, str):
+        with open(trace, "r", encoding="utf-8") as fh:
+            try:
+                trace = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ObsError(f"trace file is not JSON: {exc}") from exc
+    if isinstance(trace, Mapping):
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            raise ObsError("object-form trace needs a 'traceEvents' array")
+    elif isinstance(trace, Sequence):
+        events = list(trace)
+    else:
+        raise ObsError(f"trace must be an object or array, got {type(trace)}")
+
+    spans = instants = 0
+    pids = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, Mapping):
+            raise ObsError(f"{where}: not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ObsError(f"{where}: missing phase field 'ph'")
+        if not isinstance(event.get("name"), str):
+            raise ObsError(f"{where}: missing 'name'")
+        if not isinstance(event.get("pid"), int):
+            raise ObsError(f"{where}: missing integer 'pid'")
+        pids.add(event["pid"])
+        if ph in ("X", "i", "B", "E"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ObsError(f"{where}: 'ts' must be a number >= 0")
+            if not isinstance(event.get("tid"), int):
+                raise ObsError(f"{where}: missing integer 'tid'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ObsError(f"{where}: complete event needs 'dur' >= 0")
+            spans += 1
+        elif ph == "i":
+            instants += 1
+    return {
+        "events": len(events),
+        "spans": spans,
+        "instants": instants,
+        "pids": len(pids),
+    }
+
+
+# -- human summary -------------------------------------------------------------
+
+
+def span_tree_paths(
+    records: Sequence[Mapping[str, Any]]
+) -> List[str]:
+    """Each record's ``/``-joined name path from its root (for tests and
+    grouping): ``runner.run/job/outage/phase``."""
+    by_id = {r["span_id"]: r for r in records}
+    paths = []
+    for record in records:
+        parts = [record["name"]]
+        seen = {record["span_id"]}
+        parent = record.get("parent_id")
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            node = by_id[parent]
+            parts.append(node["name"])
+            parent = node.get("parent_id")
+        paths.append("/".join(reversed(parts)))
+    return paths
+
+
+def render_summary(
+    spans: Sequence[Mapping[str, Any]],
+    metrics: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> str:
+    """Render the human digest: span timings by name, then every metric."""
+    # Local import: analysis pulls in the simulation stack, which is itself
+    # instrumented with repro.obs — a module-level import would be circular.
+    from repro.analysis.report import format_table
+
+    groups: Dict[Tuple[str, str], List[float]] = {}
+    for record in spans:
+        key = (record["name"], record.get("cat") or "")
+        groups.setdefault(key, []).append(float(record["dur"]))
+    rows = []
+    for (name, cat), durs in sorted(
+        groups.items(), key=lambda kv: -sum(kv[1])
+    ):
+        total = sum(durs)
+        rows.append(
+            (
+                name,
+                cat,
+                len(durs),
+                f"{total:.3f}",
+                f"{total / len(durs) * 1e3:.2f}",
+                f"{max(durs) * 1e3:.2f}",
+            )
+        )
+    parts = [
+        format_table(
+            ("span", "cat", "count", "total s", "mean ms", "max ms"),
+            rows,
+            title=f"spans ({len(spans)} records)",
+        )
+    ]
+    if metrics:
+        metric_rows = []
+        for name in sorted(metrics):
+            entry = metrics[name]
+            kind = entry["type"]
+            if kind in ("counter", "gauge"):
+                value = entry["value"]
+                detail = "-" if value is None else f"{value:.6g}"
+            else:
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                detail = (
+                    f"n={count} mean={mean:.4g} "
+                    f"min={entry['min']:.4g} max={entry['max']:.4g}"
+                    if count
+                    else "n=0"
+                )
+            metric_rows.append((name, kind, detail))
+        parts.append(
+            format_table(("metric", "type", "value"), metric_rows, title="metrics")
+        )
+    return "\n\n".join(parts)

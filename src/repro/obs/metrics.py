@@ -1,0 +1,171 @@
+"""Metrics: counters, gauges and histograms with deterministic merging.
+
+The registry exists to answer aggregate questions a span timeline cannot
+("how many watt-hours did the batteries deliver across this sweep?", "how
+often did a guard fire?") without forcing every consumer to walk the trace.
+Instrumented code records into whichever registry was ambient when it was
+constructed; parallel workers record into private registries whose
+snapshots the executor merges back **in job submission order**, so a run's
+final metrics are bit-identical at any worker count:
+
+* counters and histograms merge commutatively (sums, bin adds, min/max);
+* gauges take the last merged write, and because merging follows submission
+  order, "last" is the same job everywhere.
+
+Histograms keep count/sum/min/max plus power-of-two magnitude bins — enough
+for latency attribution and SoC distributions at a few dozen bytes per
+metric, with an exactly mergeable representation (no quantile sketches).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObsError
+
+#: Bin key for non-positive observations (histograms bin by magnitude).
+_ZERO_BIN = -(2**15)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError("counters only go up; use a gauge for level values")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """count/sum/min/max plus power-of-two magnitude bins.
+
+    An observation ``v > 0`` lands in bin ``ceil(log2(v))`` (the bucket
+    ``(2**(k-1), 2**k]``); non-positive observations share one underflow
+    bin.  Bins merge by addition, so any partition of the observations
+    over workers reproduces the same histogram.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "bins")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.bins: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ObsError("cannot observe NaN")
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        key = _ZERO_BIN if value <= 0 else int(math.ceil(math.log2(value)))
+        self.bins[key] = self.bins.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and mergeable snapshots."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ObsError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- snapshot / merge -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A picklable, JSON-able, name-sorted dump of every metric."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            else:
+                bins: List[Tuple[int, int]] = sorted(metric.bins.items())
+                out[name] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "bins": [[k, c] for k, c in bins],
+                }
+        return out
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Call in a deterministic order (the executor merges by job
+        submission index) and the merged registry is identical for every
+        worker count.
+        """
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).value += float(entry["value"])
+            elif kind == "gauge":
+                if entry["value"] is not None:
+                    self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                hist.count += int(entry["count"])
+                hist.sum += float(entry["sum"])
+                if entry["min"] is not None:
+                    hist.min = min(hist.min, float(entry["min"]))
+                if entry["max"] is not None:
+                    hist.max = max(hist.max, float(entry["max"]))
+                for key, count in entry["bins"]:
+                    key = int(key)
+                    hist.bins[key] = hist.bins.get(key, 0) + int(count)
+            else:
+                raise ObsError(f"unknown metric type {kind!r} for {name!r}")

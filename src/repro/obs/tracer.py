@@ -1,0 +1,268 @@
+"""Spans: the paper's power meter turned inward.
+
+The paper attributes demand and downtime to *phases* of each technique by
+sampling every experiment with an external power meter (Section 6).  This
+module is the software equivalent: a context-propagating tracer whose spans
+wrap the simulation stack — one span per executor run, per job, per outage,
+per technique phase — so a slow sweep cell or a drifting availability number
+can be attributed to the exact stretch of simulated work that produced it.
+
+Design constraints, in priority order:
+
+* **Zero overhead when off.**  Nothing here runs unless a caller activated
+  an observability session (:func:`repro.obs.activate`); every instrumented
+  hot path guards its hook with one ``if tracer is None`` check captured at
+  construction time.
+* **Process-safe identity.**  Span ids embed the producing PID plus a
+  per-tracer counter, so records shipped back from pool workers never
+  collide with coordinator spans and re-parenting is a pure id rewrite.
+* **Picklable records.**  Finished spans are plain dicts (name, category,
+  ids, wall-clock start, duration, attributes, instant events) so workers
+  return them alongside job values with no custom reduction.
+
+Timestamps are wall-clock (``time.time()``) for cross-process alignment in
+Chrome/Perfetto; durations are measured with ``time.perf_counter`` so they
+do not jitter with clock adjustments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ObsError
+
+#: Span record schema version, stamped into JSONL exports.
+RECORD_VERSION = 1
+
+
+class Span:
+    """One live span.  Finished spans become plain dict records.
+
+    Attributes are write-only from the instrumented code's point of view:
+    :meth:`set` attaches a key/value, :meth:`event` appends an instant
+    event inside the span's time range.  Spans are handed out by
+    :class:`Tracer` — never construct one directly.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "span_id",
+        "parent_id",
+        "pid",
+        "tid",
+        "start_unix",
+        "_start_perf",
+        "attrs",
+        "events",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        span_id: str,
+        parent_id: Optional[str],
+        pid: int,
+        tid: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = pid
+        self.tid = tid
+        self.start_unix = time.time()
+        self._start_perf = time.perf_counter()
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+        self._finished = False
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attrs[key] = value
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant event inside this span."""
+        self.events.append(
+            {"name": name, "ts": time.time(), "attrs": dict(attrs)}
+        )
+
+    def _finish(self) -> Dict[str, Any]:
+        self._finished = True
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": self.start_unix,
+            "dur": time.perf_counter() - self._start_perf,
+            "attrs": self.attrs,
+            "events": self.events,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id!r})"
+
+
+class Tracer:
+    """Collects spans into an in-memory sink of plain dict records.
+
+    The tracer keeps one span stack per thread (``threading.local``), so
+    :meth:`current` and the parent links of new spans always reflect the
+    calling thread's own nesting; the record sink itself is shared and
+    lock-protected.
+
+    The manual :meth:`start_span`/:meth:`end_span` pair exists for state
+    machines whose span boundaries do not nest lexically (the outage
+    simulator's phase transitions); everything else should prefer the
+    :meth:`span` context manager.
+    """
+
+    #: Process-wide tracer instance counter.  Span ids embed it next to the
+    #: PID so two tracers in the same process (the coordinator's and a
+    #: per-job session's) can never mint colliding ids — a collision would
+    #: corrupt parent links when one tracer ingests the other's records.
+    _INSTANCES = itertools.count(1)
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._local = threading.local()
+        self._tids: Dict[int, int] = {}
+        self.pid = os.getpid()
+        self._token = f"{self.pid:x}-{next(Tracer._INSTANCES):x}"
+
+    # -- identity -------------------------------------------------------------
+
+    def _next_id(self) -> str:
+        return f"{self._token}-{next(self._counter):x}"
+
+    def _tid(self) -> int:
+        """A small, stable per-thread integer (Chrome traces want ints)."""
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids) + 1)
+        return tid
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread (None outside any)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def start_span(self, name: str, category: str = "", **attrs: Any) -> Span:
+        """Open a span as a child of the current one and make it current."""
+        parent = self.current()
+        span = Span(
+            name=name,
+            category=category,
+            span_id=self._next_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            pid=self.pid,
+            tid=self._tid(),
+            attrs=dict(attrs),
+        )
+        self._stack().append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close ``span`` (and any forgotten children still open inside it)."""
+        stack = self._stack()
+        if span not in stack:
+            raise ObsError(
+                f"cannot end span {span.name!r}: not open on this thread"
+            )
+        finished = []
+        while stack:
+            top = stack.pop()
+            finished.append(top._finish())
+            if top is span:
+                break
+        with self._lock:
+            # Children were popped first; store outermost-first so record
+            # order follows span start order within the burst.
+            self._records.extend(reversed(finished))
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **attrs: Any) -> Iterator[Span]:
+        """``with tracer.span("outage", "sim", technique=...) as s: ...``"""
+        span = self.start_span(name, category, **attrs)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instant event on the current span.
+
+        Outside any span the event still lands in the sink as a standalone
+        zero-duration record, so guard violations fired from un-spanned
+        code paths are never dropped.
+        """
+        current = self.current()
+        if current is not None:
+            current.event(name, **attrs)
+            return
+        record = {
+            "name": name,
+            "cat": "event",
+            "span_id": self._next_id(),
+            "parent_id": None,
+            "pid": self.pid,
+            "tid": self._tid(),  # may take the lock — stay outside it here
+            "ts": time.time(),
+            "dur": 0.0,
+            "attrs": dict(attrs),
+            "events": [],
+        }
+        with self._lock:
+            self._records.append(record)
+
+    # -- sink access ----------------------------------------------------------
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """A copy of every finished span record (picklable plain dicts)."""
+        with self._lock:
+            return list(self._records)
+
+    def ingest(
+        self,
+        records: Sequence[Dict[str, Any]],
+        parent_id: Optional[str] = None,
+    ) -> None:
+        """Adopt records produced by another tracer (a pool worker).
+
+        Root records (``parent_id is None``) are re-parented under
+        ``parent_id`` so worker span trees hang off the coordinator span
+        that dispatched them.
+        """
+        adopted = []
+        for record in records:
+            if parent_id is not None and record.get("parent_id") is None:
+                record = dict(record)
+                record["parent_id"] = parent_id
+            adopted.append(record)
+        with self._lock:
+            self._records.extend(adopted)

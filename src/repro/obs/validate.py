@@ -1,0 +1,41 @@
+"""Validate a Chrome ``trace_event`` file from the command line.
+
+``make trace-smoke`` (and the CI job behind it) runs a tiny traced sweep
+and then::
+
+    python -m repro.obs.validate trace.json
+
+which exits 0 with a one-line census when the file is structurally valid
+``trace_event`` JSON, and 1 with the first schema problem otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.errors import ObsError
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json", file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        census = validate_chrome_trace(path)
+    except (OSError, ObsError) as exc:
+        print(f"INVALID {path}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK {path}: {census['events']} events "
+        f"({census['spans']} spans, {census['instants']} instants, "
+        f"{census['pids']} process{'es' if census['pids'] != 1 else ''})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from repro.runner.progress import (
     CollectingProgress,
     ConsoleProgress,
     JobEvent,
+    JobEventKind,
     ProgressListener,
     RunStats,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "ConsoleProgress",
     "Job",
     "JobEvent",
+    "JobEventKind",
     "JobFailure",
     "JobFn",
     "ParallelExecutor",

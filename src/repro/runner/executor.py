@@ -19,6 +19,17 @@ breaks mid-run — sandboxes without ``fork``/semaphores get a slower run,
 not a crash.  Because jobs carry their own
 :class:`numpy.random.SeedSequence` streams, a fallback (or any worker
 count) changes nothing about the numbers produced.
+
+**Observability.**  When an ambient :mod:`repro.obs` session is active at
+executor construction, the whole run is wrapped in a ``runner.run`` span
+and every job in a ``job`` span.  Every traced job — in a pool worker or
+in-process — runs under a private per-job session whose finished span
+records and metrics snapshot travel back with the result; the coordinator
+re-parents the spans under ``runner.run`` and merges metric snapshots
+**in job submission order**.  Per-job subtotals combined in a fixed order
+are what make the merged registry bit-identical at every worker count
+(including serial).  With no session active (the default) every hook is
+one ``is None`` check.
 """
 
 from __future__ import annotations
@@ -31,11 +42,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RunnerError
+from repro.obs import ObsSession, activate, current_metrics, current_tracer, deactivate
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import Job
-from repro.runner.progress import JobEvent, ProgressListener, RunStats
+from repro.runner.progress import JobEvent, JobEventKind, ProgressListener, RunStats
 
 DEFAULT_CHUNK_SIZE = 8
+
+#: ``(index, ok, value_or_error, traceback_text, seconds, obs_payload)``
+JobResult = Tuple[int, bool, Any, str, float, Optional[Dict[str, Any]]]
 
 
 @dataclass(frozen=True)
@@ -75,21 +90,60 @@ class RunReport:
         return not self.failures
 
 
-def _execute_job(job: Job) -> Tuple[int, bool, Any, str, float]:
+def _execute_job(job: Job, obs_mode: str = "off") -> JobResult:
     """Worker-side wrapper: never raises, always reports duration.
 
-    Returns ``(index, ok, value_or_error, traceback_text, seconds)``.
-    Exceptions are rendered to strings here because traceback objects do
-    not survive pickling back to the coordinator.
+    Returns ``(index, ok, value_or_error, traceback_text, seconds,
+    obs_payload)``.  Exceptions are rendered to strings here because
+    traceback objects do not survive pickling back to the coordinator.
+
+    ``obs_mode`` is ``"off"`` (no instrumentation at all — the default
+    path) or ``"on"``.  A traced job always runs under a *private*
+    :class:`ObsSession` — in a pool worker (where a fork-started child may
+    have inherited the coordinator's ambient session, which we drop) and
+    in-process (serial execution, pool fallback) alike — with the job's
+    spans and metrics snapshot shipped back in the payload for the
+    coordinator to ingest and merge in submission order.  One mechanism
+    for every worker count is what makes the merged metrics bit-identical
+    between serial and parallel runs: per-job subtotals always combine in
+    the same grouping and order, so float addition cannot diverge.
     """
+    own_session = None
+    span = None
+    prior = None
+    if obs_mode != "off":
+        prior = deactivate()
+        own_session = activate(ObsSession())
+        span = own_session.tracer.start_span(
+            "job",
+            "runner",
+            label=job.display_name(),
+            index=job.index,
+            fingerprint=job.fingerprint,
+        )
     start = time.perf_counter()
     try:
         value = job.run()
+        ok, payload, tb_text = True, value, ""
     except BaseException as exc:  # noqa: BLE001 - reported, not swallowed
-        elapsed = time.perf_counter() - start
-        message = f"{type(exc).__name__}: {exc}"
-        return job.index, False, message, traceback.format_exc(), elapsed
-    return job.index, True, value, "", time.perf_counter() - start
+        ok = False
+        payload = f"{type(exc).__name__}: {exc}"
+        tb_text = traceback.format_exc()
+        if span is not None:
+            span.event("job-error", message=payload)
+    elapsed = time.perf_counter() - start
+    obs_payload = None
+    if own_session is not None:
+        span.set("ok", ok)
+        own_session.tracer.end_span(span)
+        deactivate()
+        if prior is not None:  # in-process: restore the coordinator session
+            activate(prior)
+        obs_payload = {
+            "spans": own_session.tracer.records,
+            "metrics": own_session.metrics.snapshot(),
+        }
+    return job.index, ok, payload, tb_text, elapsed, obs_payload
 
 
 class BaseExecutor:
@@ -107,15 +161,16 @@ class BaseExecutor:
     ) -> None:
         self.cache = cache
         self.progress = progress
+        # Ambient observability, captured at construction (None = off).
+        self._tracer = current_tracer()
+        self._metrics = current_metrics()
         #: The most recent :class:`RunReport`; lets callers that hand an
         #: executor to a library function still read the run telemetry.
         self.last_report: Optional[RunReport] = None
 
     # -- subclass hook --------------------------------------------------------
 
-    def _dispatch(
-        self, jobs: Sequence[Job], stats: RunStats
-    ) -> List[Tuple[int, bool, Any, str, float]]:
+    def _dispatch(self, jobs: Sequence[Job], stats: RunStats) -> List[JobResult]:
         """Compute every job in ``jobs``; any order, all of them."""
         raise NotImplementedError
 
@@ -131,6 +186,16 @@ class BaseExecutor:
                 holes in :attr:`RunReport.values`.
         """
         jobs = list(jobs)
+        if self._tracer is None:
+            return self._run(jobs, strict)
+        with self._tracer.span("runner.run", "runner", jobs=len(jobs)) as span:
+            report = self._run(jobs, strict)
+            span.set("cache_hits", report.stats.cache_hits)
+            span.set("failures", report.stats.failures)
+            span.set("workers", report.stats.workers)
+            return report
+
+    def _run(self, jobs: List[Job], strict: bool) -> RunReport:
         indices = [job.index for job in jobs]
         if len(set(indices)) != len(indices):
             raise RunnerError("job indices must be unique")
@@ -138,6 +203,7 @@ class BaseExecutor:
         started = time.perf_counter()
         values: Dict[int, Any] = {}
         failures: List[JobFailure] = []
+        obs_by_index: Dict[int, Dict[str, Any]] = {}
 
         misses: List[Job] = []
         for job in jobs:
@@ -146,24 +212,27 @@ class BaseExecutor:
                 if hit:
                     values[job.index] = value
                     stats.cache_hits += 1
-                    self._emit(JobEvent("cache-hit", job.index,
+                    self._emit(JobEvent(JobEventKind.CACHE_HIT, job.index,
                                         job.display_name(), job.fingerprint))
                     continue
             misses.append(job)
 
         if misses:
             by_index = {job.index: job for job in misses}
-            for index, ok, payload, tb_text, seconds in self._dispatch(
-                misses, stats
+            for index, ok, payload, tb_text, seconds, obs_payload in (
+                self._dispatch(misses, stats)
             ):
                 job = by_index[index]
                 stats.jobs_run += 1
                 stats.job_seconds += seconds
+                if obs_payload is not None:
+                    obs_by_index[index] = obs_payload
                 if ok:
                     values[index] = payload
                     if self.cache is not None:
                         self.cache.put(job, payload)
-                    self._emit(JobEvent("finished", index, job.display_name(),
+                    self._emit(JobEvent(JobEventKind.FINISHED, index,
+                                        job.display_name(),
                                         job.fingerprint, seconds))
                 else:
                     values[index] = None
@@ -171,9 +240,11 @@ class BaseExecutor:
                     failures.append(
                         JobFailure(index, job.display_name(), payload, tb_text)
                     )
-                    self._emit(JobEvent("failed", index, job.display_name(),
+                    self._emit(JobEvent(JobEventKind.FAILED, index,
+                                        job.display_name(),
                                         job.fingerprint, seconds, error=payload))
 
+        self._absorb_obs(obs_by_index, stats)
         stats.elapsed_seconds = time.perf_counter() - started
         failures.sort(key=lambda f: f.index)
         report = RunReport(
@@ -191,6 +262,37 @@ class BaseExecutor:
             )
         return report
 
+    def _absorb_obs(
+        self, obs_by_index: Dict[int, Dict[str, Any]], stats: RunStats
+    ) -> None:
+        """Adopt worker span trees and metric snapshots into the ambient
+        session.  Iteration is sorted by submission index — the order that
+        makes gauge merges (and therefore whole-registry state) identical
+        at every worker count."""
+        if self._tracer is not None:
+            parent = self._tracer.current()
+            parent_id = parent.span_id if parent is not None else None
+            for index in sorted(obs_by_index):
+                self._tracer.ingest(
+                    obs_by_index[index]["spans"], parent_id=parent_id
+                )
+        if self._metrics is not None:
+            for index in sorted(obs_by_index):
+                self._metrics.merge(obs_by_index[index]["metrics"])
+            self._metrics.counter("runner.jobs").inc(stats.jobs_total)
+            self._metrics.counter("runner.cache_hits").inc(stats.cache_hits)
+            self._metrics.counter("runner.cache_misses").inc(stats.jobs_run)
+            self._metrics.counter("runner.failures").inc(stats.failures)
+            self._metrics.histogram("runner.job_seconds").observe(
+                stats.job_seconds
+            )
+
+    def _obs_mode(self) -> str:
+        """Which ``_execute_job`` instrumentation mode applies."""
+        if self._tracer is None and self._metrics is None:
+            return "off"
+        return "on"
+
     def _emit(self, event: JobEvent) -> None:
         if self.progress is not None:
             self.progress.on_event(event)
@@ -199,14 +301,13 @@ class BaseExecutor:
 class SerialExecutor(BaseExecutor):
     """In-process, in-order execution — the reference semantics."""
 
-    def _dispatch(
-        self, jobs: Sequence[Job], stats: RunStats
-    ) -> List[Tuple[int, bool, Any, str, float]]:
+    def _dispatch(self, jobs: Sequence[Job], stats: RunStats) -> List[JobResult]:
+        mode = self._obs_mode()
         results = []
         for job in jobs:
-            self._emit(JobEvent("started", job.index, job.display_name(),
-                                job.fingerprint))
-            results.append(_execute_job(job))
+            self._emit(JobEvent(JobEventKind.STARTED, job.index,
+                                job.display_name(), job.fingerprint))
+            results.append(_execute_job(job, mode))
         return results
 
 
@@ -248,9 +349,7 @@ class ParallelExecutor(BaseExecutor):
         self.chunk_size = chunk_size
         self.fallback_serial = fallback_serial
 
-    def _dispatch(
-        self, jobs: Sequence[Job], stats: RunStats
-    ) -> List[Tuple[int, bool, Any, str, float]]:
+    def _dispatch(self, jobs: Sequence[Job], stats: RunStats) -> List[JobResult]:
         try:
             pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.max_workers
@@ -258,7 +357,8 @@ class ParallelExecutor(BaseExecutor):
         except (OSError, ValueError, NotImplementedError) as exc:
             return self._fallback(jobs, stats, exc)
         stats.workers = getattr(pool, "_max_workers", self.max_workers or 1)
-        results: List[Tuple[int, bool, Any, str, float]] = []
+        mode = self._obs_mode()
+        results: List[JobResult] = []
         pending: List[Job] = list(jobs)
         abandoned = 0
         try:
@@ -274,9 +374,11 @@ class ParallelExecutor(BaseExecutor):
                     while cursor < len(pending) and len(in_flight) < window:
                         job = pending[cursor]
                         cursor += 1
-                        self._emit(JobEvent("started", job.index,
+                        self._emit(JobEvent(JobEventKind.STARTED, job.index,
                                             job.display_name(), job.fingerprint))
-                        in_flight.append((pool.submit(_execute_job, job), job))
+                        in_flight.append(
+                            (pool.submit(_execute_job, job, mode), job)
+                        )
                     future, job = in_flight.pop(0)
                     wait_started = time.perf_counter()
                     try:
@@ -291,7 +393,7 @@ class ParallelExecutor(BaseExecutor):
                             f"TimeoutError: job exceeded "
                             f"{self.timeout_seconds:.1f}s "
                             f"(waited {waited:.1f}s; worker abandoned)",
-                            "", waited,
+                            "", waited, None,
                         ))
         except BrokenProcessPool as exc:
             done = {r[0] for r in results}
@@ -301,16 +403,17 @@ class ParallelExecutor(BaseExecutor):
 
     def _fallback(
         self, jobs: Sequence[Job], stats: RunStats, cause: BaseException
-    ) -> List[Tuple[int, bool, Any, str, float]]:
+    ) -> List[JobResult]:
         if not self.fallback_serial:
             raise RunnerError(f"process pool unavailable: {cause}") from cause
         stats.fell_back_to_serial = True
         stats.workers = 1
+        mode = self._obs_mode()
         results = []
         for job in jobs:
-            self._emit(JobEvent("started", job.index, job.display_name(),
-                                job.fingerprint))
-            results.append(_execute_job(job))
+            self._emit(JobEvent(JobEventKind.STARTED, job.index,
+                                job.display_name(), job.fingerprint))
+            results.append(_execute_job(job, mode))
         return results
 
 

@@ -15,7 +15,22 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import IO, List, Optional
+from enum import Enum
+from typing import IO, List, Optional, Union
+
+
+class JobEventKind(str, Enum):
+    """The job state transitions executors report.
+
+    A ``str`` subclass (mirroring :class:`repro.sim.metrics.SourceKind`),
+    so listeners written against the old free-form strings keep working:
+    ``event.kind == "cache-hit"`` is True for :attr:`CACHE_HIT`.
+    """
+
+    STARTED = "started"
+    FINISHED = "finished"
+    FAILED = "failed"
+    CACHE_HIT = "cache-hit"
 
 
 @dataclass(frozen=True)
@@ -23,7 +38,9 @@ class JobEvent:
     """One job state transition.
 
     Attributes:
-        kind: "started", "finished", "failed", or "cache-hit".
+        kind: The transition; plain strings ("started", "finished",
+            "failed", "cache-hit") are coerced to :class:`JobEventKind`
+            at construction, unknown ones raise ``ValueError``.
         index: The job's submission index.
         label: The job's display name.
         fingerprint: The job's stable identity (cache key material).
@@ -32,12 +49,16 @@ class JobEvent:
         error: Failure description ("failed" only).
     """
 
-    kind: str
+    kind: Union[JobEventKind, str]
     index: int
     label: str
     fingerprint: str
     duration_seconds: float = 0.0
     error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, JobEventKind):
+            object.__setattr__(self, "kind", JobEventKind(self.kind))
 
 
 class ProgressListener:
@@ -96,6 +117,8 @@ class RunStats:
         ]
         if self.timeouts:
             parts.insert(4, f"{self.timeouts} timed out")
+        if self.workers > 1:
+            parts.append(f"{self.speedup:.1f}x speedup")
         if self.fell_back_to_serial:
             parts.append("(fell back to serial)")
         return ", ".join(parts)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs import current_tracer
 
 Handler = Callable[["SimulationEngine"], None]
 
@@ -52,6 +53,8 @@ class SimulationEngine:
         self._now = 0.0
         self._running = False
         self.events_processed = 0
+        # Ambient observability, captured at construction (None = off).
+        self._tracer = current_tracer()
 
     @property
     def now(self) -> float:
@@ -95,6 +98,10 @@ class SimulationEngine:
                 continue
             self._now = event.time_seconds
             self.events_processed += 1
+            if self._tracer is not None and event.label:
+                self._tracer.event(
+                    "engine-event", t=event.time_seconds, label=event.label
+                )
             event.handler(self)
             return True
         return False
@@ -102,6 +109,14 @@ class SimulationEngine:
     def run(self, until_seconds: Optional[float] = None) -> None:
         """Run to quiescence, or until simulation time would pass
         ``until_seconds`` (the clock is left at the horizon)."""
+        if self._tracer is None:
+            return self._run_loop(until_seconds)
+        with self._tracer.span("engine.run", "sim") as span:
+            self._run_loop(until_seconds)
+            span.set("events_processed", self.events_processed)
+            span.set("sim_now", self._now)
+
+    def _run_loop(self, until_seconds: Optional[float] = None) -> None:
         if self._running:
             raise SimulationError("engine is already running (re-entrant run)")
         self._running = True

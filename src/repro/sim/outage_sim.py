@@ -37,6 +37,7 @@ from typing import List, Optional
 
 from repro.checks.guard import InvariantGuard
 from repro.errors import SimulationError
+from repro.obs import MetricsRegistry, Tracer, current_metrics, current_tracer
 from repro.power.generator import DieselGenerator
 from repro.power.ups import UPSUnit
 from repro.sim.datacenter import Datacenter
@@ -95,13 +96,26 @@ class OutageSimulator:
             run's physical invariants (SoC range, monotone discharge,
             energy conservation, non-negative downtime) as it executes;
             None (the default) skips every check at zero cost.
+        tracer: Span sink; defaults to the ambient
+            :func:`repro.obs.current_tracer` (None = tracing off).  A
+            traced run wraps itself in an ``outage`` span with one child
+            ``phase`` span per technique phase executed.
+        metrics: Metrics sink; defaults to the ambient registry.  Records
+            battery SoC samples, discharge watt-hours, per-phase simulated
+            durations and downtime attribution.
     """
 
     def __init__(
-        self, datacenter: Datacenter, guard: Optional[InvariantGuard] = None
+        self,
+        datacenter: Datacenter,
+        guard: Optional[InvariantGuard] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.datacenter = datacenter
         self.guard = guard
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self.metrics = metrics if metrics is not None else current_metrics()
 
     # -- public API ---------------------------------------------------------
 
@@ -130,16 +144,41 @@ class OutageSimulator:
         """
         if outage_seconds <= 0:
             raise SimulationError("outage duration must be positive")
-        run = _OutageRun(
-            self.datacenter,
-            plan,
-            outage_seconds,
-            lost_work_seconds,
-            initial_state_of_charge=initial_state_of_charge,
+        if self.tracer is None:
+            run = _OutageRun(
+                self.datacenter,
+                plan,
+                outage_seconds,
+                lost_work_seconds,
+                initial_state_of_charge=initial_state_of_charge,
+                dg_starts=dg_starts,
+                guard=self.guard,
+                metrics=self.metrics,
+            )
+            return run.execute()
+        with self.tracer.span(
+            "outage",
+            "sim",
+            technique=plan.technique_name,
+            outage_seconds=float(outage_seconds),
             dg_starts=dg_starts,
-            guard=self.guard,
-        )
-        return run.execute()
+        ) as span:
+            run = _OutageRun(
+                self.datacenter,
+                plan,
+                outage_seconds,
+                lost_work_seconds,
+                initial_state_of_charge=initial_state_of_charge,
+                dg_starts=dg_starts,
+                guard=self.guard,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            outcome = run.execute()
+            span.set("crashed", outcome.crashed)
+            span.set("downtime_seconds", outcome.downtime_seconds)
+            span.set("soc_end", outcome.ups_state_of_charge_end)
+            return outcome
 
 
 def simulate_outage(
@@ -150,9 +189,11 @@ def simulate_outage(
     initial_state_of_charge: float = 1.0,
     dg_starts: bool = True,
     guard: Optional[InvariantGuard] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> OutageOutcome:
     """Functional convenience wrapper over :class:`OutageSimulator`."""
-    return OutageSimulator(datacenter, guard=guard).run(
+    return OutageSimulator(datacenter, guard=guard, tracer=tracer, metrics=metrics).run(
         plan,
         outage_seconds,
         lost_work_seconds,
@@ -284,6 +325,8 @@ class _OutageRun:
         initial_state_of_charge: float = 1.0,
         dg_starts: bool = True,
         guard: Optional[InvariantGuard] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         from repro.power.placement import UPSPlacement
 
@@ -293,6 +336,10 @@ class _OutageRun:
         self.T = float(outage_seconds)
         self.lost_work_seconds = lost_work_seconds
         self.guard = guard
+        self.tracer = tracer
+        self.metrics = metrics
+        self._phase_span = None
+        self._last_source: Optional[SourceKind] = None
         if guard is not None:
             guard.check_soc(initial_state_of_charge, "initial state of charge")
 
@@ -331,6 +378,27 @@ class _OutageRun:
         self.crash_time: Optional[float] = None
         self.restored_by_dg = False
         self.downtime_after = 0.0
+
+    # -- observability ----------------------------------------------------------
+
+    def _open_phase_span(self) -> None:
+        """One span per technique-phase occupancy (manual begin/end because
+        phase boundaries do not nest lexically with the main loop)."""
+        phase = self.phases[self.idx]
+        self._phase_span = self.tracer.start_span(
+            "phase",
+            "technique",
+            phase=phase.name,
+            technique=self.plan.technique_name,
+            index=self.idx,
+            t_enter=self.t,
+        )
+
+    def _close_phase_span(self) -> None:
+        if self._phase_span is not None:
+            self._phase_span.set("t_exit", self.t)
+            self.tracer.end_span(self._phase_span)
+            self._phase_span = None
 
     # -- phase bookkeeping ------------------------------------------------------
 
@@ -414,6 +482,8 @@ class _OutageRun:
     # -- main loop -------------------------------------------------------------------
 
     def execute(self) -> OutageOutcome:
+        if self.tracer is not None:
+            self._open_phase_span()
         # Section 3's seamlessness condition: the PSU hold-up must bridge
         # the offline UPS's switch-in gap, or the servers drop at the very
         # first instant despite the battery behind them.  (Default specs
@@ -490,6 +560,21 @@ class _OutageRun:
                 self.ups.carry(phase.power_watts, duration, phase.active_servers)
         elif source is SourceKind.DG:
             self.dg.carry(phase.power_watts, duration)
+        if self.metrics is not None:
+            if source is SourceKind.UPS:
+                self.metrics.histogram("battery.soc").observe(
+                    self.ups.state_of_charge
+                )
+                self.metrics.counter("battery.discharge_wh").inc(
+                    phase.power_watts * duration / 3600.0
+                )
+            if duration > 0:
+                self.metrics.histogram(
+                    f"sim.phase_seconds[{phase.name}]"
+                ).observe(duration)
+        if self.tracer is not None and source is not self._last_source:
+            self.tracer.event("source", t=self.t, source=source.value)
+            self._last_source = source
         if not math.isinf(self.phase_remaining):
             self.phase_remaining -= duration
         self.t = seg_end
@@ -510,10 +595,15 @@ class _OutageRun:
             if self.idx >= len(self.phases):
                 raise SimulationError("ran past the terminal phase")
             self.phase_remaining = self._phase_duration_on_entry(self.idx)
+            if self.tracer is not None:
+                self._close_phase_span()
+                self._open_phase_span()
             return False
         # Otherwise the battery (or DG fuel) ran dry mid-phase.
         if phase.state_safe:
             # State is parked safely; just wait out the outage at 0 W.
+            if self.tracer is not None:
+                self.tracer.event("backup-exhausted", t=self.t, phase=phase.name)
             self.phase_remaining = math.inf
             return False
         self._crash(seg_end)
@@ -522,6 +612,10 @@ class _OutageRun:
     # -- terminal paths -----------------------------------------------------------------
 
     def _crash(self, when: float) -> None:
+        if self.tracer is not None:
+            self.tracer.event(
+                "crash", t=float(when), phase=self.phases[self.idx].name
+            )
         self.crashed = True
         self.crash_time = when
         # Remote serving (geo-failover) survives the local fleet's death.
@@ -563,6 +657,10 @@ class _OutageRun:
 
     def _internal_dg_restore(self) -> None:
         """A full-capacity DG takes over mid-outage: resume full service."""
+        if self.tracer is not None:
+            self.tracer.event(
+                "dg-restore", t=self.t, phase=self.phases[self.idx].name
+            )
         self.restored_by_dg = True
         phase = self.phases[self.idx]
         committed_remaining = 0.0
@@ -618,6 +716,8 @@ class _OutageRun:
     # -- outcome assembly ------------------------------------------------------------------
 
     def _outcome(self) -> OutageOutcome:
+        if self.tracer is not None:
+            self._close_phase_span()
         downtime_during = self.trace.zero_performance_seconds(0.0, self.T)
         mean_perf = self.trace.mean_performance(0.0, self.T)
         charge_used = 0.0
@@ -645,6 +745,16 @@ class _OutageRun:
             restored_by_dg=self.restored_by_dg,
             trace=self.trace,
         )
+        if self.metrics is not None:
+            self.metrics.counter("sim.outages").inc()
+            self.metrics.counter("sim.downtime_seconds[during]").inc(
+                max(0.0, downtime_during)
+            )
+            self.metrics.counter("sim.downtime_seconds[after]").inc(
+                max(0.0, self.downtime_after)
+            )
+            if self.crashed:
+                self.metrics.counter("sim.crashes").inc()
         if self.guard is not None:
             self.guard.check_outcome(outcome)
         return outcome

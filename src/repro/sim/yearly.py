@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.checks.guard import InvariantGuard
 from repro.errors import SimulationError
+from repro.obs import current_metrics, current_tracer
 from repro.outages.events import OutageEvent, OutageSchedule
 from repro.power.ups import DEFAULT_RECHARGE_SECONDS
 from repro.sim.datacenter import Datacenter
@@ -95,6 +96,9 @@ class YearlyRunner:
         self.guard = guard if guard is not None else (
             InvariantGuard() if strict else None
         )
+        # Ambient observability, captured at construction (None = off).
+        self._tracer = current_tracer()
+        self._metrics = current_metrics()
 
     def _dg_starts(self) -> bool:
         generator = self.datacenter.generator
@@ -114,6 +118,19 @@ class YearlyRunner:
                 accepted here, so the runner re-checks rather than letting
                 a negative recharge gap drive the state of charge below 0.)
         """
+        if self._tracer is None:
+            return self._run_schedule(schedule)
+        with self._tracer.span(
+            "schedule", "sim", technique=self.plan.technique_name
+        ) as span:
+            result = self._run_schedule(schedule)
+            span.set("outages", len(result.outcomes))
+            span.set("crashes", result.crashes)
+            span.set("dg_start_failures", result.dg_start_failures)
+            span.set("downtime_seconds", result.total_downtime_seconds)
+            return result
+
+    def _run_schedule(self, schedule: OutageSchedule) -> YearlyResult:
         if self.guard is not None:
             self.guard.check_schedule(schedule, context="run_schedule")
         outcomes: List[OutageOutcome] = []
@@ -135,6 +152,12 @@ class YearlyRunner:
             dg_starts = self._dg_starts()
             if self.datacenter.generator.is_provisioned and not dg_starts:
                 failures += 1
+                if self._tracer is not None:
+                    self._tracer.event(
+                        "dg-start-failure", start_seconds=event.start_seconds
+                    )
+                if self._metrics is not None:
+                    self._metrics.counter("sim.dg_start_failures").inc()
             outcome = simulate_outage(
                 self.datacenter,
                 self.plan,

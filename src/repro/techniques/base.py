@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.errors import TechniqueError
+from repro.obs import current_tracer
 from repro.servers.cluster import Cluster
 from repro.servers.server import ServerSpec
 from repro.workloads.base import WorkloadSpec
@@ -211,6 +212,24 @@ class OutageTechnique:
                 infeasible operating point, not a crash.
         """
         raise NotImplementedError
+
+    def compile_plan(self, context: TechniqueContext) -> OutagePlan:
+        """:meth:`plan`, wrapped in a ``technique.plan`` span when tracing.
+
+        The analysis layers call this entry point so a trace attributes
+        plan-compilation time (and infeasibility) to the technique; with
+        no ambient tracer it is exactly :meth:`plan`.
+        """
+        tracer = current_tracer()
+        if tracer is None:
+            return self.plan(context)
+        with tracer.span(
+            "technique.plan", "technique", technique=self.name
+        ) as span:
+            plan = self.plan(context)
+            span.set("phases", len(plan.phases))
+            span.set("peak_power_watts", plan.peak_power_watts)
+            return plan
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

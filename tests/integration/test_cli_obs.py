@@ -1,0 +1,91 @@
+"""CLI observability: --trace / --metrics flags, `repro stats`, validator."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.export import read_events_jsonl, validate_chrome_trace
+from repro.obs.validate import main as validate_main
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    obs.deactivate()
+    yield
+    obs.deactivate()
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+AVAIL = (
+    "availability", "-w", "specjbb", "-c", "LargeEUPS",
+    "-t", "sleep-l", "--years", "3",
+)
+
+
+class TestTraceFlag:
+    def test_writes_valid_chrome_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "out.json")
+        code, out, err = run(capsys, *AVAIL, "--jobs", "2", "--trace", trace)
+        assert code == 0
+        assert "availability" in out
+        assert f"trace events to {trace}" in err
+        stats = validate_chrome_trace(trace)
+        assert stats["spans"] > 0
+
+    def test_nested_spans_cover_the_stack(self, capsys, tmp_path):
+        trace = str(tmp_path / "out.json")
+        code, _, _ = run(capsys, *AVAIL, "--trace", trace)
+        assert code == 0
+        with open(trace) as fh:
+            names = {e["name"] for e in json.load(fh)["traceEvents"]}
+        assert {"cli", "runner.run", "job", "schedule", "outage", "phase"} <= names
+
+    def test_session_deactivated_after_run(self, capsys, tmp_path):
+        run(capsys, *AVAIL, "--trace", str(tmp_path / "out.json"))
+        assert obs.current() is None
+
+
+class TestMetricsFlagAndStats:
+    def test_round_trip_through_stats(self, capsys, tmp_path):
+        events = str(tmp_path / "events.jsonl")
+        code, _, err = run(capsys, *AVAIL, "--metrics", events)
+        assert code == 0
+        assert f"event lines to {events}" in err
+        spans, snap = read_events_jsonl(events)
+        assert spans
+        assert snap["sim.outages"]["value"] > 0
+
+        code, out, _ = run(capsys, "stats", events)
+        assert code == 0
+        assert "outage" in out
+        assert "sim.outages" in out
+        assert "battery.soc" in out
+
+    def test_no_flags_no_session_overhead(self, capsys):
+        code, _, err = run(capsys, *AVAIL)
+        assert code == 0
+        assert "[obs]" not in err
+
+
+class TestValidatorCli:
+    def test_ok(self, capsys, tmp_path):
+        trace = str(tmp_path / "out.json")
+        run(capsys, *AVAIL, "--trace", trace)
+        assert validate_main([trace]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "X"}]}')
+        assert validate_main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_usage(self, capsys):
+        assert validate_main([]) == 2

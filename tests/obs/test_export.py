@@ -1,0 +1,154 @@
+"""Exporters: JSONL round trip, Chrome trace validity, summary rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (
+    chrome_trace_events,
+    read_events_jsonl,
+    render_summary,
+    span_tree_paths,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+
+
+def sample_session():
+    tracer = Tracer()
+    with tracer.span("runner.run", "runner", jobs=2):
+        with tracer.span("job", "runner", index=0):
+            with tracer.span("outage", "sim") as outage:
+                outage.event("crash", t=10.0)
+    metrics = MetricsRegistry()
+    metrics.counter("sim.outages").inc(3)
+    metrics.histogram("battery.soc").observe(0.9)
+    return tracer, metrics
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer, metrics = sample_session()
+        path = str(tmp_path / "events.jsonl")
+        count = write_events_jsonl(path, tracer, metrics)
+        # meta + 3 spans + metrics
+        assert count == 5
+        spans, snap = read_events_jsonl(path)
+        assert spans == tracer.records
+        assert snap == metrics.snapshot()
+
+    def test_multiple_metrics_lines_merge(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [
+            {"type": "meta", "version": 1},
+            {"type": "metrics", "metrics": {"c": {"type": "counter", "value": 1}}},
+            {"type": "metrics", "metrics": {"c": {"type": "counter", "value": 2}}},
+        ]
+        path.write_text("".join(json.dumps(l) + "\n" for l in lines))
+        _, snap = read_events_jsonl(str(path))
+        assert snap["c"]["value"] == 3.0
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ObsError, match="not JSON"):
+            read_events_jsonl(str(path))
+
+    def test_unknown_type_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ObsError, match="unknown record type"):
+            read_events_jsonl(str(path))
+
+
+class TestChromeTrace:
+    def test_write_and_validate(self, tmp_path):
+        tracer, _ = sample_session()
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(path, tracer)
+        stats = validate_chrome_trace(path)
+        assert stats["events"] == count
+        assert stats["spans"] == 3
+        assert stats["instants"] == 1
+        assert stats["pids"] == 1
+
+    def test_timestamps_rebased_to_zero(self):
+        tracer, _ = sample_session()
+        events = chrome_trace_events(tracer.records)
+        timed = [e for e in events if e["ph"] in ("X", "i")]
+        assert min(e["ts"] for e in timed) == 0.0
+        assert all(e["ts"] >= 0 for e in timed)
+
+    def test_process_metadata_emitted(self):
+        tracer, _ = sample_session()
+        events = chrome_trace_events(tracer.records)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+
+    def test_parent_ids_in_args(self):
+        tracer, _ = sample_session()
+        events = chrome_trace_events(tracer.records)
+        job = next(e for e in events if e["name"] == "job")
+        run = next(e for e in events if e["name"] == "runner.run")
+        assert job["args"]["parent_id"] == run["args"]["span_id"]
+
+    def test_empty_records(self):
+        assert chrome_trace_events([]) == []
+
+    def test_validator_accepts_bare_array(self):
+        tracer, _ = sample_session()
+        events = chrome_trace_events(tracer.records)
+        assert validate_chrome_trace(events)["spans"] == 3
+
+    @pytest.mark.parametrize(
+        "event, match",
+        [
+            ({"name": "x", "pid": 1}, "missing phase"),
+            ({"ph": "X", "pid": 1}, "missing 'name'"),
+            ({"ph": "X", "name": "x"}, "integer 'pid'"),
+            ({"ph": "X", "name": "x", "pid": 1, "ts": -1, "tid": 0}, "'ts'"),
+            (
+                {"ph": "X", "name": "x", "pid": 1, "ts": 0, "tid": 0},
+                "needs 'dur'",
+            ),
+        ],
+    )
+    def test_validator_rejections(self, event, match):
+        with pytest.raises(ObsError, match=match):
+            validate_chrome_trace([event])
+
+    def test_validator_rejects_non_json_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("][")
+        with pytest.raises(ObsError, match="not JSON"):
+            validate_chrome_trace(str(path))
+
+    def test_validator_rejects_object_without_trace_events(self):
+        with pytest.raises(ObsError, match="traceEvents"):
+            validate_chrome_trace({"other": []})
+
+
+class TestSummary:
+    def test_span_tree_paths(self):
+        tracer, _ = sample_session()
+        assert sorted(span_tree_paths(tracer.records)) == [
+            "runner.run",
+            "runner.run/job",
+            "runner.run/job/outage",
+        ]
+
+    def test_render_summary_lists_spans_and_metrics(self):
+        tracer, metrics = sample_session()
+        text = render_summary(tracer.records, metrics.snapshot())
+        assert "runner.run" in text
+        assert "outage" in text
+        assert "sim.outages" in text
+        assert "battery.soc" in text
+
+    def test_render_summary_without_metrics(self):
+        tracer, _ = sample_session()
+        assert "metrics" not in render_summary(tracer.records)

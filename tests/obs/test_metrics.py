@@ -1,0 +1,142 @@
+"""Metrics: counter/gauge/histogram semantics and deterministic merging."""
+
+import math
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import _ZERO_BIN, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        reg.counter("jobs").inc(2.5)
+        assert reg.counter("jobs").value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ObsError, match="only go up"):
+            MetricsRegistry().counter("jobs").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("soc").set(0.5)
+        reg.gauge("soc").set(0.25)
+        assert reg.gauge("soc").value == 0.25
+
+    def test_unset_is_none(self):
+        assert MetricsRegistry().gauge("soc").value is None
+
+
+class TestHistogram:
+    def test_stats(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 9.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.sum == 12.0
+        assert hist.min == 1.0
+        assert hist.max == 9.0
+        assert hist.mean == 4.0
+
+    def test_magnitude_bins(self):
+        hist = Histogram()
+        hist.observe(3.0)   # (2, 4]  -> bin 2
+        hist.observe(4.0)   # (2, 4]  -> bin 2
+        hist.observe(5.0)   # (4, 8]  -> bin 3
+        hist.observe(0.0)   # underflow
+        hist.observe(-1.0)  # underflow
+        assert hist.bins == {2: 2, 3: 1, _ZERO_BIN: 2}
+
+    def test_nan_rejected(self):
+        with pytest.raises(ObsError, match="NaN"):
+            Histogram().observe(math.nan)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObsError, match="is a Counter, not a Gauge"):
+            reg.gauge("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(3.0)
+        reg.histogram("empty")
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["c"] == {"type": "counter", "value": 2.0}
+        assert snap["g"] == {"type": "gauge", "value": 0.5}
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["bins"] == [[2, 1]]
+        assert snap["empty"]["min"] is None
+        assert snap["empty"]["max"] is None
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 3.0
+
+    def test_gauge_merge_is_last_write(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge(b.snapshot())
+        assert a.gauge("g").value == 2.0
+
+    def test_none_gauge_does_not_clobber(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g")
+        a.merge(b.snapshot())
+        assert a.gauge("g").value == 1.0
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ObsError, match="unknown metric type"):
+            MetricsRegistry().merge({"x": {"type": "sketch"}})
+
+    def test_partition_invariance(self):
+        """Any split of the observations over worker registries merges to
+        the same snapshot — the property the parallel executor relies on."""
+        values = [0.3 * i for i in range(40)]
+
+        def merged(partitions):
+            total = MetricsRegistry()
+            for part in partitions:
+                reg = MetricsRegistry()
+                for v in part:
+                    reg.counter("n").inc()
+                    reg.histogram("h").observe(v)
+                total.merge(reg.snapshot())
+            return total.snapshot()
+
+        one = merged([values])
+        two = merged([values[:13], values[13:]])
+        four = merged([values[:5], values[5:17], values[17:30], values[30:]])
+        assert one == two == four
+
+    def test_merge_round_trips_through_empty(self):
+        src = MetricsRegistry()
+        src.histogram("h").observe(2.0)
+        src.histogram("h").observe(-1.0)
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()

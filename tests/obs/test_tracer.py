@@ -1,0 +1,168 @@
+"""Tracer: span nesting, identity, events, ingest, the ambient session."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import ObsSession, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Every test starts and ends with observability off."""
+    obs.deactivate()
+    yield
+    obs.deactivate()
+
+
+class TestSpanLifecycle:
+    def test_context_manager_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", "t") as outer:
+            with tracer.span("inner", "t"):
+                pass
+        records = tracer.records
+        assert sorted(r["name"] for r in records) == ["inner", "outer"]
+        inner = next(r for r in records if r["name"] == "inner")
+        assert inner["parent_id"] == outer.span_id
+        outer_rec = next(r for r in records if r["name"] == "outer")
+        assert outer_rec["parent_id"] is None
+        assert outer_rec["dur"] >= inner["dur"] >= 0
+
+    def test_records_stored_in_completion_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        # Inner spans close first; exporters order by ts, not record order.
+        assert [r["name"] for r in tracer.records] == ["c", "b", "a"]
+
+    def test_span_ids_unique_and_pid_prefixed(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [r["span_id"] for r in tracer.records]
+        assert len(set(ids)) == 5
+        assert all(i.startswith(f"{tracer.pid:x}-") for i in ids)
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", "cat", a=1) as span:
+            span.set("b", "two")
+        (record,) = tracer.records
+        assert record["cat"] == "cat"
+        assert record["attrs"] == {"a": 1, "b": "two"}
+
+    def test_manual_start_end(self):
+        tracer = Tracer()
+        span = tracer.start_span("phase", "technique", phase="throttle")
+        assert tracer.current() is span
+        tracer.end_span(span)
+        assert tracer.current() is None
+        (record,) = tracer.records
+        assert record["name"] == "phase"
+
+    def test_end_span_closes_forgotten_children(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("orphan")
+        tracer.end_span(outer)  # must not leak the orphan
+        assert tracer.current() is None
+        assert [r["name"] for r in tracer.records] == ["outer", "orphan"]
+
+    def test_end_unopened_span_raises(self):
+        tracer = Tracer()
+        span = tracer.start_span("s")
+        tracer.end_span(span)
+        with pytest.raises(ObsError, match="not open"):
+            tracer.end_span(span)
+
+    def test_records_property_returns_copy(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.records.clear()
+        assert len(tracer.records) == 1
+
+
+class TestEvents:
+    def test_event_attaches_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("outage", "sim"):
+            tracer.event("crash", t=12.5)
+        (record,) = tracer.records
+        (event,) = record["events"]
+        assert event["name"] == "crash"
+        assert event["attrs"] == {"t": 12.5}
+        assert event["ts"] >= record["ts"]
+
+    def test_event_outside_span_becomes_standalone_record(self):
+        tracer = Tracer()
+        tracer.event("guard-violation", invariant="soc-range")
+        (record,) = tracer.records
+        assert record["name"] == "guard-violation"
+        assert record["dur"] == 0.0
+        assert record["parent_id"] is None
+        assert record["attrs"]["invariant"] == "soc-range"
+
+
+class TestIngest:
+    def test_reparents_worker_roots(self):
+        worker = Tracer()
+        with worker.span("job"):
+            with worker.span("outage"):
+                pass
+        coordinator = Tracer()
+        with coordinator.span("runner.run") as run:
+            coordinator.ingest(worker.records, parent_id=run.span_id)
+        records = coordinator.records
+        job = next(r for r in records if r["name"] == "job")
+        outage = next(r for r in records if r["name"] == "outage")
+        assert job["parent_id"] == run.span_id
+        # Non-root worker records keep their original parent.
+        assert outage["parent_id"] == job["span_id"]
+
+    def test_ingest_without_parent_keeps_roots(self):
+        worker = Tracer()
+        with worker.span("job"):
+            pass
+        coordinator = Tracer()
+        coordinator.ingest(worker.records)
+        (record,) = coordinator.records
+        assert record["parent_id"] is None
+
+
+class TestAmbientSession:
+    def test_off_by_default(self):
+        assert obs.current() is None
+        assert obs.current_tracer() is None
+        assert obs.current_metrics() is None
+
+    def test_activate_deactivate(self):
+        session = obs.activate()
+        assert obs.current() is session
+        assert obs.current_tracer() is session.tracer
+        assert obs.current_metrics() is session.metrics
+        assert obs.deactivate() is session
+        assert obs.current() is None
+
+    def test_double_activate_raises(self):
+        obs.activate()
+        with pytest.raises(ObsError, match="already active"):
+            obs.activate()
+
+    def test_deactivate_idempotent(self):
+        assert obs.deactivate() is None
+
+    def test_activate_existing_session(self):
+        session = ObsSession()
+        assert obs.activate(session) is session
+
+    def test_session_context_manager_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.session():
+                assert obs.current() is not None
+                raise RuntimeError("boom")
+        assert obs.current() is None

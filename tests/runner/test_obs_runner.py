@@ -1,0 +1,152 @@
+"""Observability under the executors: serial == parallel span sets,
+deterministic metrics merges, and the JobEventKind/speedup satellites."""
+
+from collections import Counter
+
+import pytest
+
+from repro import obs
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.obs.export import span_tree_paths
+from repro.runner import JobEventKind, make_executor
+from repro.runner.jobs import make_jobs
+from repro.runner.progress import JobEvent, RunStats
+from repro.sim.outage_sim import OutageSimulator
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    obs.deactivate()
+    yield
+    obs.deactivate()
+
+
+def traced_outage(spec, seed):
+    """Module-level so pool workers can pickle it."""
+    dc = make_datacenter(specjbb(), get_configuration("LargeEUPS"), 16)
+    context = TechniqueContext(
+        cluster=dc.cluster,
+        workload=dc.workload,
+        power_budget_watts=plan_power_budget_watts(dc),
+    )
+    plan = get_technique("sleep-l").compile_plan(context)
+    outcome = OutageSimulator(dc).run(plan, minutes(spec["outage_minutes"]))
+    return outcome.downtime_seconds
+
+
+SPECS = [{"outage_minutes": m} for m in (5, 15, 30, 45)]
+
+
+def run_with_obs(jobs):
+    with obs.session() as s:
+        executor = make_executor(jobs=jobs)
+        report = executor.run(make_jobs(traced_outage, SPECS))
+    return report, s
+
+
+def comparable_metrics(session):
+    snap = session.metrics.snapshot()
+    # Wall-clock job durations are the one legitimately non-deterministic
+    # metric; everything else must be bit-identical at any worker count.
+    snap.pop("runner.job_seconds", None)
+    return snap
+
+
+class TestSerialParallelEquivalence:
+    def test_span_sets_match_modulo_timing(self):
+        serial_report, serial = run_with_obs(jobs=1)
+        parallel_report, parallel = run_with_obs(jobs=2)
+        assert list(serial_report.values) == list(parallel_report.values)
+        serial_paths = Counter(span_tree_paths(serial.tracer.records))
+        parallel_paths = Counter(span_tree_paths(parallel.tracer.records))
+        assert serial_paths == parallel_paths
+        assert serial_paths["runner.run"] == 1
+        assert serial_paths["runner.run/job"] == len(SPECS)
+        assert serial_paths["runner.run/job/outage"] == len(SPECS)
+        assert serial_paths["runner.run/job/outage/phase"] > 0
+        assert serial_paths["runner.run/job/technique.plan"] == len(SPECS)
+
+    def test_parallel_spans_come_from_worker_pids(self):
+        report, session = run_with_obs(jobs=2)
+        if report.stats.fell_back_to_serial:
+            pytest.skip("no process pool in this environment")
+        records = session.tracer.records
+        coordinator_pid = session.tracer.pid
+        worker_pids = {
+            r["pid"] for r in records if r["name"] == "job"
+        } - {coordinator_pid}
+        assert worker_pids  # at least one span shipped from another process
+
+    def test_metrics_identical_at_1_2_4_workers(self):
+        snapshots = [comparable_metrics(run_with_obs(jobs=n)[1]) for n in (1, 2, 4)]
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+        assert snapshots[0]["runner.jobs"]["value"] == len(SPECS)
+        assert snapshots[0]["sim.outages"]["value"] == len(SPECS)
+
+    def test_cache_hits_counted(self, tmp_path):
+        from repro.runner import ResultCache
+
+        with obs.session() as s:
+            executor = make_executor(
+                jobs=1, cache=ResultCache(str(tmp_path / "cache"))
+            )
+            executor.run(make_jobs(traced_outage, SPECS))
+            executor.run(make_jobs(traced_outage, SPECS))
+        snap = s.metrics.snapshot()
+        assert snap["runner.cache_hits"]["value"] == len(SPECS)
+        assert snap["runner.cache_misses"]["value"] == len(SPECS)
+
+
+class TestObsOffPath:
+    def test_no_session_no_payload(self):
+        report = make_executor(jobs=1).run(make_jobs(traced_outage, SPECS[:1]))
+        assert report.ok  # and nothing crashed on the dark path
+
+
+class TestJobEventKind:
+    def test_enum_values_mirror_strings(self):
+        assert JobEventKind.STARTED == "started"
+        assert JobEventKind.FINISHED == "finished"
+        assert JobEventKind.FAILED == "failed"
+        assert JobEventKind.CACHE_HIT == "cache-hit"
+
+    def test_string_kind_coerced_to_enum(self):
+        event = JobEvent(kind="finished", index=0, label="x", fingerprint="f")
+        assert isinstance(event.kind, JobEventKind)
+        assert event.kind is JobEventKind.FINISHED
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            JobEvent(kind="exploded", index=0, label="x", fingerprint="f")
+
+    def test_executor_emits_enum_kinds(self):
+        from repro.runner.progress import CollectingProgress
+
+        progress = CollectingProgress()
+        make_executor(jobs=1, progress=progress).run(
+            make_jobs(traced_outage, SPECS[:1])
+        )
+        kinds = {e.kind for e in progress.events}
+        assert kinds == {JobEventKind.STARTED, JobEventKind.FINISHED}
+        assert all(isinstance(k, JobEventKind) for k in kinds)
+
+
+class TestSpeedupSummary:
+    def test_serial_summary_has_no_speedup(self):
+        stats = RunStats(jobs_total=2, jobs_run=2, elapsed_seconds=1.0, workers=1)
+        assert "speedup" not in stats.summary()
+
+    def test_parallel_summary_reports_speedup(self):
+        stats = RunStats(
+            jobs_total=4,
+            jobs_run=4,
+            job_seconds=3.0,
+            elapsed_seconds=1.0,
+            workers=2,
+        )
+        assert "3.0x speedup" in stats.summary()

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke
+.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,3 +37,15 @@ trace-smoke:
 		--trace trace-smoke.json --metrics trace-smoke.jsonl
 	$(PYTHON) -m repro.obs.validate trace-smoke.json
 	$(PYTHON) -m repro.cli stats trace-smoke.jsonl
+
+# Break the runner on purpose — worker kills, transient failures, cache
+# corruption — over a fault-injected sweep, and fail unless every
+# recovery path reproduces the undisturbed baseline bit-for-bit (see
+# docs/FAULTS.md).  CI uploads chaos-smoke.json/.jsonl as an artifact;
+# the trace records every fault activation as an event.
+chaos-smoke:
+	$(PYTHON) -m repro.cli chaos -w websearch -c MaxPerf -t full-service \
+		--years 6 --jobs 2 --kills 1 --flaky 1 --corrupt 2 \
+		--faults "dg_start=0.2,dg_mtbf_h=2,batt_fade=0.1" \
+		--trace chaos-smoke.json --metrics chaos-smoke.jsonl
+	$(PYTHON) -m repro.obs.validate chaos-smoke.json

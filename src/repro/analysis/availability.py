@@ -28,6 +28,7 @@ from repro.core.performability import (
 )
 from repro.core.tco import TCOModel
 from repro.errors import TechniqueError
+from repro.faults import FaultInjector, FaultPlan
 from repro.outages.generator import OutageGenerator
 from repro.power.ups import DEFAULT_RECHARGE_SECONDS
 from repro.runner.cache import ResultCache
@@ -83,18 +84,26 @@ def _simulate_year(
 ) -> Dict[str, float]:
     """Runner job: one simulated year, reduced to its aggregates.
 
-    The year's two random consumers — the outage schedule and the DG
-    start rolls — get independent child streams of the per-year seed, so
-    neither perturbs the other and every year is independent of every
-    other regardless of execution order.
+    The year's random consumers — the outage schedule, the DG start
+    rolls and (when faults are injected) the fault draws — get
+    independent child streams of the per-year seed, so none perturbs the
+    others and every year is independent of every other regardless of
+    execution order.  The fault stream is spawned *after* the original
+    two (SeedSequence children are positional), so a fault-free run
+    draws exactly the same schedule and DG rolls it always did.
     """
     schedule_seed, dg_seed = seed.spawn(2)
+    injector = None
+    if spec.get("fault_plan") is not None:
+        (fault_seed,) = seed.spawn(1)
+        injector = FaultInjector(spec["fault_plan"], seed=fault_seed)
     generator = OutageGenerator(seed=schedule_seed)
     runner = YearlyRunner(
         spec["datacenter"],
         spec["plan"],
         recharge_seconds=spec["recharge_seconds"],
         rng=np.random.default_rng(dg_seed),
+        injector=injector,
     )
     result = runner.run_schedule(generator.sample_year())
     perf_sum = 0.0
@@ -154,6 +163,7 @@ class AvailabilityAnalyzer:
         executor: Optional[BaseExecutor] = None,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressListener] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> AvailabilityReport:
         """Simulate ``years`` of Figure 1 outages under the pairing.
 
@@ -168,6 +178,10 @@ class AvailabilityAnalyzer:
                 ``progress``).
             cache: Optional on-disk result cache for the per-year jobs.
             progress: Optional per-job event listener.
+            faults: Optional :class:`~repro.faults.FaultPlan` of injected
+                backup failures sampled per outage.  Part of each job's
+                fingerprint, so cached fault-free years stay valid and a
+                fault study never reads them by accident.
         """
         if years <= 0:
             raise ValueError("years must be positive")
@@ -194,6 +208,10 @@ class AvailabilityAnalyzer:
             "plan": plan,
             "recharge_seconds": self.recharge_seconds,
         }
+        if faults is not None and not faults.is_null:
+            # Only a non-null plan enters the spec: fault-free runs keep
+            # their historical fingerprints (and cache entries).
+            year_spec["fault_plan"] = faults
         job_list = make_jobs(
             _simulate_year,
             [year_spec] * years,

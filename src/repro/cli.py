@@ -16,8 +16,19 @@ The ``availability``, ``rank`` and ``reproduce`` subcommands run on the
 :mod:`repro.runner` subsystem and accept ``--jobs N`` (worker processes;
 results are bit-identical at every worker count), ``--cache DIR`` (an
 on-disk result cache — reruns skip already-computed jobs and report the
-hits) and ``--seed S`` (root of the per-job RNG tree).  Each prints a
-``[runner] ...`` telemetry line after its table.
+hits), ``--seed S`` (root of the per-job RNG tree), ``--retries N``
+(re-run transiently failed jobs with deterministic backoff),
+``--checkpoint FILE`` (crash-safe JSONL progress manifest) and
+``--resume`` (skip work the checkpoint records, served from the cache).
+Each prints a ``[runner] ...`` telemetry line after its table and exits
+non-zero if any job ultimately failed.
+
+``evaluate`` and ``availability`` accept ``--faults SPEC`` — a comma list
+like ``dg_start=0.01,dg_mtbf_h=100,batt_fade=0.2,ats_fail=0.01`` injecting
+backup-component failures into the simulation (see docs/FAULTS.md) — and
+``repro chaos`` breaks the runner itself on purpose (worker kills,
+transient failures, cache corruption) and certifies that every recovery
+path reproduces baseline-identical results.
 
 Every subcommand additionally accepts the :mod:`repro.obs` flags:
 ``--trace FILE`` writes a Chrome/Perfetto ``trace_event`` JSON of the run
@@ -40,8 +51,9 @@ from repro.core.performability import evaluate_point
 from repro.core.planner import ProvisioningPlanner
 from repro.core.selection import rank_techniques
 from repro.core.tco import TCOModel
-from repro.errors import InfeasibleError, ReproError
-from repro.runner import ResultCache, make_executor
+from repro.errors import InfeasibleError, ReproError, RunnerError
+from repro.faults import FaultInjector, FaultPlan
+from repro.runner import ResultCache, RetryPolicy, SweepCheckpoint, make_executor
 from repro.techniques.registry import get_technique, technique_names
 from repro.units import minutes, to_minutes
 from repro.workloads.registry import get_workload, workload_names
@@ -96,13 +108,26 @@ def _cmd_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_faults(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """The ``--faults`` spec as a :class:`FaultPlan`, or None when absent."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    return FaultPlan.parse(spec)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    plan = _parse_faults(args)
+    draw = None
+    if plan is not None and not plan.is_null:
+        draw = FaultInjector(plan, seed=args.fault_seed).draw()
     point = evaluate_point(
         get_configuration(args.configuration),
         get_technique(args.technique),
         get_workload(args.workload),
         minutes(args.outage_minutes),
         num_servers=args.servers,
+        faults=draw,
     )
     rows = [
         ("configuration", point.configuration_name),
@@ -115,6 +140,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         ("down time (min)", point.downtime_minutes),
         ("crashed", point.crashed),
     ]
+    if draw is not None:
+        rows.append(("faults", args.faults))
     print(format_table(("quantity", "value"), rows))
     return 0
 
@@ -147,15 +174,57 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _make_executor(args: argparse.Namespace):
-    """Build the runner executor the ``--jobs/--cache`` flags describe."""
+    """Build the runner executor the ``--jobs/--cache/--retries/--checkpoint``
+    flags describe."""
     cache = ResultCache(args.cache) if getattr(args, "cache", None) else None
-    return make_executor(jobs=getattr(args, "jobs", 1), cache=cache)
+    retry = None
+    retries = getattr(args, "retries", 0) or 0
+    if retries:
+        retry = RetryPolicy(
+            max_attempts=retries + 1, seed=getattr(args, "seed", 0) or 0
+        )
+    checkpoint = None
+    checkpoint_path = getattr(args, "checkpoint", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and not checkpoint_path:
+        raise RunnerError("--resume requires --checkpoint FILE")
+    if resume and cache is None:
+        raise RunnerError(
+            "--resume requires --cache DIR (checkpointed results are "
+            "served from the cache)"
+        )
+    if checkpoint_path:
+        checkpoint = SweepCheckpoint(checkpoint_path, resume=resume)
+    return make_executor(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        retry=retry,
+        checkpoint=checkpoint,
+    )
 
 
 def _print_run_stats(executor) -> None:
+    checkpoint = getattr(executor, "checkpoint", None)
+    if checkpoint is not None:
+        checkpoint.close()
     report = getattr(executor, "last_report", None)
     if report is not None:
         print(f"[runner] {report.stats.summary()}")
+
+
+def _runner_exit(executor, code: int = 0) -> int:
+    """Fold harness-level job failures into the exit code: non-zero with a
+    one-line summary on stderr whenever the last run report is not ok."""
+    report = getattr(executor, "last_report", None)
+    if report is not None and not report.ok:
+        first = report.failures[0]
+        print(
+            f"error: {len(report.failures)} of {report.stats.jobs_total} runner "
+            f"jobs failed; first: {first.label}: {first.error}",
+            file=sys.stderr,
+        )
+        return code or 1
+    return code
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
@@ -184,7 +253,7 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         )
     )
     _print_run_stats(executor)
-    return 0
+    return _runner_exit(executor)
 
 
 def _cmd_availability(args: argparse.Namespace) -> int:
@@ -197,6 +266,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
         get_technique(args.technique),
         years=args.years,
         executor=executor,
+        faults=_parse_faults(args),
     )
     rows = [
         ("years simulated", report.years_simulated),
@@ -210,7 +280,7 @@ def _cmd_availability(args: argparse.Namespace) -> int:
     ]
     print(format_table(("quantity", "value"), rows, title="availability"))
     _print_run_stats(executor)
-    return 0
+    return _runner_exit(executor)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -242,7 +312,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         if missing:  # pragma: no cover - registry bookkeeping
             print(f"warning: experiments not run: {sorted(missing)}")
         _print_run_stats(executor)
-    return 0
+    return _runner_exit(executor)
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
@@ -283,7 +353,7 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
 
     ok = report.ok and (fuzz_report is None or fuzz_report.ok)
     print(f"selfcheck: {'OK' if ok else 'FAILED'} ({report.summary()})")
-    return 0 if ok else 1
+    return _runner_exit(executor, 0 if ok else 1)
 
 
 def _cmd_tiers(_args: argparse.Namespace) -> int:
@@ -326,6 +396,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.runner.chaos import run_chaos
+
+    report = run_chaos(
+        get_workload(args.workload),
+        get_configuration(args.configuration),
+        get_technique(args.technique),
+        years=args.years,
+        jobs=args.jobs,
+        kills=args.kills,
+        flaky=args.flaky,
+        corrupt=args.corrupt,
+        faults=_parse_faults(args),
+        seed=args.seed,
+        workdir=args.workdir,
+        num_servers=args.servers,
+    )
+    print(report.summary())
+    if not report.ok:
+        print(
+            "error: chaos certification FAILED — a recovery path diverged "
+            "from the undisturbed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("chaos: OK (every recovery path reproduced the baseline bit-for-bit)")
+    return 0
+
+
 def _cmd_tco(_args: argparse.Namespace) -> int:
     model = TCOModel()
     rows = [
@@ -364,8 +463,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-m", "--outage-minutes", type=float, default=30.0)
         p.add_argument("--servers", type=int, default=16)
 
+    def add_fault_flags(p: argparse.ArgumentParser, with_fault_seed=False):
+        p.add_argument(
+            "--faults",
+            default=None,
+            metavar="SPEC",
+            help="inject backup-power faults, e.g. "
+            "'dg_start=0.05,dg_mtbf_h=100,batt_fade=0.2,ats_fail=0.01,"
+            "ats_delay=30,psu=0.001' (see docs/FAULTS.md)",
+        )
+        if with_fault_seed:
+            p.add_argument(
+                "--fault-seed",
+                type=int,
+                default=0,
+                help="seed for the single fault draw applied to this point",
+            )
+
     p_eval = sub.add_parser("evaluate", help="evaluate one operating point")
     add_common(p_eval, needs_config=True, needs_tech=True)
+    add_fault_flags(p_eval, with_fault_seed=True)
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_plan = sub.add_parser("plan", help="cheapest backup for targets")
@@ -396,6 +513,26 @@ def build_parser() -> argparse.ArgumentParser:
                 help="root RNG seed for stochastic stages (deterministic "
                 "analyses ignore it)",
             )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="re-run each transiently failed job up to N times with "
+            "deterministic seeded backoff",
+        )
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="FILE",
+            help="crash-safe JSONL progress manifest recording finished jobs",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip jobs the --checkpoint records (served from --cache); "
+            "resumed sweeps are bit-identical to uninterrupted ones",
+        )
 
     p_rank = sub.add_parser("rank", help="rank techniques by sized cost")
     add_common(p_rank)
@@ -406,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_avail, needs_config=True, needs_tech=True)
     p_avail.add_argument("--years", type=int, default=100)
     add_runner_flags(p_avail)
+    add_fault_flags(p_avail)
     p_avail.set_defaults(func=_cmd_availability)
 
     p_check = sub.add_parser(
@@ -462,6 +600,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("events", help="events JSONL file written by --metrics")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="break the runner on purpose and certify bit-identical recovery",
+    )
+    p_chaos.add_argument(
+        "-w", "--workload", default="websearch", choices=workload_names()
+    )
+    p_chaos.add_argument("-c", "--configuration", default="MaxPerf")
+    p_chaos.add_argument("-t", "--technique", default="full-service")
+    p_chaos.add_argument("--servers", type=int, default=16)
+    p_chaos.add_argument(
+        "--years", type=int, default=8, help="year-cells in the chaos sweep"
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=2, help="worker processes for the chaos run"
+    )
+    p_chaos.add_argument(
+        "--kills", type=int, default=1, help="worker hard-kills to inject"
+    )
+    p_chaos.add_argument(
+        "--flaky", type=int, default=1, help="transient job failures to inject"
+    )
+    p_chaos.add_argument(
+        "--corrupt", type=int, default=1, help="cache entries to corrupt mid-run"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="root seed shared by all passes"
+    )
+    p_chaos.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="scratch dir for cache/checkpoint/markers (default: a tempdir)",
+    )
+    add_fault_flags(p_chaos)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     # Observability flags go on *every* subcommand (so they read naturally
     # after it: ``repro availability ... --trace out.json``).

@@ -28,6 +28,7 @@ from typing import Optional
 from repro.core.configurations import BackupConfiguration
 from repro.core.costs import BackupCostModel
 from repro.errors import TechniqueError
+from repro.faults import FaultDraw
 from repro.servers.cluster import Cluster
 from repro.servers.server import PAPER_SERVER, ServerSpec
 from repro.sim.datacenter import Datacenter
@@ -113,8 +114,14 @@ def evaluate_point(
     server: ServerSpec = PAPER_SERVER,
     cost_model: Optional[BackupCostModel] = None,
     lost_work_seconds: Optional[float] = None,
+    faults: Optional["FaultDraw"] = None,
 ) -> PerformabilityPoint:
-    """Evaluate one operating point end to end (see module docstring)."""
+    """Evaluate one operating point end to end (see module docstring).
+
+    ``faults`` optionally injects one :class:`~repro.faults.FaultDraw` of
+    backup failures into the outage (what-if studies: "this point, but the
+    engine dies after 20 minutes").
+    """
     datacenter = make_datacenter(workload, configuration, num_servers, server)
     cost = configuration.normalized_cost(cost_model)
     context = TechniqueContext(
@@ -136,7 +143,9 @@ def evaluate_point(
             downtime_seconds=math.inf,
             outcome=None,
         )
-    outcome = simulate_outage(datacenter, plan, outage_seconds, lost_work_seconds)
+    outcome = simulate_outage(
+        datacenter, plan, outage_seconds, lost_work_seconds, faults=faults
+    )
     return PerformabilityPoint(
         configuration_name=configuration.name,
         technique_name=technique.name,

@@ -76,3 +76,24 @@ class RunnerError(ReproError, RuntimeError):
     callables), invalid executor/cache parameters, and — under
     ``strict=True`` — when any job in a run fails.
     """
+
+
+class FaultInjectionError(ReproError, ValueError):
+    """A fault-injection plan or spec string is malformed.
+
+    Raised by :meth:`repro.faults.FaultPlan.parse` for unknown keys and
+    out-of-range probabilities, and by :class:`repro.faults.FaultInjector`
+    for invalid seeding.  Never raised while a simulation is running —
+    fault *activations* are legitimate simulated events, not errors.
+    """
+
+
+class RetryExhaustedError(RunnerError):
+    """A job kept failing with retryable errors until attempts ran out.
+
+    Raised by executors under ``strict=True`` when a
+    :class:`repro.runner.RetryPolicy` re-ran a failing job
+    ``max_attempts`` times without success.  Deriving from
+    :class:`RunnerError` keeps existing ``except RunnerError`` handlers
+    working.
+    """

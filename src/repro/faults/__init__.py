@@ -1,0 +1,38 @@
+"""repro.faults: deterministic fault injection for the power stack.
+
+The paper's availability results hinge on backup components failing *on
+demand* — engines that refuse to start, strings that fade below rated
+runtime, transfer switches that glitch.  This package models those modes
+as data:
+
+* :class:`FaultPlan` — which failure modes a study injects and at what
+  rates (parsed from the CLI's ``--faults`` spec string);
+* :class:`FaultInjector` — a seeded sampler turning a plan into
+  per-outage :class:`FaultDraw` decisions, with a fixed variate budget
+  per draw so sweeps are bit-identical at any worker count;
+* :class:`FaultDraw` — the concrete decisions one outage simulation
+  applies (threaded through :func:`repro.sim.outage_sim.simulate_outage`
+  and :class:`repro.sim.yearly.YearlyRunner`).
+
+Fault activations are observable: a traced run records each one as a
+``fault`` span event and bumps a ``faults.*`` counter (see
+docs/FAULTS.md and docs/OBSERVABILITY.md).
+
+Quickstart::
+
+    from repro.faults import FaultInjector, FaultPlan
+
+    plan = FaultPlan.parse("dg_start=0.05,batt_fade=0.2,ats_delay=30")
+    injector = FaultInjector(plan, seed=7)
+    outcome = simulate_outage(dc, outage_plan, 1800.0, faults=injector.draw())
+"""
+
+from repro.faults.injector import FaultDraw, FaultInjector
+from repro.faults.plan import MAX_BATTERY_FADE, FaultPlan
+
+__all__ = [
+    "FaultDraw",
+    "FaultInjector",
+    "FaultPlan",
+    "MAX_BATTERY_FADE",
+]

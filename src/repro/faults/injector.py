@@ -1,0 +1,154 @@
+"""Seeded sampling of fault plans into concrete per-outage draws.
+
+The simulator's core is closed-form and deterministic; randomness lives
+out here.  A :class:`FaultInjector` turns a
+:class:`~repro.faults.plan.FaultPlan` into a stream of
+:class:`FaultDraw` values — one per outage — using a
+:class:`numpy.random.Generator`.  Every :meth:`FaultInjector.draw`
+consumes a *fixed* number of variates regardless of which faults fire,
+so the n-th outage's draw depends only on the seed and the position ``n``,
+never on what earlier draws activated.  That property, combined with the
+runner's :class:`numpy.random.SeedSequence` spawning, is what makes a
+fault-injected availability sweep bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import MAX_BATTERY_FADE, FaultPlan
+
+
+@dataclass(frozen=True)
+class FaultDraw:
+    """Concrete fault decisions for one outage.
+
+    The default instance (:meth:`healthy`) activates nothing; the outage
+    simulator treats it exactly like ``faults=None``.
+
+    Attributes:
+        dg_starts: Whether the injected start roll lets the engine start.
+        dg_run_limit_seconds: Running time after which the engine trips
+            (fail-while-running); ``None`` never trips.
+        battery_capacity_factor: Multiplier on the battery's rated
+            runtime (capacity fade / derating); 1.0 is a healthy string.
+        ats_transfer_ok: Whether the ATS completes the utility-to-DG
+            transfer at all.
+        ats_extra_delay_seconds: Extra transfer delay added to the DG
+            takeover time (the UPS must bridge the longer gap).
+        psu_holdup_ok: Whether the PSU hold-up capacitance bridges the
+            UPS switch-in gap this time.
+    """
+
+    dg_starts: bool = True
+    dg_run_limit_seconds: Optional[float] = None
+    battery_capacity_factor: float = 1.0
+    ats_transfer_ok: bool = True
+    ats_extra_delay_seconds: float = 0.0
+    psu_holdup_ok: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.battery_capacity_factor <= 1.0:
+            raise FaultInjectionError(
+                "battery_capacity_factor must be in (0, 1], "
+                f"got {self.battery_capacity_factor}"
+            )
+        if (
+            self.dg_run_limit_seconds is not None
+            and self.dg_run_limit_seconds < 0
+        ):
+            raise FaultInjectionError(
+                f"dg_run_limit_seconds must be >= 0, "
+                f"got {self.dg_run_limit_seconds}"
+            )
+        if self.ats_extra_delay_seconds < 0:
+            raise FaultInjectionError(
+                f"ats_extra_delay_seconds must be >= 0, "
+                f"got {self.ats_extra_delay_seconds}"
+            )
+
+    @classmethod
+    def healthy(cls) -> "FaultDraw":
+        """The no-fault draw (every component behaves per its spec)."""
+        return cls()
+
+    @property
+    def is_null(self) -> bool:
+        return self == FaultDraw()
+
+
+class FaultInjector:
+    """Samples :class:`FaultDraw` streams from a plan.
+
+    Args:
+        plan: The failure modes and rates to sample.
+        rng: Explicit random generator (takes precedence over ``seed``).
+        seed: Seed material (int or :class:`numpy.random.SeedSequence`)
+            for a private generator when ``rng`` is not given; ``None``
+            with no ``rng`` seeds from entropy (not reproducible — tests
+            and sweeps should always seed).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        rng: Optional[np.random.Generator] = None,
+        seed: Union[int, np.random.SeedSequence, None] = None,
+    ) -> None:
+        if not isinstance(plan, FaultPlan):
+            raise FaultInjectionError(
+                f"plan must be a FaultPlan, got {type(plan).__name__}"
+            )
+        self.plan = plan
+        if rng is not None:
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(seed)
+        #: Draws handed out so far (diagnostic; not part of identity).
+        self.draws = 0
+
+    def draw(self) -> FaultDraw:
+        """Sample the fault decisions for one outage.
+
+        Always consumes exactly six variates (five uniforms and one
+        normal), so the stream position after ``n`` draws is independent
+        of the plan's rates and of which faults activated.
+        """
+        plan = self.plan
+        u = self.rng.random(5)
+        z = float(self.rng.standard_normal())
+        self.draws += 1
+
+        dg_starts = not (u[0] < plan.dg_fail_to_start)
+
+        run_limit: Optional[float] = None
+        if not math.isinf(plan.dg_mtbf_hours):
+            # Inverse-transform exponential with the plan's hazard rate.
+            run_limit = -plan.dg_mtbf_seconds * math.log1p(-float(u[1]))
+
+        factor = 1.0
+        if plan.battery_fade > 0.0 or plan.battery_fade_std > 0.0:
+            fade = plan.battery_fade + plan.battery_fade_std * z
+            fade = min(max(fade, 0.0), MAX_BATTERY_FADE)
+            factor = 1.0 - fade
+
+        ats_ok = not (u[2] < plan.ats_fail)
+        extra_delay = float(u[3]) * plan.ats_delay_max_seconds
+        psu_ok = not (u[4] < plan.psu_fail)
+
+        return FaultDraw(
+            dg_starts=dg_starts,
+            dg_run_limit_seconds=run_limit,
+            battery_capacity_factor=factor,
+            ats_transfer_ok=ats_ok,
+            ats_extra_delay_seconds=extra_delay,
+            psu_holdup_ok=psu_ok,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector({self.plan!r}, draws={self.draws})"

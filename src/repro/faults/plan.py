@@ -1,0 +1,157 @@
+"""Fault plans: which backup-failure modes a study injects, and how often.
+
+The paper's availability argument rests on backup components *failing on
+demand*: industry surveys put diesel-generator failure-to-start for
+well-maintained plants around 0.5-1.5 %, lead-acid strings fade well below
+rated runtime as they age, and transfer switches occasionally refuse or
+delay the utility-to-DG handover.  A :class:`FaultPlan` declares the rates
+of these modes; a :class:`~repro.faults.injector.FaultInjector` samples
+them into concrete per-outage :class:`~repro.faults.injector.FaultDraw`
+instances with a seeded RNG, so every fault-injected study is
+deterministic and bit-identical at any worker count.
+
+All rates are *additional* to whatever the component specs already model
+(e.g. :attr:`~repro.power.generator.DieselGeneratorSpec.start_reliability`
+is rolled separately by :class:`~repro.sim.yearly.YearlyRunner`); a null
+plan injects nothing and reproduces the fault-free results exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+from repro.errors import FaultInjectionError
+from repro.units import hours
+
+#: Largest battery capacity fraction a fade draw may remove; a pack never
+#: derates to literally zero (it would divide runtime out of existence and
+#: models replacement, not fade).
+MAX_BATTERY_FADE = 0.95
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Backup-failure modes to inject, expressed as per-outage rates.
+
+    Attributes:
+        dg_fail_to_start: Probability the DG engine fails to start when
+            called (on top of the spec's ``start_reliability``).
+        dg_mtbf_hours: Mean time between failures of a *running* engine
+            (exponential hazard); ``inf`` (default) never fails.
+        battery_fade: Mean fraction of battery capacity lost to ageing;
+            0.2 means the string delivers 80 % of rated runtime.
+        battery_fade_std: Per-outage spread of the fade (normal, truncated
+            to ``[0, MAX_BATTERY_FADE]``); 0 makes fade deterministic.
+        ats_fail: Probability the ATS transfer to the DG fails outright
+            (the engine may start, but the load never reaches it).
+        ats_delay_max_seconds: Worst-case extra transfer delay; each
+            outage draws a uniform delay in ``[0, max]`` added to the DG
+            takeover time (the UPS must bridge the longer gap).
+        psu_fail: Probability the server PSU hold-up capacitance fails to
+            bridge the UPS switch-in gap (drops the fleet at outage start).
+    """
+
+    dg_fail_to_start: float = 0.0
+    dg_mtbf_hours: float = math.inf
+    battery_fade: float = 0.0
+    battery_fade_std: float = 0.0
+    ats_fail: float = 0.0
+    ats_delay_max_seconds: float = 0.0
+    psu_fail: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("dg_fail_to_start", "ats_fail", "psu_fail"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be a probability in [0, 1], got {value}"
+                )
+        if not self.dg_mtbf_hours > 0:
+            raise FaultInjectionError(
+                f"dg_mtbf_hours must be positive, got {self.dg_mtbf_hours}"
+            )
+        if not 0.0 <= self.battery_fade <= MAX_BATTERY_FADE:
+            raise FaultInjectionError(
+                f"battery_fade must be in [0, {MAX_BATTERY_FADE}], "
+                f"got {self.battery_fade}"
+            )
+        if self.battery_fade_std < 0:
+            raise FaultInjectionError(
+                f"battery_fade_std must be >= 0, got {self.battery_fade_std}"
+            )
+        if self.ats_delay_max_seconds < 0:
+            raise FaultInjectionError(
+                f"ats_delay_max_seconds must be >= 0, "
+                f"got {self.ats_delay_max_seconds}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan injects nothing (fault-free semantics)."""
+        return (
+            self.dg_fail_to_start == 0.0
+            and math.isinf(self.dg_mtbf_hours)
+            and self.battery_fade == 0.0
+            and self.battery_fade_std == 0.0
+            and self.ats_fail == 0.0
+            and self.ats_delay_max_seconds == 0.0
+            and self.psu_fail == 0.0
+        )
+
+    @property
+    def dg_mtbf_seconds(self) -> float:
+        return hours(self.dg_mtbf_hours) if not math.isinf(self.dg_mtbf_hours) else math.inf
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``--faults`` CLI spec string.
+
+        Format: comma-separated ``key=value`` pairs, e.g.::
+
+            dg_start=0.05,dg_mtbf_h=4,batt_fade=0.2,batt_fade_std=0.05,
+            ats_fail=0.01,ats_delay=30,psu=0.001
+
+        Keys map to the dataclass fields (``dg_start`` →
+        :attr:`dg_fail_to_start`, ``dg_mtbf_h`` → :attr:`dg_mtbf_hours`,
+        ``batt_fade`` → :attr:`battery_fade`, ``ats_delay`` →
+        :attr:`ats_delay_max_seconds`, ``psu`` → :attr:`psu_fail`); the
+        full field names are also accepted.  Unknown keys and non-numeric
+        values raise :class:`~repro.errors.FaultInjectionError`.
+        """
+        aliases = {
+            "dg_start": "dg_fail_to_start",
+            "dg_mtbf_h": "dg_mtbf_hours",
+            "batt_fade": "battery_fade",
+            "batt_fade_std": "battery_fade_std",
+            "ats_delay": "ats_delay_max_seconds",
+            "psu": "psu_fail",
+        }
+        known = {f.name for f in fields(cls)}
+        values = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise FaultInjectionError(
+                    f"fault spec items must be key=value, got {item!r}"
+                )
+            key, _, raw = item.partition("=")
+            key = key.strip()
+            field_name = aliases.get(key, key)
+            if field_name not in known:
+                raise FaultInjectionError(
+                    f"unknown fault spec key {key!r}; known keys: "
+                    f"{sorted(known | set(aliases))}"
+                )
+            if field_name in values:
+                raise FaultInjectionError(f"duplicate fault spec key {key!r}")
+            try:
+                values[field_name] = float(raw.strip())
+            except ValueError:
+                raise FaultInjectionError(
+                    f"fault spec value for {key!r} must be a number, "
+                    f"got {raw.strip()!r}"
+                ) from None
+        return cls(**values)

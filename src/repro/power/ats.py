@@ -9,7 +9,7 @@ cover — so the outage simulator has an explicit component for the switch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
@@ -26,15 +26,37 @@ class AutomaticTransferSwitch:
     Attributes:
         detection_delay_seconds: Time from utility failure until the ATS has
             committed to the secondary source and initiated DG start.
+        transfer_reliability: Probability a commanded transfer completes.
+            1.0 keeps single-outage studies deterministic; fault-injected
+            availability runs sample it (a failed transfer strands the DG
+            behind an open switch — the engine may start, the load never
+            reaches it; see :class:`repro.faults.FaultPlan.ats_fail`).
     """
 
     detection_delay_seconds: float = DEFAULT_DETECTION_DELAY_SECONDS
+    transfer_reliability: float = 1.0
 
     def __post_init__(self) -> None:
         if self.detection_delay_seconds < 0:
             raise ConfigurationError("ATS detection delay must be >= 0")
+        if not 0 <= self.transfer_reliability <= 1:
+            raise ConfigurationError("ATS transfer reliability must be in [0, 1]")
 
     def transfer_initiated_at(self, outage_start_seconds: float) -> float:
         """Absolute time at which DG start is initiated for an outage that
         begins at ``outage_start_seconds``."""
         return outage_start_seconds + self.detection_delay_seconds
+
+    def delayed(self, extra_seconds: float) -> "AutomaticTransferSwitch":
+        """A switch suffering an injected extra transfer delay.
+
+        The fault-injection hook for sluggish mechanical transfers: the
+        returned spec detects ``extra_seconds`` later, which downstream
+        stretches the UPS bridging window by the same amount.
+        """
+        if extra_seconds < 0:
+            raise ConfigurationError("extra transfer delay must be >= 0")
+        return replace(
+            self,
+            detection_delay_seconds=self.detection_delay_seconds + extra_seconds,
+        )

@@ -229,6 +229,26 @@ class BatterySpec:
             raise ConfigurationError("scale factor must be positive")
         return replace(self, rated_power_watts=self.rated_power_watts * factor)
 
+    def derated(self, capacity_factor: float) -> "BatterySpec":
+        """An aged pack delivering ``capacity_factor`` of rated runtime.
+
+        The fault-injection hook for battery capacity fade: power
+        electronics keep their rating (the string still *carries* the
+        load), but the energy behind it has faded, so every runtime —
+        and, through Peukert accounting, every drain rate — scales by
+        the factor.  ``capacity_factor=1.0`` returns an identical spec.
+        """
+        if not 0.0 < capacity_factor <= 1.0:
+            raise ConfigurationError(
+                f"capacity factor must be in (0, 1], got {capacity_factor}"
+            )
+        if capacity_factor == 1.0:
+            return self
+        return replace(
+            self,
+            rated_runtime_seconds=self.rated_runtime_seconds * capacity_factor,
+        )
+
     def runtime_chart(self, load_fractions: "list[float]") -> "list[tuple[float, float]]":
         """(load W, runtime min) samples — the data behind Figure 3."""
         chart = []

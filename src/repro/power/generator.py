@@ -86,13 +86,35 @@ class DieselGeneratorSpec:
         return replace(self, power_capacity_watts=power_capacity_watts)
 
 
-class DieselGenerator:
-    """A stateful DG instance tracking fuel consumed during an outage."""
+#: Run-budget remainder below which a limited engine counts as tripped.
+_TRIP_EPSILON = 1e-9
 
-    def __init__(self, spec: DieselGeneratorSpec):
+
+class DieselGenerator:
+    """A stateful DG instance tracking fuel consumed during an outage.
+
+    Args:
+        spec: The plant's rating.
+        run_limit_seconds: Optional fault-injection hook — total *running*
+            time after which the engine trips (fail-while-running, drawn
+            per outage by :class:`repro.faults.FaultInjector`); ``None``
+            (the default) never trips.  The budget is consumed only while
+            the engine carries load, exactly like a second fuel reserve,
+            so the closed-form simulator handles a mid-run engine death
+            with the same machinery as fuel exhaustion.
+    """
+
+    def __init__(
+        self,
+        spec: DieselGeneratorSpec,
+        run_limit_seconds: "float | None" = None,
+    ):
+        if run_limit_seconds is not None and run_limit_seconds < 0:
+            raise ConfigurationError("DG run limit must be >= 0")
         self.spec = spec
         self._fuel_energy_joules = spec.fuel_energy_joules
         self._started = False
+        self._run_remaining_seconds = run_limit_seconds
 
     @property
     def is_provisioned(self) -> bool:
@@ -106,9 +128,23 @@ class DieselGenerator:
     def started(self) -> bool:
         return self._started
 
+    @property
+    def run_limited(self) -> bool:
+        """Whether an injected run limit is armed on this engine."""
+        return self._run_remaining_seconds is not None
+
+    @property
+    def tripped(self) -> bool:
+        """Whether an injected run limit has killed the running engine."""
+        return (
+            self._run_remaining_seconds is not None
+            and self._run_remaining_seconds <= _TRIP_EPSILON
+        )
+
     def can_carry(self, load_watts: float) -> bool:
         return (
             self.spec.is_provisioned
+            and not self.tripped
             and load_watts <= self.spec.power_capacity_watts * (1 + 1e-9)
         )
 
@@ -121,21 +157,32 @@ class DieselGenerator:
         )
 
     def remaining_runtime_at(self, load_watts: float) -> float:
-        """Seconds of fuel left at ``load_watts``; inf for an idle plant."""
+        """Seconds of fuel (and run budget) left at ``load_watts``; inf for
+        an idle plant with no injected run limit."""
+        if self.tripped:
+            return 0.0
         if load_watts <= 0:
-            return float("inf")
+            if self._run_remaining_seconds is None:
+                return float("inf")
+            return self._run_remaining_seconds
         if not self.can_carry(load_watts):
             return 0.0
-        return self._fuel_energy_joules / load_watts
+        fuel_limited = self._fuel_energy_joules / load_watts
+        if self._run_remaining_seconds is None:
+            return fuel_limited
+        return min(fuel_limited, self._run_remaining_seconds)
 
     def carry(self, load_watts: float, duration_seconds: float) -> float:
         """Source ``load_watts`` from the DG for up to ``duration_seconds``.
 
-        Returns seconds actually sustained (limited by fuel).  Loads above
+        Returns seconds actually sustained (limited by fuel and any
+        injected run limit; a tripped engine sustains 0).  Loads above
         the rating trip the plant: :class:`CapacityError`.
         """
         if duration_seconds < 0:
             raise ValueError(f"duration must be >= 0, got {duration_seconds}")
+        if self.tripped:
+            return 0.0
         if load_watts <= 0 or duration_seconds == 0:
             return duration_seconds
         if not self.can_carry(load_watts):
@@ -145,6 +192,9 @@ class DieselGenerator:
             )
         self._started = True
         sustained = min(duration_seconds, self._fuel_energy_joules / load_watts)
+        if self._run_remaining_seconds is not None:
+            sustained = min(sustained, self._run_remaining_seconds)
+            self._run_remaining_seconds -= sustained
         self._fuel_energy_joules -= load_watts * sustained
         return sustained
 

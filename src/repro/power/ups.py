@@ -147,6 +147,27 @@ class UPSSpec:
     def with_power(self, power_capacity_watts: float) -> "UPSSpec":
         return replace(self, power_capacity_watts=power_capacity_watts)
 
+    def derated(self, capacity_factor: float) -> "UPSSpec":
+        """An installation whose batteries have faded to ``capacity_factor``
+        of rated runtime.
+
+        The fault-injection hook for battery ageing: the UPS electronics
+        keep their power rating, the string behind them delivers less
+        energy.  The *free* runtime band is untouched — fade is a failure
+        mode, not a re-provisioning, so the cost model still bills the
+        originally purchased capacity.
+        """
+        if not 0.0 < capacity_factor <= 1.0:
+            raise ConfigurationError(
+                f"capacity factor must be in (0, 1], got {capacity_factor}"
+            )
+        if capacity_factor == 1.0 or not self.is_provisioned:
+            return self
+        return replace(
+            self,
+            rated_runtime_seconds=self.rated_runtime_seconds * capacity_factor,
+        )
+
 
 #: Full recharge time of a drained lead-acid string at float charge
 #: (vendors quote 4-12 h to ~90 %; 8 h is the conventional planning figure).

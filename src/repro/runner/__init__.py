@@ -12,9 +12,17 @@ that a first-class service:
   process-pool :class:`ParallelExecutor` with windowed dispatch,
   per-job timeouts, and automatic serial fallback;
 * :mod:`repro.runner.cache` — an on-disk :class:`ResultCache` keyed by
-  job fingerprint + code version;
+  job fingerprint + code version (corrupt entries are quarantined, never
+  fatal);
 * :mod:`repro.runner.progress` — :class:`JobEvent` callbacks and the
-  :class:`RunStats` aggregate every run returns.
+  :class:`RunStats` aggregate every run returns;
+* :mod:`repro.runner.retry` — :class:`RetryPolicy`: bounded re-execution
+  of transient failures with deterministic seeded backoff;
+* :mod:`repro.runner.checkpoint` — :class:`SweepCheckpoint`: a crash-safe
+  JSONL manifest of finished work enabling ``--resume``;
+* :mod:`repro.runner.chaos` — :func:`run_chaos`: kills workers and
+  corrupts cache entries mid-sweep, then certifies the results are
+  bit-identical to an undisturbed run.
 
 Quickstart::
 
@@ -30,6 +38,8 @@ Quickstart::
 """
 
 from repro.runner.cache import ResultCache, default_cache_version
+from repro.runner.chaos import ChaosReport, run_chaos
+from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.executor import (
     BaseExecutor,
     JobFailure,
@@ -47,11 +57,14 @@ from repro.runner.progress import (
     ProgressListener,
     RunStats,
 )
+from repro.runner.retry import DEFAULT_RETRYABLE_ERRORS, RetryPolicy, classify_error
 
 __all__ = [
     "BaseExecutor",
+    "ChaosReport",
     "CollectingProgress",
     "ConsoleProgress",
+    "DEFAULT_RETRYABLE_ERRORS",
     "Job",
     "JobEvent",
     "JobEventKind",
@@ -60,12 +73,16 @@ __all__ = [
     "ParallelExecutor",
     "ProgressListener",
     "ResultCache",
+    "RetryPolicy",
     "RunReport",
     "RunStats",
     "SerialExecutor",
+    "SweepCheckpoint",
     "canonical_encode",
+    "classify_error",
     "default_cache_version",
     "make_executor",
     "make_jobs",
+    "run_chaos",
     "spawn_seeds",
 ]

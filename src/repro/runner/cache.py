@@ -51,9 +51,16 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def _path(self, fingerprint: str) -> Path:
         return self.root / self.version / fingerprint[:2] / f"{fingerprint}.pkl"
+
+    def entry_path(self, fingerprint: str) -> Path:
+        """Where the entry for ``fingerprint`` lives (it may not exist).
+        Exposed for tooling — the chaos harness corrupts entries in place
+        to exercise quarantine."""
+        return self._path(fingerprint)
 
     def get(self, job: Job) -> Tuple[bool, Any]:
         """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
@@ -93,12 +100,18 @@ class ResultCache:
             return _SENTINEL
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
-            # Corrupt or stale entry: treat as a miss and drop it so the
-            # next run rewrites a clean copy.
+            # Corrupt or stale entry: treat as a miss and quarantine it —
+            # renamed aside (``*.pkl.corrupt``) rather than deleted, so a
+            # clean copy gets rewritten on the next store while the bad
+            # bytes stay available for post-mortem.
+            self.corrupt += 1
             try:
-                os.unlink(path)
+                os.replace(path, f"{path}.corrupt")
             except OSError:
-                pass
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
             return _SENTINEL
 
     def __len__(self) -> int:

@@ -1,0 +1,140 @@
+"""Crash-safe sweep checkpointing: a JSONL manifest of finished work.
+
+The :class:`~repro.runner.cache.ResultCache` is the *value* store; a
+:class:`SweepCheckpoint` is the *progress* manifest layered on top of it.
+As an executor completes jobs it appends one JSON line per job
+(``{"fingerprint", "index", "label"}``) to the checkpoint file; a run that
+dies — power cut, OOM kill, ctrl-C — leaves behind an accurate record of
+what finished.  Relaunching with ``resume=True`` loads the manifest and
+serves every recorded job straight from the cache, so the resumed run's
+results are provably identical to an uninterrupted one: the values come
+from the same fingerprint-keyed store either way, and jobs carry their own
+seeded streams so recomputed stragglers match too.
+
+The format is deliberately dumb.  Appending a line is atomic enough for
+one writer; a line half-written at the moment of death is detected (bad
+JSON) and skipped on load, costing at most a re-run of that one job.  No
+compaction, no binary framing, greppable in an editor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Optional, Set
+
+from repro.errors import RunnerError
+from repro.runner.jobs import Job
+
+
+class SweepCheckpoint:
+    """Append-only progress manifest for one (possibly interrupted) sweep.
+
+    Args:
+        path: Manifest file location (parent directories are created).
+        resume: Load fingerprints already recorded in ``path`` instead of
+            truncating it.  With ``resume=False`` (the default) an
+            existing manifest is discarded — the sweep starts over.
+        flush_every: Fsync cadence in records.  1 (the default) makes
+            every completion durable immediately; larger values trade
+            crash-window size for fewer syncs on huge sweeps.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        resume: bool = False,
+        flush_every: int = 1,
+    ) -> None:
+        if flush_every < 1:
+            raise RunnerError("flush_every must be >= 1")
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self.resume = resume
+        self._done: Set[str] = set()
+        self._handle: Optional[IO[str]] = None
+        self._unflushed = 0
+        self.skipped_lines = 0
+        if resume and self.path.exists():
+            self._load()
+        elif not resume and self.path.exists():
+            self.path.unlink()
+
+    def _load(self) -> None:
+        """Read the manifest, tolerating a torn final line (the writer may
+        have died mid-append)."""
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    fingerprint = record["fingerprint"]
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    self.skipped_lines += 1
+                    continue
+                if isinstance(fingerprint, str):
+                    self._done.add(fingerprint)
+                else:
+                    self.skipped_lines += 1
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def is_done(self, job: Job) -> bool:
+        """Whether ``job`` completed in a previous (or this) run."""
+        return job.fingerprint in self._done
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, job: Job) -> None:
+        """Mark ``job`` finished.  Idempotent: re-recording a fingerprint
+        (a cache hit of already-checkpointed work) writes nothing."""
+        if job.fingerprint in self._done:
+            return
+        self._done.add(job.fingerprint)
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        json.dump(
+            {
+                "fingerprint": job.fingerprint,
+                "index": job.index,
+                "label": job.display_name(),
+            },
+            self._handle,
+        )
+        self._handle.write("\n")
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered records to durable storage."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+        self._unflushed = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -35,17 +35,22 @@ one ``is None`` check.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import time
 import traceback
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import RunnerError
+import numpy as np
+
+from repro.errors import RetryExhaustedError, RunnerError
 from repro.obs import ObsSession, activate, current_metrics, current_tracer, deactivate
 from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.jobs import Job
 from repro.runner.progress import JobEvent, JobEventKind, ProgressListener, RunStats
+from repro.runner.retry import RetryPolicy
 
 DEFAULT_CHUNK_SIZE = 8
 
@@ -88,6 +93,23 @@ class RunReport:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+
+def _pristine(job: Job) -> Job:
+    """A copy of ``job`` with an unspawned seed.
+
+    A job that spawned child streams in-process and *then* failed would,
+    if retried with the same :class:`~numpy.random.SeedSequence` object,
+    spawn *different* children (spawning advances a counter).  Re-queues
+    therefore rebuild the seed from its entropy + spawn key, so a retry
+    draws exactly what the first attempt drew.
+    """
+    if job.seed is None or job.seed.n_children_spawned == 0:
+        return job
+    fresh = np.random.SeedSequence(
+        entropy=job.seed.entropy, spawn_key=job.seed.spawn_key
+    )
+    return dataclasses.replace(job, seed=fresh)
 
 
 def _execute_job(job: Job, obs_mode: str = "off") -> JobResult:
@@ -152,15 +174,27 @@ class BaseExecutor:
     Args:
         cache: Optional on-disk result cache.
         progress: Optional event listener.
+        retry: Optional :class:`~repro.runner.retry.RetryPolicy`; failed
+            jobs whose error classifies as transient are re-dispatched
+            (with deterministic backoff) up to the policy's attempt budget
+            before counting as failures.
+        checkpoint: Optional :class:`~repro.runner.checkpoint.SweepCheckpoint`
+            recording every completion; a checkpoint opened with
+            ``resume=True`` serves already-recorded jobs from the cache
+            without re-dispatching them.
     """
 
     def __init__(
         self,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressListener] = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
     ) -> None:
         self.cache = cache
         self.progress = progress
+        self.retry = retry
+        self.checkpoint = checkpoint
         # Ambient observability, captured at construction (None = off).
         self._tracer = current_tracer()
         self._metrics = current_metrics()
@@ -204,23 +238,38 @@ class BaseExecutor:
         values: Dict[int, Any] = {}
         failures: List[JobFailure] = []
         obs_by_index: Dict[int, Dict[str, Any]] = {}
+        exhausted: set = set()
+        corrupt_before = self.cache.corrupt if self.cache is not None else 0
 
         misses: List[Job] = []
         for job in jobs:
+            resumed = (
+                self.checkpoint is not None and self.checkpoint.is_done(job)
+            )
             if self.cache is not None:
                 hit, value = self.cache.get(job)
                 if hit:
                     values[job.index] = value
                     stats.cache_hits += 1
+                    if resumed:
+                        stats.resumed += 1
+                    if self.checkpoint is not None:
+                        self.checkpoint.record(job)
                     self._emit(JobEvent(JobEventKind.CACHE_HIT, job.index,
                                         job.display_name(), job.fingerprint))
                     continue
+            # A checkpointed job whose cached value is gone (or that never
+            # had a cache) must re-run; the recompute is bit-identical, so
+            # resume equivalence holds either way.
             misses.append(job)
 
-        if misses:
-            by_index = {job.index: job for job in misses}
+        attempts = {job.index: 1 for job in misses}
+        pending = misses
+        while pending:
+            by_index = {job.index: job for job in pending}
+            retry_next: List[Job] = []
             for index, ok, payload, tb_text, seconds, obs_payload in (
-                self._dispatch(misses, stats)
+                self._dispatch(pending, stats)
             ):
                 job = by_index[index]
                 stats.jobs_run += 1
@@ -231,19 +280,53 @@ class BaseExecutor:
                     values[index] = payload
                     if self.cache is not None:
                         self.cache.put(job, payload)
+                    if self.checkpoint is not None:
+                        self.checkpoint.record(job)
                     self._emit(JobEvent(JobEventKind.FINISHED, index,
                                         job.display_name(),
                                         job.fingerprint, seconds))
-                else:
-                    values[index] = None
-                    stats.failures += 1
-                    failures.append(
-                        JobFailure(index, job.display_name(), payload, tb_text)
-                    )
-                    self._emit(JobEvent(JobEventKind.FAILED, index,
+                    continue
+                attempt = attempts[index]
+                if (
+                    self.retry is not None
+                    and attempt < self.retry.max_attempts
+                    and self.retry.is_retryable(payload)
+                ):
+                    attempts[index] = attempt + 1
+                    stats.retries += 1
+                    self._emit(JobEvent(JobEventKind.RETRIED, index,
                                         job.display_name(),
-                                        job.fingerprint, seconds, error=payload))
+                                        job.fingerprint, seconds,
+                                        error=payload))
+                    delay = self.retry.delay_for(attempt, token=job.fingerprint)
+                    if delay > 0:
+                        time.sleep(delay)
+                    retry_next.append(_pristine(job))
+                    continue
+                if (
+                    self.retry is not None
+                    and attempt >= self.retry.max_attempts
+                    and self.retry.is_retryable(payload)
+                ):
+                    exhausted.add(index)
+                    payload = (
+                        f"{payload} (retries exhausted: "
+                        f"{attempt} attempts)"
+                    )
+                values[index] = None
+                stats.failures += 1
+                failures.append(
+                    JobFailure(index, job.display_name(), payload, tb_text)
+                )
+                self._emit(JobEvent(JobEventKind.FAILED, index,
+                                    job.display_name(),
+                                    job.fingerprint, seconds, error=payload))
+            pending = retry_next
 
+        if self.checkpoint is not None:
+            self.checkpoint.flush()
+        if self.cache is not None:
+            stats.cache_corrupt = self.cache.corrupt - corrupt_before
         self._absorb_obs(obs_by_index, stats)
         stats.elapsed_seconds = time.perf_counter() - started
         failures.sort(key=lambda f: f.index)
@@ -256,10 +339,13 @@ class BaseExecutor:
         if strict and failures:
             first = failures[0]
             detail = f"\n{first.traceback_text}" if first.traceback_text else ""
-            raise RunnerError(
+            message = (
                 f"{len(failures)} of {len(jobs)} jobs failed; first: "
                 f"{first.label}: {first.error}{detail}"
             )
+            if first.index in exhausted:
+                raise RetryExhaustedError(message)
+            raise RunnerError(message)
         return report
 
     def _absorb_obs(
@@ -326,6 +412,10 @@ class ParallelExecutor(BaseExecutor):
             memory on very large job lists.
         fallback_serial: Degrade to in-process execution when the pool
             cannot start or breaks; ``False`` re-raises instead.
+        max_pool_restarts: Times a crashed pool (a worker killed by the
+            OOM killer, a segfault, chaos testing) is rebuilt — with the
+            dead round's unfinished jobs re-queued — before giving up and
+            degrading to serial.
     """
 
     def __init__(
@@ -336,70 +426,108 @@ class ParallelExecutor(BaseExecutor):
         timeout_seconds: Optional[float] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         fallback_serial: bool = True,
+        max_pool_restarts: int = 2,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
     ) -> None:
-        super().__init__(cache=cache, progress=progress)
+        super().__init__(
+            cache=cache, progress=progress, retry=retry, checkpoint=checkpoint
+        )
         if max_workers is not None and max_workers < 1:
             raise RunnerError("max_workers must be >= 1")
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise RunnerError("timeout_seconds must be positive")
         if chunk_size < 1:
             raise RunnerError("chunk_size must be >= 1")
+        if max_pool_restarts < 0:
+            raise RunnerError("max_pool_restarts must be >= 0")
         self.max_workers = max_workers
         self.timeout_seconds = timeout_seconds
         self.chunk_size = chunk_size
         self.fallback_serial = fallback_serial
+        self.max_pool_restarts = max_pool_restarts
 
     def _dispatch(self, jobs: Sequence[Job], stats: RunStats) -> List[JobResult]:
-        try:
-            pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.max_workers
-            )
-        except (OSError, ValueError, NotImplementedError) as exc:
-            return self._fallback(jobs, stats, exc)
-        stats.workers = getattr(pool, "_max_workers", self.max_workers or 1)
-        mode = self._obs_mode()
         results: List[JobResult] = []
         pending: List[Job] = list(jobs)
-        abandoned = 0
-        try:
-            with pool:
-                in_flight: "List[Tuple[concurrent.futures.Future, Job]]" = []
-                cursor = 0
-                while cursor < len(pending) or in_flight:
-                    # A timed-out job cannot be killed (pools cannot
-                    # interrupt a running task), so its worker stays busy
-                    # until the job finishes on its own: shrink the
-                    # dispatch window as if the pool had lost that worker.
-                    window = self.chunk_size * max(stats.workers - abandoned, 1)
-                    while cursor < len(pending) and len(in_flight) < window:
-                        job = pending[cursor]
-                        cursor += 1
-                        self._emit(JobEvent(JobEventKind.STARTED, job.index,
-                                            job.display_name(), job.fingerprint))
-                        in_flight.append(
-                            (pool.submit(_execute_job, job, mode), job)
-                        )
-                    future, job = in_flight.pop(0)
-                    wait_started = time.perf_counter()
-                    try:
-                        results.append(future.result(timeout=self.timeout_seconds))
-                    except concurrent.futures.TimeoutError:
-                        waited = time.perf_counter() - wait_started
-                        future.cancel()
-                        abandoned += 1
-                        stats.timeouts += 1
-                        results.append((
-                            job.index, False,
-                            f"TimeoutError: job exceeded "
-                            f"{self.timeout_seconds:.1f}s "
-                            f"(waited {waited:.1f}s; worker abandoned)",
-                            "", waited, None,
-                        ))
-        except BrokenProcessPool as exc:
-            done = {r[0] for r in results}
-            remaining = [job for job in jobs if job.index not in done]
-            return results + self._fallback(remaining, stats, exc)
+        restarts = 0
+        while pending:
+            try:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            except (OSError, ValueError, NotImplementedError) as exc:
+                return results + self._fallback(pending, stats, exc)
+            try:
+                self._pool_round(pool, pending, stats, results)
+                pending = []
+            except BrokenProcessPool as exc:
+                # A worker died hard (OOM kill, segfault, chaos): every
+                # job of this round without a result was in flight on the
+                # dead pool.  Re-queue exactly those and start a fresh
+                # pool; their seeded streams make the re-run identical to
+                # what the dead worker would have produced.
+                done = {r[0] for r in results}
+                pending = [job for job in pending if job.index not in done]
+                if restarts >= self.max_pool_restarts:
+                    return results + self._fallback(pending, stats, exc)
+                restarts += 1
+                stats.pool_restarts += 1
+                if self._tracer is not None:
+                    self._tracer.event(
+                        "pool-restart", restart=restarts, requeued=len(pending)
+                    )
+                if self._metrics is not None:
+                    self._metrics.counter("runner.pool_restarts").inc()
         return results
+
+    def _pool_round(
+        self,
+        pool: "concurrent.futures.ProcessPoolExecutor",
+        jobs: Sequence[Job],
+        stats: RunStats,
+        results: List[JobResult],
+    ) -> None:
+        """Run ``jobs`` on ``pool``, appending to ``results`` as they
+        finish (so a :class:`BrokenProcessPool` abort keeps everything
+        completed before the crash)."""
+        stats.workers = getattr(pool, "_max_workers", self.max_workers or 1)
+        mode = self._obs_mode()
+        pending: List[Job] = list(jobs)
+        abandoned = 0
+        with pool:
+            in_flight: "List[Tuple[concurrent.futures.Future, Job]]" = []
+            cursor = 0
+            while cursor < len(pending) or in_flight:
+                # A timed-out job cannot be killed (pools cannot
+                # interrupt a running task), so its worker stays busy
+                # until the job finishes on its own: shrink the
+                # dispatch window as if the pool had lost that worker.
+                window = self.chunk_size * max(stats.workers - abandoned, 1)
+                while cursor < len(pending) and len(in_flight) < window:
+                    job = pending[cursor]
+                    cursor += 1
+                    self._emit(JobEvent(JobEventKind.STARTED, job.index,
+                                        job.display_name(), job.fingerprint))
+                    in_flight.append(
+                        (pool.submit(_execute_job, job, mode), job)
+                    )
+                future, job = in_flight.pop(0)
+                wait_started = time.perf_counter()
+                try:
+                    results.append(future.result(timeout=self.timeout_seconds))
+                except concurrent.futures.TimeoutError:
+                    waited = time.perf_counter() - wait_started
+                    future.cancel()
+                    abandoned += 1
+                    stats.timeouts += 1
+                    results.append((
+                        job.index, False,
+                        f"TimeoutError: job exceeded "
+                        f"{self.timeout_seconds:.1f}s "
+                        f"(waited {waited:.1f}s; worker abandoned)",
+                        "", waited, None,
+                    ))
 
     def _fallback(
         self, jobs: Sequence[Job], stats: RunStats, cause: BaseException
@@ -422,15 +550,21 @@ def make_executor(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressListener] = None,
     timeout_seconds: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
 ) -> BaseExecutor:
     """The conventional ``--jobs N`` mapping: 1 → serial, N → pool of N."""
     if jobs < 1:
         raise RunnerError("jobs must be >= 1")
     if jobs == 1:
-        return SerialExecutor(cache=cache, progress=progress)
+        return SerialExecutor(
+            cache=cache, progress=progress, retry=retry, checkpoint=checkpoint
+        )
     return ParallelExecutor(
         max_workers=jobs,
         cache=cache,
         progress=progress,
         timeout_seconds=timeout_seconds,
+        retry=retry,
+        checkpoint=checkpoint,
     )

@@ -31,6 +31,7 @@ class JobEventKind(str, Enum):
     FINISHED = "finished"
     FAILED = "failed"
     CACHE_HIT = "cache-hit"
+    RETRIED = "retried"
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,16 @@ class RunStats:
         workers: Worker count the executor settled on (1 = serial).
         fell_back_to_serial: True when a parallel run degraded to serial
             (pool could not start, e.g. in a sandbox).
+        retries: Re-dispatches of transiently failed jobs (see
+            :class:`~repro.runner.retry.RetryPolicy`); a job retried twice
+            counts twice.
+        pool_restarts: Times a crashed process pool was rebuilt mid-run
+            and its in-flight jobs re-queued.
+        resumed: Jobs skipped because a ``--resume`` checkpoint recorded
+            them finished (their values came from the cache; a subset of
+            ``cache_hits``).
+        cache_corrupt: Corrupt cache entries quarantined during the run
+            (each cost a recompute, never an error).
     """
 
     jobs_total: int = 0
@@ -97,6 +108,10 @@ class RunStats:
     elapsed_seconds: float = 0.0
     workers: int = 1
     fell_back_to_serial: bool = False
+    retries: int = 0
+    pool_restarts: int = 0
+    resumed: int = 0
+    cache_corrupt: int = 0
 
     @property
     def speedup(self) -> float:
@@ -117,6 +132,17 @@ class RunStats:
         ]
         if self.timeouts:
             parts.insert(4, f"{self.timeouts} timed out")
+        if self.retries:
+            parts.append(f"{self.retries} retr{'ies' if self.retries != 1 else 'y'}")
+        if self.pool_restarts:
+            parts.append(
+                f"{self.pool_restarts} pool restart"
+                f"{'s' if self.pool_restarts != 1 else ''}"
+            )
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        if self.cache_corrupt:
+            parts.append(f"{self.cache_corrupt} corrupt cache entries quarantined")
         if self.workers > 1:
             parts.append(f"{self.speedup:.1f}x speedup")
         if self.fell_back_to_serial:

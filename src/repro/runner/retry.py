@@ -1,0 +1,129 @@
+"""Retry policy: bounded, deterministic re-execution of transient failures.
+
+A long sweep should not lose an hour of Monte-Carlo work because one
+worker hit a transient ``OSError`` or a pool hiccup.  :class:`RetryPolicy`
+decides *whether* a failure is worth re-running (by exception type, parsed
+from the worker-side ``"TypeName: message"`` rendering — tracebacks do not
+survive pickling, the name does) and *how long* to wait before doing so
+(exponential backoff, capped, with deterministic seeded jitter).
+
+Determinism matters even here: the jitter is a pure function of
+``(seed, token, attempt)`` — no wall clock, no global RNG — so a retried
+run sleeps the same schedule every time and tests can assert exact delays.
+The policy never touches job *results*; jobs carry their own seeded
+streams, so a re-run computes bit-identical values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.errors import RunnerError
+
+#: Exception type names worth a second chance: infrastructure weather, not
+#: program logic.  A ``ValueError`` from a job is a bug and retrying it
+#: would just fail again (and hide the bug behind latency).
+DEFAULT_RETRYABLE_ERRORS: FrozenSet[str] = frozenset(
+    {
+        "TimeoutError",
+        "OSError",
+        "IOError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionAbortedError",
+        "ConnectionRefusedError",
+        "BrokenPipeError",
+        "InterruptedError",
+        "EOFError",
+        "BrokenProcessPool",
+    }
+)
+
+
+def classify_error(error_text: str) -> str:
+    """The exception type name out of a worker-rendered failure string.
+
+    Workers report failures as ``"TypeName: message"`` (see
+    :func:`repro.runner.executor._execute_job`); everything up to the
+    first ``": "`` is the type.  Text with no such prefix classifies as
+    ``""`` (never retryable).
+    """
+    head, sep, _ = error_text.partition(":")
+    if not sep:
+        return ""
+    name = head.strip()
+    # A type name is a single identifier (possibly dotted); anything with
+    # spaces is prose, not a classification.
+    if not name or any(ch.isspace() for ch in name):
+        return ""
+    return name
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how to re-run failed jobs.
+
+    Attributes:
+        max_attempts: Total execution attempts per job (1 = never retry).
+        base_delay_seconds: Backoff before the first retry.
+        backoff_factor: Multiplier per subsequent retry (>= 1).
+        max_delay_seconds: Ceiling on any single backoff.
+        jitter_fraction: How much of the delay the jitter may shave off:
+            the actual sleep is uniform in
+            ``[(1 - jitter_fraction) * delay, delay]``.  Jitter shortens,
+            never lengthens, so ``max_delay_seconds`` stays a true cap.
+        retryable_errors: Exception type names eligible for retry.
+        seed: Root of the deterministic jitter stream.
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.1
+    backoff_factor: float = 2.0
+    max_delay_seconds: float = 30.0
+    jitter_fraction: float = 0.5
+    retryable_errors: FrozenSet[str] = field(default=DEFAULT_RETRYABLE_ERRORS)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise RunnerError("max_attempts must be >= 1")
+        if self.base_delay_seconds < 0:
+            raise RunnerError("base_delay_seconds must be >= 0")
+        if self.backoff_factor < 1:
+            raise RunnerError("backoff_factor must be >= 1")
+        if self.max_delay_seconds < 0:
+            raise RunnerError("max_delay_seconds must be >= 0")
+        if not 0 <= self.jitter_fraction <= 1:
+            raise RunnerError("jitter_fraction must be in [0, 1]")
+        object.__setattr__(
+            self, "retryable_errors", frozenset(self.retryable_errors)
+        )
+
+    def is_retryable(self, error_text: str) -> bool:
+        """Whether a worker-rendered failure is worth re-running."""
+        return classify_error(error_text) in self.retryable_errors
+
+    def _unit(self, token: str, attempt: int) -> float:
+        """Deterministic uniform in ``[0, 1)`` from (seed, token, attempt)."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{token}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def delay_for(self, attempt: int, token: str = "") -> float:
+        """Seconds to back off before retry number ``attempt`` (1-based).
+
+        ``token`` (conventionally the job fingerprint) decorrelates jitter
+        across jobs so a burst of simultaneous transient failures does not
+        retry in lockstep.
+        """
+        if attempt < 1:
+            raise RunnerError("attempt must be >= 1")
+        raw = min(
+            self.base_delay_seconds * self.backoff_factor ** (attempt - 1),
+            self.max_delay_seconds,
+        )
+        scale = 1.0 - self.jitter_fraction * self._unit(token, attempt)
+        return raw * scale

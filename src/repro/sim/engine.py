@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
-from repro.obs import current_tracer
+from repro.obs import current_metrics, current_tracer
 
 Handler = Callable[["SimulationEngine"], None]
 
@@ -53,8 +53,10 @@ class SimulationEngine:
         self._now = 0.0
         self._running = False
         self.events_processed = 0
+        self.faults_fired = 0
         # Ambient observability, captured at construction (None = off).
         self._tracer = current_tracer()
+        self._metrics = current_metrics()
 
     @property
     def now(self) -> float:
@@ -83,6 +85,36 @@ class SimulationEngine:
         )
         heapq.heappush(self._heap, event)
         return event
+
+    def inject_fault(
+        self,
+        time_seconds: float,
+        handler: Handler,
+        label: str = "fault",
+        relative: bool = False,
+    ) -> Event:
+        """Schedule a fault activation as an ordinary event.
+
+        Event-driven studies arm injected failures (an engine trip, a
+        breaker opening) with this instead of :meth:`schedule` so the
+        activation is observable: when the event fires, a traced run
+        records a ``fault`` span event and bumps the ``faults.engine``
+        counter, and :attr:`faults_fired` counts it either way.  The
+        closed-form outage simulator has its own equivalent hooks (see
+        :mod:`repro.faults`); this one serves engine-based models.
+        """
+
+        def fire(engine: "SimulationEngine") -> None:
+            engine.faults_fired += 1
+            if self._tracer is not None:
+                self._tracer.event("fault", t=engine.now, kind=label)
+            if self._metrics is not None:
+                self._metrics.counter("faults.engine").inc()
+            handler(engine)
+
+        return self.schedule(
+            time_seconds, fire, label=f"fault:{label}", relative=relative
+        )
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if drained."""

@@ -37,6 +37,7 @@ from typing import List, Optional
 
 from repro.checks.guard import InvariantGuard
 from repro.errors import SimulationError
+from repro.faults import FaultDraw
 from repro.obs import MetricsRegistry, Tracer, current_metrics, current_tracer
 from repro.power.generator import DieselGenerator
 from repro.power.ups import UPSUnit
@@ -126,6 +127,7 @@ class OutageSimulator:
         lost_work_seconds: Optional[float] = None,
         initial_state_of_charge: float = 1.0,
         dg_starts: bool = True,
+        faults: Optional[FaultDraw] = None,
     ) -> OutageOutcome:
         """Simulate one outage of ``outage_seconds`` under ``plan``.
 
@@ -141,6 +143,11 @@ class OutageSimulator:
             dg_starts: Whether the DG engine starts this time.  Single-
                 outage studies leave it True; Monte-Carlo availability runs
                 sample it against the spec's ``start_reliability``.
+            faults: Optional :class:`~repro.faults.FaultDraw` of injected
+                backup failures this outage (DG fail-to-start or mid-run
+                trip, battery capacity fade, ATS transfer failure/delay,
+                PSU hold-up loss).  ``None`` (the default) is the
+                fault-free path and costs nothing.
         """
         if outage_seconds <= 0:
             raise SimulationError("outage duration must be positive")
@@ -154,6 +161,7 @@ class OutageSimulator:
                 dg_starts=dg_starts,
                 guard=self.guard,
                 metrics=self.metrics,
+                faults=faults,
             )
             return run.execute()
         with self.tracer.span(
@@ -173,6 +181,7 @@ class OutageSimulator:
                 guard=self.guard,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                faults=faults,
             )
             outcome = run.execute()
             span.set("crashed", outcome.crashed)
@@ -191,6 +200,7 @@ def simulate_outage(
     guard: Optional[InvariantGuard] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultDraw] = None,
 ) -> OutageOutcome:
     """Functional convenience wrapper over :class:`OutageSimulator`."""
     return OutageSimulator(datacenter, guard=guard, tracer=tracer, metrics=metrics).run(
@@ -199,6 +209,7 @@ def simulate_outage(
         lost_work_seconds,
         initial_state_of_charge=initial_state_of_charge,
         dg_starts=dg_starts,
+        faults=faults,
     )
 
 
@@ -327,6 +338,7 @@ class _OutageRun:
         guard: Optional[InvariantGuard] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultDraw] = None,
     ):
         from repro.power.placement import UPSPlacement
 
@@ -338,32 +350,67 @@ class _OutageRun:
         self.guard = guard
         self.tracer = tracer
         self.metrics = metrics
+        self.faults = faults
         self._phase_span = None
         self._last_source: Optional[SourceKind] = None
         if guard is not None:
             guard.check_soc(initial_state_of_charge, "initial state of charge")
 
-        if not datacenter.ups.is_provisioned:
+        # Apply the outage's fault draw to the component specs before any
+        # state is built: a faded battery is a different pack for the whole
+        # run, not an event mid-way.  The fault-free path (faults None or
+        # null) touches nothing.
+        ups_spec = datacenter.ups
+        run_limit: Optional[float] = None
+        dg_starts_eff = dg_starts
+        ats_ok = True
+        extra_delay = 0.0
+        self._psu_ok = True
+        if faults is not None and not faults.is_null:
+            if faults.battery_capacity_factor < 1.0:
+                ups_spec = ups_spec.derated(faults.battery_capacity_factor)
+                self._record_fault(
+                    "battery_fade", factor=faults.battery_capacity_factor
+                )
+            run_limit = faults.dg_run_limit_seconds
+            if not faults.dg_starts:
+                dg_starts_eff = False
+                self._record_fault("dg_start", t=0.0)
+            if not faults.ats_transfer_ok:
+                ats_ok = False
+                self._record_fault("ats_transfer", t=0.0)
+            if faults.ats_extra_delay_seconds > 0:
+                extra_delay = faults.ats_extra_delay_seconds
+                self._record_fault("ats_delay", extra_seconds=extra_delay)
+            if not faults.psu_holdup_ok:
+                self._psu_ok = False
+                self._record_fault("psu_holdup", t=0.0)
+
+        if not ups_spec.is_provisioned:
             self.ups = None
-        elif datacenter.ups.placement is UPSPlacement.SERVER:
+        elif ups_spec.placement is UPSPlacement.SERVER:
             self.ups = _ServerBackupStore(
-                datacenter.ups,
+                ups_spec,
                 datacenter.cluster.num_servers,
                 initial_state_of_charge,
                 guard=guard,
             )
         else:
             self.ups = _PooledBackupStore(
-                datacenter.ups,
+                ups_spec,
                 datacenter.cluster.num_servers,
                 initial_state_of_charge,
                 guard=guard,
             )
         self._initial_soc = initial_state_of_charge
-        self.dg = DieselGenerator(datacenter.generator)
-        dg_usable = datacenter.generator.is_provisioned and dg_starts
+        self.dg = DieselGenerator(datacenter.generator, run_limit_seconds=run_limit)
+        # A failed ATS transfer strands the plant behind an open switch: the
+        # engine may well start, the load never reaches it.
+        dg_usable = datacenter.generator.is_provisioned and dg_starts_eff and ats_ok
         self.t_dg = (
-            datacenter.generator.transfer_complete_seconds if dg_usable else math.inf
+            datacenter.generator.transfer_complete_seconds + extra_delay
+            if dg_usable
+            else math.inf
         )
         self._dg_usable = dg_usable
         self.normal_power = datacenter.normal_power_watts
@@ -380,6 +427,15 @@ class _OutageRun:
         self.downtime_after = 0.0
 
     # -- observability ----------------------------------------------------------
+
+    def _record_fault(self, kind: str, **attrs) -> None:
+        """Make an injected-fault activation observable: a ``fault`` span
+        event and a ``faults.<kind>`` counter bump (both no-ops when the
+        respective sink is off)."""
+        if self.tracer is not None:
+            self.tracer.event("fault", kind=kind, **attrs)
+        if self.metrics is not None:
+            self.metrics.counter(f"faults.{kind}").inc()
 
     def _open_phase_span(self) -> None:
         """One span per technique-phase occupancy (manual begin/end because
@@ -487,9 +543,10 @@ class _OutageRun:
         # Section 3's seamlessness condition: the PSU hold-up must bridge
         # the offline UPS's switch-in gap, or the servers drop at the very
         # first instant despite the battery behind them.  (Default specs
-        # are seamless — 30 ms hold-up vs 10 ms detection.)
+        # are seamless — 30 ms hold-up vs 10 ms detection; an injected PSU
+        # hold-up loss voids the bridge the same way.)
         if (
-            not self.dc.switchover_is_seamless
+            not (self.dc.switchover_is_seamless and self._psu_ok)
             and self.phases[0].power_watts > 0
         ):
             self._crash(0.0)
@@ -599,7 +656,17 @@ class _OutageRun:
                 self._close_phase_span()
                 self._open_phase_span()
             return False
-        # Otherwise the battery (or DG fuel) ran dry mid-phase.
+        # Otherwise the battery (or DG fuel / run budget) ran dry mid-phase.
+        if source is SourceKind.DG and self.dg.tripped:
+            # The injected run limit expired under load: the engine dies.
+            # Strike the DG from the rest of the run and re-evaluate the
+            # source — a still-charged UPS catches the load (that is what
+            # an offline UPS is for); nobody left means a crash next turn.
+            self._record_fault("dg_trip", t=self.t)
+            self._dg_usable = False
+            self.dg_full = False
+            self.t_dg = math.inf
+            return False
         if phase.state_safe:
             # State is parked safely; just wait out the outage at 0 W.
             if self.tracer is not None:
@@ -620,8 +687,21 @@ class _OutageRun:
         self.crash_time = when
         # Remote serving (geo-failover) survives the local fleet's death.
         crash_perf = self.phases[self.idx].crash_performance
-        power_return = min(self.T, self.t_dg) if self.dg_full else self.T
+        dg_recovers = self.dg_full and not self.dg.tripped
+        power_return = min(self.T, self.t_dg) if dg_recovers else self.T
         power_return = max(power_return, when)
+        if dg_recovers and power_return < self.T and self.dg.run_limited:
+            # A run-limited engine only counts as a mid-outage recovery
+            # source if its remaining budget carries the fleet all the way
+            # to utility restore; otherwise it would die mid-reboot, so we
+            # conservatively book recovery from utility return instead.
+            needed = self.T - power_return
+            if self.dg.remaining_runtime_at(self.normal_power) < needed - _EPS:
+                self._record_fault("dg_trip", t=power_return)
+                self._dg_usable = False
+                self.dg_full = False
+                self.t_dg = math.inf
+                power_return = self.T
         recovery = self.dc.workload.crash_downtime_after_restore_seconds(
             self.dc.cluster.spec, lost_work_seconds=self.lost_work_seconds
         )
@@ -670,36 +750,82 @@ class _OutageRun:
         start = max(self.t, self.t_dg)
 
         # Finish the committed work, then walk the resume path, on DG power.
+        # Each segment carries first and records what was actually
+        # sustained: a run-limited engine (injected fail-while-running) can
+        # die under any of them, at which point _dg_died books the abrupt
+        # loss.  An unlimited engine always sustains in full — the default
+        # 24 h fuel reserve never runs dry for the paper's outages — so the
+        # fault-free trace is unchanged.
         commit_end = start + committed_remaining
         resume_end = commit_end + resume
         if committed_remaining > 0:
             seg_end = min(commit_end, self.T)
             if seg_end > start:
-                self.trace.record(
-                    start, seg_end, phase.power_watts, phase.performance,
-                    SourceKind.DG.value, f"{phase.name}-completing",
+                wanted = seg_end - start
+                sustained = self.dg.carry(
+                    min(phase.power_watts, self.normal_power), wanted
                 )
-                self.dg.carry(min(phase.power_watts, self.normal_power), seg_end - start)
+                if sustained > 0:
+                    self.trace.record(
+                        start, start + sustained, phase.power_watts,
+                        phase.performance, SourceKind.DG.value,
+                        f"{phase.name}-completing",
+                    )
+                if sustained < wanted - _EPS:
+                    return self._dg_died(start + sustained)
         if resume > 0:
             seg_start = min(commit_end, self.T)
             seg_end = min(resume_end, self.T)
             if seg_end > seg_start:
-                self.trace.record(
-                    seg_start, seg_end, self.normal_power, 0.0,
-                    SourceKind.DG.value, "resuming",
-                )
-                self.dg.carry(self.normal_power, seg_end - seg_start)
+                wanted = seg_end - seg_start
+                sustained = self.dg.carry(self.normal_power, wanted)
+                if sustained > 0:
+                    self.trace.record(
+                        seg_start, seg_start + sustained, self.normal_power,
+                        0.0, SourceKind.DG.value, "resuming",
+                    )
+                if sustained < wanted - _EPS:
+                    return self._dg_died(seg_start + sustained)
         if resume_end < self.T:
-            sustained = self.dg.carry(self.normal_power, self.T - resume_end)
-            self.trace.record(
-                resume_end, resume_end + sustained, self.normal_power, 1.0,
-                SourceKind.DG.value, "full-service-on-dg",
-            )
-            # (A fuel-starved DG would strand the tail; with the default
-            # 24 h reserve this never triggers for the paper's outages.)
+            wanted = self.T - resume_end
+            sustained = self.dg.carry(self.normal_power, wanted)
+            if sustained > 0:
+                self.trace.record(
+                    resume_end, resume_end + sustained, self.normal_power, 1.0,
+                    SourceKind.DG.value, "full-service-on-dg",
+                )
+            if sustained < wanted - _EPS:
+                return self._dg_died(resume_end + sustained)
         # Down time inside the outage window is read off the trace; only the
         # overflow past utility restore is booked separately.
         self.downtime_after = max(0.0, resume_end - self.T)
+        self.t = self.T
+
+    def _dg_died(self, when: float) -> None:
+        """The engine dies while carrying the restored fleet (injected
+        fail-while-running): abrupt power loss with the plan already
+        retired, so the servers crash and recovery waits for utility."""
+        self._record_fault("dg_trip", t=float(when))
+        if self.tracer is not None:
+            self.tracer.event("crash", t=float(when), phase="dg-carried")
+        self._dg_usable = False
+        self.dg_full = False
+        self.t_dg = math.inf
+        self.restored_by_dg = False
+        self.crashed = True
+        self.crash_time = when
+        # Remote serving (geo-failover) survives the local fleet's death,
+        # exactly as in _crash.
+        crash_perf = self.phases[self.idx].crash_performance
+        if crash_perf > 0 and self.T > when:
+            self.trace.record(
+                when, self.T, 0.0, crash_perf,
+                SourceKind.NONE.value, "degraded-after-local-loss",
+            )
+        recovery = self.dc.workload.crash_downtime_after_restore_seconds(
+            self.dc.cluster.spec, lost_work_seconds=self.lost_work_seconds
+        )
+        self.downtime_after = recovery * (1.0 - crash_perf)
         self.t = self.T
 
     def _utility_restore(self) -> None:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.checks.guard import InvariantGuard
 from repro.errors import SimulationError
+from repro.faults import FaultInjector
 from repro.obs import current_metrics, current_tracer
 from repro.outages.events import OutageEvent, OutageSchedule
 from repro.power.ups import DEFAULT_RECHARGE_SECONDS
@@ -76,6 +77,11 @@ class YearlyRunner:
         guard: An explicit guard instance (implies strict checking);
             supply one with ``collect=True`` to gather violations instead
             of raising on the first.
+        injector: Optional :class:`~repro.faults.FaultInjector` drawing one
+            set of injected backup faults per outage event.  The injector
+            consumes a fixed variate budget per draw regardless of what
+            activates, so results stay deterministic for a given seed; None
+            (the default) is the fault-free path.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class YearlyRunner:
         rng: Optional[np.random.Generator] = None,
         strict: bool = False,
         guard: Optional[InvariantGuard] = None,
+        injector: Optional[FaultInjector] = None,
     ):
         if recharge_seconds <= 0:
             raise SimulationError("recharge_seconds must be positive")
@@ -96,6 +103,7 @@ class YearlyRunner:
         self.guard = guard if guard is not None else (
             InvariantGuard() if strict else None
         )
+        self.injector = injector
         # Ambient observability, captured at construction (None = off).
         self._tracer = current_tracer()
         self._metrics = current_metrics()
@@ -158,6 +166,7 @@ class YearlyRunner:
                     )
                 if self._metrics is not None:
                     self._metrics.counter("sim.dg_start_failures").inc()
+            draw = self.injector.draw() if self.injector is not None else None
             outcome = simulate_outage(
                 self.datacenter,
                 self.plan,
@@ -165,6 +174,7 @@ class YearlyRunner:
                 initial_state_of_charge=soc,
                 dg_starts=dg_starts,
                 guard=self.guard,
+                faults=draw,
             )
             outcomes.append(outcome)
             if self.guard is not None:

@@ -1,0 +1,100 @@
+"""FaultPlan: spec parsing, aliases, validation, null semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultInjectionError, ReproError
+from repro.faults import MAX_BATTERY_FADE, FaultPlan
+
+
+class TestConstruction:
+    def test_default_is_null(self):
+        plan = FaultPlan()
+        assert plan.is_null
+        assert math.isinf(plan.dg_mtbf_seconds)
+
+    def test_any_field_breaks_null(self):
+        assert not FaultPlan(dg_fail_to_start=0.1).is_null
+        assert not FaultPlan(dg_mtbf_hours=100).is_null
+        assert not FaultPlan(battery_fade=0.2).is_null
+        assert not FaultPlan(battery_fade_std=0.05).is_null
+        assert not FaultPlan(ats_fail=0.01).is_null
+        assert not FaultPlan(ats_delay_max_seconds=30).is_null
+        assert not FaultPlan(psu_fail=0.001).is_null
+
+    def test_mtbf_converts_to_seconds(self):
+        assert FaultPlan(dg_mtbf_hours=2).dg_mtbf_seconds == 7200.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dg_fail_to_start": -0.1},
+            {"dg_fail_to_start": 1.5},
+            {"ats_fail": 2.0},
+            {"psu_fail": -1.0},
+            {"dg_mtbf_hours": 0.0},
+            {"dg_mtbf_hours": -5.0},
+            {"battery_fade": -0.1},
+            {"battery_fade": MAX_BATTERY_FADE + 0.01},
+            {"battery_fade_std": -0.1},
+            {"ats_delay_max_seconds": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(**kwargs)
+
+    def test_fault_error_is_a_repro_error(self):
+        # The CLI maps ReproError to exit code 2; a bad --faults spec
+        # must land there, not escape as a raw traceback.
+        assert issubclass(FaultInjectionError, ReproError)
+        assert issubclass(FaultInjectionError, ValueError)
+
+
+class TestParse:
+    def test_full_spec_with_aliases(self):
+        plan = FaultPlan.parse(
+            "dg_start=0.05,dg_mtbf_h=4,batt_fade=0.2,batt_fade_std=0.05,"
+            "ats_fail=0.01,ats_delay=30,psu=0.001"
+        )
+        assert plan.dg_fail_to_start == 0.05
+        assert plan.dg_mtbf_hours == 4.0
+        assert plan.battery_fade == 0.2
+        assert plan.battery_fade_std == 0.05
+        assert plan.ats_fail == 0.01
+        assert plan.ats_delay_max_seconds == 30.0
+        assert plan.psu_fail == 0.001
+
+    def test_canonical_field_names_accepted(self):
+        plan = FaultPlan.parse("dg_fail_to_start=0.1,ats_delay_max_seconds=5")
+        assert plan.dg_fail_to_start == 0.1
+        assert plan.ats_delay_max_seconds == 5.0
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        plan = FaultPlan.parse(" dg_start = 0.1 , , batt_fade = 0.2 ,")
+        assert plan.dg_fail_to_start == 0.1
+        assert plan.battery_fade == 0.2
+
+    def test_empty_spec_is_null(self):
+        assert FaultPlan.parse("").is_null
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault spec key"):
+            FaultPlan.parse("dg_strat=0.1")
+
+    def test_duplicate_key_rejected_across_aliases(self):
+        with pytest.raises(FaultInjectionError, match="duplicate"):
+            FaultPlan.parse("dg_start=0.1,dg_fail_to_start=0.2")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(FaultInjectionError, match="key=value"):
+            FaultPlan.parse("dg_start")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(FaultInjectionError, match="must be a number"):
+            FaultPlan.parse("dg_start=often")
+
+    def test_parsed_values_still_validated(self):
+        with pytest.raises(FaultInjectionError, match="probability"):
+            FaultPlan.parse("dg_start=1.5")

@@ -1,0 +1,217 @@
+"""Fault draws threaded through the outage simulator: each mode's
+semantics, the fault-free no-perturbation guarantee, and serial/parallel
+equivalence of fault-injected availability."""
+
+import pytest
+
+from repro.analysis.availability import AvailabilityAnalyzer
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter, plan_power_budget_watts
+from repro.faults import FaultDraw, FaultPlan
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique
+from repro.units import minutes
+from repro.workloads.specjbb import specjbb
+
+
+def build(config_name, num_servers=16):
+    return make_datacenter(specjbb(), get_configuration(config_name), num_servers)
+
+
+def plan_for(datacenter, technique_name="full-service"):
+    technique = get_technique(technique_name)
+    context = TechniqueContext(
+        cluster=datacenter.cluster,
+        workload=datacenter.workload,
+        power_budget_watts=plan_power_budget_watts(datacenter),
+    )
+    return technique.plan(context)
+
+
+class TestNoPerturbation:
+    def test_none_and_healthy_draw_identical(self):
+        dc = build("MaxPerf")
+        plan = plan_for(dc)
+        base = simulate_outage(dc, plan, minutes(30))
+        healthy = simulate_outage(dc, plan, minutes(30), faults=FaultDraw.healthy())
+        assert healthy == base
+
+    def test_fault_free_availability_ignores_null_plan(self):
+        analyzer = AvailabilityAnalyzer(specjbb(), seed=7)
+        config = get_configuration("LargeEUPS")
+        technique = get_technique("sleep-l")
+        base = analyzer.analyze(config, technique, years=4)
+        nulled = analyzer.analyze(config, technique, years=4, faults=FaultPlan())
+        assert nulled == base
+
+
+class TestDGStartFault:
+    def test_failed_start_strands_the_outage_on_ups(self):
+        # MaxPerf rides a 30-minute outage seamlessly on its DG; with the
+        # engine refusing to start, the UPS alone cannot bridge it.
+        dc = build("MaxPerf")
+        plan = plan_for(dc)
+        healthy = simulate_outage(dc, plan, minutes(30))
+        faulted = simulate_outage(
+            dc, plan, minutes(30), faults=FaultDraw(dg_starts=False)
+        )
+        assert healthy.downtime_seconds == 0.0
+        assert not healthy.crashed
+        assert faulted.downtime_seconds > 0.0
+        assert not faulted.restored_by_dg
+
+    def test_ats_transfer_failure_is_equivalent_to_no_dg(self):
+        dc = build("MaxPerf")
+        plan = plan_for(dc)
+        no_start = simulate_outage(
+            dc, plan, minutes(30), faults=FaultDraw(dg_starts=False)
+        )
+        no_transfer = simulate_outage(
+            dc, plan, minutes(30), faults=FaultDraw(ats_transfer_ok=False)
+        )
+        # Different failure modes, identical physics: the load never
+        # reaches the engine either way.
+        assert no_transfer.downtime_seconds == no_start.downtime_seconds
+        assert no_transfer.crashed == no_start.crashed
+
+
+class TestDGRunLimitFault:
+    def test_generous_budget_changes_nothing(self):
+        dc = build("MaxPerf")
+        plan = plan_for(dc)
+        base = simulate_outage(dc, plan, minutes(30))
+        roomy = simulate_outage(
+            dc,
+            plan,
+            minutes(30),
+            faults=FaultDraw(dg_run_limit_seconds=minutes(24 * 60)),
+        )
+        assert roomy == base
+
+    def test_trip_mid_outage_crashes_the_cluster(self):
+        dc = build("MaxPerf")
+        plan = plan_for(dc)
+        tripped = simulate_outage(
+            dc,
+            plan,
+            minutes(30),
+            faults=FaultDraw(dg_run_limit_seconds=minutes(5)),
+        )
+        assert tripped.crashed
+        assert tripped.downtime_seconds > 0.0
+        assert not tripped.restored_by_dg
+
+    def test_tighter_budget_never_helps(self):
+        dc = build("MaxPerf")
+        plan = plan_for(dc)
+        downtimes = [
+            simulate_outage(
+                dc, plan, minutes(30), faults=FaultDraw(dg_run_limit_seconds=limit)
+            ).downtime_seconds
+            for limit in (minutes(40), minutes(20), minutes(10), minutes(2))
+        ]
+        assert downtimes == sorted(downtimes)
+
+
+class TestBatteryFadeFault:
+    def test_faded_string_shortens_the_bridge(self):
+        # NoDG full-service survives a short outage on a healthy string;
+        # shave enough capacity and the same outage overruns the pack.
+        dc = build("NoDG")
+        plan = plan_for(dc)
+        healthy = simulate_outage(dc, plan, minutes(4))
+        faded = simulate_outage(
+            dc, plan, minutes(4), faults=FaultDraw(battery_capacity_factor=0.1)
+        )
+        assert healthy.downtime_seconds <= faded.downtime_seconds
+        assert faded.crashed or faded.downtime_seconds > 0.0
+
+    def test_fade_monotone_in_capacity(self):
+        dc = build("NoDG")
+        plan = plan_for(dc)
+        downtimes = [
+            simulate_outage(
+                dc,
+                plan,
+                minutes(8),
+                faults=FaultDraw(battery_capacity_factor=factor),
+            ).downtime_seconds
+            for factor in (1.0, 0.7, 0.4, 0.1)
+        ]
+        assert downtimes == sorted(downtimes)
+
+
+class TestATSDelayFault:
+    def test_extra_delay_stretches_the_gap(self):
+        # NoUPS has nothing to bridge the transfer gap; a long extra
+        # transfer delay must cost at least as much as a healthy handover.
+        dc = build("NoUPS")
+        plan = plan_for(dc)
+        healthy = simulate_outage(dc, plan, minutes(30))
+        delayed = simulate_outage(
+            dc,
+            plan,
+            minutes(30),
+            faults=FaultDraw(ats_extra_delay_seconds=minutes(20)),
+        )
+        assert delayed.downtime_seconds >= healthy.downtime_seconds
+        assert delayed.downtime_seconds > 0.0
+
+
+class TestPSUHoldupFault:
+    def test_lost_holdup_crashes_a_seamless_config_at_zero(self):
+        dc = build("MaxPerf")
+        plan = plan_for(dc)
+        healthy = simulate_outage(dc, plan, minutes(30))
+        dropped = simulate_outage(
+            dc, plan, minutes(30), faults=FaultDraw(psu_holdup_ok=False)
+        )
+        assert not healthy.crashed
+        assert dropped.crashed
+        assert dropped.crash_time_seconds == 0.0
+
+
+class TestAvailabilityUnderFaults:
+    PLAN = FaultPlan(
+        dg_fail_to_start=0.3, dg_mtbf_hours=2.0, battery_fade=0.2
+    )
+
+    def test_fault_injection_changes_the_statistics(self):
+        # MaxPerf rides outages on its full-size DG, so start failures
+        # and trips land directly in the downtime statistics.
+        analyzer = AvailabilityAnalyzer(specjbb(), seed=7)
+        config = get_configuration("MaxPerf")
+        technique = get_technique("full-service")
+        base = analyzer.analyze(config, technique, years=6)
+        faulted = analyzer.analyze(config, technique, years=6, faults=self.PLAN)
+        assert (
+            faulted.mean_downtime_minutes_per_year
+            > base.mean_downtime_minutes_per_year
+        )
+
+    def test_fault_injected_study_is_deterministic(self):
+        config = get_configuration("MaxPerf")
+        technique = get_technique("full-service")
+        a = AvailabilityAnalyzer(specjbb(), seed=7).analyze(
+            config, technique, years=6, faults=self.PLAN
+        )
+        b = AvailabilityAnalyzer(specjbb(), seed=7).analyze(
+            config, technique, years=6, faults=self.PLAN
+        )
+        assert a == b
+
+    def test_serial_equals_parallel_under_faults(self):
+        from repro.runner import make_executor
+
+        config = get_configuration("MaxPerf")
+        technique = get_technique("full-service")
+        serial = AvailabilityAnalyzer(specjbb(), seed=7).analyze(
+            config, technique, years=6, faults=self.PLAN,
+            executor=make_executor(jobs=1),
+        )
+        parallel = AvailabilityAnalyzer(specjbb(), seed=7).analyze(
+            config, technique, years=6, faults=self.PLAN,
+            executor=make_executor(jobs=3),
+        )
+        assert serial == parallel

@@ -1,0 +1,93 @@
+"""Property-based tests for RetryPolicy backoff bounds and error
+classification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.retry import DEFAULT_RETRYABLE_ERRORS, RetryPolicy, classify_error
+
+bases = st.floats(min_value=0.0, max_value=60.0)
+factors = st.floats(min_value=1.0, max_value=10.0)
+caps = st.floats(min_value=0.0, max_value=120.0)
+jitters = st.floats(min_value=0.0, max_value=1.0)
+attempts = st.integers(min_value=1, max_value=30)
+seeds = st.integers(min_value=0, max_value=2**31)
+tokens = st.text(max_size=40)
+
+
+class TestDelayBounds:
+    @given(base=bases, factor=factors, cap=caps, jitter=jitters,
+           attempt=attempts, seed=seeds, token=tokens)
+    @settings(max_examples=200)
+    def test_delay_within_jittered_envelope(
+        self, base, factor, cap, jitter, attempt, seed, token
+    ):
+        """(1 - jitter) * min(base * factor**(a-1), cap) <= delay <= that min."""
+        policy = RetryPolicy(
+            base_delay_seconds=base,
+            backoff_factor=factor,
+            max_delay_seconds=cap,
+            jitter_fraction=jitter,
+            seed=seed,
+        )
+        raw = min(base * factor ** (attempt - 1), cap)
+        delay = policy.delay_for(attempt, token=token)
+        assert delay <= raw + 1e-12
+        assert delay >= (1.0 - jitter) * raw - 1e-12
+        assert delay >= 0.0
+
+    @given(base=bases, factor=factors, cap=caps, attempt=attempts)
+    @settings(max_examples=100)
+    def test_no_jitter_is_exact_backoff(self, base, factor, cap, attempt):
+        policy = RetryPolicy(
+            base_delay_seconds=base,
+            backoff_factor=factor,
+            max_delay_seconds=cap,
+            jitter_fraction=0.0,
+        )
+        assert policy.delay_for(attempt) == min(base * factor ** (attempt - 1), cap)
+
+    @given(attempt=attempts, seed=seeds, token=tokens)
+    @settings(max_examples=100)
+    def test_delay_is_a_pure_function(self, attempt, seed, token):
+        a = RetryPolicy(seed=seed)
+        b = RetryPolicy(seed=seed)
+        assert a.delay_for(attempt, token=token) == b.delay_for(attempt, token=token)
+
+    @given(base=st.floats(min_value=0.01, max_value=10.0), factor=factors,
+           attempt=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100)
+    def test_uncapped_unjittered_backoff_is_monotone(self, base, factor, attempt):
+        policy = RetryPolicy(
+            base_delay_seconds=base,
+            backoff_factor=factor,
+            max_delay_seconds=float("inf"),
+            jitter_fraction=0.0,
+        )
+        assert policy.delay_for(attempt + 1) >= policy.delay_for(attempt)
+
+
+class TestClassification:
+    @given(name=st.from_regex(r"[A-Za-z_][A-Za-z0-9_.]{0,30}", fullmatch=True),
+           message=st.text(max_size=60))
+    @settings(max_examples=150)
+    def test_well_formed_failures_classify_to_their_type(self, name, message):
+        assert classify_error(f"{name}: {message}") == name
+
+    @given(text=st.text(max_size=80))
+    @settings(max_examples=150)
+    def test_classification_never_raises_and_is_spaceless(self, text):
+        name = classify_error(text)
+        assert isinstance(name, str)
+        assert not any(ch.isspace() for ch in name)
+
+    @given(name=st.sampled_from(sorted(DEFAULT_RETRYABLE_ERRORS)),
+           message=st.text(max_size=40))
+    @settings(max_examples=60)
+    def test_default_retryables_are_retryable(self, name, message):
+        assert RetryPolicy().is_retryable(f"{name}: {message}")
+
+    @given(text=st.text(max_size=80).filter(lambda t: ":" not in t))
+    @settings(max_examples=100)
+    def test_prose_without_colon_is_never_retryable(self, text):
+        assert not RetryPolicy().is_retryable(text)

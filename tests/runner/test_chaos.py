@@ -1,0 +1,54 @@
+"""The chaos harness end to end: disrupted and resumed runs must both
+reproduce the undisturbed baseline bit-for-bit."""
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.errors import RunnerError
+from repro.faults import FaultPlan
+from repro.runner.chaos import run_chaos
+from repro.techniques.registry import get_technique
+from repro.workloads.registry import get_workload
+
+
+def _run(tmp_path, **kwargs):
+    defaults = dict(
+        years=4, jobs=2, kills=1, flaky=1, corrupt=1, seed=0,
+        workdir=tmp_path,
+    )
+    defaults.update(kwargs)
+    return run_chaos(
+        get_workload("websearch"),
+        get_configuration("MaxPerf"),
+        get_technique("full-service"),
+        **defaults,
+    )
+
+
+class TestChaosCertification:
+    def test_recovery_paths_match_baseline(self, tmp_path):
+        report = _run(tmp_path)
+        assert report.chaos_matches
+        assert report.resume_matches
+        assert report.ok
+        assert report.corrupted == 1
+        assert report.resume_stats.resumed > 0
+
+    def test_with_domain_faults_on_top(self, tmp_path):
+        plan = FaultPlan(dg_fail_to_start=0.5, dg_mtbf_hours=2.0)
+        report = _run(tmp_path, faults=plan)
+        assert report.ok
+
+    def test_summary_renders(self, tmp_path):
+        report = _run(tmp_path, kills=0, flaky=0, corrupt=0)
+        text = report.summary()
+        assert "chaos == baseline:  yes" in text
+        assert "resume == baseline: yes" in text
+
+    def test_disruption_budget_validated(self, tmp_path):
+        with pytest.raises(RunnerError, match="cannot exceed"):
+            _run(tmp_path, years=2, kills=2, flaky=1)
+        with pytest.raises(RunnerError, match="positive"):
+            _run(tmp_path, years=0)
+        with pytest.raises(RunnerError, match=">= 0"):
+            _run(tmp_path, kills=-1)

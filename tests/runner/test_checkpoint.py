@@ -1,0 +1,152 @@
+"""SweepCheckpoint: the crash-safe manifest and resume-equivalence —
+a resumed sweep must be bit-identical to an uninterrupted one."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import SweepCheckpoint
+from repro.runner.executor import SerialExecutor
+from repro.runner.jobs import make_jobs
+
+
+def draw(spec, seed):
+    rng = np.random.default_rng(seed)
+    return spec["x"] + float(rng.random())
+
+
+SPECS = [{"x": x} for x in range(6)]
+
+
+class TestManifest:
+    def test_records_and_queries(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        jobs = make_jobs(draw, SPECS, base_seed=0)
+        with SweepCheckpoint(path) as ck:
+            ck.record(jobs[0])
+            ck.record(jobs[1])
+            assert ck.is_done(jobs[0])
+            assert not ck.is_done(jobs[2])
+            assert jobs[1].fingerprint in ck
+            assert len(ck) == 2
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        jobs = make_jobs(draw, SPECS, base_seed=0)
+        with SweepCheckpoint(path) as ck:
+            ck.record(jobs[0])
+            ck.record(jobs[0])
+            ck.record(jobs[0])
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_lines_are_greppable_json(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        jobs = make_jobs(draw, SPECS, base_seed=0, labels=["a", "b", "c", "d", "e", "f"])
+        with SweepCheckpoint(path) as ck:
+            ck.record(jobs[3])
+        record = json.loads(path.read_text())
+        assert record["fingerprint"] == jobs[3].fingerprint
+        assert record["index"] == 3
+        assert record["label"] == "d"
+
+    def test_resume_loads_prior_fingerprints(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        jobs = make_jobs(draw, SPECS, base_seed=0)
+        with SweepCheckpoint(path) as ck:
+            for job in jobs[:3]:
+                ck.record(job)
+        resumed = SweepCheckpoint(path, resume=True)
+        assert len(resumed) == 3
+        assert all(resumed.is_done(job) for job in jobs[:3])
+        assert not any(resumed.is_done(job) for job in jobs[3:])
+
+    def test_fresh_start_discards_existing_manifest(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        jobs = make_jobs(draw, SPECS, base_seed=0)
+        with SweepCheckpoint(path) as ck:
+            ck.record(jobs[0])
+        fresh = SweepCheckpoint(path, resume=False)
+        assert len(fresh) == 0
+        assert not path.exists()
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        jobs = make_jobs(draw, SPECS, base_seed=0)
+        with SweepCheckpoint(path) as ck:
+            ck.record(jobs[0])
+            ck.record(jobs[1])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "dead-writer-got-thi')
+        resumed = SweepCheckpoint(path, resume=True)
+        assert len(resumed) == 2
+        assert resumed.skipped_lines == 1
+
+    def test_non_string_fingerprint_skipped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text('{"fingerprint": 42, "index": 0}\n')
+        resumed = SweepCheckpoint(path, resume=True)
+        assert len(resumed) == 0
+        assert resumed.skipped_lines == 1
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(RunnerError):
+            SweepCheckpoint(tmp_path / "ck.jsonl", flush_every=0)
+
+
+class TestResumeEquivalence:
+    def test_resumed_sweep_is_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", version="t")
+        uninterrupted = SerialExecutor().run(make_jobs(draw, SPECS, base_seed=7))
+
+        # "Crash" after 4 of 6 jobs: run a prefix with cache + checkpoint.
+        with SweepCheckpoint(tmp_path / "ck.jsonl") as ck:
+            SerialExecutor(cache=cache, checkpoint=ck).run(
+                make_jobs(draw, SPECS[:4], base_seed=7)
+            )
+
+        with SweepCheckpoint(tmp_path / "ck.jsonl", resume=True) as ck:
+            resumed = SerialExecutor(cache=cache, checkpoint=ck).run(
+                make_jobs(draw, SPECS, base_seed=7)
+            )
+        assert resumed.values == uninterrupted.values
+        assert resumed.stats.resumed == 4
+        assert resumed.stats.jobs_run == 2
+
+    def test_resume_survives_a_missing_cache_entry(self, tmp_path):
+        # Checkpointed but evicted from the cache: the job silently
+        # recomputes (bit-identical by the seed contract), it is not
+        # served stale or skipped.
+        cache = ResultCache(tmp_path / "cache", version="t")
+        jobs = make_jobs(draw, SPECS, base_seed=7)
+        with SweepCheckpoint(tmp_path / "ck.jsonl") as ck:
+            SerialExecutor(cache=cache, checkpoint=ck).run(jobs)
+        evicted = cache.entry_path(jobs[2].fingerprint)
+        evicted.unlink()
+
+        uninterrupted = SerialExecutor().run(make_jobs(draw, SPECS, base_seed=7))
+        with SweepCheckpoint(tmp_path / "ck.jsonl", resume=True) as ck:
+            resumed = SerialExecutor(cache=cache, checkpoint=ck).run(
+                make_jobs(draw, SPECS, base_seed=7)
+            )
+        assert resumed.values == uninterrupted.values
+        assert resumed.stats.jobs_run == 1
+
+    def test_resume_quarantines_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", version="t")
+        jobs = make_jobs(draw, SPECS, base_seed=7)
+        with SweepCheckpoint(tmp_path / "ck.jsonl") as ck:
+            SerialExecutor(cache=cache, checkpoint=ck).run(jobs)
+        victim = cache.entry_path(jobs[1].fingerprint)
+        victim.write_bytes(b"\x00not a pickle")
+
+        uninterrupted = SerialExecutor().run(make_jobs(draw, SPECS, base_seed=7))
+        with SweepCheckpoint(tmp_path / "ck.jsonl", resume=True) as ck:
+            resumed = SerialExecutor(cache=cache, checkpoint=ck).run(
+                make_jobs(draw, SPECS, base_seed=7)
+            )
+        assert resumed.values == uninterrupted.values
+        assert resumed.stats.cache_corrupt == 1
+        assert victim.with_name(victim.name + ".corrupt").exists()

@@ -1,0 +1,76 @@
+"""Worker-crash recovery: pool restarts with re-queue, graceful serial
+degradation, and correct results throughout."""
+
+import os
+from pathlib import Path
+
+from repro.runner.executor import ParallelExecutor
+from repro.runner.jobs import make_jobs
+
+
+def kill_once(spec, seed):
+    """Hard-exits the worker process the first time, computes after.
+
+    The marker makes the kill one-shot; the pid guard keeps a serial
+    fallback (same process as the coordinator) from killing the test run.
+    """
+    marker = Path(spec["marker"])
+    if spec.get("kill") and not marker.exists() and os.getpid() != spec["pid"]:
+        marker.write_text("killed")
+        os._exit(23)
+    return spec["x"] * 2
+
+
+class TestPoolRestart:
+    def test_crash_requeues_and_recovers(self, tmp_path):
+        specs = [
+            {
+                "x": i,
+                "kill": i == 1,
+                "marker": str(tmp_path / f"kill-{i}"),
+                "pid": os.getpid(),
+            }
+            for i in range(6)
+        ]
+        executor = ParallelExecutor(max_workers=2)
+        report = executor.run(make_jobs(kill_once, specs, base_seed=0))
+        assert report.values == [i * 2 for i in range(6)]
+        assert report.ok
+        # In a sandbox without process pools the run degrades to serial
+        # (the pid guard disarms the kill); with a real pool the broken
+        # pool must have been restarted and the lost jobs re-queued.
+        if not report.stats.fell_back_to_serial:
+            assert report.stats.pool_restarts >= 1
+
+    def test_repeated_crashes_degrade_to_serial(self, tmp_path):
+        # Every job kills its worker on first execution; two pool
+        # restarts cannot absorb six kills, so the run must finish via
+        # the serial fallback (where the pid guard disarms the kills).
+        specs = [
+            {
+                "x": i,
+                "kill": True,
+                "marker": str(tmp_path / f"kill-{i}"),
+                "pid": os.getpid(),
+            }
+            for i in range(6)
+        ]
+        executor = ParallelExecutor(max_workers=2, max_pool_restarts=1)
+        report = executor.run(make_jobs(kill_once, specs, base_seed=0))
+        assert report.values == [i * 2 for i in range(6)]
+        assert report.ok
+
+    def test_restart_budget_is_configurable(self, tmp_path):
+        specs = [
+            {
+                "x": i,
+                "kill": False,
+                "marker": str(tmp_path / f"none-{i}"),
+                "pid": os.getpid(),
+            }
+            for i in range(4)
+        ]
+        executor = ParallelExecutor(max_workers=2, max_pool_restarts=0)
+        report = executor.run(make_jobs(kill_once, specs, base_seed=0))
+        assert report.values == [0, 2, 4, 6]
+        assert report.stats.pool_restarts == 0

@@ -1,0 +1,182 @@
+"""RetryPolicy: error classification, deterministic backoff, and the
+executor's retry / exhaustion behaviour."""
+
+import pytest
+
+from repro.errors import RetryExhaustedError, RunnerError
+from repro.runner.executor import ParallelExecutor, SerialExecutor
+from repro.runner.jobs import make_jobs
+from repro.runner.progress import CollectingProgress, JobEventKind
+from repro.runner.retry import (
+    DEFAULT_RETRYABLE_ERRORS,
+    RetryPolicy,
+    classify_error,
+)
+
+FAST = RetryPolicy(max_attempts=3, base_delay_seconds=0.0, seed=0)
+
+
+def flaky(spec, seed):
+    """Fails transiently until the marker file exists, then succeeds."""
+    import pathlib
+
+    marker = pathlib.Path(spec["marker"])
+    count = int(marker.read_text()) if marker.exists() else 0
+    if count < spec["failures"]:
+        marker.write_text(str(count + 1))
+        raise OSError(f"transient glitch #{count + 1}")
+    return spec["x"] * 10
+
+
+def always_type_error(spec, seed):
+    raise TypeError("not transient, do not retry")
+
+
+def always_os_error(spec, seed):
+    raise OSError("permanently flaky")
+
+
+def draw_after_glitch(spec, seed):
+    """Spends seed entropy, then fails transiently on the first call."""
+    import pathlib
+
+    import numpy as np
+
+    value = float(np.random.default_rng(seed.spawn(1)[0]).random())
+    marker = pathlib.Path(spec["marker"])
+    if not marker.exists():
+        marker.write_text("tripped")
+        raise OSError("transient")
+    return value
+
+
+class TestClassifyError:
+    def test_extracts_leading_type_name(self):
+        assert classify_error("OSError: boom") == "OSError"
+        assert classify_error("TimeoutError: 5s exceeded") == "TimeoutError"
+
+    def test_no_prefix_classifies_empty(self):
+        assert classify_error("something went wrong") == ""
+        assert classify_error("") == ""
+
+    def test_name_with_spaces_rejected(self):
+        assert classify_error("not a type: message") == ""
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(RunnerError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(RunnerError):
+            RetryPolicy(base_delay_seconds=-1.0)
+        with pytest.raises(RunnerError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(RunnerError):
+            RetryPolicy(jitter_fraction=1.5)
+
+    def test_default_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable("OSError: pipe broke")
+        assert policy.is_retryable("TimeoutError: too slow")
+        assert policy.is_retryable("BrokenProcessPool: pool died")
+        assert not policy.is_retryable("ValueError: bad input")
+        assert not policy.is_retryable("unclassifiable mess")
+
+    def test_custom_classification(self):
+        policy = RetryPolicy(retryable_errors=frozenset({"ValueError"}))
+        assert policy.is_retryable("ValueError: now transient")
+        assert not policy.is_retryable("OSError: no longer retryable")
+
+    def test_delay_grows_then_caps(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0,
+            backoff_factor=2.0,
+            max_delay_seconds=5.0,
+            jitter_fraction=0.0,
+        )
+        assert policy.delay_for(1) == 1.0
+        assert policy.delay_for(2) == 2.0
+        assert policy.delay_for(3) == 4.0
+        assert policy.delay_for(4) == 5.0
+        assert policy.delay_for(10) == 5.0
+
+    def test_jitter_is_deterministic_per_seed_and_token(self):
+        policy = RetryPolicy(jitter_fraction=0.5, seed=7)
+        assert policy.delay_for(2, token="a") == policy.delay_for(2, token="a")
+        assert policy.delay_for(2, token="a") != policy.delay_for(2, token="b")
+        other_seed = RetryPolicy(jitter_fraction=0.5, seed=8)
+        assert policy.delay_for(2, token="a") != other_seed.delay_for(2, token="a")
+
+    def test_jitter_only_shrinks_within_fraction(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0, backoff_factor=1.0, jitter_fraction=0.25
+        )
+        for token in ("a", "b", "c", "d"):
+            delay = policy.delay_for(1, token=token)
+            assert 0.75 <= delay <= 1.0
+
+
+class TestExecutorRetry:
+    def test_transient_failure_retried_to_success(self, tmp_path):
+        specs = [{"x": 1, "marker": str(tmp_path / "m"), "failures": 2}]
+        progress = CollectingProgress()
+        report = SerialExecutor(progress=progress, retry=FAST).run(
+            make_jobs(flaky, specs, base_seed=0)
+        )
+        assert report.values == [10]
+        assert report.stats.retries == 2
+        kinds = [e.kind for e in progress.events]
+        assert kinds.count(JobEventKind.RETRIED) == 2
+
+    def test_retried_job_reuses_its_original_seed_stream(self, tmp_path):
+        # A failed attempt has already advanced the job's SeedSequence
+        # spawn counter; the retry must see a pristine seed or it draws a
+        # different stream than an undisturbed run.
+        (tmp_path / "pre-spent").write_text("already there")
+        clean = SerialExecutor().run(
+            make_jobs(
+                draw_after_glitch,
+                [{"marker": str(tmp_path / "pre-spent")}],
+                base_seed=3,
+            )
+        )
+        (tmp_path / "pre-spent").unlink()
+        retried = SerialExecutor(retry=FAST).run(
+            make_jobs(
+                draw_after_glitch,
+                [{"marker": str(tmp_path / "pre-spent")}],
+                base_seed=3,
+            )
+        )
+        assert retried.values == clean.values
+        assert retried.stats.retries == 1
+
+    def test_non_retryable_failure_not_retried(self):
+        with pytest.raises(RunnerError) as err:
+            SerialExecutor(retry=FAST).run(
+                make_jobs(always_type_error, [{"x": 1}])
+            )
+        assert not isinstance(err.value, RetryExhaustedError)
+
+    def test_exhaustion_raises_retry_exhausted(self):
+        with pytest.raises(RetryExhaustedError, match="retries exhausted"):
+            SerialExecutor(retry=FAST).run(make_jobs(always_os_error, [{"x": 1}]))
+
+    def test_exhaustion_non_strict_leaves_hole_and_counts(self):
+        report = SerialExecutor(retry=FAST).run(
+            make_jobs(always_os_error, [{"x": 1}]), strict=False
+        )
+        assert report.values == [None]
+        assert report.stats.retries == FAST.max_attempts - 1
+        assert "retries exhausted" in report.failures[0].error
+
+    def test_parallel_executor_retries_too(self, tmp_path):
+        specs = [
+            {"x": i, "marker": str(tmp_path / f"m{i}"), "failures": 1 if i == 2 else 0}
+            for i in range(4)
+        ]
+        report = ParallelExecutor(max_workers=2, retry=FAST).run(
+            make_jobs(flaky, specs, base_seed=0)
+        )
+        assert report.values == [0, 10, 20, 30]
+        assert report.ok

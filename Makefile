@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke chaos-smoke
+.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,3 +49,11 @@ chaos-smoke:
 		--faults "dg_start=0.2,dg_mtbf_h=2,batt_fade=0.1" \
 		--trace chaos-smoke.json --metrics chaos-smoke.jsonl
 	$(PYTHON) -m repro.obs.validate chaos-smoke.json
+
+# Certify the evaluation service: CLI-vs-HTTP byte-identical payloads
+# (shared result cache), duplicate-request coalescing, a clean closed-loop
+# mixed workload under capacity, and visible 429 shedding when a burst
+# oversubscribes a tiny queue (see docs/SERVE.md).  Writes
+# BENCH_serve.json; CI uploads it as an artifact.
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py

@@ -16,7 +16,7 @@ on-disk cache can answer repeated years across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from repro.outages.generator import OutageGenerator
 from repro.power.ups import DEFAULT_RECHARGE_SECONDS
 from repro.runner.cache import ResultCache
 from repro.runner.executor import BaseExecutor, make_executor
-from repro.runner.jobs import make_jobs
+from repro.runner.jobs import Job, make_jobs
 from repro.runner.progress import ProgressListener, RunStats
 from repro.servers.server import PAPER_SERVER, ServerSpec
 from repro.sim.yearly import YearlyRunner
@@ -154,34 +154,22 @@ class AvailabilityAnalyzer:
         #: Telemetry of the most recent :meth:`analyze` run.
         self.last_run_stats: Optional[RunStats] = None
 
-    def analyze(
+    def prepare(
         self,
         configuration: BackupConfiguration,
         technique: OutageTechnique,
         years: int = 200,
-        jobs: int = 1,
-        executor: Optional[BaseExecutor] = None,
-        cache: Optional[ResultCache] = None,
-        progress: Optional[ProgressListener] = None,
         faults: Optional[FaultPlan] = None,
-    ) -> AvailabilityReport:
-        """Simulate ``years`` of Figure 1 outages under the pairing.
+    ) -> Tuple[List[Job], Callable[[Sequence[Any]], AvailabilityReport]]:
+        """The study as ``(jobs, reduce)`` — its runner job list plus the
+        aggregator that folds the per-year values into a report.
 
-        Args:
-            configuration: Backup sizing under study.
-            technique: Outage-handling technique under study.
-            years: Monte-Carlo sample size.
-            jobs: Worker processes (1 = in-process serial); ignored when
-                ``executor`` is given.  Results are identical for every
-                value.
-            executor: Pre-built executor (overrides ``jobs``/``cache``/
-                ``progress``).
-            cache: Optional on-disk result cache for the per-year jobs.
-            progress: Optional per-job event listener.
-            faults: Optional :class:`~repro.faults.FaultPlan` of injected
-                backup failures sampled per outage.  Part of each job's
-                fingerprint, so cached fault-free years stay valid and a
-                fault study never reads them by accident.
+        Splitting job construction from aggregation lets callers that
+        own the executor loop (the batched evaluation service merges
+        many studies into one runner submission) run the jobs themselves
+        and still aggregate exactly as :meth:`analyze` would.  Seeds are
+        spawned here, positionally per year, so the same arguments
+        always yield the same job fingerprints no matter who runs them.
         """
         if years <= 0:
             raise ValueError("years must be positive")
@@ -218,30 +206,69 @@ class AvailabilityAnalyzer:
             base_seed=self.seed,
             labels=[f"year={i}" for i in range(years)],
         )
+
+        def reduce(values: Sequence[Any]) -> AvailabilityReport:
+            downtime_arr = np.array([y["downtime_seconds"] for y in values])
+            crashes = sum(y["crashes"] for y in values)
+            outages = int(sum(y["outages"] for y in values))
+            perf_sum = sum(y["perf_sum"] for y in values)
+            perf_weight = sum(y["perf_weight"] for y in values)
+            mean_seconds = float(downtime_arr.mean())
+            p95_seconds = float(np.percentile(downtime_arr, 95))
+            availability = 1.0 - mean_seconds / SECONDS_PER_YEAR
+            return AvailabilityReport(
+                configuration_name=configuration.name,
+                technique_name=plan.technique_name,
+                years_simulated=years,
+                outages_simulated=outages,
+                mean_downtime_minutes_per_year=to_minutes(mean_seconds),
+                p95_downtime_minutes_per_year=to_minutes(p95_seconds),
+                availability=availability,
+                crash_fraction=crashes / outages if outages else 0.0,
+                mean_outage_performance=(
+                    perf_sum / perf_weight if perf_weight else 1.0
+                ),
+                expected_loss_dollars_per_kw_year=self.tco.outage_cost_per_kw_year(
+                    to_minutes(mean_seconds)
+                ),
+            )
+
+        return job_list, reduce
+
+    def analyze(
+        self,
+        configuration: BackupConfiguration,
+        technique: OutageTechnique,
+        years: int = 200,
+        jobs: int = 1,
+        executor: Optional[BaseExecutor] = None,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressListener] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> AvailabilityReport:
+        """Simulate ``years`` of Figure 1 outages under the pairing.
+
+        Args:
+            configuration: Backup sizing under study.
+            technique: Outage-handling technique under study.
+            years: Monte-Carlo sample size.
+            jobs: Worker processes (1 = in-process serial); ignored when
+                ``executor`` is given.  Results are identical for every
+                value.
+            executor: Pre-built executor (overrides ``jobs``/``cache``/
+                ``progress``).
+            cache: Optional on-disk result cache for the per-year jobs.
+            progress: Optional per-job event listener.
+            faults: Optional :class:`~repro.faults.FaultPlan` of injected
+                backup failures sampled per outage.  Part of each job's
+                fingerprint, so cached fault-free years stay valid and a
+                fault study never reads them by accident.
+        """
+        job_list, reduce = self.prepare(
+            configuration, technique, years=years, faults=faults
+        )
         if executor is None:
             executor = make_executor(jobs=jobs, cache=cache, progress=progress)
         report = executor.run(job_list)
         self.last_run_stats = report.stats
-
-        downtime_arr = np.array([y["downtime_seconds"] for y in report.values])
-        crashes = sum(y["crashes"] for y in report.values)
-        outages = int(sum(y["outages"] for y in report.values))
-        perf_sum = sum(y["perf_sum"] for y in report.values)
-        perf_weight = sum(y["perf_weight"] for y in report.values)
-        mean_seconds = float(downtime_arr.mean())
-        p95_seconds = float(np.percentile(downtime_arr, 95))
-        availability = 1.0 - mean_seconds / SECONDS_PER_YEAR
-        return AvailabilityReport(
-            configuration_name=configuration.name,
-            technique_name=plan.technique_name,
-            years_simulated=years,
-            outages_simulated=outages,
-            mean_downtime_minutes_per_year=to_minutes(mean_seconds),
-            p95_downtime_minutes_per_year=to_minutes(p95_seconds),
-            availability=availability,
-            crash_fraction=crashes / outages if outages else 0.0,
-            mean_outage_performance=perf_sum / perf_weight if perf_weight else 1.0,
-            expected_loss_dollars_per_kw_year=self.tco.outage_cost_per_kw_year(
-                to_minutes(mean_seconds)
-            ),
-        )
+        return reduce(report.values)

@@ -27,7 +27,7 @@ from repro.core.selection import best_technique, lowest_cost_backup
 from repro.errors import InfeasibleError
 from repro.runner.cache import ResultCache
 from repro.runner.executor import BaseExecutor, make_executor
-from repro.runner.jobs import make_jobs
+from repro.runner.jobs import Job, make_jobs
 from repro.runner.progress import ProgressListener
 from repro.servers.server import PAPER_SERVER, ServerSpec
 from repro.techniques.registry import get_technique
@@ -119,18 +119,60 @@ def _technique_cell(
     )
 
 
-def _run_grid(
-    fn,
-    specs: List[Mapping[str, Any]],
-    labels: List[str],
-    jobs: int,
-    executor: Optional[BaseExecutor],
-    cache: Optional[ResultCache],
-    progress: Optional[ProgressListener],
-) -> List[SweepResult]:
-    if executor is None:
-        executor = make_executor(jobs=jobs, cache=cache, progress=progress)
-    return list(executor.run(make_jobs(fn, specs, labels=labels)).values)
+def technique_sweep_jobs(
+    workload: WorkloadSpec,
+    technique_names: Iterable[str],
+    outage_durations_seconds: Sequence[float],
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+) -> List[Job]:
+    """The Figures 6-9 grid as a bare runner job list (grid order).
+
+    For callers that own the executor loop — the evaluation service
+    merges sweep grids from many requests into one submission.  Values
+    come back as :class:`SweepResult` cells in grid order; no reduction
+    is needed beyond collecting them.
+    """
+    specs: List[Mapping[str, Any]] = []
+    labels: List[str] = []
+    for name in technique_names:
+        for duration in outage_durations_seconds:
+            specs.append(
+                {
+                    "technique": name,
+                    "workload": workload,
+                    "outage_seconds": duration,
+                    "num_servers": num_servers,
+                    "server": server,
+                }
+            )
+            labels.append(f"{name}@{duration:g}s")
+    return make_jobs(_technique_cell, specs, labels=labels)
+
+
+def configuration_sweep_jobs(
+    workload: WorkloadSpec,
+    configurations: Sequence[BackupConfiguration],
+    outage_durations_seconds: Sequence[float],
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+) -> List[Job]:
+    """The Figure 5 grid as a bare runner job list (grid order)."""
+    specs: List[Mapping[str, Any]] = []
+    labels: List[str] = []
+    for config in configurations:
+        for duration in outage_durations_seconds:
+            specs.append(
+                {
+                    "configuration": config,
+                    "workload": workload,
+                    "outage_seconds": duration,
+                    "num_servers": num_servers,
+                    "server": server,
+                }
+            )
+            labels.append(f"{config.name}@{duration:g}s")
+    return make_jobs(_configuration_cell, specs, labels=labels)
 
 
 def sweep_configurations(
@@ -176,21 +218,16 @@ def sweep_techniques(
     renderer can mark them, as the paper's text does for Throttling past
     4 hours.
     """
-    specs: List[Mapping[str, Any]] = []
-    labels: List[str] = []
-    for name in technique_names:
-        for duration in outage_durations_seconds:
-            specs.append(
-                {
-                    "technique": name,
-                    "workload": workload,
-                    "outage_seconds": duration,
-                    "num_servers": num_servers,
-                    "server": server,
-                }
-            )
-            labels.append(f"{name}@{duration:g}s")
-    return _run_grid(_technique_cell, specs, labels, jobs, executor, cache, progress)
+    job_list = technique_sweep_jobs(
+        workload,
+        technique_names,
+        outage_durations_seconds,
+        num_servers=num_servers,
+        server=server,
+    )
+    if executor is None:
+        executor = make_executor(jobs=jobs, cache=cache, progress=progress)
+    return list(executor.run(job_list).values)
 
 
 def index_results(
@@ -212,20 +249,13 @@ def custom_configuration_sweep(
     progress: Optional[ProgressListener] = None,
 ) -> List[SweepResult]:
     """Like :func:`sweep_configurations` for ad-hoc configuration objects."""
-    specs: List[Mapping[str, Any]] = []
-    labels: List[str] = []
-    for config in configurations:
-        for duration in outage_durations_seconds:
-            specs.append(
-                {
-                    "configuration": config,
-                    "workload": workload,
-                    "outage_seconds": duration,
-                    "num_servers": num_servers,
-                    "server": server,
-                }
-            )
-            labels.append(f"{config.name}@{duration:g}s")
-    return _run_grid(
-        _configuration_cell, specs, labels, jobs, executor, cache, progress
+    job_list = configuration_sweep_jobs(
+        workload,
+        configurations,
+        outage_durations_seconds,
+        num_servers=num_servers,
+        server=server,
     )
+    if executor is None:
+        executor = make_executor(jobs=jobs, cache=cache, progress=progress)
+    return list(executor.run(job_list).values)

@@ -9,8 +9,18 @@ Subcommands::
     python -m repro plan      -w websearch -m 30 --min-perf 0.9 --max-down 0
     python -m repro rank      -w memcached -m 30
     python -m repro availability -w specjbb -c LargeEUPS -t throttle+sleep-l
+    python -m repro whatif    -w memcached -c NoDG -t sleep-l
+    python -m repro sweep     -w memcached --kind techniques -m 5 30
+    python -m repro serve     --port 8321 --cache .cache
+    python -m repro loadgen   --url http://127.0.0.1:8321 --duration 10
+    python -m repro cache     .cache --max-bytes 100000000
     python -m repro selfcheck --fast
     python -m repro tco
+
+``availability``, ``rank``, ``whatif`` and ``sweep`` accept ``--json``:
+the canonical JSON payload printed is byte-identical to the ``result``
+field a running ``repro serve`` returns for the same query (see
+docs/SERVE.md for the protocol and the certification that enforces it).
 
 The ``availability``, ``rank`` and ``reproduce`` subcommands run on the
 :mod:`repro.runner` subsystem and accept ``--jobs N`` (worker processes;
@@ -227,7 +237,44 @@ def _runner_exit(executor, code: int = 0) -> int:
     return code
 
 
+def _emit_canonical(
+    args: argparse.Namespace, analysis: str, params: dict
+) -> int:
+    """Evaluate through the serve protocol and print the canonical payload.
+
+    This is the CLI half of the bit-identical contract: the body is
+    validated by the same ``parse_request``, evaluated by the same job
+    builders, and serialised by the same ``canonical_json`` as an HTTP
+    response's ``result`` field — so diffing the two is a pure string
+    comparison (the serve-smoke certification does exactly that).
+    """
+    from repro.serve.analyses import evaluate_request
+    from repro.serve.protocol import PROTOCOL_VERSION, canonical_json, parse_request
+
+    request = parse_request(
+        {
+            "v": PROTOCOL_VERSION,
+            "analysis": analysis,
+            "params": {k: v for k, v in params.items() if v is not None},
+        }
+    )
+    executor = _make_executor(args)
+    result = evaluate_request(request, executor=executor)
+    print(canonical_json(result))
+    return _runner_exit(executor)
+
+
 def _cmd_rank(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        return _emit_canonical(
+            args,
+            "rank",
+            {
+                "workload": args.workload,
+                "outage_minutes": args.outage_minutes,
+                "servers": args.servers,
+            },
+        )
     executor = _make_executor(args)
     ranking = rank_techniques(
         get_workload(args.workload),
@@ -257,6 +304,20 @@ def _cmd_rank(args: argparse.Namespace) -> int:
 
 
 def _cmd_availability(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        return _emit_canonical(
+            args,
+            "availability",
+            {
+                "workload": args.workload,
+                "configuration": args.configuration,
+                "technique": args.technique,
+                "years": args.years,
+                "servers": args.servers,
+                "seed": args.seed,
+                "faults": getattr(args, "faults", None),
+            },
+        )
     analyzer = AvailabilityAnalyzer(
         get_workload(args.workload), num_servers=args.servers, seed=args.seed
     )
@@ -425,6 +486,156 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    params = {
+        "workload": args.workload,
+        "configuration": args.configuration,
+        "technique": args.technique,
+        "nodes_per_bucket": args.nodes_per_bucket,
+        "servers": args.servers,
+    }
+    if args.json:
+        return _emit_canonical(args, "whatif", params)
+    from repro.serve.analyses import evaluate_request
+    from repro.serve.protocol import PROTOCOL_VERSION, parse_request
+
+    executor = _make_executor(args)
+    record = evaluate_request(
+        parse_request(
+            {"v": PROTOCOL_VERSION, "analysis": "whatif", "params": params}
+        ),
+        executor=executor,
+    )
+    rows = [
+        ("configuration", record["configuration_name"]),
+        ("technique", record["technique_name"]),
+        ("E[downtime] (min)", record["expected_downtime_minutes"]),
+        ("E[performance]", record["expected_performance"]),
+        ("P[crash]", record["crash_probability"]),
+        ("E[UPS charge]", record["expected_ups_charge"]),
+        ("quadrature nodes", len(record["nodes"])),
+    ]
+    print(
+        format_table(
+            ("quantity", "value"),
+            rows,
+            title="expected per-outage behaviour (Figure 1(b) weighting)",
+        )
+    )
+    _print_run_stats(executor)
+    return _runner_exit(executor)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params = {
+        "workload": args.workload,
+        "kind": args.kind,
+        "rows": args.rows.split(",") if args.rows else None,
+        "outage_minutes": args.outage_minutes,
+        "servers": args.servers,
+    }
+    if args.json:
+        return _emit_canonical(args, "sweep", params)
+    from repro.serve.analyses import evaluate_request
+    from repro.serve.protocol import PROTOCOL_VERSION, parse_request
+
+    executor = _make_executor(args)
+    records = evaluate_request(
+        parse_request(
+            {
+                "v": PROTOCOL_VERSION,
+                "analysis": "sweep",
+                "params": {k: v for k, v in params.items() if v is not None},
+            }
+        ),
+        executor=executor,
+    )
+    rows = [
+        (
+            record["row_key"],
+            record["outage_seconds"] / 60.0,
+            record["normalized_cost"],
+            record["performance"],
+            record["downtime_minutes"],
+        )
+        for record in records
+    ]
+    print(
+        format_table(
+            ("row", "outage (min)", "cost", "perf", "down (min)"),
+            rows,
+            title=f"{args.workload} {args.kind} sweep",
+        )
+    )
+    _print_run_stats(executor)
+    return _runner_exit(executor)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.app import ServeConfig, run_server
+
+    return run_server(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            queue_bound=args.queue_bound,
+            max_batch=args.max_batch,
+            batch_wait_s=args.batch_wait_s,
+            timeout_s=args.timeout_s,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_max_age_s=args.cache_max_age_s,
+        )
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.loadgen import LoadgenConfig, parse_mix, run_loadgen
+
+    report = run_loadgen(
+        LoadgenConfig(
+            base_url=args.url.rstrip("/"),
+            concurrency=args.concurrency,
+            duration_s=args.duration,
+            mix=parse_mix(args.mix),
+            seed=args.seed,
+            deadline_s=args.deadline_s,
+            timeout_s=args.timeout,
+        )
+    )
+    print(f"[loadgen] {report.summary()}")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[loadgen] wrote {args.output}")
+    return 0 if report.errors == 0 else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.max_bytes is not None or args.max_age_s is not None:
+        report = cache.prune(max_bytes=args.max_bytes, max_age_s=args.max_age_s)
+        print(f"[cache] {report.summary()}")
+    stats = cache.stats()
+    rows = [
+        ("root", str(cache.root)),
+        ("active version", cache.version),
+        ("live entries", stats.entries),
+        ("live bytes", stats.bytes),
+        ("corrupt entries", stats.corrupt_entries),
+        ("corrupt bytes", stats.corrupt_bytes),
+        ("total bytes", stats.total_bytes),
+    ]
+    for version, (count, size) in stats.versions.items():
+        rows.append((f"namespace {version}", f"{count} entries, {size} B"))
+    print(format_table(("quantity", "value"), rows, title="result cache"))
+    return 0
+
+
 def _cmd_tco(_args: argparse.Namespace) -> int:
     model = TCOModel()
     rows = [
@@ -438,9 +649,14 @@ def _cmd_tco(_args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Underprovisioning backup power for datacenters (ASPLOS'14)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -534,9 +750,18 @@ def build_parser() -> argparse.ArgumentParser:
             "resumed sweeps are bit-identical to uninterrupted ones",
         )
 
+    def add_json_flag(p: argparse.ArgumentParser):
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="print the canonical JSON payload (byte-identical to the "
+            "`repro serve` response body's `result` field for the same query)",
+        )
+
     p_rank = sub.add_parser("rank", help="rank techniques by sized cost")
     add_common(p_rank)
     add_runner_flags(p_rank)
+    add_json_flag(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
 
     p_avail = sub.add_parser("availability", help="Monte-Carlo yearly study")
@@ -544,7 +769,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_avail.add_argument("--years", type=int, default=100)
     add_runner_flags(p_avail)
     add_fault_flags(p_avail)
+    add_json_flag(p_avail)
     p_avail.set_defaults(func=_cmd_availability)
+
+    p_whatif = sub.add_parser(
+        "whatif", help="expected per-outage behaviour (duration-weighted)"
+    )
+    add_common(p_whatif, needs_config=True, needs_tech=True)
+    p_whatif.add_argument(
+        "--nodes-per-bucket",
+        type=int,
+        default=3,
+        help="quadrature nodes per duration bucket",
+    )
+    add_runner_flags(p_whatif, with_seed=False)
+    add_json_flag(p_whatif)
+    p_whatif.set_defaults(func=_cmd_whatif)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="technique or configuration grid over outage durations"
+    )
+    p_sweep.add_argument(
+        "-w", "--workload", required=True, choices=workload_names()
+    )
+    p_sweep.add_argument(
+        "--kind",
+        choices=("techniques", "configurations"),
+        default="techniques",
+        help="what the grid rows are",
+    )
+    p_sweep.add_argument(
+        "--rows",
+        default=None,
+        metavar="A,B,...",
+        help="comma list of technique/configuration names (default: paper set)",
+    )
+    p_sweep.add_argument(
+        "-m",
+        "--outage-minutes",
+        type=float,
+        nargs="+",
+        default=[5.0, 30.0, 60.0],
+        help="outage durations (minutes) forming the grid columns",
+    )
+    p_sweep.add_argument("--servers", type=int, default=16)
+    add_runner_flags(p_sweep, with_seed=False)
+    add_json_flag(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_check = sub.add_parser(
         "selfcheck",
@@ -637,6 +908,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_fault_flags(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the batched, backpressured HTTP evaluation service",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321)
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, help="runner worker processes per batch"
+    )
+    p_serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="shared result cache; point the CLI at the same DIR for "
+        "byte-identical responses served from the same entries",
+    )
+    p_serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=64,
+        help="admitted requests waiting before arrivals are shed with 429",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="most requests dispatched in one runner submission",
+    )
+    p_serve.add_argument(
+        "--batch-wait-s",
+        type=float,
+        default=0.005,
+        help="micro-batch accumulation window after the first arrival",
+    )
+    p_serve.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="default per-job runner timeout for undeadlined batches",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="prune the cache to this size between batches",
+    )
+    p_serve.add_argument(
+        "--cache-max-age-s",
+        type=float,
+        default=None,
+        help="prune cache entries older than this between batches",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="closed-loop load generator against a running server"
+    )
+    p_load.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="server base URL"
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop worker threads"
+    )
+    p_load.add_argument(
+        "--duration", type=float, default=5.0, help="issuing window (seconds)"
+    )
+    p_load.add_argument(
+        "--mix",
+        default="whatif=2,availability=1,echo=1",
+        help="weighted request mix, e.g. 'whatif=2,rank=1' "
+        "(shapes: echo, whatif, availability, rank, sweep)",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-request deadline forwarded in each body",
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=60.0, help="client socket timeout"
+    )
+    p_load.add_argument(
+        "--output",
+        default="BENCH_serve.json",
+        metavar="FILE",
+        help="write the report here ('' disables)",
+    )
+    p_load.set_defaults(func=_cmd_loadgen)
+
+    p_cache = sub.add_parser(
+        "cache", help="show result-cache statistics and optionally prune it"
+    )
+    p_cache.add_argument("dir", help="cache directory (as given to --cache)")
+    p_cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune oldest-first until the cache fits this many bytes",
+    )
+    p_cache.add_argument(
+        "--max-age-s",
+        type=float,
+        default=None,
+        help="prune entries whose mtime is older than this many seconds",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     # Observability flags go on *every* subcommand (so they read naturally
     # after it: ``repro availability ... --trace out.json``).

@@ -223,6 +223,42 @@ def _rank_job(spec, seed) -> Optional["SizedBackup"]:
         return None
 
 
+def rank_jobs(
+    workload: WorkloadSpec,
+    outage_seconds: float,
+    technique_names: Iterable[str] = PAPER_TECHNIQUES,
+    num_servers: int = DEFAULT_NUM_SERVERS,
+    server: ServerSpec = PAPER_SERVER,
+) -> List["Job"]:
+    """The ranking's runner job list — one sizing search per technique.
+
+    Deterministic (no seeds), so the fingerprints key an on-disk cache
+    across CLI runs and the evaluation service alike.  Reduce the values
+    with :func:`reduce_rank`.
+    """
+    names = list(technique_names)
+    specs = [
+        {
+            "technique": name,
+            "workload": workload,
+            "outage_seconds": outage_seconds,
+            "num_servers": num_servers,
+            "server": server,
+        }
+        for name in names
+    ]
+    from repro.runner.jobs import make_jobs
+
+    return make_jobs(_rank_job, specs, labels=names)
+
+
+def reduce_rank(values: Iterable[Optional[SizedBackup]]) -> List[SizedBackup]:
+    """Fold :func:`rank_jobs` values: drop infeasibles, sort cheapest-first."""
+    results = [sized for sized in values if sized is not None]
+    results.sort(key=lambda sized: sized.normalized_cost)
+    return results
+
+
 def rank_techniques(
     workload: WorkloadSpec,
     outage_seconds: float,
@@ -239,24 +275,17 @@ def rank_techniques(
             per-technique sizing searches run as independent jobs on it
             (parallel and/or cached); ``None`` keeps the in-process loop.
     """
-    names = list(technique_names)
-    specs = [
-        {
-            "technique": name,
-            "workload": workload,
-            "outage_seconds": outage_seconds,
-            "num_servers": num_servers,
-            "server": server,
-        }
-        for name in names
-    ]
     if executor is None:
         from repro.runner.executor import SerialExecutor
 
         executor = SerialExecutor()
-    from repro.runner.jobs import make_jobs
-
-    report = executor.run(make_jobs(_rank_job, specs, labels=names))
-    results = [sized for sized in report.values if sized is not None]
-    results.sort(key=lambda sized: sized.normalized_cost)
-    return results
+    report = executor.run(
+        rank_jobs(
+            workload,
+            outage_seconds,
+            technique_names=technique_names,
+            num_servers=num_servers,
+            server=server,
+        )
+    )
+    return reduce_rank(report.values)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Mapping, Optional, Tuple
 
 from repro.core.configurations import BackupConfiguration
 from repro.core.performability import (
@@ -155,3 +155,26 @@ class ExpectedOutageAnalyzer:
             expected_ups_charge=charge / total_weight,
             nodes=tuple(nodes),
         )
+
+
+def whatif_cell(spec: Mapping[str, Any], seed: Any) -> ExpectedOutageReport:
+    """Runner job: one deterministic what-if expectation.
+
+    The spec carries only registry names and scalars, so the job's
+    fingerprint is stable across processes and the result caches cleanly
+    (``seed`` is ignored — the quadrature is deterministic).  This is
+    the unit the evaluation service dispatches for ``whatif`` queries.
+    """
+    from repro.core.configurations import get_configuration
+    from repro.techniques.registry import get_technique
+    from repro.workloads.registry import get_workload
+
+    analyzer = ExpectedOutageAnalyzer(
+        get_workload(spec["workload"]),
+        nodes_per_bucket=spec["nodes_per_bucket"],
+        num_servers=spec["servers"],
+    )
+    return analyzer.analyze(
+        get_configuration(spec["configuration"]),
+        get_technique(spec["technique"]),
+    )

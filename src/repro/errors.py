@@ -88,6 +88,40 @@ class FaultInjectionError(ReproError, ValueError):
     """
 
 
+class ServeError(ReproError, RuntimeError):
+    """The evaluation service failed or was misused.
+
+    Base class for everything :mod:`repro.serve` raises; the HTTP front
+    end maps subclasses onto status codes (400 / 429 / 504) and never
+    lets one escape a request handler.
+    """
+
+
+class ProtocolError(ServeError, ValueError):
+    """A request does not conform to the serve protocol.
+
+    Raised for unknown analyses, missing or unknown parameters,
+    out-of-range values and version mismatches.  Maps to HTTP 400.
+    """
+
+
+class QueueFullError(ServeError):
+    """The admission queue is at its bound; the request was shed.
+
+    Load shedding is a feature, not a failure: the HTTP front end maps
+    this to 429 with a ``Retry-After`` hint instead of letting the queue
+    (and every queued request's latency) grow without bound.
+    """
+
+
+class DeadlineError(ServeError):
+    """A request's deadline expired before its evaluation finished.
+
+    Raised for requests that were still queued when their deadline
+    passed.  Maps to HTTP 504.
+    """
+
+
 class RetryExhaustedError(RunnerError):
     """A job kept failing with retryable errors until attempts ran out.
 

@@ -37,7 +37,12 @@ Quickstart::
     print(report.values, report.stats.summary())
 """
 
-from repro.runner.cache import ResultCache, default_cache_version
+from repro.runner.cache import (
+    CacheStats,
+    PruneReport,
+    ResultCache,
+    default_cache_version,
+)
 from repro.runner.chaos import ChaosReport, run_chaos
 from repro.runner.checkpoint import SweepCheckpoint
 from repro.runner.executor import (
@@ -61,6 +66,7 @@ from repro.runner.retry import DEFAULT_RETRYABLE_ERRORS, RetryPolicy, classify_e
 
 __all__ = [
     "BaseExecutor",
+    "CacheStats",
     "ChaosReport",
     "CollectingProgress",
     "ConsoleProgress",
@@ -72,6 +78,7 @@ __all__ = [
     "JobFn",
     "ParallelExecutor",
     "ProgressListener",
+    "PruneReport",
     "ResultCache",
     "RetryPolicy",
     "RunReport",

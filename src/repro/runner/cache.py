@@ -18,13 +18,59 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import RunnerError
 from repro.runner.jobs import Job
 
 _SENTINEL = object()
+
+#: Entry suffixes the GC accounts for: live entries, quarantined corrupt
+#: entries, and temp files a crashed writer may have left behind.
+_GC_SUFFIXES = (".pkl", ".pkl.corrupt", ".tmp")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A disk-level snapshot of one cache root.
+
+    Attributes:
+        entries: Live ``*.pkl`` entries across every version namespace.
+        bytes: Total bytes of live entries.
+        corrupt_entries / corrupt_bytes: Quarantined ``*.pkl.corrupt``
+            files awaiting post-mortem (or GC).
+        versions: Per-version-namespace ``(entries, bytes)`` breakdown.
+    """
+
+    entries: int = 0
+    bytes: int = 0
+    corrupt_entries: int = 0
+    corrupt_bytes: int = 0
+    versions: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes + self.corrupt_bytes
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one :meth:`ResultCache.prune` pass removed and kept."""
+
+    removed_files: int = 0
+    removed_bytes: int = 0
+    kept_files: int = 0
+    kept_bytes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"pruned {self.removed_files} files ({self.removed_bytes} B), "
+            f"kept {self.kept_files} ({self.kept_bytes} B)"
+        )
 
 
 def default_cache_version() -> str:
@@ -52,6 +98,10 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        # Counter updates are load-add-store sequences; a long-lived
+        # server hits one cache from many handler threads, and torn
+        # increments would make hit-rate telemetry drift from the truth.
+        self._lock = threading.Lock()
 
     def _path(self, fingerprint: str) -> Path:
         return self.root / self.version / fingerprint[:2] / f"{fingerprint}.pkl"
@@ -66,9 +116,11 @@ class ResultCache:
         """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
         value = self._read(self._path(job.fingerprint))
         if value is _SENTINEL:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return False, None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return True, value
 
     def put(self, job: Job, value: Any) -> bool:
@@ -89,7 +141,8 @@ class ResultCache:
                 raise
         except (OSError, pickle.PicklingError, TypeError, AttributeError):
             return False
-        self.stores += 1
+        with self._lock:
+            self.stores += 1
         return True
 
     def _read(self, path: Path) -> Any:
@@ -104,7 +157,8 @@ class ResultCache:
             # renamed aside (``*.pkl.corrupt``) rather than deleted, so a
             # clean copy gets rewritten on the next store while the bad
             # bytes stay available for post-mortem.
-            self.corrupt += 1
+            with self._lock:
+                self.corrupt += 1
             try:
                 os.replace(path, f"{path}.corrupt")
             except OSError:
@@ -119,3 +173,126 @@ class ResultCache:
         if not base.is_dir():
             return 0
         return sum(1 for _ in base.glob("*/*.pkl"))
+
+    # Locks do not pickle; the cache itself never crosses a process
+    # boundary (executors consult it in the coordinator), but anything
+    # that snapshots executor state should not explode on it either.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- garbage collection ---------------------------------------------------
+
+    def _scan(self) -> List[Tuple[float, int, Path]]:
+        """Every GC-visible file under the root (all version namespaces)
+        as ``(mtime, bytes, path)``.  Files that vanish mid-scan (another
+        process pruned or replaced them) are simply skipped."""
+        found: List[Tuple[float, int, Path]] = []
+        if not self.root.is_dir():
+            return found
+        for path in sorted(self.root.rglob("*")):
+            if not path.name.endswith(_GC_SUFFIXES):
+                continue
+            try:
+                meta = path.stat()
+            except OSError:
+                continue
+            found.append((meta.st_mtime, meta.st_size, path))
+        return found
+
+    def stats(self) -> CacheStats:
+        """Disk-level size/entry statistics across every version namespace."""
+        entries = live_bytes = corrupt = corrupt_bytes = 0
+        versions: Dict[str, List[int]] = {}
+        for _, size, path in self._scan():
+            try:
+                version = path.relative_to(self.root).parts[0]
+            except (ValueError, IndexError):  # pragma: no cover - defensive
+                version = "?"
+            if path.name.endswith(".pkl"):
+                entries += 1
+                live_bytes += size
+                per = versions.setdefault(version, [0, 0])
+                per[0] += 1
+                per[1] += size
+            elif path.name.endswith(".pkl.corrupt"):
+                corrupt += 1
+                corrupt_bytes += size
+        return CacheStats(
+            entries=entries,
+            bytes=live_bytes,
+            corrupt_entries=corrupt,
+            corrupt_bytes=corrupt_bytes,
+            versions={v: (n, b) for v, (n, b) in sorted(versions.items())},
+        )
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> PruneReport:
+        """Evict oldest-mtime-first until the cache fits the given bounds.
+
+        A long-lived server must not grow its cache without bound; this
+        is the GC it runs between batches (or that ``repro cache`` runs
+        by hand).  Quarantined ``*.pkl.corrupt`` files and orphaned
+        writer temp files count against the budget and are eligible for
+        eviction like any entry; *every* version namespace is swept, so
+        entries stranded by an upgrade eventually leave the disk.
+
+        Args:
+            max_bytes: Keep total on-disk size at or under this.
+            max_age_s: Evict anything whose mtime is older than this.
+            now: Reference time for ``max_age_s`` (default
+                ``time.time()``), injectable for tests.
+
+        Eviction failures are skipped, not fatal — a file another process
+        already removed is success by other means.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise RunnerError("max_bytes must be >= 0")
+        if max_age_s is not None and max_age_s < 0:
+            raise RunnerError("max_age_s must be >= 0")
+        files = sorted(self._scan())  # oldest mtime first
+        clock = time.time() if now is None else now
+        total = sum(size for _, size, _ in files)
+        removed_files = removed_bytes = 0
+        for mtime, size, path in files:
+            too_old = max_age_s is not None and clock - mtime > max_age_s
+            too_big = max_bytes is not None and total > max_bytes
+            if not (too_old or too_big):
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed_files += 1
+            removed_bytes += size
+        self._remove_empty_dirs()
+        return PruneReport(
+            removed_files=removed_files,
+            removed_bytes=removed_bytes,
+            kept_files=len(files) - removed_files,
+            kept_bytes=total,
+        )
+
+    def _remove_empty_dirs(self) -> None:
+        """Drop fan-out/version directories the prune emptied."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(
+            (p for p in self.root.rglob("*") if p.is_dir()),
+            key=lambda p: len(p.parts),
+            reverse=True,
+        ):
+            try:
+                path.rmdir()  # refuses non-empty directories
+            except OSError:
+                pass

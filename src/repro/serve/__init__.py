@@ -1,0 +1,62 @@
+"""repro.serve — a batched, backpressured evaluation service.
+
+The subsystem turns the library's analyses into a long-lived HTTP
+service without giving up the reproducibility story: every served
+response is bit-identical to the same query run through the CLI, by
+construction (shared job builders, seed trees, and result cache) and by
+certification (the serve-smoke diff).  See ``docs/SERVE.md``.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.protocol` — versioned, validated JSON requests;
+  canonical serialisation; request fingerprints.
+* :mod:`repro.serve.analyses` — request -> ``(jobs, finish)``; the
+  unbatched reference evaluator the CLI shares.
+* :mod:`repro.serve.batcher` — bounded admission queue, duplicate
+  coalescing, micro-batched dispatch, deadline propagation.
+* :mod:`repro.serve.app` — the stdlib HTTP front end and lifecycle.
+* :mod:`repro.serve.loadgen` — the closed-loop load generator.
+"""
+
+from repro.serve.analyses import build, evaluate_request
+from repro.serve.app import EvalServer, ServeConfig, run_server
+from repro.serve.batcher import Batcher
+from repro.serve.loadgen import (
+    REQUEST_SHAPES,
+    LoadgenConfig,
+    LoadgenReport,
+    parse_mix,
+    post_request,
+    run_loadgen,
+)
+from repro.serve.protocol import (
+    ANALYSES,
+    PROTOCOL_VERSION,
+    Request,
+    canonical_json,
+    error_envelope,
+    ok_envelope,
+    parse_request,
+)
+
+__all__ = [
+    "ANALYSES",
+    "Batcher",
+    "EvalServer",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "PROTOCOL_VERSION",
+    "REQUEST_SHAPES",
+    "Request",
+    "ServeConfig",
+    "build",
+    "canonical_json",
+    "error_envelope",
+    "evaluate_request",
+    "ok_envelope",
+    "parse_mix",
+    "parse_request",
+    "post_request",
+    "run_loadgen",
+    "run_server",
+]

@@ -1,0 +1,362 @@
+"""The HTTP front end: stdlib ``http.server`` around the batcher.
+
+Endpoints:
+
+* ``POST /v1/eval`` — one protocol request; 200 with the response
+  envelope, 400 on protocol errors, 429 + ``Retry-After`` when the
+  admission queue sheds, 504 on expired deadlines, 500 on evaluation
+  failures.
+* ``GET /healthz`` — liveness: version, uptime, queue depth.
+* ``GET /metrics`` — the :mod:`repro.obs` metrics snapshot (the
+  ``serve.*`` queue instrumentation plus anything else recorded into
+  the server's session).
+* ``GET /stats`` — batcher counters + cache hit statistics.
+
+The server is a :class:`ThreadingHTTPServer`: each connection gets a
+handler thread that blocks on its request's future while the single
+dispatcher thread feeds the runner.  ``run_server`` wires SIGINT/SIGTERM
+to a clean shutdown — stop accepting, then drain or deadline-cancel the
+queue — so an operator's ^C never strands in-flight requests.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    DeadlineError,
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    ServeError,
+)
+from repro.obs import ObsSession
+from repro.runner.cache import ResultCache
+from repro.runner.executor import make_executor
+from repro.serve.batcher import Batcher
+from repro.serve.protocol import (
+    canonical_json,
+    error_envelope,
+    ok_envelope,
+    parse_request,
+)
+
+#: Longest a handler waits on an undeadlined request before giving up.
+DEFAULT_REQUEST_TIMEOUT_S = 300.0
+#: Cap on the request body; evaluation requests are small.
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operational envelope of one server instance.
+
+    Attributes:
+        host / port: Bind address (``port=0`` picks a free port).
+        jobs: Runner worker processes per batch (1 = in-process serial).
+        cache_dir: Optional :class:`ResultCache` directory shared by
+            every batch — and by any CLI run pointed at the same
+            directory, which is what makes served responses provably
+            identical to CLI ones.
+        queue_bound / max_batch / batch_wait_s: Batcher knobs.
+        timeout_s: Default per-job runner timeout when a batch carries
+            no deadline (None = unbounded; only enforced with jobs > 1).
+        request_timeout_s: Handler-side wait bound for undeadlined
+            requests.
+        cache_max_bytes / cache_max_age_s: When set, the cache is
+            pruned to these bounds after every batch — the GC keeping a
+            long-lived server's disk footprint flat.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    queue_bound: int = 64
+    max_batch: int = 16
+    batch_wait_s: float = 0.005
+    timeout_s: Optional[float] = None
+    request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S
+    cache_max_bytes: Optional[int] = None
+    cache_max_age_s: Optional[float] = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep per-request chatter off stderr; metrics carry the telemetry.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def _server(self) -> "EvalServer":
+        return self.server.eval_server  # type: ignore[attr-defined]
+
+    def _reply(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        payload = canonical_json(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        server = self._server
+        if self.path == "/healthz":
+            self._reply(200, server.health())
+        elif self.path == "/metrics":
+            self._reply(200, server.session.metrics.snapshot())
+        elif self.path == "/stats":
+            self._reply(200, server.stats())
+        else:
+            self._reply(404, error_envelope("not_found", self.path))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/eval":
+            self._reply(404, error_envelope("not_found", self.path))
+            return
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            self._reply(
+                413, error_envelope("too_large", f"{length} B body")
+            )
+            return
+        body = self.rfile.read(length)
+        status, envelope, headers = self._server.handle_eval(body)
+        self._reply(status, envelope, headers)
+
+
+class EvalServer:
+    """One evaluation service: batcher + cache + HTTP listener.
+
+    Usable programmatically (tests spin one on port 0 and talk to
+    ``base_url``) or via ``repro serve`` (which adds signal handling).
+    """
+
+    def __init__(self, config: ServeConfig = ServeConfig()) -> None:
+        self.config = config
+        self.session = ObsSession()
+        self.cache = (
+            ResultCache(config.cache_dir) if config.cache_dir else None
+        )
+        self.batcher = Batcher(
+            executor_factory=self._make_executor,
+            queue_bound=config.queue_bound,
+            max_batch=config.max_batch,
+            max_wait_s=config.batch_wait_s,
+            metrics=self.session.metrics,
+        )
+        self.started_at = time.time()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._serve_thread: Optional[threading.Thread] = None
+
+    def _make_executor(self, timeout: Optional[float]):
+        effective = timeout if timeout is not None else self.config.timeout_s
+        executor = make_executor(
+            jobs=self.config.jobs,
+            cache=self.cache,
+            timeout_seconds=effective if self.config.jobs > 1 else None,
+        )
+        self._maybe_prune()
+        return executor
+
+    def _maybe_prune(self) -> None:
+        """Between-batch cache GC, when the config bounds the cache."""
+        config = self.config
+        if self.cache is None:
+            return
+        if config.cache_max_bytes is None and config.cache_max_age_s is None:
+            return
+        report = self.cache.prune(
+            max_bytes=config.cache_max_bytes, max_age_s=config.cache_max_age_s
+        )
+        if report.removed_files:
+            self.session.metrics.counter("serve.cache_pruned_files").inc(
+                report.removed_files
+            )
+            self.session.metrics.counter("serve.cache_pruned_bytes").inc(
+                report.removed_bytes
+            )
+
+    # -- request handling ------------------------------------------------------
+
+    def handle_eval(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
+        """One POST body to ``(status, envelope, extra headers)``."""
+        try:
+            request = parse_request(body)
+        except ProtocolError as exc:
+            return 400, error_envelope("protocol", str(exc)), None
+        try:
+            future = self.batcher.submit(request)
+        except QueueFullError as exc:
+            return (
+                429,
+                error_envelope("shed", str(exc)),
+                {"Retry-After": self._retry_after()},
+            )
+        except ServeError as exc:
+            return 503, error_envelope("unavailable", str(exc)), None
+        wait = (
+            request.deadline_s + 1.0
+            if request.deadline_s is not None
+            else self.config.request_timeout_s
+        )
+        try:
+            outcome = future.result(timeout=wait)
+        except DeadlineError as exc:
+            return 504, error_envelope("deadline", str(exc)), None
+        except FutureTimeoutError:
+            return (
+                504,
+                error_envelope(
+                    "timeout", f"no result within {wait:.1f}s"
+                ),
+                None,
+            )
+        except ProtocolError as exc:
+            return 400, error_envelope("protocol", str(exc)), None
+        except ReproError as exc:
+            return 500, error_envelope(type(exc).__name__, str(exc)), None
+        except Exception as exc:  # noqa: BLE001 - handlers must not die
+            return 500, error_envelope("internal", str(exc)), None
+        envelope = ok_envelope(request, outcome["result"], outcome["meta"])
+        return 200, envelope, None
+
+    def _retry_after(self) -> str:
+        """A shed client's hint: roughly one batch window from now."""
+        return str(max(1, int(round(self.config.batch_wait_s * 2))))
+
+    # -- introspection ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        import repro
+
+        return {
+            "ok": True,
+            "version": repro.__version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue_depth": self.batcher.stats()["queue_depth"],
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        import repro
+
+        stats: Dict[str, Any] = {
+            "version": repro.__version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "config": {
+                "jobs": self.config.jobs,
+                "queue_bound": self.config.queue_bound,
+                "max_batch": self.config.max_batch,
+                "batch_wait_s": self.config.batch_wait_s,
+            },
+            **self.batcher.stats(),
+        }
+        if self.cache is not None:
+            disk = self.cache.stats()
+            stats["cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "stores": self.cache.stores,
+                "corrupt": self.cache.corrupt,
+                "entries": disk.entries,
+                "bytes": disk.bytes,
+                "version": self.cache.version,
+            }
+        return stats
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise ServeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "EvalServer":
+        """Bind, start the batcher and the listener thread; returns self."""
+        if self._httpd is not None:
+            return self
+        self.batcher.start()
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.eval_server = self  # type: ignore[attr-defined]
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="serve-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        return self
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting, then drain (or cancel) the queue.
+
+        In-flight requests finish and their handler threads flush the
+        responses; queued requests either run to completion (``drain``)
+        or fail fast.  Idempotent.
+        """
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        self.batcher.close(drain=drain, timeout=timeout)
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=timeout)
+            self._serve_thread = None
+
+
+def run_server(config: ServeConfig) -> int:
+    """Run a server until SIGINT/SIGTERM; the ``repro serve`` body.
+
+    Returns the process exit code.  Shutdown is graceful: the listener
+    stops accepting, then the queue drains (deadline-expired entries are
+    cancelled by the dispatcher as usual).
+    """
+    server = EvalServer(config).start()
+    stop = threading.Event()
+
+    def _signal_handler(signum: int, _frame: Any) -> None:
+        print(
+            f"[serve] caught {signal.Signals(signum).name}, draining...",
+            flush=True,
+        )
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _signal_handler)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        print(
+            f"[serve] listening on {server.base_url} "
+            f"(jobs={config.jobs}, queue_bound={config.queue_bound}, "
+            f"max_batch={config.max_batch})",
+            flush=True,
+        )
+        stop.wait()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.close(drain=True)
+        print("[serve] drained and stopped", flush=True)
+    return 0

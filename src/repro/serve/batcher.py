@@ -1,0 +1,383 @@
+"""Micro-batching admission queue with coalescing and backpressure.
+
+The service's query pattern — many small cost/availability evaluations
+against one shared model — is the same shape inference serving deals
+with, and the same two amortisations apply:
+
+* **Coalescing.**  Concurrent requests with the same fingerprint (same
+  analysis, same normalised params) are one evaluation: later arrivals
+  attach to the in-flight entry's future and the runner sees exactly one
+  job set.  ``serve.coalesced`` counts the requests that rode along.
+* **Micro-batching.**  The dispatcher drains whatever accumulated during
+  a short window (``max_wait_s`` after the first arrival, up to
+  ``max_batch`` requests), concatenates their job lists, and makes **one**
+  executor submission — amortising pool dispatch the way inference
+  servers amortise kernel launches.  Each request's jobs keep their own
+  seeds and fingerprints, so batched results are bit-identical to
+  dedicated runs (and hit the same cache entries).
+
+Backpressure is explicit: the queue is bounded, and an arrival that
+finds it full is shed with :class:`~repro.errors.QueueFullError` (the
+HTTP layer turns that into 429 + ``Retry-After``) instead of growing
+every queued request's latency.  Deadlines propagate: a request still
+queued when its deadline passes fails with
+:class:`~repro.errors.DeadlineError`, and the tightest remaining
+deadline in a batch bounds the runner's per-job timeout.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadlineError, QueueFullError, ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.executor import BaseExecutor, SerialExecutor
+from repro.runner.jobs import Job
+from repro.serve import analyses
+from repro.serve.protocol import Request
+
+#: Builds the executor for one batch; the argument is the batch's
+#: effective per-job timeout (None = unbounded).  A fresh executor per
+#: batch is the runner's own idiom — pools are created per dispatch —
+#: and lets each batch carry its own timeout while sharing one cache.
+ExecutorFactory = Callable[[Optional[float]], BaseExecutor]
+
+
+@dataclass
+class _Entry:
+    """One admitted request riding the queue."""
+
+    request: Request
+    future: "concurrent.futures.Future" = field(
+        default_factory=concurrent.futures.Future
+    )
+    enqueued_at: float = 0.0
+    deadline_at: Optional[float] = None  # monotonic, None = no deadline
+    riders: int = 1  # coalesced requests sharing this entry
+
+
+class Batcher:
+    """The admission queue + dispatcher behind the evaluation service.
+
+    Args:
+        executor_factory: Per-batch executor builder (default: a plain
+            :class:`~repro.runner.SerialExecutor`).  Give it one that
+            closes over a shared :class:`~repro.runner.ResultCache` to
+            get cross-request caching.
+        queue_bound: Admitted-but-undispatched requests allowed before
+            arrivals are shed.  Coalesced duplicates do not consume
+            slots — they attach to the entry already holding one.
+        max_batch: Most requests dispatched in one executor submission.
+        max_wait_s: How long the dispatcher lingers after the first
+            arrival to let a batch accumulate.  Zero dispatches eagerly.
+        metrics: Optional :class:`~repro.obs.MetricsRegistry` receiving
+            the ``serve.*`` queue instrumentation.
+    """
+
+    def __init__(
+        self,
+        executor_factory: Optional[ExecutorFactory] = None,
+        queue_bound: int = 64,
+        max_batch: int = 16,
+        max_wait_s: float = 0.005,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if queue_bound < 1:
+            raise ServeError("queue_bound must be >= 1")
+        if max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ServeError("max_wait_s must be >= 0")
+        self._executor_factory = executor_factory or (
+            lambda timeout: SerialExecutor()
+        )
+        self.queue_bound = queue_bound
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: List[_Entry] = []
+        #: fingerprint -> entry, for everything admitted and not yet
+        #: resolved (queued *and* in-flight) — the coalescing map.
+        self._pending: Dict[str, _Entry] = {}
+        self._closed = False
+        self._drain = True
+        self._worker: Optional[threading.Thread] = None
+        # Totals mirrored into metrics; kept here too so /stats works
+        # without an obs registry.
+        self.requests = 0
+        self.coalesced = 0
+        self.sheds = 0
+        self.expired = 0
+        self.batches = 0
+        self.jobs_run = 0
+        self.failures = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "Batcher":
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._loop, name="serve-batcher", daemon=True
+                )
+                self._worker.start()
+        return self
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admitting; drain or cancel what is queued.
+
+        Args:
+            drain: Finish queued work before stopping (deadline-expired
+                entries still fail with :class:`DeadlineError`).  With
+                ``False``, queued entries fail immediately.
+            timeout: Bound on waiting for the dispatcher to exit.
+        """
+        with self._cond:
+            self._closed = True
+            self._drain = drain
+            if not drain:
+                for entry in self._queue:
+                    self._resolve_error(
+                        entry, ServeError("server shut down before dispatch")
+                    )
+                self._queue.clear()
+                self._gauge_depth()
+            self._cond.notify_all()
+            worker = self._worker
+        if worker is not None:
+            worker.join(timeout=timeout)
+
+    # -- admission ------------------------------------------------------------
+
+    def submit(self, request: Request) -> "concurrent.futures.Future":
+        """Admit ``request``; returns the future its response resolves on.
+
+        Raises:
+            QueueFullError: The bounded queue is full (shed; HTTP 429).
+            ServeError: The batcher is shutting down.
+        """
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise ServeError("server is shutting down")
+            self._count("serve.requests")
+            self.requests += 1
+            existing = self._pending.get(request.fingerprint)
+            if existing is not None:
+                existing.riders += 1
+                self.coalesced += 1
+                self._count("serve.coalesced")
+                return existing.future
+            if len(self._queue) >= self.queue_bound:
+                self.sheds += 1
+                self._count("serve.shed")
+                raise QueueFullError(
+                    f"admission queue full ({self.queue_bound} waiting); "
+                    "retry shortly"
+                )
+            entry = _Entry(request=request, enqueued_at=now)
+            if request.deadline_s is not None:
+                entry.deadline_at = now + request.deadline_s
+            self._queue.append(entry)
+            self._pending[request.fingerprint] = entry
+            self._gauge_depth()
+            self._cond.notify_all()
+            return entry.future
+
+    # -- dispatch loop ---------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            if batch:
+                self._dispatch(batch)
+
+    def _collect(self) -> Optional[List[_Entry]]:
+        """Block for work, linger ``max_wait_s`` for riders, cut a batch.
+
+        Returns None when closed and fully drained (thread exit)."""
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait(timeout=0.1)
+            window_ends = time.monotonic() + self.max_wait_s
+            while (
+                len(self._queue) < self.max_batch
+                and not self._closed
+            ):
+                remaining = window_ends - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: len(batch)]
+            self._gauge_depth()
+            return batch
+
+    def _dispatch(self, batch: List[_Entry]) -> None:
+        now = time.monotonic()
+        with self._lock:
+            self.batches += 1
+            self._count("serve.batches")
+            self._observe("serve.batch_size", len(batch))
+            for entry in batch:
+                self._observe(
+                    "serve.queue_wait_seconds", now - entry.enqueued_at
+                )
+
+        live: List[_Entry] = []
+        for entry in batch:
+            if entry.deadline_at is not None and entry.deadline_at <= now:
+                with self._lock:
+                    self.expired += 1
+                    self._count("serve.deadline_expired")
+                    self._resolve_error(
+                        entry,
+                        DeadlineError(
+                            f"deadline ({entry.request.deadline_s:.3f}s) "
+                            "expired while queued"
+                        ),
+                    )
+                continue
+            live.append(entry)
+        if not live:
+            return
+
+        # Build each request's jobs; a build failure fails that request
+        # alone, not the batch.
+        jobs: List[Job] = []
+        ranges: List[Any] = []  # (entry, finish, start, end)
+        for entry in live:
+            try:
+                entry_jobs, finish = analyses.build(entry.request)
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                with self._lock:
+                    self._resolve_error(entry, exc)
+                continue
+            start = len(jobs)
+            jobs.extend(self._reindexed(entry_jobs, start))
+            ranges.append((entry, finish, start, len(jobs)))
+        if not jobs:
+            return
+
+        deadlines = [
+            e.deadline_at - now
+            for e, _, _, _ in ranges
+            if e.deadline_at is not None
+        ]
+        timeout = min(deadlines) if deadlines else None
+        started = time.monotonic()
+        try:
+            executor = self._executor_factory(timeout)
+            report = executor.run(jobs, strict=False)
+        except Exception as exc:  # noqa: BLE001 - executor-level failure
+            with self._lock:
+                for entry, _, _, _ in ranges:
+                    self._resolve_error(entry, exc)
+            return
+        elapsed = time.monotonic() - started
+        with self._lock:
+            self.jobs_run += len(jobs)
+            self._count("serve.jobs", len(jobs))
+            self._observe("serve.batch_seconds", elapsed)
+
+        failed_by_index = {f.index: f for f in report.failures}
+        for entry, finish, start, end in ranges:
+            failures = [
+                failed_by_index[i]
+                for i in range(start, end)
+                if i in failed_by_index
+            ]
+            if failures:
+                first = failures[0]
+                with self._lock:
+                    self.failures += 1
+                    self._count("serve.failures")
+                    self._resolve_error(
+                        entry,
+                        ServeError(
+                            f"{len(failures)} of {end - start} jobs failed; "
+                            f"first: {first.label}: {first.error}"
+                        ),
+                    )
+                continue
+            try:
+                payload = finish(report.values[start:end])
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                with self._lock:
+                    self.failures += 1
+                    self._count("serve.failures")
+                    self._resolve_error(entry, exc)
+                continue
+            meta = {
+                "batch_size": len(ranges),
+                "jobs": end - start,
+                "coalesced_riders": entry.riders - 1,
+                "queue_wait_s": round(now - entry.enqueued_at, 6),
+                "batch_seconds": round(elapsed, 6),
+                "cache_hits": report.stats.cache_hits,
+            }
+            with self._lock:
+                self._pending.pop(entry.request.fingerprint, None)
+            entry.future.set_result({"result": payload, "meta": meta})
+
+    @staticmethod
+    def _reindexed(jobs: List[Job], offset: int) -> List[Job]:
+        """Shift job indices so concatenated lists stay unique.
+
+        Index is presentation-only — it is *not* part of the
+        fingerprint — so reindexing changes nothing about seeds, cache
+        keys, or results."""
+        import dataclasses
+
+        return [
+            dataclasses.replace(job, index=offset + i)
+            for i, job in enumerate(jobs)
+        ]
+
+    def _resolve_error(self, entry: _Entry, exc: BaseException) -> None:
+        """Fail an entry's future; caller holds the lock."""
+        self._pending.pop(entry.request.fingerprint, None)
+        if not entry.future.done():
+            entry.future.set_exception(exc)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _count(self, name: str, n: float = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(n)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self._metrics is not None:
+            self._metrics.histogram(name).observe(value)
+
+    def _gauge_depth(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("serve.queue_depth").set(len(self._queue))
+
+    def stats(self) -> Dict[str, Any]:
+        """A point-in-time counters snapshot for ``/stats``."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "coalesced": self.coalesced,
+                "sheds": self.sheds,
+                "deadline_expired": self.expired,
+                "batches": self.batches,
+                "jobs_run": self.jobs_run,
+                "failures": self.failures,
+                "queue_depth": len(self._queue),
+                "in_flight": len(self._pending) - len(self._queue),
+                "queue_bound": self.queue_bound,
+                "max_batch": self.max_batch,
+            }

@@ -1,0 +1,296 @@
+"""Closed-loop load generator for the evaluation service.
+
+Each worker is a closed loop: issue a request, wait for the response,
+record the latency, immediately issue the next.  Offered load therefore
+tracks service capacity (concurrency bounds the in-flight population),
+which is the right model for benchmarking a backpressured server — an
+open-loop generator would just measure its own queue.
+
+The request mix is weighted sampling over named shapes (``whatif``,
+``availability``, ``rank``, ``sweep``, ``echo``), drawn from a seeded
+RNG so two runs against the same server offer the same sequence.  The
+report carries throughput, latency percentiles, and the status/shed
+breakdown; ``repro loadgen`` writes it to ``BENCH_serve.json`` next to
+the other ``BENCH_*.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.serve.protocol import PROTOCOL_VERSION, canonical_json
+
+#: The canned request shapes a mix can draw from.  Costs span three
+#: orders of magnitude: echo ~0, whatif ~ms, availability/rank ~100 ms —
+#: enough spread to exercise batching and queueing realistically while
+#: keeping a smoke run fast.
+REQUEST_SHAPES: Dict[str, Dict[str, Any]] = {
+    "echo": {
+        "analysis": "echo",
+        "params": {"payload": {"ping": True}},
+    },
+    "whatif": {
+        "analysis": "whatif",
+        "params": {
+            "workload": "memcached",
+            "configuration": "NoDG",
+            "technique": "sleep-l",
+        },
+    },
+    "availability": {
+        "analysis": "availability",
+        "params": {
+            "workload": "memcached",
+            "configuration": "NoDG",
+            "technique": "sleep-l",
+            "years": 5,
+        },
+    },
+    "rank": {
+        "analysis": "rank",
+        "params": {"workload": "memcached", "outage_minutes": 5.0},
+    },
+    "sweep": {
+        "analysis": "sweep",
+        "params": {
+            "workload": "memcached",
+            "rows": ["full-service", "sleep-l"],
+            "outage_minutes": [5.0],
+        },
+    },
+}
+
+
+def parse_mix(spec: str) -> Dict[str, float]:
+    """``"whatif=2,availability=1"`` -> ``{"whatif": 2.0, ...}``.
+
+    Bare names get weight 1; unknown shapes and non-positive weights are
+    rejected up front rather than failing mid-run.
+    """
+    mix: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight_text = part.partition("=")
+        name = name.strip()
+        if name not in REQUEST_SHAPES:
+            raise ServeError(
+                f"unknown request shape {name!r}; "
+                f"one of {sorted(REQUEST_SHAPES)}"
+            )
+        try:
+            weight = float(weight_text) if weight_text else 1.0
+        except ValueError as exc:
+            raise ServeError(f"bad weight in {part!r}") from exc
+        if weight <= 0:
+            raise ServeError(f"weight for {name!r} must be positive")
+        mix[name] = mix.get(name, 0.0) + weight
+    if not mix:
+        raise ServeError(f"empty request mix {spec!r}")
+    return mix
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation run.
+
+    Attributes:
+        base_url: Server root, e.g. ``http://127.0.0.1:8321``.
+        concurrency: Closed-loop worker threads.
+        duration_s: How long workers keep issuing requests.
+        mix: Shape-name -> weight (see :data:`REQUEST_SHAPES`).
+        seed: RNG seed for the mix sequence.
+        deadline_s: Optional per-request deadline forwarded in the body.
+        timeout_s: Client-side socket timeout per request.
+    """
+
+    base_url: str
+    concurrency: int = 4
+    duration_s: float = 5.0
+    mix: Mapping[str, float] = field(
+        default_factory=lambda: {"whatif": 2.0, "availability": 1.0, "echo": 1.0}
+    )
+    seed: int = 0
+    deadline_s: Optional[float] = None
+    timeout_s: float = 60.0
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """What one run observed.
+
+    Attributes:
+        requests / ok / sheds / errors: Outcome counts (sheds = 429).
+        duration_s: Measured wall-clock of the issuing window.
+        throughput_rps: Completed-OK requests per second.
+        latency_ms: p50/p95/p99/mean/max over successful requests.
+        status_counts: HTTP status -> count, including network failures
+            under status 0.
+        by_shape: Shape name -> issued count.
+        config: The knobs that produced this (for the artifact).
+    """
+
+    requests: int
+    ok: int
+    sheds: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    latency_ms: Dict[str, float]
+    status_counts: Dict[str, int]
+    by_shape: Dict[str, int]
+    config: Dict[str, Any]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "bench": "serve",
+            "requests": self.requests,
+            "ok": self.ok,
+            "sheds": self.sheds,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 3),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_ms": self.latency_ms,
+            "status_counts": self.status_counts,
+            "by_shape": self.by_shape,
+            "config": self.config,
+        }
+
+    def summary(self) -> str:
+        lat = self.latency_ms
+        return (
+            f"{self.ok}/{self.requests} ok, {self.sheds} shed, "
+            f"{self.errors} errors | {self.throughput_rps:.1f} req/s | "
+            f"p50 {lat.get('p50', 0.0):.1f} ms, "
+            f"p95 {lat.get('p95', 0.0):.1f} ms, "
+            f"p99 {lat.get('p99', 0.0):.1f} ms"
+        )
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile; samples must be sorted and non-empty."""
+    index = max(0, min(len(samples) - 1, int(round(fraction * (len(samples) - 1)))))
+    return samples[index]
+
+
+def post_request(
+    base_url: str, body: Mapping[str, Any], timeout_s: float = 60.0
+) -> Tuple[int, Dict[str, Any]]:
+    """POST one protocol request; returns ``(status, decoded body)``.
+
+    Network-level failures surface as status 0 with an error-shaped
+    body, so callers can treat every outcome uniformly.
+    """
+    data = canonical_json(dict(body)).encode("utf-8")
+    request = urllib.request.Request(
+        f"{base_url}/v1/eval",
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            payload = {"ok": False, "error": {"type": "http", "message": str(exc)}}
+        return exc.code, payload
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        return 0, {"ok": False, "error": {"type": "network", "message": str(exc)}}
+
+
+def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
+    """Drive the closed loops and fold their observations into a report."""
+    names = sorted(config.mix)
+    weights = [float(config.mix[name]) for name in names]
+    stop_at = time.monotonic() + config.duration_s
+    lock = threading.Lock()
+    latencies: List[float] = []
+    status_counts: Dict[str, int] = {}
+    by_shape: Dict[str, int] = {name: 0 for name in names}
+    totals = {"requests": 0, "ok": 0, "sheds": 0, "errors": 0}
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(f"{config.seed}:{worker_id}")
+        while time.monotonic() < stop_at:
+            name = rng.choices(names, weights=weights, k=1)[0]
+            shape = REQUEST_SHAPES[name]
+            body: Dict[str, Any] = {
+                "v": PROTOCOL_VERSION,
+                "analysis": shape["analysis"],
+                "params": shape["params"],
+            }
+            if config.deadline_s is not None:
+                body["deadline_s"] = config.deadline_s
+            started = time.monotonic()
+            status, _payload = post_request(
+                config.base_url, body, timeout_s=config.timeout_s
+            )
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            with lock:
+                totals["requests"] += 1
+                by_shape[name] += 1
+                status_counts[str(status)] = (
+                    status_counts.get(str(status), 0) + 1
+                )
+                if status == 200:
+                    totals["ok"] += 1
+                    latencies.append(elapsed_ms)
+                elif status == 429:
+                    totals["sheds"] += 1
+                else:
+                    totals["errors"] += 1
+
+    started_at = time.monotonic()
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(config.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started_at
+
+    latencies.sort()
+    if latencies:
+        latency_ms = {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p95": round(_percentile(latencies, 0.95), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "mean": round(statistics.fmean(latencies), 3),
+            "max": round(latencies[-1], 3),
+        }
+    else:
+        latency_ms = {}
+    return LoadgenReport(
+        requests=totals["requests"],
+        ok=totals["ok"],
+        sheds=totals["sheds"],
+        errors=totals["errors"],
+        duration_s=wall,
+        throughput_rps=totals["ok"] / wall if wall > 0 else 0.0,
+        latency_ms=latency_ms,
+        status_counts=dict(sorted(status_counts.items())),
+        by_shape=by_shape,
+        config={
+            "base_url": config.base_url,
+            "concurrency": config.concurrency,
+            "duration_s": config.duration_s,
+            "mix": dict(sorted(config.mix.items())),
+            "seed": config.seed,
+            "deadline_s": config.deadline_s,
+        },
+    )

@@ -1,0 +1,153 @@
+"""CLI surface of the serve PR: --version, --json, whatif/sweep/cache."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+
+
+class TestWhatifCommand:
+    def test_table_output(self, capsys):
+        code, out, _ = run(
+            capsys, "whatif", "-w", "memcached", "-c", "NoDG", "-t", "sleep-l"
+        )
+        assert code == 0
+        assert "E[downtime] (min)" in out
+        assert "sleep-l" in out
+
+    def test_json_matches_reference_evaluation(self, capsys):
+        code, out, _ = run(
+            capsys, "whatif", "-w", "memcached", "-c", "NoDG", "-t", "sleep-l",
+            "--json",
+        )
+        assert code == 0
+        from repro.serve import canonical_json, evaluate_request, parse_request
+        from repro.serve.protocol import PROTOCOL_VERSION
+
+        reference = evaluate_request(
+            parse_request(
+                {"v": PROTOCOL_VERSION, "analysis": "whatif",
+                 "params": {"workload": "memcached", "configuration": "NoDG",
+                            "technique": "sleep-l"}}
+            )
+        )
+        assert out.strip() == canonical_json(reference)
+
+    def test_json_is_deterministic(self, capsys):
+        argv = ("whatif", "-w", "memcached", "-c", "NoDG", "-t", "sleep-l",
+                "--json")
+        _, first, _ = run(capsys, *argv)
+        _, second, _ = run(capsys, *argv)
+        assert first == second
+
+
+class TestSweepCommand:
+    def test_table_output(self, capsys):
+        code, out, _ = run(
+            capsys, "sweep", "-w", "memcached",
+            "--rows", "full-service,sleep-l", "-m", "5",
+        )
+        assert code == 0
+        assert "full-service" in out and "sleep-l" in out
+
+    def test_json_output_is_records(self, capsys):
+        code, out, _ = run(
+            capsys, "sweep", "-w", "memcached",
+            "--rows", "full-service", "-m", "5", "--json",
+        )
+        assert code == 0
+        records = json.loads(out)
+        assert len(records) == 1
+        assert records[0]["row_key"] == "full-service"
+        assert records[0]["outage_seconds"] == 300.0
+
+    def test_configuration_kind(self, capsys):
+        code, out, _ = run(
+            capsys, "sweep", "-w", "memcached", "--kind", "configurations",
+            "--rows", "NoDG", "-m", "5", "--json",
+        )
+        assert code == 0
+        assert json.loads(out)[0]["row_key"] == "NoDG"
+
+
+class TestAvailabilityJson:
+    def test_json_with_cache_round_trip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ("availability", "-w", "memcached", "-c", "NoDG",
+                "-t", "sleep-l", "--years", "2", "--json",
+                "--cache", cache_dir)
+        code, cold, _ = run(capsys, *argv)
+        assert code == 0
+        code, warm, _ = run(capsys, *argv)
+        assert code == 0
+        # Cached rerun must serve byte-identical canonical JSON.
+        assert cold == warm
+        record = json.loads(cold)
+        assert record["years_simulated"] == 2
+
+
+class TestRankJson:
+    def test_json_output_sorted_by_cost(self, capsys):
+        code, out, _ = run(
+            capsys, "rank", "-w", "memcached", "-m", "5", "--json"
+        )
+        assert code == 0
+        records = json.loads(out)
+        costs = [r["normalized_cost"] for r in records]
+        assert costs == sorted(costs)
+        assert all("technique" in r and "configuration" in r for r in records)
+
+
+class TestCacheCommand:
+    def test_stats_on_populated_cache(self, capsys, tmp_path):
+        from repro.runner.cache import ResultCache
+        from repro.runner.jobs import make_jobs
+
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        for job in make_jobs(_value_job, [{"value": i} for i in range(3)]):
+            cache.put(job, job.spec["value"])
+        code, out, _ = run(capsys, "cache", str(cache_dir))
+        assert code == 0
+        assert "live entries" in out
+        assert " 3 " in out or "3" in out
+
+    def test_prune_via_flags(self, capsys, tmp_path):
+        from repro.runner.cache import ResultCache
+        from repro.runner.jobs import make_jobs
+
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        for job in make_jobs(_value_job, [{"value": i} for i in range(3)]):
+            cache.put(job, job.spec["value"])
+        code, out, _ = run(capsys, "cache", str(cache_dir), "--max-bytes", "0")
+        assert code == 0
+        assert "pruned 3 files" in out
+        assert ResultCache(cache_dir).stats().entries == 0
+
+    def test_empty_directory_reports_zero(self, capsys, tmp_path):
+        code, out, _ = run(capsys, "cache", str(tmp_path / "nothing"))
+        assert code == 0
+        assert "0" in out
+
+
+def _value_job(spec, seed):
+    return spec["value"]

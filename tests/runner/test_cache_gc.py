@@ -1,0 +1,155 @@
+"""ResultCache GC: stats(), prune() by age and size, quarantine sweep."""
+
+import os
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.cache import CacheStats, PruneReport, ResultCache
+from repro.runner.jobs import make_jobs
+
+
+def job_fn(spec, seed):
+    return spec["value"]
+
+
+def fill(cache, count, prefix="v"):
+    """Store `count` distinct entries; returns the jobs."""
+    jobs = make_jobs(job_fn, [{"value": f"{prefix}{i}"} for i in range(count)])
+    for job in jobs:
+        assert cache.put(job, job.spec["value"])
+    return jobs
+
+
+def set_mtime(path, when):
+    os.utime(path, (when, when))
+
+
+class TestStats:
+    def test_empty_cache(self, tmp_path):
+        stats = ResultCache(tmp_path / "cache").stats()
+        assert stats == CacheStats()
+        assert stats.total_bytes == 0
+
+    def test_counts_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fill(cache, 3)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.bytes > 0
+        assert stats.corrupt_entries == 0
+        assert stats.versions[cache.version][0] == 3
+
+    def test_counts_quarantined_corrupt_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = fill(cache, 2)
+        # Corrupt one entry, then read it: quarantine renames to .corrupt.
+        path = cache.entry_path(jobs[0].fingerprint)
+        path.write_bytes(b"garbage")
+        hit, _ = cache.get(jobs[0])
+        assert not hit and cache.corrupt == 1
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.corrupt_entries == 1
+        assert stats.corrupt_bytes > 0
+        assert stats.total_bytes == stats.bytes + stats.corrupt_bytes
+
+    def test_spans_version_namespaces(self, tmp_path):
+        root = tmp_path / "cache"
+        fill(ResultCache(root, version="1"), 2)
+        fill(ResultCache(root, version="2"), 3, prefix="w")
+        stats = ResultCache(root, version="2").stats()
+        assert stats.entries == 5
+        assert set(stats.versions) == {"1", "2"}
+        assert stats.versions["1"][0] == 2
+        assert stats.versions["2"][0] == 3
+
+
+class TestPruneByAge:
+    def test_old_entries_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = fill(cache, 4)
+        old = cache.entry_path(jobs[0].fingerprint)
+        set_mtime(old, 1_000.0)
+        report = cache.prune(max_age_s=3600.0, now=10_000.0)
+        assert report.removed_files == 1
+        assert not old.exists()
+        assert cache.stats().entries == 3
+
+    def test_fresh_entries_survive(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = fill(cache, 3)
+        for job in jobs:
+            set_mtime(cache.entry_path(job.fingerprint), 9_999.0)
+        report = cache.prune(max_age_s=3600.0, now=10_000.0)
+        assert report.removed_files == 0
+        assert report.kept_files == 3
+
+
+class TestPruneBySize:
+    def test_oldest_evicted_first(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = fill(cache, 3)
+        paths = [cache.entry_path(j.fingerprint) for j in jobs]
+        for i, path in enumerate(paths):
+            set_mtime(path, 1_000.0 + i)
+        sizes = [p.stat().st_size for p in paths]
+        # Budget for exactly the two newest entries.
+        report = cache.prune(max_bytes=sizes[1] + sizes[2])
+        assert report.removed_files == 1
+        assert not paths[0].exists()
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fill(cache, 3)
+        report = cache.prune(max_bytes=0)
+        assert report.removed_files == 3
+        assert report.kept_bytes == 0
+        assert cache.stats().entries == 0
+
+    def test_quarantine_and_temp_files_count_and_evict(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = fill(cache, 1)
+        path = cache.entry_path(jobs[0].fingerprint)
+        path.write_bytes(b"junk")
+        cache.get(jobs[0])  # quarantines to .pkl.corrupt
+        orphan = path.parent / "orphan.tmp"
+        orphan.write_bytes(b"half-written")
+        report = cache.prune(max_bytes=0)
+        assert report.removed_files == 2  # corrupt + tmp
+        assert not orphan.exists()
+        assert cache.stats().total_bytes == 0
+
+    def test_prune_removes_emptied_directories(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = ResultCache(root)
+        fill(cache, 2)
+        cache.prune(max_bytes=0)
+        assert root.is_dir()
+        assert list(root.iterdir()) == []
+
+
+class TestPruneArguments:
+    def test_negative_bounds_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(RunnerError):
+            cache.prune(max_bytes=-1)
+        with pytest.raises(RunnerError):
+            cache.prune(max_age_s=-1.0)
+
+    def test_no_bounds_is_a_no_op(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fill(cache, 2)
+        report = cache.prune()
+        assert report.removed_files == 0
+        assert cache.stats().entries == 2
+
+    def test_report_summary_renders(self):
+        assert "pruned 2 files" in PruneReport(
+            removed_files=2, removed_bytes=100, kept_files=1, kept_bytes=50
+        ).summary()
+
+    def test_missing_root_is_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.prune(max_bytes=0).removed_files == 0

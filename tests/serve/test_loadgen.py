@@ -1,0 +1,119 @@
+"""Closed-loop load generator: mix parsing, reporting, a live short run."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import EvalServer, ServeConfig
+from repro.serve.loadgen import (
+    REQUEST_SHAPES,
+    LoadgenConfig,
+    _percentile,
+    parse_mix,
+    post_request,
+    run_loadgen,
+)
+
+
+class TestParseMix:
+    def test_weighted(self):
+        assert parse_mix("whatif=2,availability=1") == {
+            "whatif": 2.0,
+            "availability": 1.0,
+        }
+
+    def test_bare_names_get_weight_one(self):
+        assert parse_mix("echo,whatif") == {"echo": 1.0, "whatif": 1.0}
+
+    def test_repeated_names_accumulate(self):
+        assert parse_mix("echo=1,echo=2") == {"echo": 3.0}
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ServeError, match="unknown request shape"):
+            parse_mix("frobnicate=1")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ServeError, match="bad weight"):
+            parse_mix("echo=lots")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ServeError, match="positive"):
+            parse_mix("echo=0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServeError, match="empty"):
+            parse_mix(" , ")
+
+    def test_every_shape_is_a_valid_protocol_body(self):
+        from repro.serve.protocol import PROTOCOL_VERSION, parse_request
+
+        for name, shape in REQUEST_SHAPES.items():
+            request = parse_request(
+                {"v": PROTOCOL_VERSION, "analysis": shape["analysis"],
+                 "params": shape["params"]}
+            )
+            assert request.analysis == shape["analysis"], name
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(samples, 0.0) == 1.0
+        assert _percentile(samples, 1.0) == 4.0
+        assert _percentile(samples, 0.5) == 3.0  # round(0.5 * 3) = 2
+
+    def test_single_sample(self):
+        assert _percentile([7.0], 0.99) == 7.0
+
+
+class TestPostRequest:
+    def test_network_failure_is_status_zero(self):
+        status, payload = post_request(
+            "http://127.0.0.1:9", {"analysis": "echo", "params": {}},
+            timeout_s=0.5,
+        )
+        assert status == 0
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "network"
+
+
+class TestLiveRun:
+    def test_short_echo_run_reports_sane_numbers(self):
+        server = EvalServer(ServeConfig(port=0, queue_bound=64)).start()
+        try:
+            report = run_loadgen(
+                LoadgenConfig(
+                    base_url=server.base_url,
+                    concurrency=2,
+                    duration_s=0.5,
+                    mix={"echo": 1.0},
+                    seed=0,
+                )
+            )
+        finally:
+            server.close(drain=True, timeout=10)
+        assert report.requests > 0
+        assert report.ok == report.requests
+        assert report.sheds == 0 and report.errors == 0
+        assert report.throughput_rps > 0
+        assert set(report.latency_ms) == {"p50", "p95", "p99", "mean", "max"}
+        assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+        assert report.by_shape["echo"] == report.requests
+        assert report.status_counts == {"200": report.requests}
+
+    def test_report_json_round_trips(self):
+        server = EvalServer(ServeConfig(port=0)).start()
+        try:
+            report = run_loadgen(
+                LoadgenConfig(base_url=server.base_url, concurrency=1,
+                              duration_s=0.2, mix={"echo": 1.0})
+            )
+        finally:
+            server.close(drain=True, timeout=10)
+        import json
+
+        blob = json.dumps(report.to_json())
+        parsed = json.loads(blob)
+        assert parsed["bench"] == "serve"
+        assert parsed["requests"] == report.requests
+        assert "mix" in parsed["config"]
+        assert report.summary()  # renders without raising

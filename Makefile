@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke
+.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,3 +57,11 @@ chaos-smoke:
 # BENCH_serve.json; CI uploads it as an artifact.
 serve-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py
+
+# Certify the online-dispatch policy subsystem: StaticPolicy outcomes
+# identical to the plan path, the hindsight baseline an upper bound on
+# every online policy, and at least one adaptive policy strictly
+# dominating a static Table-3 cell (see docs/POLICY.md).  Writes
+# BENCH_policy.json; CI uploads it as an artifact.
+policy-smoke:
+	$(PYTHON) benchmarks/policy_smoke.py

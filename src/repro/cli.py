@@ -571,6 +571,78 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _runner_exit(executor)
 
 
+def _cmd_policy(args: argparse.Namespace) -> int:
+    params = {
+        "workload": args.workload,
+        "configurations": (
+            args.configurations.split(",") if args.configurations else None
+        ),
+        "policies": args.policies if args.policies else None,
+        "nodes_per_bucket": args.nodes_per_bucket,
+        "servers": args.servers,
+    }
+    if args.json:
+        return _emit_canonical(args, "policy_frontier", params)
+    from repro.serve.analyses import evaluate_request
+    from repro.serve.protocol import PROTOCOL_VERSION, parse_request
+
+    executor = _make_executor(args)
+    payload = evaluate_request(
+        parse_request(
+            {
+                "v": PROTOCOL_VERSION,
+                "analysis": "policy_frontier",
+                "params": {k: v for k, v in params.items() if v is not None},
+            }
+        ),
+        executor=executor,
+    )
+    rows = [
+        (
+            point["configuration"],
+            point["policy"],
+            point["normalized_cost"],
+            point["expected_score"] if point["feasible"] else "-",
+            point["expected_performance"] if point["feasible"] else "-",
+            (
+                point["expected_downtime_seconds"] / 60.0
+                if point["feasible"]
+                else "inf"
+            ),
+            "*" if point["on_frontier"] else "",
+        )
+        for point in payload["points"]
+    ]
+    print(
+        format_table(
+            (
+                "configuration",
+                "policy",
+                "cost",
+                "E[score]",
+                "E[perf]",
+                "E[down] (min)",
+                "frontier",
+            ),
+            rows,
+            title=f"{args.workload} policy frontier "
+            "(Figure 1(b) duration weighting)",
+        )
+    )
+    bound = payload["hindsight_is_upper_bound"]
+    dominations = payload["adaptive_dominations"]
+    print(f"hindsight upper bound holds: {'yes' if bound else 'NO'}")
+    print(f"adaptive-over-static dominations: {len(dominations)}")
+    _print_run_stats(executor)
+    if not bound:
+        print(
+            "error: an online policy outscored the hindsight baseline",
+            file=sys.stderr,
+        )
+        return _runner_exit(executor) or 1
+    return _runner_exit(executor)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.app import ServeConfig, run_server
 
@@ -785,6 +857,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_flags(p_whatif, with_seed=False)
     add_json_flag(p_whatif)
     p_whatif.set_defaults(func=_cmd_whatif)
+
+    p_policy = sub.add_parser(
+        "policy",
+        help="online-policy cost/performability frontier vs. static plans",
+    )
+    p_policy.add_argument(
+        "-w", "--workload", required=True, choices=workload_names()
+    )
+    p_policy.add_argument(
+        "--configurations",
+        default=None,
+        metavar="A,B",
+        help="comma-separated Table 3 configurations (default: all nine)",
+    )
+    p_policy.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        dest="policies",
+        metavar="SPEC",
+        help="policy spec, repeatable: static:<technique>, "
+        "greedy[:serve=..,save=..,floor=..,margin=..], "
+        "lyapunov[:v=..,epoch=..,floor=..,horizon=..], hindsight "
+        "(default: the standard roster, see docs/POLICY.md)",
+    )
+    p_policy.add_argument(
+        "--nodes-per-bucket",
+        type=int,
+        default=2,
+        help="quadrature nodes per duration bucket",
+    )
+    p_policy.add_argument("--servers", type=int, default=16)
+    add_runner_flags(p_policy, with_seed=False)
+    add_json_flag(p_policy)
+    p_policy.set_defaults(func=_cmd_policy)
 
     p_sweep = sub.add_parser(
         "sweep", help="technique or configuration grid over outage durations"

@@ -78,6 +78,18 @@ class RunnerError(ReproError, RuntimeError):
     """
 
 
+class PolicyError(ReproError, ValueError):
+    """An outage-dispatch policy was misconfigured or misbehaved.
+
+    Raised by :func:`repro.policy.parse_policy` for unknown policy names
+    and out-of-range parameters, and by the policy engine when a
+    controller returns a malformed :class:`~repro.policy.PolicyDecision`
+    (no mode and no program, an unknown mode name, a program without a
+    terminal phase).  Never raised on the plan path — simulations with no
+    policy configured cannot see it.
+    """
+
+
 class FaultInjectionError(ReproError, ValueError):
     """A fault-injection plan or spec string is malformed.
 

@@ -1,0 +1,79 @@
+"""Online outage-dispatch policies and the optimal-in-hindsight baseline.
+
+The paper commits each evaluated configuration to one precompiled
+technique plan; this package supplies the *adaptive* alternative: a
+controller consulted stepwise during the outage — at outage start, hold
+expiry, or a battery review threshold — that picks the next operating
+mode from the observed state.  See ``docs/POLICY.md`` for the model and
+:mod:`repro.policy.base` for the stepping interface.
+
+Public surface:
+
+* :class:`OutagePolicy` / :class:`PolicyContext` / :class:`PolicyDecision`
+  / :class:`ModeView` — the stepping interface.
+* :class:`ModeCatalog` / :class:`PolicyMode` — the compiled mode menu.
+* :class:`StaticPolicy`, :class:`GreedyReservePolicy`,
+  :class:`LyapunovPolicy`, :class:`HindsightOptimalPolicy` — the
+  controllers.
+* :func:`parse_policy` / :func:`policy_label` — the spec grammar.
+* :func:`performability_score` — the grading scalar.
+* :func:`policy_cell` / :func:`policy_frontier_jobs` /
+  :func:`reduce_policy_frontier` — the frontier analysis, runner-shaped.
+"""
+
+from repro.policy.base import (
+    ModeView,
+    OutagePolicy,
+    PolicyContext,
+    PolicyDecision,
+    performability_score,
+)
+from repro.policy.catalog import (
+    MODE_TECHNIQUES,
+    SAVE_MODE_ORDER,
+    SERVE_MODE_ORDER,
+    ModeCatalog,
+    PolicyMode,
+)
+from repro.policy.controllers import (
+    GreedyReservePolicy,
+    LyapunovPolicy,
+    StaticPolicy,
+)
+from repro.policy.frontier import (
+    DEFAULT_POLICY_SPECS,
+    adaptive_dominations,
+    hindsight_is_upper_bound,
+    policy_cell,
+    policy_frontier_jobs,
+    reduce_policy_frontier,
+)
+from repro.policy.hindsight import HindsightOptimalPolicy, default_rivals
+from repro.policy.parse import POLICY_KINDS, parse_policy, policy_label
+
+__all__ = [
+    "ModeView",
+    "OutagePolicy",
+    "PolicyContext",
+    "PolicyDecision",
+    "performability_score",
+    "MODE_TECHNIQUES",
+    "SAVE_MODE_ORDER",
+    "SERVE_MODE_ORDER",
+    "ModeCatalog",
+    "PolicyMode",
+    "StaticPolicy",
+    "GreedyReservePolicy",
+    "LyapunovPolicy",
+    "HindsightOptimalPolicy",
+    "default_rivals",
+    "POLICY_KINDS",
+    "parse_policy",
+    "policy_label",
+    "DEFAULT_POLICY_SPECS",
+    "adaptive_dominations",
+    "hindsight_is_upper_bound",
+    "policy_cell",
+    "policy_frontier_jobs",
+    "reduce_policy_frontier",
+]

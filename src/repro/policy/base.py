@@ -1,0 +1,234 @@
+"""The policy stepping interface: observe state, pick the next move.
+
+The paper's evaluation commits every configuration to one precompiled
+:class:`~repro.techniques.base.OutagePlan` before the outage ever starts.
+This module defines the alternative the related online-control literature
+argues for (Urgaonkar et al., arXiv 1103.3099): a *policy* that is consulted
+at decision points **during** the outage — outage start, expiry of a
+self-imposed hold, the battery reaching a review threshold — and answers
+with the next move from the observed state only.
+
+The pieces:
+
+* :class:`ModeView` — what one operating mode (a compiled single-technique
+  steady state, see :mod:`repro.policy.catalog`) looks like from the
+  controller's chair: steady draw, drain rate on *this* battery, entry cost,
+  whether state survives exhaustion.
+* :class:`PolicyContext` — everything the engine reveals at a decision
+  point.  Online policies must drive off the observed fields; the outage
+  duration and the rollout oracle are populated only for policies that
+  declare themselves ``clairvoyant`` (the hindsight baseline).
+* :class:`PolicyDecision` — the answer: run a mode (optionally with a hold
+  time or an SoC review threshold), splice a full phase program (the static
+  anchor), or delegate to another policy (hindsight discovering an online
+  rival is unbeatable on this trace).
+* :class:`OutagePolicy` — the abstract controller.
+* :func:`performability_score` — the scalar every policy is graded on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import PolicyError
+from repro.sim.metrics import OutageOutcome
+from repro.techniques.base import PlanPhase
+
+
+@dataclass(frozen=True)
+class ModeView:
+    """One operating mode as the controller sees it at a decision point.
+
+    Attributes:
+        name: Catalog mode name (``full``, ``throttle``, ``sleep-l``, ...).
+        performance: Normalised throughput delivered in the steady phase.
+        power_watts: Steady-phase aggregate draw.
+        drain_per_second: State-of-charge fraction the *engine's actual
+            battery* loses per second in the steady phase (Peukert-aware;
+            0 when no UPS or zero draw, ``inf`` for a pack that cannot
+            sustain the draw at all).
+        entry_seconds: Total fixed time of the mode's entry phases.
+        entry_soc_cost: State-of-charge fraction the entry phases consume.
+        state_safe: Volatile state survives battery exhaustion in the
+            steady phase (true once state rests on disk).
+        resume_downtime_seconds: Down time to return to full service when
+            power returns while sitting in the steady phase.
+        ups_feasible: The battery's power electronics can carry the
+            steady draw at all.
+    """
+
+    name: str
+    performance: float
+    power_watts: float
+    drain_per_second: float
+    entry_seconds: float
+    entry_soc_cost: float
+    state_safe: bool
+    resume_downtime_seconds: float
+    ups_feasible: bool
+
+
+#: A candidate the hindsight oracle can score: either a complete phase
+#: program (terminal last phase) or a policy to imitate on the same trace.
+RolloutCandidate = Union[Sequence[PlanPhase], "OutagePolicy"]
+
+#: The clairvoyant rollout oracle: simulate a candidate against the exact
+#: trace being decided (same faults, same initial charge, same DG roll)
+#: and return its outcome.  Only populated for ``clairvoyant`` policies.
+RolloutFn = Callable[[RolloutCandidate], OutageOutcome]
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything the engine reveals at one decision point.
+
+    Attributes:
+        t: Seconds since outage start.
+        reason: Why the policy is being consulted — ``"outage-start"``,
+            ``"hold-expired"``, ``"reserve"`` (the review threshold fired),
+            or ``"delegated"``.
+        state_of_charge: Battery charge fraction right now (None = no UPS).
+        initial_state_of_charge: Charge when the outage began.
+        normal_power_watts: The fleet's normal operating draw.
+        modes: The mode catalog, keyed by name, with drain rates computed
+            against the engine's actual battery.
+        mode: Name of the mode currently running (None before the first
+            decision).
+        dg_pending: A usable DG is still inside its start-up/transfer gap.
+        dg_eta_seconds: Seconds until that DG can take load (``inf`` when
+            no usable DG).
+        dg_restores: The DG, once transferred, carries the full normal
+            draw — the outage effectively ends at ``dg_eta_seconds``.
+        outage_seconds: Total outage duration.  **Clairvoyant only**;
+            None for online policies.
+        rollout: The rollout oracle.  **Clairvoyant only**; None for
+            online policies.
+        datacenter: The facility under simulation.  Exposed so the static
+            anchor can compile technique plans exactly as the plan path
+            does; online controllers should drive off the observed fields.
+        catalog: The engine's :class:`~repro.policy.catalog.ModeCatalog`,
+            for policies that need a mode's actual phase program (the
+            hindsight oracle builds switch candidates from it).
+    """
+
+    t: float
+    reason: str
+    state_of_charge: Optional[float]
+    initial_state_of_charge: float
+    normal_power_watts: float
+    modes: Mapping[str, ModeView]
+    mode: Optional[str]
+    dg_pending: bool
+    dg_eta_seconds: float
+    dg_restores: bool
+    outage_seconds: Optional[float] = None
+    rollout: Optional[RolloutFn] = None
+    datacenter: Any = field(default=None, repr=False)
+    catalog: Any = field(default=None, repr=False)
+
+    @property
+    def bridging_horizon_seconds(self) -> float:
+        """Seconds the battery must bridge before someone else carries the
+        day (clairvoyant only: needs the outage duration)."""
+        if self.outage_seconds is None:
+            raise PolicyError(
+                "bridging_horizon_seconds is clairvoyant-only information"
+            )
+        if self.dg_restores:
+            return min(self.outage_seconds, self.dg_eta_seconds)
+        return self.outage_seconds
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One answer from a policy.  Exactly one of ``mode`` / ``program`` /
+    ``delegate`` must be set.
+
+    Attributes:
+        mode: Catalog mode to enter (the engine splices its entry phases,
+            if any, then its steady phase).
+        hold_seconds: Consult again after this much time in the steady
+            phase (None = run the steady phase out).
+        review_soc: Consult again (reason ``"reserve"``) when the battery
+            drops to this state of charge.  Ignored during committed
+            phases — an image write cannot be abandoned.
+        program: A complete phase program to splice wholesale, terminal
+            last phase (the static anchor and the hindsight winner use
+            this; the policy is never consulted again).
+        technique_name: Display name recorded on the outcome when
+            ``program`` is set.
+        delegate: Hand the rest of the outage to another policy (it is
+            consulted immediately with reason ``"delegated"``).
+    """
+
+    mode: Optional[str] = None
+    hold_seconds: Optional[float] = None
+    review_soc: Optional[float] = None
+    program: Optional[Tuple[PlanPhase, ...]] = None
+    technique_name: Optional[str] = None
+    delegate: Optional["OutagePolicy"] = None
+
+    def __post_init__(self) -> None:
+        set_fields = sum(
+            1 for f in (self.mode, self.program, self.delegate) if f is not None
+        )
+        if set_fields != 1:
+            raise PolicyError(
+                "a decision must set exactly one of mode/program/delegate"
+            )
+        if self.hold_seconds is not None and self.hold_seconds <= 0:
+            raise PolicyError("hold_seconds must be positive or None")
+        if self.review_soc is not None and not 0 <= self.review_soc <= 1:
+            raise PolicyError("review_soc must be in [0, 1]")
+        if self.program is not None:
+            if not self.program:
+                raise PolicyError("program must have at least one phase")
+            if not self.program[-1].is_terminal:
+                raise PolicyError("program must end in a terminal phase")
+
+
+class OutagePolicy:
+    """Base class for online outage-dispatch controllers.
+
+    A policy is consulted by the engine at decision points and must be
+    deterministic given the context — the evaluation's bit-identical
+    guarantees extend to the policy path.  Policies hold no per-outage
+    mutable state (re-decide from the context), so one instance can be
+    reused across the events of a yearly schedule.
+    """
+
+    #: Short stable identifier, set by subclasses.
+    name: str = "abstract"
+
+    #: Clairvoyant policies see the outage duration and the rollout
+    #: oracle; online policies must leave this False.
+    clairvoyant: bool = False
+
+    def decide(self, context: PolicyContext) -> PolicyDecision:
+        """The next move from the observed state."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def performability_score(outcome: OutageOutcome) -> float:
+    """The scalar policies are graded on, in ``[0, 1]``.
+
+    Mean normalised throughput *during* the outage, discounted by the
+    post-restore down time the run left behind::
+
+        score = mean_performance * T / (T + downtime_after_restore)
+
+    A policy that serves at full speed and resumes instantly scores 1;
+    one that crashes scores near 0 for short outages (the recovery tail
+    dominates) and recovers toward the crash-performance floor for long
+    ones.  This is the objective the hindsight oracle maximises and the
+    axis the frontier analysis plots against cost.
+    """
+    total = outcome.outage_seconds + outcome.downtime_after_restore_seconds
+    if total <= 0 or not math.isfinite(total):
+        return 0.0
+    return outcome.mean_performance * outcome.outage_seconds / total

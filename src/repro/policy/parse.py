@@ -1,0 +1,141 @@
+"""Parse policy spec strings into controller instances.
+
+Every surface that names a policy — the CLI, the serve protocol, job
+specs rebuilt inside worker processes — uses one spec grammar::
+
+    static:<technique>                     the equivalence anchor
+    greedy[:k=v,...]                       keys: serve, save, floor, margin
+    lyapunov[:k=v,...]                     keys: v, epoch, floor, horizon
+    hindsight                              the clairvoyant upper bound
+
+Specs are the *identity* of a policy in fingerprints and caches, so
+:func:`parse_policy` is strict (unknown kinds and keys raise
+:class:`~repro.errors.PolicyError`) and :func:`policy_label` returns the
+canonical string a spec normalises to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import PolicyError, TechniqueError
+from repro.policy.base import OutagePolicy
+from repro.policy.controllers import (
+    GreedyReservePolicy,
+    LyapunovPolicy,
+    StaticPolicy,
+)
+from repro.policy.hindsight import HindsightOptimalPolicy
+
+#: Policy kinds the grammar accepts, in presentation order.
+POLICY_KINDS: Tuple[str, ...] = ("static", "greedy", "lyapunov", "hindsight")
+
+
+def _parse_kv(arg: str, kind: str) -> Dict[str, str]:
+    pairs: Dict[str, str] = {}
+    for item in arg.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise PolicyError(
+                f"malformed {kind} option {item!r} (expected key=value)"
+            )
+        key, _, value = item.partition("=")
+        key, value = key.strip(), value.strip()
+        if key in pairs:
+            raise PolicyError(f"duplicate {kind} option {key!r}")
+        pairs[key] = value
+    return pairs
+
+
+def _float_option(kind: str, key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise PolicyError(
+            f"{kind} option {key}={value!r} is not a number"
+        ) from None
+
+
+def _make_greedy(arg: Optional[str]) -> GreedyReservePolicy:
+    options = _parse_kv(arg or "", "greedy")
+    kwargs: Dict[str, object] = {}
+    for key, value in options.items():
+        if key in ("serve", "save"):
+            kwargs[key] = value
+        elif key == "floor":
+            kwargs["reserve_floor"] = _float_option("greedy", key, value)
+        elif key == "margin":
+            kwargs["margin"] = _float_option("greedy", key, value)
+        else:
+            raise PolicyError(
+                f"unknown greedy option {key!r} (have serve, save, floor, margin)"
+            )
+    return GreedyReservePolicy(**kwargs)  # type: ignore[arg-type]
+
+
+def _make_lyapunov(arg: Optional[str]) -> LyapunovPolicy:
+    options = _parse_kv(arg or "", "lyapunov")
+    kwargs: Dict[str, float] = {}
+    names = {
+        "v": "v",
+        "epoch": "epoch_seconds",
+        "floor": "reserve_floor",
+        "horizon": "horizon_seconds",
+    }
+    for key, value in options.items():
+        if key not in names:
+            raise PolicyError(
+                f"unknown lyapunov option {key!r} (have v, epoch, floor, horizon)"
+            )
+        kwargs[names[key]] = _float_option("lyapunov", key, value)
+    return LyapunovPolicy(**kwargs)
+
+
+def _make_static(arg: Optional[str]) -> StaticPolicy:
+    if not arg:
+        raise PolicyError("static policy needs a technique: static:<technique>")
+    try:
+        return StaticPolicy(arg)
+    except TechniqueError as exc:
+        raise PolicyError(f"static policy: {exc}") from exc
+
+
+def _make_hindsight(arg: Optional[str]) -> HindsightOptimalPolicy:
+    if arg:
+        raise PolicyError("hindsight takes no options")
+    return HindsightOptimalPolicy()
+
+
+_MAKERS: Mapping[str, Callable[[Optional[str]], OutagePolicy]] = {
+    "static": _make_static,
+    "greedy": _make_greedy,
+    "lyapunov": _make_lyapunov,
+    "hindsight": _make_hindsight,
+}
+
+
+def parse_policy(spec: str) -> OutagePolicy:
+    """Build the controller a spec string describes.
+
+    Raises:
+        PolicyError: Unknown kind, unknown or malformed option, or (for
+            ``static``) an unregistered technique name.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise PolicyError("policy spec must be a non-empty string")
+    spec = spec.strip()
+    kind, sep, arg = spec.partition(":")
+    kind = kind.strip().lower()
+    maker = _MAKERS.get(kind)
+    if maker is None:
+        raise PolicyError(
+            f"unknown policy kind {kind!r}; have {', '.join(POLICY_KINDS)}"
+        )
+    return maker(arg.strip() if sep else None)
+
+
+def policy_label(spec: str) -> str:
+    """The canonical display label for a spec (parses it to validate)."""
+    return parse_policy(spec).name

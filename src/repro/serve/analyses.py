@@ -150,6 +150,22 @@ def _build_whatif(params: Mapping[str, Any]) -> Tuple[List[Job], FinishFn]:
     return jobs, lambda values: _whatif_record(values[0])
 
 
+def _build_policy_frontier(params: Mapping[str, Any]) -> Tuple[List[Job], FinishFn]:
+    from repro.policy.frontier import (
+        policy_frontier_jobs,
+        reduce_policy_frontier,
+    )
+
+    jobs = policy_frontier_jobs(
+        params["workload"],
+        params["configurations"],
+        params["policies"],
+        nodes_per_bucket=params["nodes_per_bucket"],
+        num_servers=params["servers"],
+    )
+    return jobs, lambda values: reduce_policy_frontier(values)
+
+
 def _build_echo(params: Mapping[str, Any]) -> Tuple[List[Job], FinishFn]:
     jobs = make_jobs(_echo_cell, [dict(params)], labels=["echo"])
     return jobs, lambda values: values[0]
@@ -160,6 +176,7 @@ _BUILDERS: Dict[str, Callable[[Mapping[str, Any]], Tuple[List[Job], FinishFn]]] 
     "rank": _build_rank,
     "sweep": _build_sweep,
     "whatif": _build_whatif,
+    "policy_frontier": _build_policy_frontier,
     "echo": _build_echo,
 }
 

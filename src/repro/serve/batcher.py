@@ -117,6 +117,9 @@ class Batcher:
         self.batches = 0
         self.jobs_run = 0
         self.failures = 0
+        #: Per-analysis breakdown of the totals above (``/stats`` shows
+        #: which analyses the traffic is made of, not just how much).
+        self.by_analysis: Dict[str, Dict[str, int]] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -168,12 +171,15 @@ class Batcher:
             if self._closed:
                 raise ServeError("server is shutting down")
             self._count("serve.requests")
+            self._count(f"serve.requests[{request.analysis}]")
             self.requests += 1
+            self._analysis_stat(request.analysis)["requests"] += 1
             existing = self._pending.get(request.fingerprint)
             if existing is not None:
                 existing.riders += 1
                 self.coalesced += 1
                 self._count("serve.coalesced")
+                self._analysis_stat(request.analysis)["coalesced"] += 1
                 return existing.future
             if len(self._queue) >= self.queue_bound:
                 self.sheds += 1
@@ -262,6 +268,9 @@ class Batcher:
                 entry_jobs, finish = analyses.build(entry.request)
             except Exception as exc:  # noqa: BLE001 - per-request isolation
                 with self._lock:
+                    self.failures += 1
+                    self._count("serve.failures")
+                    self._analysis_stat(entry.request.analysis)["failures"] += 1
                     self._resolve_error(entry, exc)
                 continue
             start = len(jobs)
@@ -290,6 +299,13 @@ class Batcher:
             self.jobs_run += len(jobs)
             self._count("serve.jobs", len(jobs))
             self._observe("serve.batch_seconds", elapsed)
+            batched_analyses = set()
+            for entry, _, start, end in ranges:
+                analysis = entry.request.analysis
+                self._analysis_stat(analysis)["jobs"] += end - start
+                batched_analyses.add(analysis)
+            for analysis in batched_analyses:
+                self._analysis_stat(analysis)["batches"] += 1
 
         failed_by_index = {f.index: f for f in report.failures}
         for entry, finish, start, end in ranges:
@@ -303,6 +319,7 @@ class Batcher:
                 with self._lock:
                     self.failures += 1
                     self._count("serve.failures")
+                    self._analysis_stat(entry.request.analysis)["failures"] += 1
                     self._resolve_error(
                         entry,
                         ServeError(
@@ -317,6 +334,7 @@ class Batcher:
                 with self._lock:
                     self.failures += 1
                     self._count("serve.failures")
+                    self._analysis_stat(entry.request.analysis)["failures"] += 1
                     self._resolve_error(entry, exc)
                 continue
             meta = {
@@ -353,6 +371,20 @@ class Batcher:
 
     # -- telemetry -------------------------------------------------------------
 
+    def _analysis_stat(self, analysis: str) -> Dict[str, int]:
+        """Per-analysis counter row; caller holds the lock."""
+        row = self.by_analysis.get(analysis)
+        if row is None:
+            row = {
+                "requests": 0,
+                "coalesced": 0,
+                "batches": 0,
+                "jobs": 0,
+                "failures": 0,
+            }
+            self.by_analysis[analysis] = row
+        return row
+
     def _count(self, name: str, n: float = 1) -> None:
         if self._metrics is not None:
             self._metrics.counter(name).inc(n)
@@ -380,4 +412,8 @@ class Batcher:
                 "in_flight": len(self._pending) - len(self._queue),
                 "queue_bound": self.queue_bound,
                 "max_batch": self.max_batch,
+                "analyses": {
+                    name: dict(row)
+                    for name, row in sorted(self.by_analysis.items())
+                },
             }

@@ -261,6 +261,58 @@ def _normalize_whatif(params: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _policy_specs(params: Mapping[str, Any]) -> List[str]:
+    from repro.errors import PolicyError
+    from repro.policy.parse import parse_policy
+
+    specs = params["policies"]
+    if (
+        not isinstance(specs, (list, tuple))
+        or not specs
+        or not all(isinstance(s, str) and s for s in specs)
+    ):
+        raise ProtocolError(
+            "param 'policies' must be a non-empty list of policy specs"
+        )
+    for spec in specs:
+        try:
+            parse_policy(spec)
+        except PolicyError as exc:
+            raise ProtocolError(f"invalid policy spec {spec!r}: {exc}") from exc
+    return list(specs)
+
+
+def _normalize_policy_frontier(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.core.configurations import PAPER_CONFIGURATIONS
+    from repro.policy.frontier import DEFAULT_POLICY_SPECS
+
+    merged: Dict[str, Any] = {
+        "configurations": None,
+        "policies": list(DEFAULT_POLICY_SPECS),
+        "nodes_per_bucket": 2,
+        "servers": 16,
+        **params,
+    }
+    valid = tuple(c.name for c in PAPER_CONFIGURATIONS)
+    if merged["configurations"] is None:
+        merged["configurations"] = list(valid)
+    configurations = _name_list(merged, "configurations", valid)
+    policies = _policy_specs(merged)
+    if len(configurations) * len(policies) > MAX_SWEEP_CELLS:
+        raise ProtocolError(
+            f"policy_frontier grid too large "
+            f"({len(configurations)}x{len(policies)}); "
+            f"at most {MAX_SWEEP_CELLS} cells per request"
+        )
+    return {
+        "workload": _workload(merged),
+        "configurations": configurations,
+        "policies": policies,
+        "nodes_per_bucket": _int_in(merged, "nodes_per_bucket", 1, 20),
+        "servers": _int_in(merged, "servers", 1, 1_000_000),
+    }
+
+
 def _normalize_echo(params: Mapping[str, Any]) -> Dict[str, Any]:
     merged: Dict[str, Any] = {"payload": None, "sleep_s": 0.0, **params}
     sleep_s = merged["sleep_s"]
@@ -296,6 +348,11 @@ _SCHEMAS: Dict[str, Tuple[Any, Tuple[str, ...]]] = {
     "whatif": (
         _normalize_whatif,
         ("workload", "configuration", "technique", "nodes_per_bucket",
+         "servers"),
+    ),
+    "policy_frontier": (
+        _normalize_policy_frontier,
+        ("workload", "configurations", "policies", "nodes_per_bucket",
          "servers"),
     ),
     # Diagnostics: returns its payload after an optional bounded sleep.

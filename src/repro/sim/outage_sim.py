@@ -122,17 +122,20 @@ class OutageSimulator:
 
     def run(
         self,
-        plan: OutagePlan,
+        plan: Optional[OutagePlan],
         outage_seconds: float,
         lost_work_seconds: Optional[float] = None,
         initial_state_of_charge: float = 1.0,
         dg_starts: bool = True,
         faults: Optional[FaultDraw] = None,
+        policy: Optional[object] = None,
+        catalog: Optional[object] = None,
     ) -> OutageOutcome:
         """Simulate one outage of ``outage_seconds`` under ``plan``.
 
         Args:
-            plan: The technique's compiled plan.
+            plan: The technique's compiled plan.  ``None`` when a
+                ``policy`` drives the outage instead.
             outage_seconds: Utility outage duration.
             lost_work_seconds: Work to recompute if a crash occurs (defaults
                 to the workload's expected loss — half its recompute
@@ -148,9 +151,33 @@ class OutageSimulator:
                 trip, battery capacity fade, ATS transfer failure/delay,
                 PSU hold-up loss).  ``None`` (the default) is the
                 fault-free path and costs nothing.
+            policy: Optional :class:`~repro.policy.OutagePolicy` consulted
+                stepwise *during* the outage instead of a precompiled
+                plan.  Mutually exclusive with ``plan``.  ``None`` (the
+                default) is the plan path, untouched.
+            catalog: Optional precompiled
+                :class:`~repro.policy.ModeCatalog` for the policy engine
+                (compiled from the datacenter when omitted).  Ignored on
+                the plan path.
         """
         if outage_seconds <= 0:
             raise SimulationError("outage duration must be positive")
+        if policy is not None:
+            if plan is not None:
+                raise SimulationError(
+                    "pass exactly one of plan and policy, not both"
+                )
+            return self._run_policy(
+                policy,
+                outage_seconds,
+                lost_work_seconds,
+                initial_state_of_charge=initial_state_of_charge,
+                dg_starts=dg_starts,
+                faults=faults,
+                catalog=catalog,
+            )
+        if plan is None:
+            raise SimulationError("pass exactly one of plan and policy")
         if self.tracer is None:
             run = _OutageRun(
                 self.datacenter,
@@ -189,10 +216,55 @@ class OutageSimulator:
             span.set("soc_end", outcome.ups_state_of_charge_end)
             return outcome
 
+    def _run_policy(
+        self,
+        policy,
+        outage_seconds: float,
+        lost_work_seconds: Optional[float],
+        initial_state_of_charge: float,
+        dg_starts: bool,
+        faults: Optional[FaultDraw],
+        catalog,
+    ) -> OutageOutcome:
+        # Imported lazily: the plan path must not pay for (or depend on)
+        # the policy subsystem.
+        from repro.policy.engine import _PolicyRun
+
+        def execute(tracer: Optional[Tracer]) -> OutageOutcome:
+            run = _PolicyRun(
+                self.datacenter,
+                policy,
+                outage_seconds,
+                lost_work_seconds,
+                initial_state_of_charge=initial_state_of_charge,
+                dg_starts=dg_starts,
+                guard=self.guard,
+                tracer=tracer,
+                metrics=self.metrics,
+                faults=faults,
+                catalog=catalog,
+            )
+            return run.execute()
+
+        if self.tracer is None:
+            return execute(None)
+        with self.tracer.span(
+            "outage",
+            "sim",
+            technique=f"policy:{policy.name}",
+            outage_seconds=float(outage_seconds),
+            dg_starts=dg_starts,
+        ) as span:
+            outcome = execute(self.tracer)
+            span.set("crashed", outcome.crashed)
+            span.set("downtime_seconds", outcome.downtime_seconds)
+            span.set("soc_end", outcome.ups_state_of_charge_end)
+            return outcome
+
 
 def simulate_outage(
     datacenter: Datacenter,
-    plan: OutagePlan,
+    plan: Optional[OutagePlan],
     outage_seconds: float,
     lost_work_seconds: Optional[float] = None,
     initial_state_of_charge: float = 1.0,
@@ -201,6 +273,8 @@ def simulate_outage(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[FaultDraw] = None,
+    policy=None,
+    catalog=None,
 ) -> OutageOutcome:
     """Functional convenience wrapper over :class:`OutageSimulator`."""
     return OutageSimulator(datacenter, guard=guard, tracer=tracer, metrics=metrics).run(
@@ -210,6 +284,8 @@ def simulate_outage(
         initial_state_of_charge=initial_state_of_charge,
         dg_starts=dg_starts,
         faults=faults,
+        policy=policy,
+        catalog=catalog,
     )
 
 

@@ -66,7 +66,8 @@ class YearlyRunner:
 
     Args:
         datacenter: The facility under study.
-        plan: The compiled outage plan executed at every event.
+        plan: The compiled outage plan executed at every event.  ``None``
+            when ``policy`` drives the events instead.
         recharge_seconds: Full battery recharge time (linear refill between
             outages).
         rng: Source for DG start rolls (None -> deterministic: the engine
@@ -82,22 +83,37 @@ class YearlyRunner:
             consumes a fixed variate budget per draw regardless of what
             activates, so results stay deterministic for a given seed; None
             (the default) is the fault-free path.
+        policy: Optional :class:`~repro.policy.OutagePolicy` consulted
+            stepwise during every event instead of a precompiled plan.
+            Mutually exclusive with ``plan``; the mode catalog is compiled
+            once here and shared across the schedule's events.
     """
 
     def __init__(
         self,
         datacenter: Datacenter,
-        plan: OutagePlan,
+        plan: Optional[OutagePlan],
         recharge_seconds: float = DEFAULT_RECHARGE_SECONDS,
         rng: Optional[np.random.Generator] = None,
         strict: bool = False,
         guard: Optional[InvariantGuard] = None,
         injector: Optional[FaultInjector] = None,
+        policy=None,
     ):
         if recharge_seconds <= 0:
             raise SimulationError("recharge_seconds must be positive")
+        if (plan is None) == (policy is None):
+            raise SimulationError("pass exactly one of plan and policy")
         self.datacenter = datacenter
         self.plan = plan
+        self.policy = policy
+        self.catalog = None
+        if policy is not None:
+            # Imported lazily: the plan path must not pay for the policy
+            # subsystem.  Compiling once amortises the per-event cost.
+            from repro.policy.catalog import ModeCatalog
+
+            self.catalog = ModeCatalog.compile(datacenter)
         self.recharge_seconds = recharge_seconds
         self.rng = rng
         self.guard = guard if guard is not None else (
@@ -128,9 +144,12 @@ class YearlyRunner:
         """
         if self._tracer is None:
             return self._run_schedule(schedule)
-        with self._tracer.span(
-            "schedule", "sim", technique=self.plan.technique_name
-        ) as span:
+        technique = (
+            self.plan.technique_name
+            if self.plan is not None
+            else f"policy:{self.policy.name}"
+        )
+        with self._tracer.span("schedule", "sim", technique=technique) as span:
             result = self._run_schedule(schedule)
             span.set("outages", len(result.outcomes))
             span.set("crashes", result.crashes)
@@ -175,6 +194,8 @@ class YearlyRunner:
                 dg_starts=dg_starts,
                 guard=self.guard,
                 faults=draw,
+                policy=self.policy,
+                catalog=self.catalog,
             )
             outcomes.append(outcome)
             if self.guard is not None:

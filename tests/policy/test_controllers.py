@@ -1,0 +1,150 @@
+"""Controller behavior and the policy-spec grammar."""
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter
+from repro.errors import PolicyError
+from repro.policy import (
+    GreedyReservePolicy,
+    HindsightOptimalPolicy,
+    LyapunovPolicy,
+    ModeCatalog,
+    POLICY_KINDS,
+    StaticPolicy,
+    parse_policy,
+    policy_label,
+)
+from repro.sim.outage_sim import simulate_outage
+from repro.workloads.registry import get_workload
+
+
+def _datacenter(config="LargeEUPS", workload="websearch"):
+    return make_datacenter(get_workload(workload), get_configuration(config))
+
+
+class TestParameterValidation:
+    def test_greedy_rejects_bad_knobs(self):
+        with pytest.raises(PolicyError):
+            GreedyReservePolicy(reserve_floor=1.0)
+        with pytest.raises(PolicyError):
+            GreedyReservePolicy(reserve_floor=-0.1)
+        with pytest.raises(PolicyError):
+            GreedyReservePolicy(margin=0.5)
+
+    def test_lyapunov_rejects_bad_knobs(self):
+        with pytest.raises(PolicyError):
+            LyapunovPolicy(v=0.0)
+        with pytest.raises(PolicyError):
+            LyapunovPolicy(epoch_seconds=-1.0)
+        with pytest.raises(PolicyError):
+            LyapunovPolicy(reserve_floor=1.0)
+        with pytest.raises(PolicyError):
+            LyapunovPolicy(horizon_seconds=0.0)
+
+    def test_hindsight_rejects_clairvoyant_rivals(self):
+        with pytest.raises(PolicyError):
+            HindsightOptimalPolicy(rivals=(HindsightOptimalPolicy(),))
+
+
+class TestBehavior:
+    def test_greedy_serves_then_parks(self):
+        """A long outage on a battery-only config: greedy must first serve
+        (full performance early) and park before exhaustion (no crash)."""
+        dc = _datacenter("LargeEUPS")
+        outcome = simulate_outage(
+            dc, None, 4 * 3600.0, policy=GreedyReservePolicy()
+        )
+        assert not outcome.crashed
+        assert outcome.state_preserved
+        assert outcome.mean_performance > 0.0
+
+    def test_greedy_short_outage_never_parks(self):
+        dc = _datacenter("LargeEUPS")
+        outcome = simulate_outage(
+            dc, None, 60.0, policy=GreedyReservePolicy()
+        )
+        assert outcome.mean_performance == pytest.approx(1.0)
+
+    def test_greedy_explicit_modes_respected(self):
+        dc = _datacenter("LargeEUPS")
+        policy = GreedyReservePolicy(serve="throttle", save="sleep-l")
+        outcome = simulate_outage(dc, None, 120.0, policy=policy)
+        throttle = ModeCatalog.compile(dc).get("throttle")
+        assert outcome.mean_performance == pytest.approx(throttle.performance)
+
+    def test_lyapunov_full_battery_serves(self):
+        """At full charge the queue term vanishes, so serving wins."""
+        dc = _datacenter("LargeEUPS")
+        outcome = simulate_outage(
+            dc, None, 120.0, policy=LyapunovPolicy(v=1.0)
+        )
+        assert outcome.mean_performance == pytest.approx(1.0)
+
+    def test_lyapunov_tiny_v_parks_early(self):
+        """With v ~ 0 serving is worthless, so drift dominates and the
+        controller parks almost immediately."""
+        dc = _datacenter("LargeEUPS")
+        eager = simulate_outage(
+            dc, None, 3600.0, policy=LyapunovPolicy(v=1e-9)
+        )
+        patient = simulate_outage(
+            dc, None, 3600.0, policy=LyapunovPolicy(v=100.0)
+        )
+        assert eager.mean_performance < patient.mean_performance
+        assert not eager.crashed
+
+    def test_lyapunov_never_crashes_on_long_outage(self):
+        dc = _datacenter("LargeEUPS")
+        outcome = simulate_outage(
+            dc, None, 8 * 3600.0, policy=LyapunovPolicy()
+        )
+        assert not outcome.crashed
+        assert outcome.state_preserved
+
+
+class TestSpecGrammar:
+    def test_kind_roundtrip(self):
+        assert isinstance(parse_policy("static:sleep-l"), StaticPolicy)
+        assert isinstance(parse_policy("greedy"), GreedyReservePolicy)
+        assert isinstance(parse_policy("lyapunov"), LyapunovPolicy)
+        assert isinstance(parse_policy("hindsight"), HindsightOptimalPolicy)
+        assert set(POLICY_KINDS) == {"static", "greedy", "lyapunov", "hindsight"}
+
+    def test_options_are_applied(self):
+        greedy = parse_policy("greedy:serve=throttle,save=sleep-l,floor=0.1,margin=3")
+        assert greedy.serve == "throttle"
+        assert greedy.save == "sleep-l"
+        assert greedy.reserve_floor == pytest.approx(0.1)
+        assert greedy.margin == pytest.approx(3.0)
+        lyapunov = parse_policy("lyapunov:v=5,epoch=60,floor=0.02,horizon=1800")
+        assert lyapunov.v == pytest.approx(5.0)
+        assert lyapunov.epoch_seconds == pytest.approx(60.0)
+        assert lyapunov.reserve_floor == pytest.approx(0.02)
+        assert lyapunov.horizon_seconds == pytest.approx(1800.0)
+
+    @pytest.mark.parametrize(
+        "bad_spec",
+        [
+            "",
+            "   ",
+            "warp-drive",
+            "static",  # technique required
+            "static:",
+            "static:not-a-technique",
+            "greedy:floor",  # not key=value
+            "greedy:floor=0.1,floor=0.2",  # duplicate
+            "greedy:turbo=1",  # unknown key
+            "greedy:margin=fast",  # not a number
+            "lyapunov:volts=3",
+            "hindsight:v=1",  # no options allowed
+        ],
+    )
+    def test_bad_specs_raise(self, bad_spec):
+        with pytest.raises(PolicyError):
+            parse_policy(bad_spec)
+
+    def test_labels(self):
+        assert policy_label("static:sleep-l") == "static:sleep-l"
+        assert policy_label("greedy:floor=0.2") == "greedy"
+        assert policy_label("  hindsight  ") == "hindsight"

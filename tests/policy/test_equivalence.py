@@ -1,0 +1,127 @@
+"""The anchor property: StaticPolicy through the policy engine is
+bit-identical to the plan path, for every registered technique."""
+
+import math
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import (
+    make_datacenter,
+    plan_power_budget_watts,
+)
+from repro.errors import TechniqueError
+from repro.policy import ModeCatalog, StaticPolicy
+from repro.sim.outage_sim import simulate_outage
+from repro.techniques.base import TechniqueContext
+from repro.techniques.registry import get_technique, technique_names
+from repro.workloads.registry import get_workload
+
+CONFIGS = ("LargeEUPS", "NoDG", "DG-SmallPUPS", "MaxPerf", "NoUPS")
+DURATIONS = (30.0, 400.0, 3600.0)
+
+
+def _pairing(config_name):
+    workload = get_workload("websearch")
+    datacenter = make_datacenter(workload, get_configuration(config_name))
+    context = TechniqueContext(
+        cluster=datacenter.cluster,
+        workload=workload,
+        power_budget_watts=plan_power_budget_watts(datacenter),
+    )
+    return datacenter, context
+
+
+@pytest.mark.parametrize("technique_name", technique_names())
+def test_static_policy_matches_plan_path_every_technique(technique_name):
+    """Every registered technique (hybrids and -p variants included):
+    outcome dataclasses compare equal field for field."""
+    technique = get_technique(technique_name)
+    checked = 0
+    for config_name in ("LargeEUPS", "DG-SmallPUPS"):
+        datacenter, context = _pairing(config_name)
+        try:
+            plan = technique.compile_plan(context)
+        except TechniqueError:
+            continue  # infeasible for both paths alike
+        catalog = ModeCatalog.compile(datacenter)
+        for duration in DURATIONS:
+            planned = simulate_outage(datacenter, plan, duration)
+            policied = simulate_outage(
+                datacenter,
+                None,
+                duration,
+                policy=StaticPolicy(technique_name),
+                catalog=catalog,
+            )
+            assert planned == policied
+            checked += 1
+    assert checked > 0, f"{technique_name} compiled nowhere"
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+def test_static_policy_matches_under_state(config_name):
+    """Partial charge and a dead DG thread through identically."""
+    datacenter, context = _pairing(config_name)
+    plan = get_technique("sleep-l").compile_plan(context)
+    catalog = ModeCatalog.compile(datacenter)
+    for soc in (1.0, 0.6, 0.2):
+        for dg_starts in (True, False):
+            planned = simulate_outage(
+                datacenter,
+                plan,
+                900.0,
+                initial_state_of_charge=soc,
+                dg_starts=dg_starts,
+            )
+            policied = simulate_outage(
+                datacenter,
+                None,
+                900.0,
+                initial_state_of_charge=soc,
+                dg_starts=dg_starts,
+                policy=StaticPolicy("sleep-l"),
+                catalog=catalog,
+            )
+            assert planned == policied
+
+
+def test_static_policy_matches_under_faults():
+    """A fault draw (battery fade + dead DG) hits both paths the same."""
+    from repro.faults import FaultDraw
+
+    datacenter, context = _pairing("LargeEUPS")
+    plan = get_technique("full-service").compile_plan(context)
+    catalog = ModeCatalog.compile(datacenter)
+    draw = FaultDraw(battery_capacity_factor=0.7, dg_starts=False)
+    planned = simulate_outage(datacenter, plan, 1200.0, faults=draw)
+    policied = simulate_outage(
+        datacenter,
+        None,
+        1200.0,
+        faults=draw,
+        policy=StaticPolicy("full-service"),
+        catalog=catalog,
+    )
+    assert planned == policied
+    assert policied.mean_performance <= 1.0
+
+
+def test_outcome_traces_match():
+    """Even the per-segment power trace is identical."""
+    datacenter, context = _pairing("NoDG")
+    plan = get_technique("hibernate").compile_plan(context)
+    catalog = ModeCatalog.compile(datacenter)
+    planned = simulate_outage(datacenter, plan, 2400.0)
+    policied = simulate_outage(
+        datacenter,
+        None,
+        2400.0,
+        policy=StaticPolicy("hibernate"),
+        catalog=catalog,
+    )
+    assert planned.trace == policied.trace
+    assert planned.technique_name == policied.technique_name
+    assert math.isclose(
+        planned.ups_energy_joules, policied.ups_energy_joules, rel_tol=0.0
+    )

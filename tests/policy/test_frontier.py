@@ -1,0 +1,161 @@
+"""The policy_frontier analysis: cells, reduce, bound and dominations."""
+
+import math
+
+import pytest
+
+from repro.policy import (
+    DEFAULT_POLICY_SPECS,
+    adaptive_dominations,
+    hindsight_is_upper_bound,
+    policy_cell,
+    policy_frontier_jobs,
+    reduce_policy_frontier,
+)
+
+
+def _spec(policy, configuration="LargeEUPS", **overrides):
+    spec = {
+        "workload": "websearch",
+        "configuration": configuration,
+        "policy": policy,
+        "nodes_per_bucket": 1,
+        "servers": 16,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def _record(policy="greedy", configuration="C", cost=1.0, score=0.5, **over):
+    record = {
+        "workload": "websearch",
+        "configuration": configuration,
+        "policy": policy,
+        "label": policy,
+        "adaptive": not policy.startswith("static:"),
+        "clairvoyant": policy == "hindsight",
+        "normalized_cost": cost,
+        "feasible": True,
+        "expected_score": score,
+        "expected_performance": score,
+        "expected_downtime_seconds": 0.0,
+        "crash_probability": 0.0,
+    }
+    record.update(over)
+    return record
+
+
+class TestPolicyCell:
+    def test_record_shape_and_determinism(self):
+        first = policy_cell(_spec("greedy"), seed=1)
+        second = policy_cell(_spec("greedy"), seed=999)
+        assert first == second  # seed is ignored; quadrature deterministic
+        assert first["feasible"]
+        assert first["adaptive"]
+        assert not first["clairvoyant"]
+        assert 0.0 <= first["expected_score"] <= 1.0
+        assert 0.0 <= first["crash_probability"] <= 1.0
+        assert first["normalized_cost"] > 0
+
+    def test_static_cell_is_not_adaptive(self):
+        record = policy_cell(_spec("static:sleep-l"), seed=0)
+        assert not record["adaptive"]
+        assert record["label"] == "static:sleep-l"
+
+    def test_infeasible_static_cell(self):
+        """migration needs spare capacity; NoUPS+NoDG-style budget squeezes
+        can make a static technique uncompilable — the cell degrades."""
+        record = policy_cell(_spec("static:migration", "NoUPS"), seed=0)
+        if not record["feasible"]:
+            assert math.isinf(record["expected_downtime_seconds"])
+            assert record["crash_probability"] == 1.0
+            assert record["expected_score"] == 0.0
+
+    def test_hindsight_cell_bounds_online(self):
+        greedy = policy_cell(_spec("greedy"), seed=0)
+        hindsight = policy_cell(_spec("hindsight"), seed=0)
+        assert hindsight["clairvoyant"]
+        assert (
+            hindsight["expected_score"] >= greedy["expected_score"] - 1e-9
+        )
+
+
+class TestJobs:
+    def test_grid_order_and_labels(self):
+        jobs = policy_frontier_jobs(
+            "websearch", ["MaxPerf", "NoDG"], ["greedy", "hindsight"]
+        )
+        assert [j.label for j in jobs] == [
+            "policy:websearch/MaxPerf/greedy",
+            "policy:websearch/MaxPerf/hindsight",
+            "policy:websearch/NoDG/greedy",
+            "policy:websearch/NoDG/hindsight",
+        ]
+
+    def test_default_roster(self):
+        jobs = policy_frontier_jobs("websearch", ["MaxPerf"])
+        assert len(jobs) == len(DEFAULT_POLICY_SPECS)
+
+
+class TestReduce:
+    def test_payload_keys_and_frontier_flags(self):
+        records = [
+            _record("static:sleep-l", "A", cost=1.0, score=0.4),
+            _record("greedy", "A", cost=1.0, score=0.6),
+            _record("greedy", "B", cost=2.0, score=0.5),  # dominated
+        ]
+        payload = reduce_policy_frontier(records)
+        assert set(payload) == {
+            "points",
+            "frontier",
+            "hindsight_is_upper_bound",
+            "adaptive_dominations",
+        }
+        flags = [p["on_frontier"] for p in payload["points"]]
+        assert flags == [False, True, False]
+        assert len(payload["frontier"]) == 1
+        assert payload["frontier"][0]["policy"] == "greedy"
+
+    def test_infeasible_records_never_on_frontier(self):
+        records = [
+            _record("greedy", "A", cost=0.1, score=0.9, feasible=False),
+            _record("static:sleep-l", "A", cost=1.0, score=0.2),
+        ]
+        payload = reduce_policy_frontier(records)
+        assert not payload["points"][0]["on_frontier"]
+        assert payload["points"][1]["on_frontier"]
+
+    def test_bound_check_catches_violation(self):
+        records = [
+            _record("hindsight", "A", score=0.5),
+            _record("greedy", "A", score=0.7),  # beats the oracle: bug
+        ]
+        assert not hindsight_is_upper_bound(records)
+        records[1]["expected_score"] = 0.5
+        assert hindsight_is_upper_bound(records)
+
+    def test_bound_check_scoped_per_configuration(self):
+        """A clairvoyant cell on A says nothing about configuration B."""
+        records = [
+            _record("hindsight", "A", score=0.5),
+            _record("greedy", "B", score=0.9),
+        ]
+        assert hindsight_is_upper_bound(records)
+
+    def test_dominations_exclude_clairvoyant(self):
+        records = [
+            _record("hindsight", "A", cost=1.0, score=0.9),
+            _record("greedy", "A", cost=1.0, score=0.8),
+            _record("static:sleep-l", "A", cost=1.0, score=0.4),
+        ]
+        dominations = adaptive_dominations(records)
+        assert len(dominations) == 1
+        assert dominations[0]["adaptive"]["policy"] == "greedy"
+        assert dominations[0]["static"]["policy"] == "static:sleep-l"
+
+    def test_dominations_require_strictness(self):
+        records = [
+            _record("greedy", "A", cost=1.0, score=0.4),
+            _record("static:sleep-l", "A", cost=1.0, score=0.4),
+        ]
+        assert adaptive_dominations(records) == []

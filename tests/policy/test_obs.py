@@ -1,0 +1,118 @@
+"""policy.* observability: counters, decision events, and the
+zero-overhead contract (no obs wiring => outcomes identical)."""
+
+import pytest
+
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter
+from repro.obs import MetricsRegistry, Tracer
+from repro.policy import GreedyReservePolicy, LyapunovPolicy
+from repro.sim.outage_sim import simulate_outage
+from repro.workloads.registry import get_workload
+
+
+def _datacenter(config="LargeEUPS"):
+    return make_datacenter(
+        get_workload("websearch"), get_configuration(config)
+    )
+
+
+def test_decision_counters_by_mode():
+    metrics = MetricsRegistry()
+    dc = _datacenter()
+    simulate_outage(
+        dc, None, 4 * 3600.0, policy=GreedyReservePolicy(), metrics=metrics
+    )
+    snapshot = metrics.snapshot()
+    decision_keys = [k for k in snapshot if k.startswith("policy.decisions[")]
+    assert decision_keys, "no per-mode decision counters recorded"
+    assert sum(snapshot[k]["value"] for k in decision_keys) >= 2
+    # Greedy served, then parked: exactly one switch, triggered by the
+    # reserve threshold.
+    assert snapshot["policy.switches"]["value"] == 1
+    assert snapshot["policy.reserve_averted"]["value"] == 1
+
+
+def test_no_switch_no_switch_counter():
+    metrics = MetricsRegistry()
+    dc = _datacenter()
+    simulate_outage(
+        dc, None, 60.0, policy=GreedyReservePolicy(), metrics=metrics
+    )
+    assert "policy.switches" not in metrics.snapshot()
+
+
+def test_decision_events_in_trace():
+    tracer = Tracer()
+    dc = _datacenter()
+    simulate_outage(
+        dc,
+        None,
+        4 * 3600.0,
+        policy=LyapunovPolicy(epoch_seconds=1800.0),
+        tracer=tracer,
+    )
+    outage_spans = [r for r in tracer.records if r["name"] == "outage"]
+    assert len(outage_spans) == 1
+    assert outage_spans[0]["attrs"]["technique"] == "policy:lyapunov"
+    # Decisions land on whichever span is open when they fire: the outage
+    # span for the first, the running phase span for re-decisions.
+    decisions = [
+        e
+        for r in tracer.records
+        for e in r["events"]
+        if e["name"] == "policy-decision"
+    ]
+    assert len(decisions) >= 2  # epochs re-decide
+    first = min(decisions, key=lambda e: e["attrs"]["t"])
+    assert first["attrs"]["reason"] == "outage-start"
+    assert first["attrs"]["policy"] == "lyapunov"
+    assert {e["attrs"]["reason"] for e in decisions} >= {
+        "outage-start",
+        "hold-expired",
+    }
+    assert all(e["attrs"]["t"] >= 0.0 for e in decisions)
+
+
+def test_obs_off_is_pure():
+    """No tracer, no metrics: the outcome is the same object graph the
+    instrumented run produces — observability never steers the policy."""
+    dc = _datacenter()
+    policy = LyapunovPolicy(epoch_seconds=900.0)
+    bare = simulate_outage(dc, None, 2 * 3600.0, policy=policy)
+    instrumented = simulate_outage(
+        dc,
+        None,
+        2 * 3600.0,
+        policy=policy,
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+    )
+    assert bare == instrumented
+
+
+def test_rollouts_do_not_pollute_observability():
+    """The hindsight oracle explores dozens of candidates; none of that
+    exploration may leak into the caller's trace or counters."""
+    from repro.policy import HindsightOptimalPolicy
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    dc = _datacenter()
+    simulate_outage(
+        dc,
+        None,
+        3600.0,
+        policy=HindsightOptimalPolicy(),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    outage_spans = [r for r in tracer.records if r["name"] == "outage"]
+    assert len(outage_spans) == 1  # rollouts spawned no spans
+    snapshot = metrics.snapshot()
+    decision_total = sum(
+        v["value"]
+        for k, v in snapshot.items()
+        if k.startswith("policy.decisions[")
+    )
+    assert decision_total == 1  # one real decision; rollouts uncounted

@@ -1,0 +1,168 @@
+"""Property-based tests on the policy subsystem.
+
+Two families:
+
+* The hindsight baseline really is an upper bound: on any sampled trace
+  (configuration, duration, initial charge, DG roll) its performability
+  score is >= every online policy's score, because it scores those very
+  policies as rollout candidates before committing.
+* Strict-guard fuzz: policy-driven yearly runs over fuzzed outage
+  schedules, with fault injection on, never trip an invariant — the
+  policy engine's splicing honours the same physics the plan path does.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks.guard import InvariantGuard
+from repro.core.configurations import get_configuration
+from repro.core.performability import make_datacenter
+from repro.faults import FaultInjector, FaultPlan
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.policy import (
+    GreedyReservePolicy,
+    HindsightOptimalPolicy,
+    LyapunovPolicy,
+    performability_score,
+)
+from repro.sim.outage_sim import simulate_outage
+from repro.sim.yearly import YearlyRunner
+from repro.units import hours
+from repro.workloads.registry import get_workload
+
+config_names = st.sampled_from(
+    ["MaxPerf", "LargeEUPS", "NoDG", "DG-SmallPUPS", "SmallPUPS"]
+)
+outage_durations = st.floats(min_value=10.0, max_value=4 * 3600.0)
+charges = st.floats(min_value=0.1, max_value=1.0)
+
+
+def _datacenter(config_name):
+    return make_datacenter(
+        get_workload("websearch"), get_configuration(config_name)
+    )
+
+
+class TestHindsightBound:
+    @given(
+        cfg=config_names,
+        duration=outage_durations,
+        soc=charges,
+        dg_starts=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hindsight_bounds_every_online_policy(
+        self, cfg, duration, soc, dg_starts
+    ):
+        """Same trace, four controllers: the clairvoyant one wins."""
+        datacenter = _datacenter(cfg)
+        rivals = (GreedyReservePolicy(), LyapunovPolicy())
+        scores = {}
+        for policy in (*rivals, HindsightOptimalPolicy(rivals=rivals)):
+            outcome = simulate_outage(
+                datacenter,
+                None,
+                duration,
+                initial_state_of_charge=soc,
+                dg_starts=dg_starts,
+                policy=policy,
+            )
+            scores[policy.name] = performability_score(outcome)
+        online_best = max(scores["greedy"], scores["lyapunov"])
+        assert scores["hindsight"] >= online_best - 1e-9
+
+    @given(duration=outage_durations, soc=charges)
+    @settings(max_examples=15, deadline=None)
+    def test_scores_are_well_formed(self, duration, soc):
+        datacenter = _datacenter("LargeEUPS")
+        outcome = simulate_outage(
+            datacenter,
+            None,
+            duration,
+            initial_state_of_charge=soc,
+            policy=LyapunovPolicy(),
+        )
+        score = performability_score(outcome)
+        assert 0.0 <= score <= 1.0 + 1e-9
+        assert math.isfinite(score)
+
+
+# Fuzzed outage schedules: a handful of non-overlapping events with
+# irregular spacing and durations.
+@st.composite
+def schedules(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    events = []
+    t = 0.0
+    for _ in range(count):
+        t += draw(st.floats(min_value=60.0, max_value=hours(30)))
+        duration = draw(st.floats(min_value=15.0, max_value=2 * 3600.0))
+        events.append(OutageEvent(t, duration))
+        t += duration
+    return OutageSchedule(
+        events=tuple(events), horizon_seconds=t + hours(1)
+    )
+
+
+class TestStrictGuardFuzz:
+    @given(
+        cfg=config_names,
+        sched=schedules(),
+        policy_pick=st.sampled_from(["greedy", "lyapunov"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_policy_runs_never_trip_invariants(
+        self, cfg, sched, policy_pick, seed
+    ):
+        """Guarded, fault-injected, policy-driven schedules run clean:
+        the guard raises on any energy/SoC/trace violation."""
+        policy = (
+            GreedyReservePolicy()
+            if policy_pick == "greedy"
+            else LyapunovPolicy(epoch_seconds=600.0)
+        )
+        injector = FaultInjector(
+            FaultPlan(
+                dg_fail_to_start=0.3,
+                battery_fade=0.15,
+                battery_fade_std=0.05,
+                ats_fail=0.1,
+                ats_delay_max_seconds=20.0,
+            ),
+            seed=seed,
+        )
+        runner = YearlyRunner(
+            _datacenter(cfg),
+            None,
+            recharge_seconds=hours(8),
+            strict=True,
+            injector=injector,
+            policy=policy,
+        )
+        result = runner.run_schedule(sched)  # raises on violation
+        assert len(result.outcomes) == len(sched.events)
+
+    @given(sched=schedules(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_guarded_run_matches_unguarded(self, sched, seed):
+        """The guard observes; it must never perturb outcomes."""
+        injector_args = dict(
+            plan=FaultPlan(dg_fail_to_start=0.5, battery_fade=0.1),
+        )
+        guarded = YearlyRunner(
+            _datacenter("DG-SmallPUPS"),
+            None,
+            strict=True,
+            injector=FaultInjector(seed=seed, **injector_args),
+            policy=GreedyReservePolicy(),
+        ).run_schedule(sched)
+        unguarded = YearlyRunner(
+            _datacenter("DG-SmallPUPS"),
+            None,
+            injector=FaultInjector(seed=seed, **injector_args),
+            policy=GreedyReservePolicy(),
+        ).run_schedule(sched)
+        assert guarded.outcomes == unguarded.outcomes

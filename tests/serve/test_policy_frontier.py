@@ -1,0 +1,153 @@
+"""policy_frontier through the serve stack: protocol, analyses, stats."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.analyses import evaluate_request
+from repro.serve.batcher import Batcher
+from repro.serve.protocol import (
+    ANALYSES,
+    MAX_SWEEP_CELLS,
+    PROTOCOL_VERSION,
+    parse_request,
+)
+
+
+def body(params, analysis="policy_frontier"):
+    return {"v": PROTOCOL_VERSION, "analysis": analysis, "params": params}
+
+
+MINIMAL = {"workload": "websearch"}
+
+
+class TestNormalizer:
+    def test_registered(self):
+        assert "policy_frontier" in ANALYSES
+
+    def test_defaults_filled(self):
+        from repro.core.configurations import PAPER_CONFIGURATIONS
+        from repro.policy import DEFAULT_POLICY_SPECS
+
+        request = parse_request(body(MINIMAL))
+        assert request.params["configurations"] == [
+            c.name for c in PAPER_CONFIGURATIONS
+        ]
+        assert request.params["policies"] == list(DEFAULT_POLICY_SPECS)
+        assert request.params["nodes_per_bucket"] == 2
+        assert request.params["servers"] == 16
+
+    def test_spelled_out_defaults_share_fingerprint(self):
+        """Explicit defaults and omitted defaults are one identity — the
+        cache and the coalescer must see one request."""
+        from repro.core.configurations import PAPER_CONFIGURATIONS
+        from repro.policy import DEFAULT_POLICY_SPECS
+
+        terse = parse_request(body(MINIMAL))
+        spelled = parse_request(
+            body(
+                {
+                    "workload": "websearch",
+                    "configurations": [c.name for c in PAPER_CONFIGURATIONS],
+                    "policies": list(DEFAULT_POLICY_SPECS),
+                    "nodes_per_bucket": 2,
+                    "servers": 16,
+                }
+            )
+        )
+        assert terse.fingerprint == spelled.fingerprint
+
+    def test_different_policies_differ(self):
+        a = parse_request(body({**MINIMAL, "policies": ["greedy"]}))
+        b = parse_request(body({**MINIMAL, "policies": ["lyapunov"]}))
+        assert a.fingerprint != b.fingerprint
+
+    def test_invalid_policy_spec_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid policy spec"):
+            parse_request(body({**MINIMAL, "policies": ["warp-drive"]}))
+        with pytest.raises(ProtocolError, match="invalid policy spec"):
+            parse_request(body({**MINIMAL, "policies": ["greedy:turbo=1"]}))
+
+    def test_empty_or_malformed_policies_rejected(self):
+        for bad in ([], "greedy", [1], [""]):
+            with pytest.raises(ProtocolError):
+                parse_request(body({**MINIMAL, "policies": bad}))
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(body({**MINIMAL, "configurations": ["Atlantis"]}))
+
+    def test_grid_cap(self):
+        too_many = [f"greedy:floor=0.{i:03d}" for i in range(1, MAX_SWEEP_CELLS + 2)]
+        with pytest.raises(ProtocolError, match="grid too large"):
+            parse_request(body({**MINIMAL, "policies": too_many}))
+
+
+class TestEvaluation:
+    def request(self):
+        return parse_request(
+            body(
+                {
+                    "workload": "websearch",
+                    "configurations": ["LargeEUPS"],
+                    "policies": ["static:sleep-l", "greedy"],
+                    "nodes_per_bucket": 1,
+                }
+            )
+        )
+
+    def test_reference_path_payload(self):
+        payload = evaluate_request(self.request())
+        assert len(payload["points"]) == 2
+        assert payload["hindsight_is_upper_bound"] is True  # vacuous: no oracle
+        labels = [p["label"] for p in payload["points"]]
+        assert labels == ["static:sleep-l", "greedy"]
+
+    def test_worker_count_does_not_change_results(self):
+        from repro.runner.executor import ParallelExecutor, SerialExecutor
+
+        serial = evaluate_request(self.request(), executor=SerialExecutor())
+        parallel = evaluate_request(
+            self.request(), executor=ParallelExecutor(max_workers=2)
+        )
+        assert serial == parallel
+
+
+class TestPerAnalysisStats:
+    def test_batcher_tracks_per_analysis_rows(self):
+        batcher = Batcher(queue_bound=16, max_batch=16, max_wait_s=0.0)
+        try:
+            echo = parse_request(body({"payload": 1}, analysis="echo"))
+            dup = parse_request(body({"payload": 1}, analysis="echo"))
+            other = parse_request(body({"payload": 2}, analysis="echo"))
+            futures = [batcher.submit(r) for r in (echo, dup, other)]
+            batcher.start()
+            for future in {id(f): f for f in futures}.values():
+                future.result(timeout=10)
+            stats = batcher.stats()
+            row = stats["analyses"]["echo"]
+            assert row["requests"] == 3
+            assert row["coalesced"] == 1
+            assert row["batches"] >= 1
+            assert row["jobs"] == 2
+            assert row["failures"] == 0
+        finally:
+            batcher.close(drain=False, timeout=5)
+
+    def test_failure_counted_per_analysis(self, monkeypatch):
+        from repro.serve import analyses
+
+        def boom(request):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(analyses, "build", boom)
+        batcher = Batcher(queue_bound=4, max_batch=4, max_wait_s=0.0)
+        try:
+            future = batcher.submit(
+                parse_request(body({"payload": 3}, analysis="echo"))
+            )
+            batcher.start()
+            with pytest.raises(RuntimeError):
+                future.result(timeout=10)
+            assert batcher.stats()["analyses"]["echo"]["failures"] == 1
+        finally:
+            batcher.close(drain=False, timeout=5)

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke
+.PHONY: test bench bench-smoke batch-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,11 +17,20 @@ selfcheck:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-# One cached-vs-uncached sweep through repro.runner: populates a fresh
-# on-disk ResultCache, reruns, and fails unless the second pass is
-# served entirely from cache with identical results.
+# One cached-vs-uncached sweep through repro.runner (cache gate), then
+# the same outage cells through both engines (scaling gate): the batch
+# kernel must be bit-identical to the scalar path and clear a 10x
+# cells/sec speedup.  Writes BENCH_sim.json; CI uploads it as an
+# artifact.
 bench-smoke:
 	$(PYTHON) benchmarks/bench_smoke.py
+
+# Certify the vectorized engine: every registered technique over the
+# Table-3 grid, full Monte-Carlo years at a mid-study block split, and
+# a seeded bounded scalar<->batch differential fuzz run — all
+# bit-identical (see docs/BATCH.md).
+batch-smoke:
+	$(PYTHON) benchmarks/batch_smoke.py
 
 # Holds repro.obs's zero-overhead-when-off contract to measurement
 # (see docs/OBSERVABILITY.md).

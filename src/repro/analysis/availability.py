@@ -160,6 +160,7 @@ class AvailabilityAnalyzer:
         technique: OutageTechnique,
         years: int = 200,
         faults: Optional[FaultPlan] = None,
+        engine: str = "scalar",
     ) -> Tuple[List[Job], Callable[[Sequence[Any]], AvailabilityReport]]:
         """The study as ``(jobs, reduce)`` — its runner job list plus the
         aggregator that folds the per-year values into a report.
@@ -170,9 +171,16 @@ class AvailabilityAnalyzer:
         and still aggregate exactly as :meth:`analyze` would.  Seeds are
         spawned here, positionally per year, so the same arguments
         always yield the same job fingerprints no matter who runs them.
+
+        ``engine="batch"`` routes the years through the vectorized
+        :mod:`repro.vsim` kernel in year blocks (bit-identical reports,
+        different job fingerprints — see docs/BATCH.md); fault studies
+        always use the scalar engine regardless of the flag.
         """
         if years <= 0:
             raise ValueError("years must be positive")
+        if engine not in ("scalar", "batch"):
+            raise ValueError(f"unknown engine {engine!r}; use scalar or batch")
         datacenter = make_datacenter(
             self.workload, configuration, self.num_servers, self.server
         )
@@ -196,18 +204,49 @@ class AvailabilityAnalyzer:
             "plan": plan,
             "recharge_seconds": self.recharge_seconds,
         }
-        if faults is not None and not faults.is_null:
+        inject = faults is not None and not faults.is_null
+        if inject:
             # Only a non-null plan enters the spec: fault-free runs keep
             # their historical fingerprints (and cache entries).
             year_spec["fault_plan"] = faults
-        job_list = make_jobs(
-            _simulate_year,
-            [year_spec] * years,
-            base_seed=self.seed,
-            labels=[f"year={i}" for i in range(years)],
-        )
+        if engine == "batch" and not inject:
+            # Vectorized fast path: year blocks on one compiled kernel.
+            # Each block job returns a *list* of per-year dicts, flattened
+            # below so the shared aggregation sees the same stream the
+            # scalar path produces.
+            from repro.vsim.yearly import (
+                DEFAULT_BLOCK_YEARS,
+                simulate_year_block,
+                year_block_specs,
+            )
+
+            block_specs = year_block_specs(
+                datacenter,
+                plan,
+                self.recharge_seconds,
+                self.seed,
+                years,
+                block_years=DEFAULT_BLOCK_YEARS,
+            )
+            job_list = make_jobs(
+                simulate_year_block,
+                block_specs,
+                labels=[
+                    f"years={s['start']}..{s['start'] + s['count'] - 1}"
+                    for s in block_specs
+                ],
+            )
+        else:
+            job_list = make_jobs(
+                _simulate_year,
+                [year_spec] * years,
+                base_seed=self.seed,
+                labels=[f"year={i}" for i in range(years)],
+            )
 
         def reduce(values: Sequence[Any]) -> AvailabilityReport:
+            if engine == "batch" and not inject:
+                values = [year for block in values for year in block]
             downtime_arr = np.array([y["downtime_seconds"] for y in values])
             crashes = sum(y["crashes"] for y in values)
             outages = int(sum(y["outages"] for y in values))
@@ -245,6 +284,7 @@ class AvailabilityAnalyzer:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressListener] = None,
         faults: Optional[FaultPlan] = None,
+        engine: str = "scalar",
     ) -> AvailabilityReport:
         """Simulate ``years`` of Figure 1 outages under the pairing.
 
@@ -263,9 +303,13 @@ class AvailabilityAnalyzer:
                 backup failures sampled per outage.  Part of each job's
                 fingerprint, so cached fault-free years stay valid and a
                 fault study never reads them by accident.
+            engine: ``"scalar"`` (default, per-year jobs) or ``"batch"``
+                (vectorized year blocks via :mod:`repro.vsim`; identical
+                reports, different cache fingerprints).  Fault studies
+                ignore the flag and stay scalar.
         """
         job_list, reduce = self.prepare(
-            configuration, technique, years=years, faults=faults
+            configuration, technique, years=years, faults=faults, engine=engine
         )
         if executor is None:
             executor = make_executor(jobs=jobs, cache=cache, progress=progress)

@@ -266,6 +266,18 @@ class Battery:
     pack's state of charge, which reproduces :meth:`BatterySpec.runtime_at`
     exactly for constant loads and composes correctly across piecewise-
     constant load segments.
+
+    **Overload contract** (shared by every stateful backup source —
+    :class:`Battery`, :class:`~repro.power.ups.UPSUnit`,
+    :class:`~repro.power.placement.ServerLevelBatteryBank` — and mirrored
+    by the batch kernel): *queries* (:meth:`remaining_runtime_at`) answer
+    0.0 for loads beyond the power rating — the source cannot carry them
+    for any length of time; *mutations* (:meth:`discharge`) raise
+    :class:`~repro.errors.CapacityError` — actually applying such a load
+    trips the breaker and callers must treat it as a hard fault, never a
+    slow drain.  Both sides share the same ``rating * (1 + 1e-9)`` trip
+    boundary, so a query answering 0.0 guarantees the matching mutation
+    would raise, and vice versa.
     """
 
     def __init__(
@@ -304,8 +316,20 @@ class Battery:
         # source that never advances time.
         return self._soc <= _EMPTY_EPSILON or self.spec.rated_runtime_seconds <= 0
 
+    def overloaded_by(self, load_watts: float) -> bool:
+        """Whether ``load_watts`` is beyond the trip boundary (the shared
+        ``rating * (1 + 1e-9)`` tolerance of the overload contract)."""
+        return load_watts > self.spec.rated_power_watts * (1 + 1e-9)
+
     def remaining_runtime_at(self, load_watts: float) -> float:
-        """Seconds of runtime left at a constant ``load_watts``."""
+        """Seconds of runtime left at a constant ``load_watts``.
+
+        A query: loads beyond the power rating answer 0.0 (the pack
+        cannot carry them at all) rather than raising — see the class
+        docstring's overload contract.
+        """
+        if self.overloaded_by(load_watts):
+            return 0.0
         full = self.spec.runtime_at(load_watts)
         if math.isinf(full):
             return float("inf")
@@ -319,15 +343,29 @@ class Battery:
         Returns the number of seconds actually sustained, which is less than
         requested iff the pack empties first.  The caller (the outage
         simulator) uses the shortfall to detect the crash instant.
+
+        A mutation: loads beyond the power rating raise
+        :class:`CapacityError` (the breaker trips) — see the class
+        docstring's overload contract.
         """
         if duration_seconds < 0:
             raise ValueError(f"duration must be >= 0, got {duration_seconds}")
         if duration_seconds == 0 or load_watts <= 0:
             return duration_seconds
+        if self.overloaded_by(load_watts):
+            raise CapacityError(
+                f"load {load_watts:.1f} W exceeds battery rating "
+                f"{self.spec.rated_power_watts:.1f} W"
+            )
         available = self.remaining_runtime_at(load_watts)
         sustained = min(duration_seconds, available)
         full = self.spec.runtime_at(load_watts)
         soc_before = self._soc
+        if full <= 0:
+            # Zero-runtime pack: any load drains it instantly — it
+            # sustains nothing and whatever charge it reported is gone.
+            self._soc = 0.0
+            return 0.0
         self._soc = max(0.0, self._soc - sustained / full)
         self._energy_delivered_joules += load_watts * sustained
         if self.guard is not None:

@@ -215,12 +215,22 @@ class UPSUnit:
         return self._battery is None or self._battery.is_empty
 
     def can_carry(self, load_watts: float) -> bool:
-        """Whether ``load_watts`` is within the power rating."""
+        """Whether ``load_watts`` is within the power rating.
+
+        The trip boundary is ``rating * (1 + 1e-9)`` — the same tolerance
+        every stateful backup source uses (see the overload contract on
+        :class:`~repro.power.battery.Battery`), so query and mutation
+        paths agree on exactly which loads trip."""
         return load_watts <= self.spec.power_capacity_watts * (1 + 1e-9)
 
     def remaining_runtime_at(self, load_watts: float) -> float:
-        """Seconds of battery left at ``load_watts``; 0 if the load exceeds
-        the power rating (the UPS trips rather than carries it)."""
+        """Seconds of battery left at ``load_watts``.
+
+        A *query* under the shared overload contract: loads beyond the
+        power rating answer 0.0 — the UPS trips rather than carries them,
+        so there is no duration for which they can be sustained.  Never
+        raises; the matching mutation (:meth:`carry`) is the side that
+        raises on the same boundary."""
         if self._battery is None or not self.can_carry(load_watts):
             return 0.0
         return self._battery.remaining_runtime_at(load_watts)
@@ -228,9 +238,12 @@ class UPSUnit:
     def carry(self, load_watts: float, duration_seconds: float) -> float:
         """Source ``load_watts`` from battery for up to ``duration_seconds``.
 
-        Returns seconds actually sustained.  Overload raises
-        :class:`CapacityError` — an overloaded UPS trips its breaker, which
-        upstream logic must treat as an immediate crash, not a slow drain.
+        Returns seconds actually sustained.  A *mutation* under the
+        shared overload contract: overload raises :class:`CapacityError`
+        — an overloaded UPS trips its breaker, which upstream logic must
+        treat as an immediate crash, not a slow drain.  The boundary is
+        the same ``rating * (1 + 1e-9)`` that makes
+        :meth:`remaining_runtime_at` answer 0.0.
         """
         if self._battery is None:
             return 0.0

@@ -722,7 +722,13 @@ class _OutageRun:
             if self.dg_full:
                 self._internal_dg_restore()
                 return True
-            return False  # source re-evaluated next iteration
+            if self.phase_remaining > _EPS:
+                return False  # source re-evaluated next iteration
+            # The DG arrival coincides with a phase boundary (within
+            # _EPS).  Fall through to the phase transition: returning
+            # False here would re-enter this branch every iteration with
+            # a zero-length segment and never advance — the infinite
+            # loop the scalar/batch differential certification caught.
         if self.phase_remaining <= _EPS:
             self.idx += 1
             if self.idx >= len(self.phases):

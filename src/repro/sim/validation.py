@@ -83,7 +83,10 @@ def numeric_adaptive_hold(
 
     best = 0.0
     steps = int(max_hold / resolution_seconds)
-    for i in range(steps + 1):
+    # steps + 2 so the final clamped candidate is max_hold itself even
+    # when it is not a multiple of the resolution — otherwise a fully
+    # feasible plan scans out at the last grid point below max_hold.
+    for i in range(steps + 2):
         hold = min(max_hold, i * resolution_seconds)
         tail = max(0.0, window_seconds - hold - committed_time)
         segments: List[Tuple[float, float]] = [(hold_power_watts, hold)]

@@ -1,0 +1,230 @@
+"""Kernel-backed point evaluation: the batch engine behind selection jobs.
+
+:func:`evaluate_point_batch` is a drop-in replacement for
+:func:`repro.core.performability.evaluate_point` that executes the outage
+on a compiled :class:`~repro.vsim.kernel.PlanKernel` instead of the scalar
+simulator.  Results are bit-identical (traces included) — certified by
+``make batch-smoke`` — so the selection searches in
+:mod:`repro.core.selection` and the sweeps in
+:mod:`repro.analysis.sweep` can flip engines without changing answers.
+
+The win for selection-shaped work is kernel reuse: a lowest-cost sizing
+search probes dozens of battery runtimes against the *same* (workload,
+technique, power fraction), and :class:`KernelEvaluator` caches the
+compiled plan per power budget so each probe only recompiles the cheap
+battery constants.  Fault-injected evaluations are out of kernel scope
+and silently delegate to the scalar engine.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.configurations import BackupConfiguration
+from repro.core.costs import BackupCostModel
+from repro.core.performability import (
+    DEFAULT_NUM_SERVERS,
+    PerformabilityPoint,
+    evaluate_point,
+    make_datacenter,
+    plan_power_budget_watts,
+)
+from repro.errors import TechniqueError
+from repro.servers.server import PAPER_SERVER, ServerSpec
+from repro.techniques.base import OutageTechnique, TechniqueContext
+from repro.vsim.kernel import PlanKernel
+from repro.workloads.base import WorkloadSpec
+
+#: Compiled-kernel cache bound (entries are small: arrays of per-phase
+#: constants, not simulation state).
+_MAX_CACHED_KERNELS = 256
+
+
+class KernelEvaluator:
+    """Evaluates performability points on cached :class:`PlanKernel` s.
+
+    Kernels are memoised on the full point identity (configuration,
+    technique, workload, cluster sizing, lost-work assumption); compiled
+    *plans* are additionally shared across configurations with the same
+    power budget, which is what makes runtime bisection probes cheap.
+    Cache entries hold strong references to the technique/workload/server
+    objects they were built from and are validated by identity, so the
+    ``id()``-based keys can never alias recycled objects.
+    """
+
+    def __init__(self, max_kernels: int = _MAX_CACHED_KERNELS):
+        self._kernels: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self._max_kernels = max(1, int(max_kernels))
+
+    # -- internals -----------------------------------------------------------
+
+    def _cache_get(self, cache: OrderedDict, key: Tuple, refs: Tuple):
+        entry = cache.get(key)
+        if entry is None:
+            return None
+        if any(a is not b for a, b in zip(entry["refs"], refs)):
+            # id() reuse after garbage collection: treat as a miss.
+            del cache[key]
+            return None
+        cache.move_to_end(key)
+        return entry
+
+    def _cache_put(
+        self, cache: OrderedDict, key: Tuple, refs: Tuple, **payload: Any
+    ) -> Dict[str, Any]:
+        entry = dict(payload, refs=refs)
+        cache[key] = entry
+        while len(cache) > self._max_kernels:
+            cache.popitem(last=False)
+        return entry
+
+    def _compile_plan(
+        self,
+        technique: OutageTechnique,
+        workload: WorkloadSpec,
+        datacenter,
+    ):
+        """Compile (or fetch) the technique plan for this power budget.
+
+        Raises :class:`TechniqueError` exactly as the scalar path would;
+        infeasible compilations are cached too so repeated probes of an
+        infeasible fraction stay cheap.
+        """
+        budget = plan_power_budget_watts(datacenter)
+        key = (id(technique), id(workload), datacenter.cluster.num_servers, budget)
+        refs = (technique, workload)
+        entry = self._cache_get(self._plans, key, refs)
+        if entry is None:
+            try:
+                plan = technique.compile_plan(
+                    TechniqueContext(
+                        cluster=datacenter.cluster,
+                        workload=workload,
+                        power_budget_watts=budget,
+                    )
+                )
+                error = None
+            except TechniqueError as exc:
+                plan, error = None, exc
+            entry = self._cache_put(
+                self._plans, key, refs, plan=plan, error=error
+            )
+        if entry["error"] is not None:
+            raise entry["error"]
+        return entry["plan"]
+
+    def _kernel_for(
+        self,
+        configuration: BackupConfiguration,
+        technique: OutageTechnique,
+        workload: WorkloadSpec,
+        num_servers: int,
+        server: ServerSpec,
+        lost_work_seconds: Optional[float],
+    ) -> Dict[str, Any]:
+        key = (
+            configuration,
+            id(technique),
+            id(workload),
+            num_servers,
+            server,
+            lost_work_seconds,
+        )
+        refs = (technique, workload)
+        entry = self._cache_get(self._kernels, key, refs)
+        if entry is not None:
+            return entry
+        datacenter = make_datacenter(workload, configuration, num_servers, server)
+        try:
+            plan = self._compile_plan(technique, workload, datacenter)
+            kernel: Optional[PlanKernel] = PlanKernel(
+                datacenter, plan, lost_work_seconds=lost_work_seconds
+            )
+        except TechniqueError:
+            plan, kernel = None, None
+        return self._cache_put(
+            self._kernels, key, refs, plan=plan, kernel=kernel
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate_point(
+        self,
+        configuration: BackupConfiguration,
+        technique: OutageTechnique,
+        workload: WorkloadSpec,
+        outage_seconds: float,
+        num_servers: int = DEFAULT_NUM_SERVERS,
+        server: ServerSpec = PAPER_SERVER,
+        cost_model: Optional[BackupCostModel] = None,
+        lost_work_seconds: Optional[float] = None,
+        faults: Optional[Any] = None,
+    ) -> PerformabilityPoint:
+        """Drop-in twin of :func:`repro.core.performability.evaluate_point`.
+
+        Bit-identical points (the kernel collects traces, so ``outcome``
+        compares equal field-for-field); fault-injected calls delegate to
+        the scalar engine, which owns fault semantics.
+        """
+        if faults is not None:
+            return evaluate_point(
+                configuration,
+                technique,
+                workload,
+                outage_seconds,
+                num_servers=num_servers,
+                server=server,
+                cost_model=cost_model,
+                lost_work_seconds=lost_work_seconds,
+                faults=faults,
+            )
+        entry = self._kernel_for(
+            configuration, technique, workload, num_servers, server,
+            lost_work_seconds,
+        )
+        cost = configuration.normalized_cost(cost_model)
+        if entry["kernel"] is None:
+            return PerformabilityPoint(
+                configuration_name=configuration.name,
+                technique_name=technique.name,
+                workload_name=workload.name,
+                outage_seconds=outage_seconds,
+                normalized_cost=cost,
+                feasible=False,
+                performance=0.0,
+                downtime_seconds=math.inf,
+                outcome=None,
+            )
+        outcome = entry["kernel"].run(
+            [outage_seconds], collect_traces=True
+        ).outcome(0)
+        return PerformabilityPoint(
+            configuration_name=configuration.name,
+            technique_name=technique.name,
+            workload_name=workload.name,
+            outage_seconds=outage_seconds,
+            normalized_cost=cost,
+            feasible=True,
+            performance=outcome.mean_performance,
+            downtime_seconds=outcome.downtime_seconds,
+            outcome=outcome,
+        )
+
+
+#: Shared evaluator for the module-level entry point; worker processes
+#: each build their own copy on first use.
+_DEFAULT_EVALUATOR: Optional[KernelEvaluator] = None
+
+
+def evaluate_point_batch(*args: Any, **kwargs: Any) -> PerformabilityPoint:
+    """Module-level :meth:`KernelEvaluator.evaluate_point` on a shared cache.
+
+    The callable the selection/sweep layers resolve ``engine="batch"`` to.
+    """
+    global _DEFAULT_EVALUATOR
+    if _DEFAULT_EVALUATOR is None:
+        _DEFAULT_EVALUATOR = KernelEvaluator()
+    return _DEFAULT_EVALUATOR.evaluate_point(*args, **kwargs)

@@ -1,0 +1,107 @@
+"""The unified overload contract across stateful backup sources.
+
+Queries (`remaining_runtime_at`) answer 0.0 for loads beyond the power
+rating; mutations (`discharge` / `carry`) raise CapacityError; both sides
+share the exact `rating * (1 + 1e-9)` trip boundary.  The batch kernel
+assumes this contract (an overloaded source is an empty source, never an
+exception), so these tests also keep the engines agreeing.
+"""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.power.battery import Battery, BatterySpec
+from repro.power.placement import ServerLevelBatteryBank
+from repro.power.ups import UPSSpec, UPSUnit
+from repro.units import minutes
+
+RATING = 4000.0
+
+
+@pytest.fixture
+def battery():
+    return Battery(BatterySpec(RATING, minutes(10)))
+
+
+@pytest.fixture
+def unit():
+    return UPSUnit(UPSSpec(RATING, minutes(10)))
+
+
+@pytest.fixture
+def bank():
+    return ServerLevelBatteryBank(
+        BatterySpec(RATING, minutes(10)), num_units=16
+    )
+
+
+class TestQueriesReturnZero:
+    def test_battery_query_over_rating(self, battery):
+        assert battery.remaining_runtime_at(RATING * 1.5) == 0.0
+
+    def test_ups_query_over_rating(self, unit):
+        assert unit.remaining_runtime_at(RATING * 1.5) == 0.0
+
+    def test_bank_query_over_unit_rating(self, bank):
+        # The bank's spec is per-unit: each private pack is rated RATING.
+        # Concentrate four packs' worth of load on one live unit and it
+        # overloads.
+        assert bank.remaining_runtime_at(RATING * 4, 1) == 0.0
+
+
+class TestMutationsRaise:
+    def test_battery_discharge_over_rating(self, battery):
+        with pytest.raises(CapacityError):
+            battery.discharge(RATING * 1.5, 10.0)
+
+    def test_ups_carry_over_rating(self, unit):
+        with pytest.raises(CapacityError):
+            unit.carry(RATING * 1.5, 10.0)
+
+    def test_bank_discharge_over_unit_rating(self, bank):
+        with pytest.raises(CapacityError):
+            bank.discharge(RATING * 4, 10.0, 1)
+
+    def test_zero_duration_mutation_is_a_noop(self, battery, unit):
+        # Zero-length applications never trip: the simulator's dispatch
+        # produces zero-length segments at boundaries and relies on them
+        # being side-effect-free in both engines.
+        assert battery.discharge(RATING * 1.5, 0.0) == 0.0
+        assert unit.carry(0.0, 10.0) == 10.0
+
+
+class TestTripBoundary:
+    """Both sides of the contract share `rating * (1 + 1e-9)` exactly."""
+
+    INSIDE = RATING * (1 + 1e-9)  # last load that carries
+    OUTSIDE = RATING * (1 + 3e-9)  # first load that trips
+
+    def test_battery_boundary(self, battery):
+        assert battery.remaining_runtime_at(self.INSIDE) > 0.0
+        assert battery.remaining_runtime_at(self.OUTSIDE) == 0.0
+        assert battery.discharge(self.INSIDE, 1.0) == 1.0
+        with pytest.raises(CapacityError):
+            battery.discharge(self.OUTSIDE, 1.0)
+
+    def test_ups_boundary(self, unit):
+        assert unit.can_carry(self.INSIDE)
+        assert not unit.can_carry(self.OUTSIDE)
+        assert unit.remaining_runtime_at(self.INSIDE) > 0.0
+        assert unit.remaining_runtime_at(self.OUTSIDE) == 0.0
+        assert unit.carry(self.INSIDE, 1.0) == 1.0
+        with pytest.raises(CapacityError):
+            unit.carry(self.OUTSIDE, 1.0)
+
+    def test_query_zero_iff_mutation_raises(self, battery):
+        # Sweep a dense ladder across the boundary: wherever the query
+        # answers 0, the mutation must raise, and vice versa.
+        for factor in (0.999, 1.0, 1 + 1e-12, 1 + 1e-9, 1 + 2e-9, 1.001):
+            load = RATING * factor
+            probe = Battery(battery.spec)
+            query_zero = probe.remaining_runtime_at(load) == 0.0
+            try:
+                probe.discharge(load, 1.0)
+                raised = False
+            except CapacityError:
+                raised = True
+            assert query_zero == raised, f"contract split at factor {factor}"

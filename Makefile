@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke batch-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke
+.PHONY: test bench bench-smoke batch-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke telemetry-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -66,6 +66,19 @@ chaos-smoke:
 # BENCH_serve.json; CI uploads it as an artifact.
 serve-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py
+
+# Certify the serve observability layer against a live server: request
+# ids round-trip to full span trees (coalesced riders name their
+# leader), /healthz + /slo report rolling tails and error-budget burn,
+# Prometheus exposition passes the grammar validator, and the bench
+# ledger gate passes on the real trajectory while failing on an
+# injected regression (see docs/OBSERVABILITY.md).  Appends to
+# BENCH_history.jsonl; CI uploads it as an artifact.  The ~3 s smoke
+# loadgen samples are noisy, so the gate runs at a loose 50% tolerance
+# here; the stricter 15% default suits longer local loadgen runs.
+telemetry-smoke:
+	$(PYTHON) benchmarks/telemetry_smoke.py
+	$(PYTHON) -m repro.cli bench check --tolerance 0.5
 
 # Certify the online-dispatch policy subsystem: StaticPolicy outcomes
 # identical to the plan path, the hindsight baseline an upper bound on

@@ -452,11 +452,66 @@ def _cmd_tiers(_args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.events.startswith(("http://", "https://")):
+        # Live-server mode: one dashboard frame from /healthz, /stats
+        # and /slo — the SLO report rides along with the counters.
+        from repro.serve.top import gather, render_dashboard
+
+        snapshot = gather(args.events)
+        print(render_dashboard(snapshot), end="")
+        return 0 if snapshot.get("health") is not None else 1
+
     from repro.obs.export import read_events_jsonl, render_summary
 
     spans, metrics = read_events_jsonl(args.events)
     print(render_summary(spans, metrics))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        args.url.rstrip("/"), interval_s=args.interval, once=args.once
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import bench as benchmod
+
+    history_path = args.history
+    if args.bench_command == "record":
+        entries = benchmod.record(root=args.root, history_path=history_path)
+        if not entries:
+            print("[bench] no known BENCH_*.json artifacts found")
+            return 1
+        for entry in entries:
+            print(
+                f"[bench] recorded {entry['bench']} from {entry['source']}: "
+                + ", ".join(
+                    f"{k}={v:g}" for k, v in sorted(entry["metrics"].items())
+                )
+            )
+        return 0
+
+    path = history_path or benchmod.HISTORY_FILENAME
+    entries = benchmod.load_history(path)
+    if args.bench_command == "show":
+        for entry in entries:
+            print(_json.dumps(entry, sort_keys=True))
+        if not entries:
+            print(f"[bench] no history at {path}", file=sys.stderr)
+        return 0
+
+    # check
+    if not entries:
+        print(f"[bench] no history at {path}; run 'repro bench record' first")
+        return 1
+    report = benchmod.check(entries, tolerance=args.tolerance)
+    print(benchmod.format_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -648,6 +703,11 @@ def _cmd_policy(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.app import ServeConfig, run_server
 
+    slos = None
+    if args.slo:
+        from repro.obs.slo import parse_slo
+
+        slos = tuple(parse_slo(spec) for spec in args.slo)
     return run_server(
         ServeConfig(
             host=args.host,
@@ -660,6 +720,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             timeout_s=args.timeout_s,
             cache_max_bytes=args.cache_max_bytes,
             cache_max_age_s=args.cache_max_age_s,
+            telemetry=not args.no_telemetry,
+            telemetry_window_s=args.telemetry_window_s,
+            trace_capacity=args.trace_capacity,
+            slos=slos,
         )
     )
 
@@ -988,10 +1052,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro.set_defaults(func=_cmd_reproduce)
 
     p_stats = sub.add_parser(
-        "stats", help="render a --metrics JSONL event log as summary tables"
+        "stats",
+        help="render a --metrics JSONL event log as summary tables, or a "
+        "live server's /stats+/slo when given an http(s) URL",
     )
-    p_stats.add_argument("events", help="events JSONL file written by --metrics")
+    p_stats.add_argument(
+        "events",
+        help="events JSONL file written by --metrics, or a server base URL",
+    )
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a running server"
+    )
+    p_top.add_argument(
+        "--url", default="http://127.0.0.1:8321", help="server base URL"
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (seconds)"
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="record BENCH_*.json artifacts into the history ledger and "
+        "gate regressions",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bench_record = bench_sub.add_parser(
+        "record", help="append current BENCH_*.json metrics to the ledger"
+    )
+    p_bench_record.add_argument(
+        "--root", default=".", help="directory holding the BENCH_*.json files"
+    )
+    p_bench_record.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="ledger path (default: BENCH_history.jsonl under --root)",
+    )
+    p_bench_record.set_defaults(func=_cmd_bench)
+    p_bench_check = bench_sub.add_parser(
+        "check",
+        help="fail when the newest entry regresses past tolerance vs the "
+        "median of prior runs",
+    )
+    p_bench_check.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="ledger path (default: ./BENCH_history.jsonl)",
+    )
+    p_bench_check.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="fractional bad-direction slack before failing (default 0.15)",
+    )
+    p_bench_check.set_defaults(func=_cmd_bench)
+    p_bench_show = bench_sub.add_parser(
+        "show", help="print the ledger entries as JSONL"
+    )
+    p_bench_show.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="ledger path (default: ./BENCH_history.jsonl)",
+    )
+    p_bench_show.set_defaults(func=_cmd_bench)
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -1081,6 +1204,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="prune cache entries older than this between batches",
+    )
+    p_serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable request tracing, rolling windows and SLO tracking "
+        "(every hook reverts to its single is-None check)",
+    )
+    p_serve.add_argument(
+        "--telemetry-window-s",
+        type=float,
+        default=60.0,
+        help="rolling-window width for /healthz and Prometheus summaries",
+    )
+    p_serve.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=256,
+        help="finished request traces kept for /trace/<id> lookup",
+    )
+    p_serve.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="override the SLO roster; repeatable. SPECs: "
+        "'latency:<ms>:<objective>', 'shed_rate:<objective>', "
+        "'error_rate:<objective>', optionally '@win1,win2' seconds",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -14,7 +14,16 @@ execution:
   snapshot/merge semantics (bit-identical aggregates at any worker
   count);
 * :mod:`repro.obs.export` — JSONL event logs, Chrome/Perfetto
-  ``trace_event`` JSON, and the human summary ``repro stats`` renders.
+  ``trace_event`` JSON, and the human summary ``repro stats`` renders;
+* :mod:`repro.obs.telemetry` — serving-side telemetry: request ids,
+  per-request span trees in a bounded store, and rolling-window
+  p50/p95/p99 alongside the deterministic cumulative bins;
+* :mod:`repro.obs.slo` — declarative latency/shed/error SLOs with
+  multi-window error-budget burn;
+* :mod:`repro.obs.prom` — Prometheus text-format exposition (and its
+  grammar validator) for ``/metrics`` content negotiation;
+* :mod:`repro.obs.bench` — the BENCH_history.jsonl ledger and the
+  ``repro bench check`` regression gate.
 
 **The off switch is the default.**  Instrumented classes capture the
 *ambient* session at construction time (:func:`current_tracer` /
@@ -42,7 +51,24 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.errors import ObsError
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_bins,
+)
+from repro.obs.slo import DEFAULT_SLOS, SLOSpec, SLOTracker, parse_slo
+from repro.obs.telemetry import (
+    REQUEST_ID_HEADER,
+    RequestTrace,
+    RollingStats,
+    RollingWindow,
+    Telemetry,
+    TelemetryStore,
+    new_request_id,
+    span_tree,
+)
 from repro.obs.tracer import RECORD_VERSION, Span, Tracer
 
 
@@ -116,17 +142,30 @@ def session(existing: Optional[ObsSession] = None) -> Iterator[ObsSession]:
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObsSession",
     "RECORD_VERSION",
+    "REQUEST_ID_HEADER",
+    "RequestTrace",
+    "RollingStats",
+    "RollingWindow",
+    "SLOSpec",
+    "SLOTracker",
     "Span",
+    "Telemetry",
+    "TelemetryStore",
     "Tracer",
     "activate",
     "current",
     "current_metrics",
     "current_tracer",
     "deactivate",
+    "new_request_id",
+    "parse_slo",
+    "quantile_from_bins",
     "session",
+    "span_tree",
 ]

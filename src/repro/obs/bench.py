@@ -1,0 +1,330 @@
+"""Continuous-bench ledger: BENCH_*.json history and a regression gate.
+
+The repo's benchmarks each write a point-in-time artifact (BENCH_sim,
+BENCH_serve, BENCH_policy) and until now every run overwrote the last —
+the perf trajectory ROADMAP item 2 demands was never recorded.  This
+module is the memory:
+
+* :func:`record` ingests the current BENCH_*.json artifacts, extracts a
+  small named-metric vector from each known shape, and appends one JSONL
+  entry per artifact to ``BENCH_history.jsonl``;
+* :func:`check` compares the newest entry per benchmark against a
+  baseline (median of the preceding entries) and fails when any metric
+  regresses past a tolerance *in its bad direction* — throughput only
+  fails by falling, latency only by rising.
+
+The gate is deliberately median-of-history, not previous-run: a single
+noisy run neither poisons the baseline nor slips a real regression
+through, which is the dependability-benchmarking stance (quantify, don't
+assume) the source paper applies to power envelopes.
+
+Everything is stdlib; the ledger is append-only JSONL and the loader
+tolerates a torn final line (a crashed writer must not brick the gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+
+#: Ledger schema version.
+LEDGER_VERSION = 1
+
+#: Default ledger filename, at the repo root next to the BENCH artifacts.
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+#: Artifacts the ledger knows how to ingest.
+ARTIFACT_FILENAMES = ("BENCH_sim.json", "BENCH_serve.json", "BENCH_policy.json")
+
+#: Fractional tolerance before a bad-direction move counts as a regression.
+DEFAULT_TOLERANCE = 0.15
+
+#: How many trailing history entries feed the median baseline.
+BASELINE_DEPTH = 8
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One gated metric: where it lives and which direction is bad."""
+
+    name: str
+    direction: str  # "higher" or "lower" is better
+    extract: Callable[[Mapping[str, Any]], Optional[float]]
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ObsError("direction must be 'higher' or 'lower'")
+
+
+def _path(*keys: str) -> Callable[[Mapping[str, Any]], Optional[float]]:
+    def extract(payload: Mapping[str, Any]) -> Optional[float]:
+        node: Any = payload
+        for key in keys:
+            if not isinstance(node, Mapping) or key not in node:
+                return None
+            node = node[key]
+        try:
+            return float(node)
+        except (TypeError, ValueError):
+            return None
+
+    return extract
+
+
+def _dominations(payload: Mapping[str, Any]) -> Optional[float]:
+    doms = payload.get("dominations")
+    return float(len(doms)) if isinstance(doms, list) else None
+
+
+#: bench kind → (identifier predicate, metric roster).
+_KINDS: Dict[str, Tuple[Callable[[Mapping[str, Any]], bool], Tuple[MetricSpec, ...]]] = {
+    "serve": (
+        lambda p: p.get("bench") == "serve",
+        (
+            MetricSpec("throughput_rps", "higher", _path("throughput_rps")),
+            MetricSpec("p99_ms", "lower", _path("latency_ms", "p99")),
+        ),
+    ),
+    "sim": (
+        lambda p: p.get("benchmark") == "scalar-vs-batch engine",
+        (
+            MetricSpec("speedup", "higher", _path("speedup")),
+            MetricSpec("yearly_speedup", "higher", _path("yearly", "speedup")),
+        ),
+    ),
+    "policy": (
+        lambda p: p.get("benchmark") == "policy-smoke",
+        (MetricSpec("dominations", "higher", _dominations),),
+    ),
+}
+
+
+def classify(payload: Mapping[str, Any]) -> Optional[str]:
+    """Which known benchmark shape a BENCH_*.json payload is, if any."""
+    for kind, (predicate, _) in _KINDS.items():
+        if predicate(payload):
+            return kind
+    return None
+
+
+def extract_metrics(payload: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """``{"bench", "metrics": {name: value}}`` for a known payload."""
+    kind = classify(payload)
+    if kind is None:
+        return None
+    metrics: Dict[str, float] = {}
+    for spec in _KINDS[kind][1]:
+        value = spec.extract(payload)
+        if value is not None:
+            metrics[spec.name] = value
+    if not metrics:
+        return None
+    return {"bench": kind, "metrics": metrics}
+
+
+def metric_direction(bench: str, metric: str) -> str:
+    for spec in _KINDS.get(bench, (None, ()))[1]:
+        if spec.name == metric:
+            return spec.direction
+    return "higher"
+
+
+# -- ledger I/O ---------------------------------------------------------------
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """All well-formed ledger entries, oldest first.
+
+    A torn final line (interrupted append) is skipped silently; torn
+    lines elsewhere raise, since they indicate corruption rather than a
+    crashed writer.
+    """
+    if not os.path.exists(path):
+        return []
+    entries: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                continue
+            raise ObsError(f"{path}:{i + 1}: corrupt ledger line")
+        if isinstance(entry, dict) and "bench" in entry and "metrics" in entry:
+            entries.append(entry)
+    return entries
+
+
+def record(
+    root: str = ".",
+    history_path: Optional[str] = None,
+    now: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Ingest every known BENCH_*.json under ``root`` into the ledger.
+
+    Returns the entries appended (possibly empty).  Each entry:
+    ``{"v", "bench", "source", "recorded_unix", "metrics"}``.
+    """
+    history_path = history_path or os.path.join(root, HISTORY_FILENAME)
+    stamp = time.time() if now is None else now
+    appended: List[Dict[str, Any]] = []
+    for filename in ARTIFACT_FILENAMES:
+        path = os.path.join(root, filename)
+        if not os.path.exists(path):
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ObsError(f"unreadable bench artifact {path}: {exc}") from exc
+        extracted = extract_metrics(payload)
+        if extracted is None:
+            continue
+        appended.append(
+            {
+                "v": LEDGER_VERSION,
+                "bench": extracted["bench"],
+                "source": filename,
+                "recorded_unix": round(stamp, 3),
+                "metrics": extracted["metrics"],
+            }
+        )
+    if appended:
+        with open(history_path, "a", encoding="utf-8") as fh:
+            for entry in appended:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return appended
+
+
+# -- regression gate ----------------------------------------------------------
+
+
+@dataclass
+class MetricVerdict:
+    bench: str
+    metric: str
+    direction: str
+    current: float
+    baseline: Optional[float]
+    delta_frac: Optional[float]
+    status: str  # "ok" | "regression" | "no-baseline"
+
+
+@dataclass
+class CheckReport:
+    tolerance: float
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if v.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "verdicts": [
+                {
+                    "bench": v.bench,
+                    "metric": v.metric,
+                    "direction": v.direction,
+                    "current": v.current,
+                    "baseline": v.baseline,
+                    "delta_frac": v.delta_frac,
+                    "status": v.status,
+                }
+                for v in self.verdicts
+            ],
+        }
+
+
+def check(
+    entries: Sequence[Mapping[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    baseline_depth: int = BASELINE_DEPTH,
+) -> CheckReport:
+    """Gate the newest entry per benchmark against its history median.
+
+    For each benchmark present, the newest entry is "current" and the
+    baseline per metric is the median of that metric over the preceding
+    ``baseline_depth`` entries.  A metric regresses when it moves past
+    ``tolerance`` (fractional) in its bad direction; good-direction
+    moves of any size pass.  A metric with no prior history passes as
+    ``no-baseline`` — the first recorded run seeds the trajectory.
+    """
+    if tolerance < 0:
+        raise ObsError("tolerance must be >= 0")
+    report = CheckReport(tolerance=tolerance)
+    by_bench: Dict[str, List[Mapping[str, Any]]] = {}
+    for entry in entries:
+        by_bench.setdefault(str(entry["bench"]), []).append(entry)
+    for bench in sorted(by_bench):
+        history = by_bench[bench]
+        current = history[-1]
+        prior = history[:-1][-baseline_depth:]
+        for metric, value in sorted(current["metrics"].items()):
+            direction = metric_direction(bench, metric)
+            prior_values = [
+                float(e["metrics"][metric])
+                for e in prior
+                if metric in e.get("metrics", {})
+            ]
+            if not prior_values:
+                report.verdicts.append(
+                    MetricVerdict(
+                        bench, metric, direction, float(value),
+                        None, None, "no-baseline",
+                    )
+                )
+                continue
+            baseline = median(prior_values)
+            if baseline == 0:
+                delta = 0.0
+            else:
+                delta = (float(value) - baseline) / abs(baseline)
+            bad = -delta if direction == "higher" else delta
+            status = "regression" if bad > tolerance else "ok"
+            report.verdicts.append(
+                MetricVerdict(
+                    bench, metric, direction, float(value),
+                    baseline, round(delta, 6), status,
+                )
+            )
+    return report
+
+
+def format_report(report: CheckReport) -> str:
+    """Human-oriented table for ``repro bench check``."""
+    lines = [
+        f"bench check (tolerance {report.tolerance:.0%}, "
+        f"baseline = median of last {BASELINE_DEPTH})"
+    ]
+    for v in report.verdicts:
+        if v.baseline is None:
+            detail = "no baseline yet"
+        else:
+            arrow = "^" if (v.delta_frac or 0) >= 0 else "v"
+            detail = (
+                f"baseline {v.baseline:.3f} {arrow}{abs(v.delta_frac or 0):.1%}"
+            )
+        mark = {"ok": "ok ", "no-baseline": "new", "regression": "REG"}[v.status]
+        lines.append(
+            f"  [{mark}] {v.bench}.{v.metric} ({v.direction} better): "
+            f"{v.current:.3f}  ({detail})"
+        )
+    lines.append("PASS" if report.ok else "FAIL: regression past tolerance")
+    return "\n".join(lines)

@@ -15,12 +15,22 @@ final metrics are bit-identical at any worker count:
 Histograms keep count/sum/min/max plus power-of-two magnitude bins — enough
 for latency attribution and SoC distributions at a few dozen bytes per
 metric, with an exactly mergeable representation (no quantile sketches).
+Snapshots additionally carry a derived ``summary`` (mean plus p50/p95/p99
+estimated from the bins) so consumers like ``/metrics`` get quantiles
+without reimplementing the bin geometry; the raw bins stay alongside for
+exact-merge semantics.
+
+All mutation and snapshotting is lock-protected, so one registry can be
+shared between the threaded HTTP server's handler threads without torn
+counters; the determinism story is unchanged (merges still happen in job
+submission order, single-threaded).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ObsError
 
@@ -31,15 +41,17 @@ _ZERO_BIN = -(2**15)
 class Counter:
     """A monotonically increasing sum."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ObsError("counters only go up; use a gauge for level values")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -54,6 +66,46 @@ class Gauge:
         self.value = float(value)
 
 
+def quantile_from_bins(
+    bins: Sequence[Tuple[int, int]],
+    count: int,
+    q: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> float:
+    """Estimate the ``q``-quantile of a power-of-two-binned distribution.
+
+    ``bins`` is the snapshot form (sorted ``[key, count]`` pairs); bin
+    ``k`` covers ``(2**(k-1), 2**k]`` and the underflow bin holds every
+    non-positive observation.  The estimate interpolates linearly inside
+    the covering bin and clamps to the observed ``[lo, hi]`` when known —
+    deterministic, and exact at the observed extremes.
+    """
+    if count <= 0:
+        return 0.0
+    position = q * count  # continuous rank in (0, count]
+    cumulative = 0
+    value = 0.0
+    for key, n in bins:
+        if n <= 0:
+            continue
+        if key == _ZERO_BIN:
+            low_edge = high_edge = min(0.0, lo) if lo is not None else 0.0
+        else:
+            low_edge, high_edge = 2.0 ** (key - 1), 2.0**key
+        if cumulative + n >= position:
+            fraction = (position - cumulative) / n
+            value = low_edge + fraction * (high_edge - low_edge)
+            break
+        cumulative += n
+        value = high_edge
+    if lo is not None:
+        value = max(value, lo)
+    if hi is not None:
+        value = min(value, hi)
+    return value
+
+
 class Histogram:
     """count/sum/min/max plus power-of-two magnitude bins.
 
@@ -63,7 +115,7 @@ class Histogram:
     over workers reproduces the same histogram.
     """
 
-    __slots__ = ("count", "sum", "min", "max", "bins")
+    __slots__ = ("count", "sum", "min", "max", "bins", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
@@ -71,17 +123,19 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.bins: Dict[int, int] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
         if math.isnan(value):
             raise ObsError("cannot observe NaN")
-        self.count += 1
-        self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
         key = _ZERO_BIN if value <= 0 else int(math.ceil(math.log2(value)))
-        self.bins[key] = self.bins.get(key, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            self.bins[key] = self.bins.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -93,13 +147,15 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind: type) -> Any:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = kind()
-            self._metrics[name] = metric
-        elif not isinstance(metric, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind()
+                self._metrics[name] = metric
+        if not isinstance(metric, kind):
             raise ObsError(
                 f"metric {name!r} is a {type(metric).__name__}, "
                 f"not a {kind.__name__}"
@@ -121,23 +177,44 @@ class MetricsRegistry:
     # -- snapshot / merge -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """A picklable, JSON-able, name-sorted dump of every metric."""
+        """A picklable, JSON-able, name-sorted dump of every metric.
+
+        Histogram entries carry the raw bins (the exact-merge
+        representation) *and* a derived ``summary`` — mean plus
+        p50/p95/p99 estimated from the bins — so JSON consumers get
+        usable latency figures without decoding bin keys.  The summary
+        is a pure function of the mergeable fields, so merged snapshots
+        stay bit-identical at any worker count.
+        """
+        with self._lock:
+            metrics = dict(self._metrics)
         out: Dict[str, Dict[str, Any]] = {}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for name in sorted(metrics):
+            metric = metrics[name]
             if isinstance(metric, Counter):
                 out[name] = {"type": "counter", "value": metric.value}
             elif isinstance(metric, Gauge):
                 out[name] = {"type": "gauge", "value": metric.value}
             else:
-                bins: List[Tuple[int, int]] = sorted(metric.bins.items())
+                with metric._lock:
+                    count = metric.count
+                    total = metric.sum
+                    lo = metric.min if count else None
+                    hi = metric.max if count else None
+                    bins: List[Tuple[int, int]] = sorted(metric.bins.items())
                 out[name] = {
                     "type": "histogram",
-                    "count": metric.count,
-                    "sum": metric.sum,
-                    "min": metric.min if metric.count else None,
-                    "max": metric.max if metric.count else None,
+                    "count": count,
+                    "sum": total,
+                    "min": lo,
+                    "max": hi,
                     "bins": [[k, c] for k, c in bins],
+                    "summary": {
+                        "mean": total / count if count else 0.0,
+                        "p50": quantile_from_bins(bins, count, 0.50, lo, hi),
+                        "p95": quantile_from_bins(bins, count, 0.95, lo, hi),
+                        "p99": quantile_from_bins(bins, count, 0.99, lo, hi),
+                    },
                 }
         return out
 

@@ -1,0 +1,431 @@
+"""Prometheus text-format exposition (0.0.4) for registry snapshots.
+
+``/metrics`` keeps its JSON snapshot as the default — JSON is what the
+exact-merge tests and ``repro stats`` consume — but a scraper asking for
+``text/plain`` gets this module's rendering instead: the same snapshot,
+re-expressed in the Prometheus exposition grammar so the serve tier can
+sit behind a stock Prometheus without an adapter process.
+
+The mapping is mechanical and lossless where the grammar allows:
+
+* metric names are sanitised to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and
+  prefixed ``repro_``; the registry's bracket idiom
+  (``serve.requests[echo]`` / ``serve.queue[depth=3]``) becomes one
+  *family* with a label (``repro_serve_requests_total{analysis="echo"}``),
+  which is exactly what the idiom was standing in for;
+* counters gain the conventional ``_total`` suffix;
+* power-of-two-bin histograms render as cumulative ``_bucket`` series
+  with ``le`` upper edges (the underflow bin maps to ``le="0"``), plus
+  ``_sum``/``_count`` — an exact re-encoding, no quantile estimation;
+* rolling-window summaries (sliding p50/p95/p99) render as ``summary``
+  families with ``quantile`` labels, and SLO reports as gauges.
+
+:func:`validate_prometheus_text` checks a rendering against the grammar
+(HELP/TYPE well-formedness, sample-line syntax, bucket cumulativity,
+``+Inf`` presence, duplicate detection) and is both a test oracle and a
+CLI (``python -m repro.obs.prom dump.txt``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObsError
+from repro.obs.metrics import _ZERO_BIN
+
+#: Content type a conforming scraper sends and expects.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+#: The registry's bracket idiom: ``base[label]`` or ``base[key=label]``.
+_BRACKET = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<inner>[^\[\]]+)\]$")
+
+
+def _sanitize(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: Any) -> str:
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _split_family(name: str) -> Tuple[str, Dict[str, str]]:
+    """Map a registry name to (family, labels) via the bracket idiom."""
+    match = _BRACKET.match(name)
+    if not match:
+        return _sanitize(f"repro_{name}"), {}
+    base, inner = match.group("base"), match.group("inner")
+    if "=" in inner:
+        key, _, value = inner.partition("=")
+        label_key = _sanitize(key.strip()).lstrip(":") or "label"
+    else:
+        # Bare bracket values are analysis names throughout the serve
+        # tier (serve.requests[echo], serve.coalesced[yearly_cost]).
+        label_key, value = "analysis", inner
+    return _sanitize(f"repro_{base}"), {label_key: value.strip()}
+
+
+def _sample(
+    name: str, labels: Mapping[str, str], value: Any
+) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "lines")
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.lines: List[str] = []
+
+
+def _histogram_lines(
+    family: _Family, labels: Mapping[str, str], entry: Mapping[str, Any]
+) -> None:
+    """Exact re-encoding of power-of-two bins as cumulative buckets."""
+    cumulative = 0
+    for key, count in entry["bins"]:
+        cumulative += int(count)
+        edge = "0" if int(key) == _ZERO_BIN else _format_value(2.0 ** int(key))
+        family.lines.append(
+            _sample(f"{family.name}_bucket", {**labels, "le": edge}, cumulative)
+        )
+    family.lines.append(
+        _sample(
+            f"{family.name}_bucket", {**labels, "le": "+Inf"}, entry["count"]
+        )
+    )
+    family.lines.append(_sample(f"{family.name}_sum", labels, entry["sum"]))
+    family.lines.append(_sample(f"{family.name}_count", labels, entry["count"]))
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping[str, Any]],
+    rolling: Optional[Mapping[str, Mapping[str, float]]] = None,
+    slo_report: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render a registry snapshot (plus serve-side extras) as 0.0.4 text.
+
+    ``rolling`` is a :meth:`RollingStats.summary` mapping, ``slo_report``
+    an :meth:`SLOTracker.report`, ``extra`` plain name→gauge values
+    (queue depth and friends).  Families are emitted name-sorted; bins
+    and labels inside a family keep deterministic order, so the output
+    is stable for a given input.
+    """
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, kind: str, help_text: str) -> _Family:
+        fam = families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help_text)
+            families[name] = fam
+        elif fam.kind != kind:
+            raise ObsError(
+                f"metric family {name!r} rendered as both "
+                f"{fam.kind} and {kind}"
+            )
+        return fam
+
+    for raw_name in sorted(snapshot):
+        entry = snapshot[raw_name]
+        kind = entry.get("type")
+        base, labels = _split_family(raw_name)
+        if kind == "counter":
+            fam = family(
+                f"{base}_total", "counter", f"repro counter {raw_name}"
+            )
+            fam.lines.append(_sample(fam.name, labels, entry["value"]))
+        elif kind == "gauge":
+            if entry["value"] is None:
+                continue
+            fam = family(base, "gauge", f"repro gauge {raw_name}")
+            fam.lines.append(_sample(fam.name, labels, entry["value"]))
+        elif kind == "histogram":
+            fam = family(base, "histogram", f"repro histogram {raw_name}")
+            _histogram_lines(fam, labels, entry)
+        else:
+            raise ObsError(f"unknown metric type {kind!r} for {raw_name!r}")
+
+    if rolling:
+        for raw_name in sorted(rolling):
+            summary = rolling[raw_name]
+            if not summary.get("count"):
+                continue
+            base, labels = _split_family(f"rolling.{raw_name}")
+            fam = family(
+                base, "summary", f"repro rolling window {raw_name}"
+            )
+            for q in ("p50", "p95", "p99"):
+                fam.lines.append(
+                    _sample(
+                        fam.name,
+                        {**labels, "quantile": f"0.{q[1:]}"},
+                        summary[q],
+                    )
+                )
+            fam.lines.append(
+                _sample(f"{fam.name}_sum", labels,
+                        summary["mean"] * summary["count"])
+            )
+            fam.lines.append(
+                _sample(f"{fam.name}_count", labels, summary["count"])
+            )
+
+    if slo_report:
+        burn = family(
+            "repro_slo_burn_rate", "gauge",
+            "error-budget burn rate per SLO and window (>1 = overspending)",
+        )
+        compliant = family(
+            "repro_slo_compliant", "gauge",
+            "1 when the SLO meets its objective over the window",
+        )
+        alerting = family(
+            "repro_slo_alerting", "gauge",
+            "1 when every window of the SLO burns budget faster than it accrues",
+        )
+        for slo_name in sorted(slo_report.get("slos", {})):
+            slo = slo_report["slos"][slo_name]
+            for window_name in sorted(slo["windows"]):
+                window = slo["windows"][window_name]
+                labels = {"slo": slo_name, "window": window_name}
+                burn.lines.append(
+                    _sample(burn.name, labels, window["burn_rate"])
+                )
+                compliant.lines.append(
+                    _sample(
+                        compliant.name, labels,
+                        1 if window["compliant"] else 0,
+                    )
+                )
+            alerting.lines.append(
+                _sample(
+                    alerting.name, {"slo": slo_name},
+                    1 if slo["alerting"] else 0,
+                )
+            )
+
+    if extra:
+        for raw_name in sorted(extra):
+            value = extra[raw_name]
+            if value is None:
+                continue
+            base, labels = _split_family(raw_name)
+            fam = family(base, "gauge", f"repro gauge {raw_name}")
+            fam.lines.append(_sample(fam.name, labels, value))
+
+    chunks: List[str] = []
+    for name in sorted(families):
+        fam = families[name]
+        chunks.append(f"# HELP {fam.name} {fam.help}")
+        chunks.append(f"# TYPE {fam.name} {fam.kind}")
+        chunks.extend(fam.lines)
+    return "\n".join(chunks) + "\n" if chunks else ""
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    out: Dict[str, str] = {}
+    # Split on commas not inside quotes.
+    parts, depth, start = [], False, 0
+    for i, ch in enumerate(text):
+        if ch == '"' and (i == 0 or text[i - 1] != "\\"):
+            depth = not depth
+        elif ch == "," and not depth:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    for part in parts:
+        part = part.strip().rstrip(",")
+        if not part:
+            continue
+        match = _LABEL_PAIR.match(part)
+        if not match:
+            raise ObsError(f"malformed label pair {part!r}")
+        key = match.group("key")
+        if key in out:
+            raise ObsError(f"duplicate label {key!r}")
+        out[key] = match.group("value")
+    return out
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ObsError(f"bad sample value {text!r}") from exc
+
+
+def validate_prometheus_text(text: str) -> Dict[str, Any]:
+    """Validate exposition text against the 0.0.4 grammar.
+
+    Checks: HELP/TYPE comment well-formedness; at most one TYPE per
+    family, appearing before its samples; every sample line parses;
+    histogram families have a ``+Inf`` bucket with count == ``_count``
+    and cumulative (non-decreasing) buckets per label set; no duplicate
+    samples.  Returns a census (``families``, ``samples``, per-family
+    kinds); raises :class:`ObsError` on the first violation.
+    """
+    types: Dict[str, str] = {}
+    sampled: set = set()
+    seen_families: set = set()
+    samples = 0
+    # histogram bookkeeping: family → label-key → list of (le, value)
+    buckets: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    counts: Dict[str, Dict[str, float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _NAME_OK.match(parts[2]):
+                    raise ObsError(
+                        f"line {lineno}: malformed {parts[1]} comment"
+                    )
+                if parts[1] == "TYPE":
+                    name = parts[2]
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        raise ObsError(
+                            f"line {lineno}: unknown TYPE {kind!r}"
+                        )
+                    if name in types:
+                        raise ObsError(
+                            f"line {lineno}: duplicate TYPE for {name}"
+                        )
+                    if name in seen_families:
+                        raise ObsError(
+                            f"line {lineno}: TYPE for {name} after samples"
+                        )
+                    types[name] = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ObsError(f"line {lineno}: unparseable sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"))
+        samples += 1
+
+        # Resolve the family: strip histogram/summary suffixes.
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stem and types.get(stem) in ("histogram", "summary"):
+                base = stem
+                break
+        if base not in types:
+            raise ObsError(f"line {lineno}: sample {name} has no TYPE")
+        seen_families.add(base)
+
+        dedup_key = (name, tuple(sorted(labels.items())))
+        if dedup_key in sampled:
+            raise ObsError(f"line {lineno}: duplicate sample {line!r}")
+        sampled.add(dedup_key)
+
+        if types[base] == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                raise ObsError(f"line {lineno}: bucket without le label")
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            buckets.setdefault(base, {}).setdefault(str(key), []).append(
+                (_parse_value(labels["le"]), value)
+            )
+        if types[base] == "histogram" and name.endswith("_count"):
+            key = tuple(sorted(labels.items()))
+            counts.setdefault(base, {})[str(key)] = value
+
+    for fam, per_labels in buckets.items():
+        for key, series in per_labels.items():
+            ordered = sorted(series, key=lambda p: p[0])
+            if not ordered or not math.isinf(ordered[-1][0]):
+                raise ObsError(f"{fam}: histogram missing le=\"+Inf\" bucket")
+            last = -math.inf
+            for _, v in ordered:
+                if v < last:
+                    raise ObsError(f"{fam}: buckets not cumulative")
+                last = v
+            fam_counts = counts.get(fam, {})
+            if fam_counts:
+                inf_value = ordered[-1][1]
+                if all(c != inf_value for c in fam_counts.values()):
+                    raise ObsError(
+                        f"{fam}: +Inf bucket disagrees with _count"
+                    )
+
+    return {
+        "families": len(types),
+        "samples": samples,
+        "types": dict(sorted(types.items())),
+    }
+
+
+def _main(argv: List[str]) -> int:
+    """Validate exposition text from a file (or stdin with no args)."""
+    if argv:
+        with open(argv[0], "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+    try:
+        census = validate_prometheus_text(text)
+    except ObsError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {census['families']} families, {census['samples']} samples"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(_main(sys.argv[1:]))

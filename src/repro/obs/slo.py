@@ -1,0 +1,236 @@
+"""Declarative SLOs with multi-window error-budget burn.
+
+The paper's core discipline is that tail behaviour must be *quantified*
+— Figure 1(b) is a distribution, Table 3 an availability target — and a
+serving tier inherits the same obligation: "the service is fine" means
+a stated objective, measured over stated windows, with the budget spent
+so far visible.  This module is that statement:
+
+* :class:`SLOSpec` — one declarative objective.  Three kinds:
+  ``latency`` (a request is *good* when it completed OK within
+  ``threshold_ms``), ``shed_rate`` (good = admitted, not 429-shed) and
+  ``error_rate`` (good = did not fail server-side).
+* :class:`SLOTracker` — records request outcomes and computes, per SLO
+  and per window, the bad fraction, remaining error budget, and the
+  **burn rate** (bad fraction ÷ allowed fraction; >1 means the budget
+  is being spent faster than it accrues).  Windows default to the
+  classic fast/slow pair (5 min, 1 h): an SLO is ``alerting`` only when
+  *every* window burns >1, which filters blips without missing slow
+  leaks (the multi-window, multi-burn-rate alert shape).
+
+The tracker is serving-side state — nothing here participates in the
+deterministic metrics merge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+
+#: Request outcomes the tracker understands.
+OUTCOMES = ("ok", "shed", "error")
+
+#: The fast/slow window pair (seconds) used when a spec names none.
+DEFAULT_WINDOWS_S: Tuple[float, ...] = (300.0, 3600.0)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective.
+
+    Attributes:
+        name: Stable identifier (appears in ``/slo`` and Prometheus).
+        kind: ``latency`` | ``shed_rate`` | ``error_rate``.
+        objective: Target good fraction in (0, 1), e.g. ``0.99``.
+        threshold_ms: For ``latency`` only — the bound a good request
+            completes within.
+        windows_s: Evaluation windows, seconds, fast to slow.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold_ms: Optional[float] = None
+    windows_s: Tuple[float, ...] = DEFAULT_WINDOWS_S
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "shed_rate", "error_rate"):
+            raise ObsError(
+                f"unknown SLO kind {self.kind!r}; "
+                "one of latency, shed_rate, error_rate"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ObsError("SLO objective must be in (0, 1)")
+        if self.kind == "latency":
+            if self.threshold_ms is None or self.threshold_ms <= 0:
+                raise ObsError("latency SLOs need a positive threshold_ms")
+        elif self.threshold_ms is not None:
+            raise ObsError(f"{self.kind} SLOs take no threshold_ms")
+        if not self.windows_s or any(w <= 0 for w in self.windows_s):
+            raise ObsError("windows_s must be positive")
+
+    def classify(self, outcome: str, latency_ms: float) -> Optional[bool]:
+        """Good (True), bad (False), or not counted (None) for this SLO."""
+        if self.kind == "latency":
+            if outcome == "ok":
+                return latency_ms <= self.threshold_ms
+            if outcome == "error":
+                return False  # a failed request is not a fast one
+            return None  # sheds never entered evaluation
+        if self.kind == "shed_rate":
+            return outcome != "shed"
+        return outcome != "error"  # error_rate counts sheds as good
+
+
+def parse_slo(spec: str) -> SLOSpec:
+    """Parse ``kind[:threshold_ms]:objective[@win1,win2]`` into a spec.
+
+    Examples::
+
+        latency:500:0.99        # 99% of OK requests within 500 ms
+        shed_rate:0.99          # at most 1% shed
+        error_rate:0.999@60,600 # custom fast/slow windows (seconds)
+    """
+    text = spec.strip()
+    windows = DEFAULT_WINDOWS_S
+    if "@" in text:
+        text, _, window_text = text.partition("@")
+        try:
+            windows = tuple(float(w) for w in window_text.split(",") if w)
+        except ValueError as exc:
+            raise ObsError(f"bad SLO windows in {spec!r}") from exc
+    parts = [p for p in text.split(":") if p]
+    if not parts:
+        raise ObsError(f"empty SLO spec {spec!r}")
+    kind = parts[0]
+    try:
+        if kind == "latency":
+            if len(parts) != 3:
+                raise ObsError(
+                    f"latency SLO needs 'latency:<threshold_ms>:<objective>', "
+                    f"got {spec!r}"
+                )
+            return SLOSpec(
+                name=f"latency_{parts[1]}ms",
+                kind="latency",
+                objective=float(parts[2]),
+                threshold_ms=float(parts[1]),
+                windows_s=windows,
+            )
+        if len(parts) != 2:
+            raise ObsError(
+                f"{kind} SLO needs '{kind}:<objective>', got {spec!r}"
+            )
+        return SLOSpec(
+            name=kind, kind=kind, objective=float(parts[1]), windows_s=windows
+        )
+    except ValueError as exc:
+        raise ObsError(f"bad number in SLO spec {spec!r}") from exc
+
+
+#: The default roster a telemetry-enabled server tracks.
+DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
+    SLOSpec(name="latency_500ms", kind="latency", objective=0.99,
+            threshold_ms=500.0),
+    SLOSpec(name="shed_rate", kind="shed_rate", objective=0.99),
+    SLOSpec(name="error_rate", kind="error_rate", objective=0.999),
+)
+
+
+@dataclass
+class _Event:
+    t: float
+    outcome: str
+    latency_ms: float
+
+
+class SLOTracker:
+    """Shared event ring + per-SLO multi-window budget arithmetic.
+
+    One bounded deque of (time, outcome, latency) events backs every
+    SLO; a report walks the ring once per SLO per window.  Event count
+    is bounded by ``max_events`` and age by the longest window, so a
+    long-lived server's tracker stays flat.
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[SLOSpec] = DEFAULT_SLOS,
+        max_events: int = 65536,
+    ) -> None:
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ObsError(f"duplicate SLO names: {sorted(names)}")
+        self.slos: Tuple[SLOSpec, ...] = tuple(slos)
+        self.max_events = max_events
+        self._events: Deque[_Event] = deque(maxlen=max_events)
+        self._lock = threading.Lock()
+        self._horizon = max(
+            (w for s in self.slos for w in s.windows_s), default=3600.0
+        )
+
+    def record(
+        self, outcome: str, latency_ms: float = 0.0, now: Optional[float] = None
+    ) -> None:
+        if outcome not in OUTCOMES:
+            raise ObsError(
+                f"unknown outcome {outcome!r}; one of {OUTCOMES}"
+            )
+        t = time.monotonic() if now is None else now
+        with self._lock:
+            self._events.append(_Event(t, outcome, float(latency_ms)))
+            # Age-bound the ring so idle periods don't pin dead events.
+            horizon = t - self._horizon
+            while self._events and self._events[0].t < horizon:
+                self._events.popleft()
+
+    def report(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Per-SLO, per-window compliance and error-budget burn."""
+        t = time.monotonic() if now is None else now
+        with self._lock:
+            events = list(self._events)
+        out: Dict[str, Any] = {"slos": {}, "alerting": []}
+        for spec in self.slos:
+            allowed = 1.0 - spec.objective
+            windows: Dict[str, Any] = {}
+            burns: list = []
+            for window_s in spec.windows_s:
+                horizon = t - window_s
+                total = bad = 0
+                for event in events:
+                    if event.t < horizon:
+                        continue
+                    good = spec.classify(event.outcome, event.latency_ms)
+                    if good is None:
+                        continue
+                    total += 1
+                    bad += 0 if good else 1
+                bad_fraction = bad / total if total else 0.0
+                burn = bad_fraction / allowed if allowed > 0 else 0.0
+                burns.append(burn if total else 0.0)
+                windows[f"{window_s:g}s"] = {
+                    "events": total,
+                    "bad": bad,
+                    "bad_fraction": round(bad_fraction, 6),
+                    "budget_remaining": round(
+                        1.0 - (bad_fraction / allowed) if allowed else 0.0, 6
+                    ),
+                    "burn_rate": round(burn, 4),
+                    "compliant": bad_fraction <= allowed,
+                }
+            alerting = bool(burns) and all(b > 1.0 for b in burns)
+            out["slos"][spec.name] = {
+                "kind": spec.kind,
+                "objective": spec.objective,
+                "threshold_ms": spec.threshold_ms,
+                "windows": windows,
+                "alerting": alerting,
+            }
+            if alerting:
+                out["alerting"].append(spec.name)
+        return out

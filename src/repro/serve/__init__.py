@@ -16,6 +16,7 @@ Layers, bottom up:
   coalescing, micro-batched dispatch, deadline propagation.
 * :mod:`repro.serve.app` — the stdlib HTTP front end and lifecycle.
 * :mod:`repro.serve.loadgen` — the closed-loop load generator.
+* :mod:`repro.serve.top` — the ``repro top`` terminal dashboard.
 """
 
 from repro.serve.analyses import build, evaluate_request
@@ -27,8 +28,10 @@ from repro.serve.loadgen import (
     LoadgenReport,
     parse_mix,
     post_request,
+    post_request_full,
     run_loadgen,
 )
+from repro.serve.top import gather, render_dashboard, run_top
 from repro.serve.protocol import (
     ANALYSES,
     PROTOCOL_VERSION,
@@ -57,6 +60,10 @@ __all__ = [
     "parse_mix",
     "parse_request",
     "post_request",
+    "post_request_full",
+    "gather",
+    "render_dashboard",
     "run_loadgen",
     "run_server",
+    "run_top",
 ]

@@ -5,12 +5,20 @@ Endpoints:
 * ``POST /v1/eval`` — one protocol request; 200 with the response
   envelope, 400 on protocol errors, 429 + ``Retry-After`` when the
   admission queue sheds, 504 on expired deadlines, 500 on evaluation
-  failures.
-* ``GET /healthz`` — liveness: version, uptime, queue depth.
-* ``GET /metrics`` — the :mod:`repro.obs` metrics snapshot (the
-  ``serve.*`` queue instrumentation plus anything else recorded into
-  the server's session).
-* ``GET /stats`` — batcher counters + cache hit statistics.
+  failures.  Every admitted request gets an ``X-Repro-Request-Id``
+  response header; the id keys its span tree under ``/trace/<id>``.
+* ``GET /healthz`` — liveness: version, uptime, queue depth, rolling
+  shed rate and p99.
+* ``GET /metrics`` — the :mod:`repro.obs` metrics snapshot as JSON by
+  default; a client whose ``Accept`` header asks for ``text/plain``
+  gets Prometheus text-format exposition of the same registry instead
+  (plus rolling-window summaries and SLO gauges).
+* ``GET /slo`` — the declarative SLO report: per-objective,
+  per-window bad fractions and error-budget burn rates.
+* ``GET /trace/<request-id>`` — one request's span records and nested
+  tree, for as long as the trace survives the bounded store.
+* ``GET /stats`` — batcher counters + cache hit statistics (+ rolling
+  windows and the SLO report when telemetry is on).
 
 The server is a :class:`ThreadingHTTPServer`: each connection gets a
 handler thread that blocks on its request's future while the single
@@ -37,6 +45,14 @@ from repro.errors import (
     ServeError,
 )
 from repro.obs import ObsSession
+from repro.obs.prom import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.slo import SLOSpec, SLOTracker
+from repro.obs.telemetry import (
+    REQUEST_ID_HEADER,
+    RequestTrace,
+    Telemetry,
+    new_request_id,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.executor import make_executor
 from repro.serve.batcher import Batcher
@@ -72,6 +88,15 @@ class ServeConfig:
         cache_max_bytes / cache_max_age_s: When set, the cache is
             pruned to these bounds after every batch — the GC keeping a
             long-lived server's disk footprint flat.
+        telemetry: Request-scoped tracing, rolling-window percentiles
+            and SLO tracking.  ``False`` passes ``None`` through every
+            hook — the pre-telemetry code path, byte for byte.
+        telemetry_window_s: Rolling-window width for the sliding
+            percentiles in ``/healthz`` and Prometheus summaries.
+        trace_capacity: Finished request traces kept for ``/trace/<id>``
+            lookup before the oldest are evicted.
+        slos: Override the default SLO roster (see
+            :data:`repro.obs.slo.DEFAULT_SLOS`); ``None`` keeps it.
     """
 
     host: str = "127.0.0.1"
@@ -85,6 +110,10 @@ class ServeConfig:
     request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S
     cache_max_bytes: Optional[int] = None
     cache_max_age_s: Optional[float] = None
+    telemetry: bool = True
+    telemetry_window_s: float = 60.0
+    trace_capacity: int = 256
+    slos: Optional[Tuple[SLOSpec, ...]] = None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -111,12 +140,51 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         server = self._server
         if self.path == "/healthz":
             self._reply(200, server.health())
         elif self.path == "/metrics":
-            self._reply(200, server.session.metrics.snapshot())
+            accept = self.headers.get("Accept", "") or ""
+            if "text/plain" in accept or "openmetrics" in accept:
+                self._reply_text(
+                    200, server.prometheus(), PROMETHEUS_CONTENT_TYPE
+                )
+            else:
+                self._reply(200, server.session.metrics.snapshot())
+        elif self.path == "/slo":
+            if server.telemetry is None:
+                self._reply(
+                    404, error_envelope("telemetry_off", "telemetry disabled")
+                )
+            else:
+                self._reply(200, server.telemetry.slo.report())
+        elif self.path.startswith("/trace/"):
+            request_id = self.path[len("/trace/"):]
+            if server.telemetry is None:
+                self._reply(
+                    404, error_envelope("telemetry_off", "telemetry disabled")
+                )
+                return
+            trace = server.telemetry.store.get(request_id)
+            if trace is None:
+                self._reply(
+                    404,
+                    error_envelope(
+                        "trace_not_found",
+                        f"{request_id!r} unknown or evicted",
+                    ),
+                )
+            else:
+                self._reply(200, trace)
         elif self.path == "/stats":
             self._reply(200, server.stats())
         else:
@@ -150,12 +218,22 @@ class EvalServer:
         self.cache = (
             ResultCache(config.cache_dir) if config.cache_dir else None
         )
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry(
+                trace_capacity=config.trace_capacity,
+                window_s=config.telemetry_window_s,
+                slo=SLOTracker(config.slos) if config.slos else None,
+            )
+            if config.telemetry
+            else None
+        )
         self.batcher = Batcher(
             executor_factory=self._make_executor,
             queue_bound=config.queue_bound,
             max_batch=config.max_batch,
             max_wait_s=config.batch_wait_s,
             metrics=self.session.metrics,
+            telemetry=self.telemetry,
         )
         self.started_at = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -194,21 +272,44 @@ class EvalServer:
     def handle_eval(
         self, body: bytes
     ) -> Tuple[int, Dict[str, Any], Optional[Dict[str, str]]]:
-        """One POST body to ``(status, envelope, extra headers)``."""
+        """One POST body to ``(status, envelope, extra headers)``.
+
+        With telemetry on, every request that parses gets a request id
+        minted here, threaded through the batcher (so its span tree is
+        retrievable at ``/trace/<id>``) and returned in the
+        ``X-Repro-Request-Id`` header; the admit→respond latency and
+        ok/shed/error outcome feed the rolling windows and SLO tracker.
+        """
+        started = time.perf_counter()
         try:
             request = parse_request(body)
         except ProtocolError as exc:
             return 400, error_envelope("protocol", str(exc)), None
+        request_id = (
+            new_request_id() if self.telemetry is not None else None
+        )
+        headers: Dict[str, str] = (
+            {REQUEST_ID_HEADER: request_id} if request_id else {}
+        )
         try:
-            future = self.batcher.submit(request)
+            future = self.batcher.submit(request, request_id=request_id)
         except QueueFullError as exc:
-            return (
-                429,
-                error_envelope("shed", str(exc)),
-                {"Retry-After": self._retry_after()},
-            )
+            if self.telemetry is not None:
+                # Shed requests never reach the batcher's trace path;
+                # store a root-only trace so the id still resolves.
+                trace = RequestTrace(
+                    request_id, request.analysis,
+                    fingerprint=request.fingerprint,
+                )
+                self.telemetry.store.put(trace.finish("shed"))
+            self._record_outcome(request.analysis, "shed", started)
+            headers["Retry-After"] = self._retry_after()
+            return 429, error_envelope("shed", str(exc)), headers
         except ServeError as exc:
-            return 503, error_envelope("unavailable", str(exc)), None
+            self._record_outcome(request.analysis, "error", started)
+            return (
+                503, error_envelope("unavailable", str(exc)), headers or None
+            )
         wait = (
             request.deadline_s + 1.0
             if request.deadline_s is not None
@@ -217,23 +318,42 @@ class EvalServer:
         try:
             outcome = future.result(timeout=wait)
         except DeadlineError as exc:
-            return 504, error_envelope("deadline", str(exc)), None
+            self._record_outcome(request.analysis, "error", started)
+            return 504, error_envelope("deadline", str(exc)), headers or None
         except FutureTimeoutError:
+            self._record_outcome(request.analysis, "error", started)
             return (
                 504,
                 error_envelope(
                     "timeout", f"no result within {wait:.1f}s"
                 ),
-                None,
+                headers or None,
             )
         except ProtocolError as exc:
-            return 400, error_envelope("protocol", str(exc)), None
+            self._record_outcome(request.analysis, "error", started)
+            return 400, error_envelope("protocol", str(exc)), headers or None
         except ReproError as exc:
-            return 500, error_envelope(type(exc).__name__, str(exc)), None
+            self._record_outcome(request.analysis, "error", started)
+            return (
+                500,
+                error_envelope(type(exc).__name__, str(exc)),
+                headers or None,
+            )
         except Exception as exc:  # noqa: BLE001 - handlers must not die
-            return 500, error_envelope("internal", str(exc)), None
+            self._record_outcome(request.analysis, "error", started)
+            return 500, error_envelope("internal", str(exc)), headers or None
         envelope = ok_envelope(request, outcome["result"], outcome["meta"])
-        return 200, envelope, None
+        self._record_outcome(request.analysis, "ok", started)
+        return 200, envelope, headers or None
+
+    def _record_outcome(
+        self, analysis: Optional[str], outcome: str, started_perf: float
+    ) -> None:
+        """Fold one finished request into rolling windows and SLOs."""
+        if self.telemetry is None:
+            return
+        latency_ms = (time.perf_counter() - started_perf) * 1000.0
+        self.telemetry.record_request("/v1/eval", analysis, outcome, latency_ms)
 
     def _retry_after(self) -> str:
         """A shed client's hint: roughly one batch window from now."""
@@ -244,12 +364,36 @@ class EvalServer:
     def health(self) -> Dict[str, Any]:
         import repro
 
-        return {
+        out: Dict[str, Any] = {
             "ok": True,
             "version": repro.__version__,
             "uptime_s": round(time.time() - self.started_at, 3),
             "queue_depth": self.batcher.stats()["queue_depth"],
         }
+        if self.telemetry is not None:
+            shed = self.telemetry.shed_rate()
+            p99 = self.telemetry.rolling_p99_ms()
+            out["shed_rate"] = round(shed, 6) if shed is not None else None
+            out["rolling_p99_ms"] = (
+                round(p99, 3) if p99 is not None else None
+            )
+        return out
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` text-format rendering (content-negotiated)."""
+        rolling = slo_report = None
+        if self.telemetry is not None:
+            rolling = self.telemetry.rolling.summary()
+            slo_report = self.telemetry.slo.report()
+        return render_prometheus(
+            self.session.metrics.snapshot(),
+            rolling=rolling,
+            slo_report=slo_report,
+            extra={
+                "serve.up": 1,
+                "serve.uptime_s": round(time.time() - self.started_at, 3),
+            },
+        )
 
     def stats(self) -> Dict[str, Any]:
         import repro
@@ -276,6 +420,10 @@ class EvalServer:
                 "bytes": disk.bytes,
                 "version": self.cache.version,
             }
+        if self.telemetry is not None:
+            stats["rolling"] = self.telemetry.rolling.summary()
+            stats["slo"] = self.telemetry.slo.report()
+            stats["traces_stored"] = len(self.telemetry.store)
         return stats
 
     # -- lifecycle -------------------------------------------------------------

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import DeadlineError, QueueFullError, ServeError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RequestTrace, Telemetry
 from repro.runner.executor import BaseExecutor, SerialExecutor
 from repro.runner.jobs import Job
 from repro.serve import analyses
@@ -56,8 +57,13 @@ class _Entry:
         default_factory=concurrent.futures.Future
     )
     enqueued_at: float = 0.0
+    enqueued_unix: float = 0.0
     deadline_at: Optional[float] = None  # monotonic, None = no deadline
     riders: int = 1  # coalesced requests sharing this entry
+    request_id: Optional[str] = None
+    trace: Optional[RequestTrace] = None
+    #: Traces of coalesced riders; they finish when the leader resolves.
+    rider_traces: List[RequestTrace] = field(default_factory=list)
 
 
 class Batcher:
@@ -76,6 +82,12 @@ class Batcher:
             arrival to let a batch accumulate.  Zero dispatches eagerly.
         metrics: Optional :class:`~repro.obs.MetricsRegistry` receiving
             the ``serve.*`` queue instrumentation.
+        telemetry: Optional :class:`~repro.obs.Telemetry` bundle; when
+            present (and the HTTP layer passes request ids to
+            :meth:`submit`), every resolved request leaves a retrievable
+            queued→execute→reduce span tree in the trace store —
+            coalesced riders get their own trace carrying the leader's
+            id.  ``None`` (the default) keeps the pre-telemetry path.
     """
 
     def __init__(
@@ -85,6 +97,7 @@ class Batcher:
         max_batch: int = 16,
         max_wait_s: float = 0.005,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if queue_bound < 1:
             raise ServeError("queue_bound must be >= 1")
@@ -99,6 +112,7 @@ class Batcher:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self._metrics = metrics
+        self._telemetry = telemetry
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queue: List[_Entry] = []
@@ -159,8 +173,15 @@ class Batcher:
 
     # -- admission ------------------------------------------------------------
 
-    def submit(self, request: Request) -> "concurrent.futures.Future":
+    def submit(
+        self, request: Request, request_id: Optional[str] = None
+    ) -> "concurrent.futures.Future":
         """Admit ``request``; returns the future its response resolves on.
+
+        ``request_id`` is the id the HTTP layer minted at admission;
+        when telemetry is on it keys the request's span tree in the
+        trace store.  A coalesced arrival keeps its *own* id — its trace
+        records the leader's id it rode on.
 
         Raises:
             QueueFullError: The bounded queue is full (shed; HTTP 429).
@@ -180,6 +201,16 @@ class Batcher:
                 self.coalesced += 1
                 self._count("serve.coalesced")
                 self._analysis_stat(request.analysis)["coalesced"] += 1
+                if self._telemetry is not None and request_id is not None:
+                    existing.rider_traces.append(
+                        RequestTrace(
+                            request_id,
+                            request.analysis,
+                            coalesced=True,
+                            leader_id=existing.request_id,
+                            fingerprint=request.fingerprint,
+                        )
+                    )
                 return existing.future
             if len(self._queue) >= self.queue_bound:
                 self.sheds += 1
@@ -188,7 +219,18 @@ class Batcher:
                     f"admission queue full ({self.queue_bound} waiting); "
                     "retry shortly"
                 )
-            entry = _Entry(request=request, enqueued_at=now)
+            entry = _Entry(
+                request=request,
+                enqueued_at=now,
+                enqueued_unix=time.time(),
+                request_id=request_id,
+            )
+            if self._telemetry is not None and request_id is not None:
+                entry.trace = RequestTrace(
+                    request_id,
+                    request.analysis,
+                    fingerprint=request.fingerprint,
+                )
             if request.deadline_s is not None:
                 entry.deadline_at = now + request.deadline_s
             self._queue.append(entry)
@@ -286,6 +328,7 @@ class Batcher:
         ]
         timeout = min(deadlines) if deadlines else None
         started = time.monotonic()
+        started_unix = time.time()
         try:
             executor = self._executor_factory(timeout)
             report = executor.run(jobs, strict=False)
@@ -328,6 +371,8 @@ class Batcher:
                         ),
                     )
                 continue
+            reduce_started = time.perf_counter()
+            reduce_started_unix = time.time()
             try:
                 payload = finish(report.values[start:end])
             except Exception as exc:  # noqa: BLE001 - per-request isolation
@@ -345,8 +390,30 @@ class Batcher:
                 "batch_seconds": round(elapsed, 6),
                 "cache_hits": report.stats.cache_hits,
             }
+            if entry.trace is not None:
+                entry.trace.add_span(
+                    "queued",
+                    ts=entry.enqueued_unix,
+                    dur=now - entry.enqueued_at,
+                )
+                execute_id = entry.trace.add_span(
+                    "execute",
+                    ts=started_unix,
+                    dur=elapsed,
+                    jobs=end - start,
+                    batch_size=len(ranges),
+                    cache_hits=report.stats.cache_hits,
+                )
+                entry.trace.add_span(
+                    "reduce",
+                    ts=reduce_started_unix,
+                    dur=time.perf_counter() - reduce_started,
+                    parent_id=execute_id,
+                )
+                entry.trace.set_root(riders=entry.riders - 1)
             with self._lock:
                 self._pending.pop(entry.request.fingerprint, None)
+            self._finish_traces(entry, "ok")
             entry.future.set_result({"result": payload, "meta": meta})
 
     @staticmethod
@@ -366,8 +433,22 @@ class Batcher:
     def _resolve_error(self, entry: _Entry, exc: BaseException) -> None:
         """Fail an entry's future; caller holds the lock."""
         self._pending.pop(entry.request.fingerprint, None)
+        if entry.trace is not None:
+            entry.trace.set_root(error=f"{type(exc).__name__}: {exc}")
+        self._finish_traces(entry, "error")
         if not entry.future.done():
             entry.future.set_exception(exc)
+
+    def _finish_traces(self, entry: _Entry, outcome: str) -> None:
+        """Close and store the leader's trace plus any rider traces."""
+        if self._telemetry is None:
+            return
+        if entry.trace is not None:
+            self._telemetry.store.put(entry.trace.finish(outcome))
+            entry.trace = None
+        for rider in entry.rider_traces:
+            self._telemetry.store.put(rider.finish(outcome))
+        entry.rider_traces = []
 
     # -- telemetry -------------------------------------------------------------
 

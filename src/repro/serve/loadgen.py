@@ -137,6 +137,9 @@ class LoadgenReport:
         status_counts: HTTP status -> count, including network failures
             under status 0.
         by_shape: Shape name -> issued count.
+        latency_by_shape: Shape name -> p50/p95/p99/mean/max over that
+            shape's successful requests — the per-analysis tails the
+            serve benchmark gates on, not just the blended distribution.
         config: The knobs that produced this (for the artifact).
     """
 
@@ -150,6 +153,7 @@ class LoadgenReport:
     status_counts: Dict[str, int]
     by_shape: Dict[str, int]
     config: Dict[str, Any]
+    latency_by_shape: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -163,6 +167,7 @@ class LoadgenReport:
             "latency_ms": self.latency_ms,
             "status_counts": self.status_counts,
             "by_shape": self.by_shape,
+            "latency_by_shape": self.latency_by_shape,
             "config": self.config,
         }
 
@@ -183,13 +188,15 @@ def _percentile(samples: List[float], fraction: float) -> float:
     return samples[index]
 
 
-def post_request(
+def post_request_full(
     base_url: str, body: Mapping[str, Any], timeout_s: float = 60.0
-) -> Tuple[int, Dict[str, Any]]:
-    """POST one protocol request; returns ``(status, decoded body)``.
+) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+    """POST one protocol request; returns ``(status, headers, body)``.
 
-    Network-level failures surface as status 0 with an error-shaped
-    body, so callers can treat every outcome uniformly.
+    Headers matter since the server started minting request ids — the
+    ``X-Repro-Request-Id`` value retrieves the span tree from
+    ``/trace/<id>``.  Network-level failures surface as status 0 with an
+    error-shaped body, so callers can treat every outcome uniformly.
     """
     data = canonical_json(dict(body)).encode("utf-8")
     request = urllib.request.Request(
@@ -200,15 +207,32 @@ def post_request(
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout_s) as response:
-            return response.status, json.loads(response.read().decode("utf-8"))
+            return (
+                response.status,
+                dict(response.headers.items()),
+                json.loads(response.read().decode("utf-8")),
+            )
     except urllib.error.HTTPError as exc:
+        headers = dict(exc.headers.items()) if exc.headers else {}
         try:
             payload = json.loads(exc.read().decode("utf-8"))
         except (ValueError, OSError):
             payload = {"ok": False, "error": {"type": "http", "message": str(exc)}}
-        return exc.code, payload
+        return exc.code, headers, payload
     except (urllib.error.URLError, OSError, ValueError) as exc:
-        return 0, {"ok": False, "error": {"type": "network", "message": str(exc)}}
+        return 0, {}, {
+            "ok": False, "error": {"type": "network", "message": str(exc)}
+        }
+
+
+def post_request(
+    base_url: str, body: Mapping[str, Any], timeout_s: float = 60.0
+) -> Tuple[int, Dict[str, Any]]:
+    """:func:`post_request_full` without the headers (the original API)."""
+    status, _headers, payload = post_request_full(
+        base_url, body, timeout_s=timeout_s
+    )
+    return status, payload
 
 
 def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
@@ -218,6 +242,7 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
     stop_at = time.monotonic() + config.duration_s
     lock = threading.Lock()
     latencies: List[float] = []
+    shape_latencies: Dict[str, List[float]] = {name: [] for name in names}
     status_counts: Dict[str, int] = {}
     by_shape: Dict[str, int] = {name: 0 for name in names}
     totals = {"requests": 0, "ok": 0, "sheds": 0, "errors": 0}
@@ -248,6 +273,7 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
                 if status == 200:
                     totals["ok"] += 1
                     latencies.append(elapsed_ms)
+                    shape_latencies[name].append(elapsed_ms)
                 elif status == 429:
                     totals["sheds"] += 1
                 else:
@@ -264,17 +290,24 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
         thread.join()
     wall = time.monotonic() - started_at
 
-    latencies.sort()
-    if latencies:
-        latency_ms = {
-            "p50": round(_percentile(latencies, 0.50), 3),
-            "p95": round(_percentile(latencies, 0.95), 3),
-            "p99": round(_percentile(latencies, 0.99), 3),
-            "mean": round(statistics.fmean(latencies), 3),
-            "max": round(latencies[-1], 3),
+    def percentiles(samples: List[float]) -> Dict[str, float]:
+        samples.sort()
+        if not samples:
+            return {}
+        return {
+            "p50": round(_percentile(samples, 0.50), 3),
+            "p95": round(_percentile(samples, 0.95), 3),
+            "p99": round(_percentile(samples, 0.99), 3),
+            "mean": round(statistics.fmean(samples), 3),
+            "max": round(samples[-1], 3),
         }
-    else:
-        latency_ms = {}
+
+    latency_ms = percentiles(latencies)
+    latency_by_shape = {
+        name: percentiles(samples)
+        for name, samples in sorted(shape_latencies.items())
+        if samples
+    }
     return LoadgenReport(
         requests=totals["requests"],
         ok=totals["ok"],
@@ -285,6 +318,7 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
         latency_ms=latency_ms,
         status_counts=dict(sorted(status_counts.items())),
         by_shape=by_shape,
+        latency_by_shape=latency_by_shape,
         config={
             "base_url": config.base_url,
             "concurrency": config.concurrency,

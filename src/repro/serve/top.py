@@ -1,0 +1,176 @@
+"""``repro top``: a terminal dashboard over a live evaluation server.
+
+One screenful, refreshed in place, built entirely from the public
+endpoints — ``/healthz``, ``/stats`` and ``/slo`` — so it works against
+any reachable server with no side channel.  The layout mirrors the
+questions an operator actually asks, in order: is it up, is it
+shedding, what are the tails, which SLOs are burning budget, and what
+is the traffic made of.
+
+:func:`render_dashboard` is a pure snapshot→string function (tested
+without a server); :func:`run_top` adds the fetch/refresh loop and the
+ANSI home-and-clear so the display updates in place.  ``--once`` prints
+a single frame and exits, which is what scripts and tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+#: ANSI: cursor home + clear to end of screen (repaint without scroll).
+_CLEAR = "\x1b[H\x1b[J"
+
+
+def fetch_json(url: str, timeout_s: float = 5.0) -> Optional[Dict[str, Any]]:
+    """GET one JSON endpoint; None on any network/HTTP/decode failure."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def gather(base_url: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    """One dashboard snapshot: health + stats + slo (absent on failure)."""
+    base = base_url.rstrip("/")
+    return {
+        "base_url": base,
+        "health": fetch_json(f"{base}/healthz", timeout_s),
+        "stats": fetch_json(f"{base}/stats", timeout_s),
+        "slo": fetch_json(f"{base}/slo", timeout_s),
+    }
+
+
+def _fmt(value: Any, pattern: str = "{:.1f}", missing: str = "-") -> str:
+    if value is None:
+        return missing
+    try:
+        return pattern.format(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def render_dashboard(snapshot: Dict[str, Any]) -> str:
+    """The dashboard frame for one :func:`gather` snapshot."""
+    lines = []
+    base = snapshot.get("base_url", "?")
+    health = snapshot.get("health")
+    stats = snapshot.get("stats") or {}
+    slo = snapshot.get("slo")
+
+    if health is None:
+        lines.append(f"repro top — {base} — UNREACHABLE")
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"repro top — {base} — v{health.get('version', '?')} "
+        f"up {_fmt(health.get('uptime_s'), '{:.0f}')}s"
+    )
+    shed = health.get("shed_rate")
+    lines.append(
+        f"  queue {health.get('queue_depth', '-')}"
+        f"  shed {_fmt(shed if shed is None else shed * 100, '{:.1f}')}%"
+        f"  rolling p99 {_fmt(health.get('rolling_p99_ms'))} ms"
+    )
+
+    if stats:
+        lines.append(
+            f"  requests {stats.get('requests', 0)}"
+            f"  ok-batches {stats.get('batches', 0)}"
+            f"  coalesced {stats.get('coalesced', 0)}"
+            f"  sheds {stats.get('sheds', 0)}"
+            f"  failures {stats.get('failures', 0)}"
+            f"  jobs {stats.get('jobs_run', 0)}"
+        )
+        cache = stats.get("cache")
+        if cache:
+            lines.append(
+                f"  cache hits {cache.get('hits', 0)}"
+                f" misses {cache.get('misses', 0)}"
+                f" entries {cache.get('entries', 0)}"
+            )
+
+    if slo and slo.get("slos"):
+        lines.append("")
+        lines.append("  SLO                 window     burn   compliant")
+        for name in sorted(slo["slos"]):
+            entry = slo["slos"][name]
+            flag = " ALERTING" if entry.get("alerting") else ""
+            for window_name in sorted(entry.get("windows", {})):
+                window = entry["windows"][window_name]
+                lines.append(
+                    f"  {name:<18} {window_name:>9}"
+                    f"  {_fmt(window.get('burn_rate'), '{:>7.2f}')}"
+                    f"   {'yes' if window.get('compliant') else 'NO'}{flag}"
+                )
+                flag = ""  # only tag the first window row
+
+    rolling = stats.get("rolling") or {}
+    latency_rows = {
+        name: summary
+        for name, summary in rolling.items()
+        if name.startswith("latency_ms[") and summary.get("count")
+    }
+    if latency_rows:
+        lines.append("")
+        lines.append(
+            "  latency (rolling)        n     p50     p95     p99     max"
+        )
+        for name in sorted(latency_rows):
+            summary = latency_rows[name]
+            label = name[len("latency_ms["):-1]
+            lines.append(
+                f"  {label:<22} {summary['count']:>4}"
+                f"  {_fmt(summary.get('p50'), '{:>6.1f}')}"
+                f"  {_fmt(summary.get('p95'), '{:>6.1f}')}"
+                f"  {_fmt(summary.get('p99'), '{:>6.1f}')}"
+                f"  {_fmt(summary.get('max'), '{:>6.1f}')}"
+            )
+
+    analyses = stats.get("analyses") or {}
+    if analyses:
+        lines.append("")
+        lines.append(
+            "  analysis        requests  coalesced  batches    jobs  failures"
+        )
+        for name in sorted(analyses):
+            row = analyses[name]
+            lines.append(
+                f"  {name:<14} {row.get('requests', 0):>9}"
+                f"  {row.get('coalesced', 0):>9}"
+                f"  {row.get('batches', 0):>7}"
+                f"  {row.get('jobs', 0):>6}"
+                f"  {row.get('failures', 0):>8}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    base_url: str,
+    interval_s: float = 2.0,
+    once: bool = False,
+    iterations: Optional[int] = None,
+) -> int:
+    """The ``repro top`` loop; returns the process exit code.
+
+    ``once`` prints a single frame without ANSI control sequences.
+    ``iterations`` bounds the loop for tests; operators ^C out.
+    """
+    count = 0
+    try:
+        while True:
+            frame = render_dashboard(gather(base_url))
+            if once:
+                print(frame, end="")
+                return 0
+            print(f"{_CLEAR}{frame}", end="", flush=True)
+            count += 1
+            if iterations is not None and count >= iterations:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        print()
+        return 0

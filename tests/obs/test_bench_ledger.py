@@ -1,0 +1,166 @@
+"""Bench ledger: artifact extraction, history I/O, the regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import bench as benchmod
+
+
+SERVE_PAYLOAD = {
+    "bench": "serve",
+    "throughput_rps": 318.445,
+    "latency_ms": {"p50": 8.0, "p95": 11.0, "p99": 13.682},
+}
+SIM_PAYLOAD = {
+    "benchmark": "scalar-vs-batch engine",
+    "speedup": 35.374,
+    "yearly": {"speedup": 1.827},
+}
+POLICY_PAYLOAD = {
+    "benchmark": "policy-smoke",
+    "dominations": [{"a": 1}, {"b": 2}],
+}
+
+
+class TestExtraction:
+    def test_classify_known_shapes(self):
+        assert benchmod.classify(SERVE_PAYLOAD) == "serve"
+        assert benchmod.classify(SIM_PAYLOAD) == "sim"
+        assert benchmod.classify(POLICY_PAYLOAD) == "policy"
+        assert benchmod.classify({"what": "ever"}) is None
+
+    def test_serve_metrics(self):
+        extracted = benchmod.extract_metrics(SERVE_PAYLOAD)
+        assert extracted["bench"] == "serve"
+        assert extracted["metrics"] == {
+            "throughput_rps": 318.445, "p99_ms": 13.682,
+        }
+
+    def test_sim_metrics(self):
+        extracted = benchmod.extract_metrics(SIM_PAYLOAD)
+        assert extracted["metrics"] == {
+            "speedup": 35.374, "yearly_speedup": 1.827,
+        }
+
+    def test_policy_metrics_count_dominations(self):
+        extracted = benchmod.extract_metrics(POLICY_PAYLOAD)
+        assert extracted["metrics"] == {"dominations": 2.0}
+
+    def test_missing_fields_drop_metrics_not_entry(self):
+        extracted = benchmod.extract_metrics(
+            {"bench": "serve", "throughput_rps": 100.0}
+        )
+        assert extracted["metrics"] == {"throughput_rps": 100.0}
+
+    def test_directions(self):
+        assert benchmod.metric_direction("serve", "p99_ms") == "lower"
+        assert benchmod.metric_direction("serve", "throughput_rps") == "higher"
+
+
+class TestLedgerIO:
+    def test_record_and_load_round_trip(self, tmp_path):
+        for name, payload in (
+            ("BENCH_serve.json", SERVE_PAYLOAD),
+            ("BENCH_sim.json", SIM_PAYLOAD),
+            ("BENCH_policy.json", POLICY_PAYLOAD),
+        ):
+            (tmp_path / name).write_text(json.dumps(payload))
+        appended = benchmod.record(root=str(tmp_path), now=123.0)
+        assert {e["bench"] for e in appended} == {"serve", "sim", "policy"}
+        assert all(e["recorded_unix"] == 123.0 for e in appended)
+        entries = benchmod.load_history(
+            str(tmp_path / benchmod.HISTORY_FILENAME)
+        )
+        assert entries == appended
+
+    def test_record_skips_unknown_artifacts(self, tmp_path):
+        (tmp_path / "BENCH_serve.json").write_text(json.dumps({"odd": 1}))
+        assert benchmod.record(root=str(tmp_path)) == []
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert benchmod.load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry = {"v": 1, "bench": "serve", "metrics": {"throughput_rps": 1.0}}
+        path.write_text(json.dumps(entry) + "\n" + '{"bench": "serve", "tru')
+        assert len(benchmod.load_history(str(path))) == 1
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry = {"v": 1, "bench": "serve", "metrics": {"throughput_rps": 1.0}}
+        path.write_text('{"torn\n' + json.dumps(entry) + "\n")
+        with pytest.raises(ObsError, match="corrupt"):
+            benchmod.load_history(str(path))
+
+
+def serve_entry(rps, p99):
+    return {"bench": "serve",
+            "metrics": {"throughput_rps": rps, "p99_ms": p99}}
+
+
+class TestCheck:
+    def test_first_entry_passes_as_no_baseline(self):
+        report = benchmod.check([serve_entry(300.0, 13.0)])
+        assert report.ok
+        assert all(v.status == "no-baseline" for v in report.verdicts)
+
+    def test_stable_trajectory_passes(self):
+        entries = [serve_entry(300.0 + i, 13.0) for i in range(5)]
+        report = benchmod.check(entries, tolerance=0.15)
+        assert report.ok
+
+    def test_throughput_drop_fails(self):
+        entries = [serve_entry(300.0, 13.0)] * 3 + [serve_entry(200.0, 13.0)]
+        report = benchmod.check(entries, tolerance=0.15)
+        assert not report.ok
+        assert [v.metric for v in report.regressions] == ["throughput_rps"]
+
+    def test_latency_rise_fails(self):
+        entries = [serve_entry(300.0, 13.0)] * 3 + [serve_entry(300.0, 30.0)]
+        report = benchmod.check(entries, tolerance=0.15)
+        assert [v.metric for v in report.regressions] == ["p99_ms"]
+
+    def test_good_direction_moves_never_fail(self):
+        # 10x faster and 10x higher throughput: both "deltas" are huge
+        # but in the good direction.
+        entries = [serve_entry(300.0, 13.0)] * 3 + [serve_entry(3000.0, 1.3)]
+        assert benchmod.check(entries, tolerance=0.15).ok
+
+    def test_within_tolerance_passes(self):
+        entries = [serve_entry(300.0, 13.0)] * 3 + [serve_entry(270.0, 14.0)]
+        assert benchmod.check(entries, tolerance=0.15).ok
+
+    def test_median_baseline_shrugs_off_one_noisy_run(self):
+        entries = [
+            serve_entry(300.0, 13.0),
+            serve_entry(900.0, 13.0),  # one absurd outlier run
+            serve_entry(300.0, 13.0),
+            serve_entry(300.0, 13.0),
+        ]
+        assert benchmod.check(entries, tolerance=0.15).ok
+
+    def test_benchmarks_gated_independently(self):
+        entries = [
+            serve_entry(300.0, 13.0),
+            {"bench": "sim", "metrics": {"speedup": 35.0}},
+            serve_entry(300.0, 13.0),
+            {"bench": "sim", "metrics": {"speedup": 10.0}},  # regressed
+        ]
+        report = benchmod.check(entries, tolerance=0.15)
+        assert [(v.bench, v.status) for v in report.regressions] == [
+            ("sim", "regression"),
+        ]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ObsError):
+            benchmod.check([], tolerance=-0.1)
+
+    def test_report_serialises(self):
+        report = benchmod.check([serve_entry(300.0, 13.0)])
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["verdicts"][0]["status"] == "no-baseline"
+        assert "PASS" in benchmod.format_report(report)

@@ -5,7 +5,12 @@ import math
 import pytest
 
 from repro.errors import ObsError
-from repro.obs.metrics import _ZERO_BIN, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    _ZERO_BIN,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_bins,
+)
 
 
 class TestCounter:
@@ -140,3 +145,143 @@ class TestMerge:
         dst = MetricsRegistry()
         dst.merge(src.snapshot())
         assert dst.snapshot() == src.snapshot()
+
+
+class TestHistogramSummary:
+    """The derived ``summary`` in histogram snapshot entries."""
+
+    def test_summary_present_with_expected_keys(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(4.0)
+        entry = reg.snapshot()["h"]
+        assert set(entry["summary"]) == {"mean", "p50", "p95", "p99"}
+
+    def test_counters_and_gauges_stay_bare(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 1.0}
+        assert snap["g"] == {"type": "gauge", "value": 1.0}
+
+    def test_quantiles_clamped_to_observed_range(self):
+        reg = MetricsRegistry()
+        for v in (3.0, 3.5, 3.9):  # all in the (2, 4] bin
+            reg.histogram("h").observe(v)
+        summary = reg.snapshot()["h"]["summary"]
+        assert 3.0 <= summary["p50"] <= 3.9
+        assert 3.0 <= summary["p99"] <= 3.9
+
+    def test_quantiles_order_and_spread(self):
+        reg = MetricsRegistry()
+        for v in [1.0] * 90 + [1000.0] * 10:
+            reg.histogram("h").observe(v)
+        summary = reg.snapshot()["h"]["summary"]
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p50"] <= 2.0       # inside the small-value mass
+        assert summary["p99"] > 100.0      # reaches the tail bin
+
+    def test_quantile_from_bins_empty(self):
+        assert quantile_from_bins([], 0, 0.5) == 0.0
+
+    def test_summary_survives_merge_unchanged(self):
+        """summary is a pure function of the mergeable fields, so a
+        merged snapshot equals the directly-observed one exactly."""
+        src = MetricsRegistry()
+        for v in (0.5, 2.0, 64.0):
+            src.histogram("h").observe(v)
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+
+class TestThreadSafety:
+    """The registry is shared across the threaded HTTP server's handler
+    threads; counts must not tear and snapshots must stay coherent."""
+
+    def test_concurrent_counter_increments_exact(self):
+        import threading
+
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 2500
+
+        def pound():
+            counter = reg.counter("c")
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=pound) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("c").value == threads_n * per_thread
+
+    def test_concurrent_histogram_observations_exact(self):
+        import threading
+
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 1000
+
+        def pound(worker):
+            hist = reg.histogram("h")
+            for i in range(per_thread):
+                hist.observe(float(worker * per_thread + i + 1))
+
+        threads = [
+            threading.Thread(target=pound, args=(w,)) for w in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entry = reg.snapshot()["h"]
+        assert entry["count"] == threads_n * per_thread
+        assert sum(c for _, c in entry["bins"]) == threads_n * per_thread
+
+    def test_concurrent_get_or_create_single_instance(self):
+        import threading
+
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            seen.append(reg.counter("same"))
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+    def test_snapshot_coherent_under_load(self):
+        """Snapshots taken mid-storm must be internally consistent:
+        the bin total always equals the count."""
+        import threading
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            hist = reg.histogram("h")
+            v = 1.0
+            while not stop.is_set():
+                hist.observe(v)
+                v = v * 2 if v < 1e6 else 1.0
+
+        workers = [threading.Thread(target=writer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        try:
+            for _ in range(200):
+                entry = reg.snapshot().get("h")
+                if entry is None or not entry["count"]:
+                    continue
+                assert sum(c for _, c in entry["bins"]) == entry["count"]
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()

@@ -1,0 +1,164 @@
+"""Prometheus exposition: rendering from snapshots, grammar validation."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from repro.obs.slo import SLOTracker
+from repro.obs.telemetry import RollingStats
+
+
+def registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(7)
+    registry.counter("serve.requests[echo]").inc(5)
+    registry.counter("serve.requests[rank]").inc(2)
+    registry.gauge("serve.queue_depth").set(3)
+    hist = registry.histogram("serve.batch_seconds")
+    for v in (0.5, 1.0, 2.0, 4.0, 100.0):
+        hist.observe(v)
+    return registry.snapshot()
+
+
+class TestRender:
+    def test_output_validates(self):
+        text = render_prometheus(registry_snapshot())
+        census = validate_prometheus_text(text)
+        assert census["families"] >= 3
+        assert census["samples"] > 0
+
+    def test_counters_get_total_suffix(self):
+        text = render_prometheus(registry_snapshot())
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in text
+
+    def test_bracket_idiom_becomes_label(self):
+        text = render_prometheus(registry_snapshot())
+        assert 'repro_serve_requests_total{analysis="echo"} 5' in text
+        assert 'repro_serve_requests_total{analysis="rank"} 2' in text
+        # One family, one TYPE line, despite three registry names.
+        assert text.count("# TYPE repro_serve_requests_total") == 1
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_prometheus(registry_snapshot())
+        lines = [l for l in text.splitlines()
+                 if l.startswith("repro_serve_batch_seconds_bucket")]
+        assert lines[-1] == 'repro_serve_batch_seconds_bucket{le="+Inf"} 5'
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert "repro_serve_batch_seconds_sum" in text
+        assert "repro_serve_batch_seconds_count 5" in text
+
+    def test_gauge_rendered_plain(self):
+        text = render_prometheus(registry_snapshot())
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "repro_serve_queue_depth 3" in text
+
+    def test_rolling_windows_render_as_summaries(self):
+        rolling = RollingStats(window_s=60.0)
+        for v in (1.0, 2.0, 3.0):
+            rolling.observe("latency_ms[endpoint=/v1/eval]", v, now=0.0)
+        text = render_prometheus({}, rolling=rolling.summary(now=0.0))
+        assert "# TYPE repro_rolling_latency_ms summary" in text
+        assert 'quantile="0.99"' in text
+        validate_prometheus_text(text)
+
+    def test_slo_report_renders_as_gauges(self):
+        tracker = SLOTracker()
+        tracker.record("ok", 5.0, now=0.0)
+        text = render_prometheus({}, slo_report=tracker.report(now=0.0))
+        assert "# TYPE repro_slo_burn_rate gauge" in text
+        assert 'slo="latency_500ms"' in text
+        assert 'window="300s"' in text
+        assert "repro_slo_alerting" in text
+        validate_prometheus_text(text)
+
+    def test_extra_gauges(self):
+        text = render_prometheus({}, extra={"serve.uptime_s": 12.5})
+        assert "repro_serve_uptime_s 12.5" in text
+        validate_prometheus_text(text)
+
+    def test_empty_everything_is_empty_text(self):
+        assert render_prometheus({}) == ""
+
+    def test_content_type_pinned(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_deterministic_for_same_input(self):
+        snapshot = registry_snapshot()
+        assert render_prometheus(snapshot) == render_prometheus(snapshot)
+
+
+class TestValidator:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ObsError, match="no TYPE"):
+            validate_prometheus_text("mystery_metric 1\n")
+
+    def test_duplicate_sample_rejected(self):
+        text = (
+            "# TYPE x gauge\n"
+            "x 1\n"
+            "x 2\n"
+        )
+        with pytest.raises(ObsError, match="duplicate sample"):
+            validate_prometheus_text(text)
+
+    def test_duplicate_type_rejected(self):
+        text = "# TYPE x gauge\n# TYPE x counter\n"
+        with pytest.raises(ObsError, match="duplicate TYPE"):
+            validate_prometheus_text(text)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ObsError, match="unknown TYPE"):
+            validate_prometheus_text("# TYPE x flavour\n")
+
+    def test_malformed_sample_rejected(self):
+        text = "# TYPE x gauge\nx{oops 1\n"
+        with pytest.raises(ObsError, match="unparseable"):
+            validate_prometheus_text(text)
+
+    def test_histogram_missing_inf_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 1\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ObsError, match="Inf"):
+            validate_prometheus_text(text)
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ObsError, match="cumulative"):
+            validate_prometheus_text(text)
+
+    def test_census_counts(self):
+        text = (
+            "# HELP a help text\n"
+            "# TYPE a counter\n"
+            "a 1\n"
+            "# TYPE b gauge\n"
+            'b{l="v"} 2\n'
+        )
+        census = validate_prometheus_text(text)
+        assert census["families"] == 2
+        assert census["samples"] == 2
+        assert census["types"] == {"a": "counter", "b": "gauge"}
+
+    def test_label_escaping_round_trips(self):
+        text = render_prometheus(
+            {}, extra={'path[route=/v1/eval"x]': 1.0}
+        )
+        validate_prometheus_text(text)

@@ -1,0 +1,153 @@
+"""SLO specs, the spec parser, and multi-window error-budget burn."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLOSpec,
+    SLOTracker,
+    parse_slo,
+)
+
+
+class TestSLOSpec:
+    def test_latency_requires_threshold(self):
+        with pytest.raises(ObsError, match="threshold_ms"):
+            SLOSpec(name="x", kind="latency", objective=0.99)
+
+    def test_non_latency_rejects_threshold(self):
+        with pytest.raises(ObsError, match="no threshold"):
+            SLOSpec(name="x", kind="shed_rate", objective=0.99,
+                    threshold_ms=10.0)
+
+    def test_objective_bounds(self):
+        for bad in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ObsError, match="objective"):
+                SLOSpec(name="x", kind="shed_rate", objective=bad)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ObsError, match="unknown SLO kind"):
+            SLOSpec(name="x", kind="uptime", objective=0.9)
+
+    def test_latency_classification(self):
+        spec = SLOSpec(name="x", kind="latency", objective=0.99,
+                       threshold_ms=100.0)
+        assert spec.classify("ok", 50.0) is True
+        assert spec.classify("ok", 150.0) is False
+        assert spec.classify("error", 1.0) is False
+        assert spec.classify("shed", 1.0) is None  # not counted
+
+    def test_shed_rate_classification(self):
+        spec = SLOSpec(name="x", kind="shed_rate", objective=0.99)
+        assert spec.classify("ok", 0.0) is True
+        assert spec.classify("error", 0.0) is True
+        assert spec.classify("shed", 0.0) is False
+
+    def test_error_rate_counts_sheds_as_good(self):
+        spec = SLOSpec(name="x", kind="error_rate", objective=0.999)
+        assert spec.classify("shed", 0.0) is True
+        assert spec.classify("error", 0.0) is False
+
+
+class TestParseSlo:
+    def test_latency_spec(self):
+        spec = parse_slo("latency:500:0.99")
+        assert spec.kind == "latency"
+        assert spec.threshold_ms == 500.0
+        assert spec.objective == 0.99
+        assert spec.name == "latency_500ms"
+
+    def test_rate_specs(self):
+        assert parse_slo("shed_rate:0.99").kind == "shed_rate"
+        assert parse_slo("error_rate:0.999").objective == 0.999
+
+    def test_custom_windows(self):
+        spec = parse_slo("error_rate:0.999@60,600")
+        assert spec.windows_s == (60.0, 600.0)
+
+    def test_malformed_rejected(self):
+        for bad in ("", "latency:0.99", "shed_rate", "shed_rate:x",
+                    "latency:abc:0.99", "error_rate:0.9@x"):
+            with pytest.raises(ObsError):
+                parse_slo(bad)
+
+
+class TestSLOTracker:
+    def test_duplicate_names_rejected(self):
+        spec = SLOSpec(name="dup", kind="shed_rate", objective=0.9)
+        with pytest.raises(ObsError, match="duplicate"):
+            SLOTracker([spec, spec])
+
+    def test_unknown_outcome_rejected(self):
+        with pytest.raises(ObsError, match="unknown outcome"):
+            SLOTracker().record("meh")
+
+    def test_burn_rate_arithmetic(self):
+        # 1 bad in 100 at a 99.9% objective burns 10x budget.
+        tracker = SLOTracker()
+        for _ in range(99):
+            tracker.record("ok", 10.0, now=1000.0)
+        tracker.record("error", 10.0, now=1000.0)
+        report = tracker.report(now=1000.0)
+        window = report["slos"]["error_rate"]["windows"]["300s"]
+        assert window["events"] == 100
+        assert window["bad"] == 1
+        assert window["burn_rate"] == pytest.approx(10.0)
+        assert window["compliant"] is False
+
+    def test_alerting_requires_every_window_burning(self):
+        # Bad events only inside the fast window: the slow window has
+        # absorbed enough good history that it is not burning.
+        spec = SLOSpec(name="err", kind="error_rate", objective=0.9,
+                       windows_s=(100.0, 10000.0))
+        tracker = SLOTracker([spec])
+        for _ in range(1000):
+            tracker.record("ok", 1.0, now=0.0)
+        for _ in range(10):
+            tracker.record("error", 1.0, now=9990.0)
+        report = tracker.report(now=10000.0)
+        windows = report["slos"]["err"]["windows"]
+        assert windows["100s"]["burn_rate"] > 1.0
+        assert windows["10000s"]["burn_rate"] <= 1.0
+        assert report["slos"]["err"]["alerting"] is False
+        assert report["alerting"] == []
+
+    def test_alerting_when_all_windows_burn(self):
+        spec = SLOSpec(name="err", kind="error_rate", objective=0.9,
+                       windows_s=(100.0, 1000.0))
+        tracker = SLOTracker([spec])
+        for _ in range(10):
+            tracker.record("error", 1.0, now=500.0)
+        report = tracker.report(now=510.0)
+        assert report["alerting"] == ["err"]
+
+    def test_windows_scope_events_by_age(self):
+        tracker = SLOTracker()
+        tracker.record("error", 10.0, now=0.0)
+        tracker.record("ok", 10.0, now=3500.0)
+        report = tracker.report(now=3550.0)
+        windows = report["slos"]["error_rate"]["windows"]
+        assert windows["300s"]["events"] == 1  # only the recent ok
+        assert windows["300s"]["bad"] == 0
+        assert windows["3600s"]["events"] == 2
+        assert windows["3600s"]["bad"] == 1
+
+    def test_no_traffic_reports_clean(self):
+        report = SLOTracker().report(now=0.0)
+        assert report["alerting"] == []
+        for entry in report["slos"].values():
+            for window in entry["windows"].values():
+                assert window["events"] == 0
+                assert window["compliant"] is True
+
+    def test_event_ring_is_bounded(self):
+        tracker = SLOTracker(max_events=10)
+        for _ in range(100):
+            tracker.record("ok", 1.0, now=1.0)
+        assert len(tracker._events) == 10
+
+    def test_default_roster_names(self):
+        assert [s.name for s in DEFAULT_SLOS] == [
+            "latency_500ms", "shed_rate", "error_rate",
+        ]

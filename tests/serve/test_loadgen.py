@@ -10,6 +10,7 @@ from repro.serve.loadgen import (
     _percentile,
     parse_mix,
     post_request,
+    post_request_full,
     run_loadgen,
 )
 
@@ -75,6 +76,28 @@ class TestPostRequest:
         assert payload["ok"] is False
         assert payload["error"]["type"] == "network"
 
+    def test_full_variant_returns_headers(self):
+        server = EvalServer(ServeConfig(port=0)).start()
+        try:
+            status, headers, payload = post_request_full(
+                server.base_url,
+                {"analysis": "echo", "params": {"payload": 1}},
+            )
+        finally:
+            server.close(drain=True, timeout=10)
+        assert status == 200
+        assert payload["ok"] is True
+        assert any(k.lower() == "x-repro-request-id" for k in headers)
+
+    def test_full_variant_network_failure_has_empty_headers(self):
+        status, headers, payload = post_request_full(
+            "http://127.0.0.1:9", {"analysis": "echo", "params": {}},
+            timeout_s=0.5,
+        )
+        assert status == 0
+        assert headers == {}
+        assert payload["error"]["type"] == "network"
+
 
 class TestLiveRun:
     def test_short_echo_run_reports_sane_numbers(self):
@@ -99,6 +122,10 @@ class TestLiveRun:
         assert report.latency_ms["p50"] <= report.latency_ms["p99"]
         assert report.by_shape["echo"] == report.requests
         assert report.status_counts == {"200": report.requests}
+        assert set(report.latency_by_shape) == {"echo"}
+        per_shape = report.latency_by_shape["echo"]
+        assert set(per_shape) == {"p50", "p95", "p99", "mean", "max"}
+        assert per_shape["p50"] <= per_shape["p99"] <= per_shape["max"]
 
     def test_report_json_round_trips(self):
         server = EvalServer(ServeConfig(port=0)).start()
@@ -116,4 +143,5 @@ class TestLiveRun:
         assert parsed["bench"] == "serve"
         assert parsed["requests"] == report.requests
         assert "mix" in parsed["config"]
+        assert parsed["latency_by_shape"] == report.latency_by_shape
         assert report.summary()  # renders without raising

@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke batch-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke telemetry-smoke
+.PHONY: test bench bench-smoke batch-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke telemetry-smoke drill-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -78,6 +78,20 @@ serve-smoke:
 # here; the stricter 15% default suits longer local loadgen runs.
 telemetry-smoke:
 	$(PYTHON) benchmarks/telemetry_smoke.py
+	$(PYTHON) -m repro.cli bench check --tolerance 0.5
+
+# Chaos-certify the supervised serve tier: seeded worker SIGKILLs and
+# cache corruption under load with bit-identical 2xx responses, a poison
+# request quarantined without crash-looping the pool, brownout tiers
+# entered in declared order and unwound, and a multi-worker scaling axis
+# that must beat the single-process baseline (see docs/RESILIENCE.md).
+# Writes drill-report.json + BENCH_serve.json and runs the bench-ledger
+# gate; CI uploads both as artifacts.  The drill's short closed loops
+# are noisy, so the gate runs at the loose smoke tolerance.
+drill-smoke:
+	$(PYTHON) -m repro.cli drill --report drill-report.json \
+		--bench BENCH_serve.json
+	$(PYTHON) -m repro.cli bench record
 	$(PYTHON) -m repro.cli bench check --tolerance 0.5
 
 # Certify the online-dispatch policy subsystem: StaticPolicy outcomes

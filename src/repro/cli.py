@@ -724,8 +724,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             telemetry_window_s=args.telemetry_window_s,
             trace_capacity=args.trace_capacity,
             slos=slos,
+            workers=args.workers,
+            poison_threshold=args.poison_threshold,
+            brownout=not args.no_brownout,
         )
     )
+
+
+def _cmd_drill(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.drill import DrillConfig, run_drill
+
+    bench_workers = tuple(
+        int(part) for part in args.bench_workers.split(",") if part.strip()
+    )
+    report = run_drill(
+        DrillConfig(
+            workers=args.workers,
+            seed=args.seed,
+            kills=args.kills,
+            corrupt=args.corrupt,
+            chaos_duration_s=args.duration,
+            poison_threshold=args.poison_threshold,
+            bench_workers=bench_workers,
+        ),
+        emit=print,
+    )
+    print(report.summary())
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[drill] wrote {args.report}")
+    if args.bench:
+        artifact = report.bench_artifact()
+        if artifact is not None:
+            with open(args.bench, "w") as handle:
+                json.dump(artifact, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"[drill] wrote {args.bench}")
+    return 0 if report.ok else 1
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -742,6 +781,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             deadline_s=args.deadline_s,
             timeout_s=args.timeout,
+            net_retries=args.net_retries,
         )
     )
     print(f"[loadgen] {report.summary()}")
@@ -1232,7 +1272,79 @@ def build_parser() -> argparse.ArgumentParser:
         "'latency:<ms>:<objective>', 'shed_rate:<objective>', "
         "'error_rate:<objective>', optionally '@win1,win2' seconds",
     )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="supervised worker processes behind the batcher "
+        "(0 = in-process execution; >=1 adds crash supervision, "
+        "fingerprint sharding and poison quarantine)",
+    )
+    p_serve.add_argument(
+        "--poison-threshold",
+        type=int,
+        default=3,
+        help="worker deaths on one fingerprint before it is quarantined",
+    )
+    p_serve.add_argument(
+        "--no-brownout",
+        action="store_true",
+        help="disable the graded-degradation controller (never refuse "
+        "for pressure, always linger the full batch window)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_drill = sub.add_parser(
+        "drill",
+        help="chaos-certify the serve tier: SIGKILL workers, corrupt the "
+        "cache, flood into brownout, and assert every 2xx is "
+        "bit-identical to a clean run",
+    )
+    p_drill.add_argument(
+        "--workers", type=int, default=2, help="pool size under chaos"
+    )
+    p_drill.add_argument(
+        "--kills", type=int, default=3, help="worker SIGKILLs to deliver"
+    )
+    p_drill.add_argument(
+        "--corrupt",
+        type=int,
+        default=2,
+        help="cache entries to overwrite with garbage mid-run",
+    )
+    p_drill.add_argument(
+        "--duration",
+        type=float,
+        default=2.5,
+        help="chaos-pass load duration (seconds)",
+    )
+    p_drill.add_argument(
+        "--poison-threshold",
+        type=int,
+        default=2,
+        help="deaths before quarantine in the poison pass",
+    )
+    p_drill.add_argument(
+        "--bench-workers",
+        default="0,2,4",
+        help="comma-separated workers axis for the scaling bench "
+        "(0 = in-process baseline)",
+    )
+    p_drill.add_argument("--seed", type=int, default=0)
+    p_drill.add_argument(
+        "--report",
+        default="drill-report.json",
+        metavar="FILE",
+        help="write the full drill report here ('' disables)",
+    )
+    p_drill.add_argument(
+        "--bench",
+        default="BENCH_serve.json",
+        metavar="FILE",
+        help="write the ledger-compatible workers-axis artifact here "
+        "('' disables)",
+    )
+    p_drill.set_defaults(func=_cmd_drill)
 
     p_load = sub.add_parser(
         "loadgen", help="closed-loop load generator against a running server"
@@ -1261,6 +1373,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_load.add_argument(
         "--timeout", type=float, default=60.0, help="client socket timeout"
+    )
+    p_load.add_argument(
+        "--net-retries",
+        type=int,
+        default=2,
+        help="per-request retry budget for connection refused/reset "
+        "(a restarting worker pool seen from outside)",
     )
     p_load.add_argument(
         "--output",

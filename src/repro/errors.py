@@ -134,6 +134,28 @@ class DeadlineError(ServeError):
     """
 
 
+class PoisonedRequestError(ServeError):
+    """A request fingerprint is quarantined after repeated worker deaths.
+
+    The supervisor's circuit breaker trips when the same fingerprint is
+    in flight across ``threshold`` worker deaths; further identical
+    requests are refused with a diagnostic 503 instead of being allowed
+    to crash-loop the pool.  The attributes feed the response body.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        fingerprint: str = "",
+        analysis: str = "",
+        deaths: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.analysis = analysis
+        self.deaths = deaths
+
+
 class RetryExhaustedError(RunnerError):
     """A job kept failing with retryable errors until attempts ran out.
 

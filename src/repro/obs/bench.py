@@ -84,8 +84,22 @@ def _dominations(payload: Mapping[str, Any]) -> Optional[float]:
 
 #: bench kind → (identifier predicate, metric roster).
 _KINDS: Dict[str, Tuple[Callable[[Mapping[str, Any]], bool], Tuple[MetricSpec, ...]]] = {
+    # The drill writes the same BENCH_serve.json file but measures a
+    # deliberately different workload (sleep-shaped requests isolating
+    # pool concurrency, plus chaos overhead), so it gates against its
+    # own history stream — never against loadgen numbers.
+    "serve-drill": (
+        lambda p: p.get("bench") == "serve" and p.get("source") == "drill",
+        (
+            MetricSpec("throughput_rps", "higher", _path("throughput_rps")),
+            MetricSpec("p99_ms", "lower", _path("latency_ms", "p99")),
+            MetricSpec(
+                "workers_speedup", "higher", _path("workers_speedup")
+            ),
+        ),
+    ),
     "serve": (
-        lambda p: p.get("bench") == "serve",
+        lambda p: p.get("bench") == "serve" and p.get("source") != "drill",
         (
             MetricSpec("throughput_rps", "higher", _path("throughput_rps")),
             MetricSpec("p99_ms", "lower", _path("latency_ms", "p99")),

@@ -30,8 +30,15 @@ from repro.runner.jobs import Job
 _SENTINEL = object()
 
 #: Entry suffixes the GC accounts for: live entries, quarantined corrupt
-#: entries, and temp files a crashed writer may have left behind.
-_GC_SUFFIXES = (".pkl", ".pkl.corrupt", ".tmp")
+#: entries, temp files a crashed writer may have left behind, and
+#: single-flight lease files a killed worker may have stranded.
+_GC_SUFFIXES = (".pkl", ".pkl.corrupt", ".tmp", ".flight")
+
+#: Suffixes that are never a live entry: a crashed writer's temp file or
+#: a dead flight lease.  ``prune`` removes these past a short grace
+#: period even when the cache is within its size/age budget — a torn
+#: write must not linger just because the cache is small.
+_ORPHAN_SUFFIXES = (".tmp", ".flight")
 
 
 @dataclass(frozen=True)
@@ -236,6 +243,7 @@ class ResultCache:
         max_bytes: Optional[int] = None,
         max_age_s: Optional[float] = None,
         now: Optional[float] = None,
+        orphan_grace_s: float = 300.0,
     ) -> PruneReport:
         """Evict oldest-mtime-first until the cache fits the given bounds.
 
@@ -246,11 +254,19 @@ class ResultCache:
         eviction like any entry; *every* version namespace is swept, so
         entries stranded by an upgrade eventually leave the disk.
 
+        Orphans are also swept unconditionally: a ``*.tmp`` left by a
+        writer killed between temp-write and rename, or a ``*.flight``
+        lease stranded by a dead worker, is removed once older than
+        ``orphan_grace_s`` even when the cache is inside its budget —
+        the grace period only protects writes/leases in progress.
+
         Args:
             max_bytes: Keep total on-disk size at or under this.
             max_age_s: Evict anything whose mtime is older than this.
             now: Reference time for ``max_age_s`` (default
                 ``time.time()``), injectable for tests.
+            orphan_grace_s: Age past which ``*.tmp`` / ``*.flight``
+                orphans are removed regardless of the budget.
 
         Eviction failures are skipped, not fatal — a file another process
         already removed is success by other means.
@@ -266,7 +282,11 @@ class ResultCache:
         for mtime, size, path in files:
             too_old = max_age_s is not None and clock - mtime > max_age_s
             too_big = max_bytes is not None and total > max_bytes
-            if not (too_old or too_big):
+            stale_orphan = (
+                path.name.endswith(_ORPHAN_SUFFIXES)
+                and clock - mtime > orphan_grace_s
+            )
+            if not (too_old or too_big or stale_orphan):
                 continue
             try:
                 os.unlink(path)
@@ -294,5 +314,180 @@ class ResultCache:
         ):
             try:
                 path.rmdir()  # refuses non-empty directories
+            except OSError:
+                pass
+
+
+class SingleFlightCache(ResultCache):
+    """A :class:`ResultCache` with cross-process single-flight misses.
+
+    When several worker processes share one cache directory, a popular
+    fingerprint that misses everywhere gets computed N times — wasted
+    work, and N racing writers.  This subclass adds a lease protocol on
+    top of the plain cache: the first process to miss creates
+    ``<entry>.flight`` with ``O_EXCL`` (atomic on every platform the
+    repo targets) and computes; later missers find the fresh foreign
+    lease and poll for the entry instead of computing.
+
+    The protocol is crash-safe by construction, never by coordination:
+
+    * A lease names its owner (``pid:unix``).  A waiter that sees the
+      owner dead — or the lease older than ``lease_s`` — breaks it and
+      computes itself.  Duplicated compute after a broken lease is
+      *safe*: results are idempotent by fingerprint and writes are
+      atomic, so the worst case is wasted effort, never a torn entry.
+    * :meth:`put` releases the lease after the atomic rename; a worker
+      that fails mid-compute releases via :meth:`release_all` (the
+      supervisor's worker loop calls it in a ``finally``); a worker that
+      is SIGKILLed strands the lease, which dies by pid-check or age.
+    * A filesystem that refuses the lock degrades to plain-cache
+      behaviour — single-flight is an optimisation, not a correctness
+      requirement.
+
+    ``flights_won`` / ``flights_waited`` / ``flights_broken`` count the
+    protocol outcomes for ``/stats``.
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        version: Optional[str] = None,
+        lease_s: float = 30.0,
+        wait_s: Optional[float] = None,
+        poll_s: float = 0.02,
+    ) -> None:
+        super().__init__(root, version=version)
+        if lease_s <= 0:
+            raise RunnerError("lease_s must be > 0")
+        if poll_s <= 0:
+            raise RunnerError("poll_s must be > 0")
+        self.lease_s = lease_s
+        self.wait_s = lease_s if wait_s is None else wait_s
+        self.poll_s = poll_s
+        self.flights_won = 0
+        self.flights_waited = 0
+        self.flights_broken = 0
+        #: fingerprint -> lease path held by *this* process.
+        self._held: Dict[str, Path] = {}
+
+    def _flight_path(self, fingerprint: str) -> Path:
+        return self._path(fingerprint).parent / f"{fingerprint}.flight"
+
+    def get(self, job: Job) -> Tuple[bool, Any]:
+        """Hit, or a miss that this process holds the flight lease for.
+
+        ``(False, None)`` means: compute it — you own the lease (or the
+        filesystem would not grant one).  If another process holds a
+        fresh lease, block (up to ``wait_s``) polling for its entry to
+        land; a stale lease is broken and the miss returned.
+        """
+        path = self._path(job.fingerprint)
+        value = self._read(path)
+        if value is not _SENTINEL:
+            with self._lock:
+                self.hits += 1
+            return True, value
+        flight = self._flight_path(job.fingerprint)
+        deadline = time.monotonic() + self.wait_s
+        waited = False
+        while True:
+            if self._try_acquire(job.fingerprint, flight):
+                with self._lock:
+                    self.misses += 1
+                return False, None
+            if not waited:
+                waited = True
+                with self._lock:
+                    self.flights_waited += 1
+            if time.monotonic() >= deadline:
+                # Waited out the whole lease window: break and compute.
+                self._break_lease(flight)
+                continue
+            time.sleep(self.poll_s)
+            value = self._read(path)
+            if value is not _SENTINEL:
+                with self._lock:
+                    self.hits += 1
+                return True, value
+            if self._lease_stale(flight):
+                self._break_lease(flight)
+
+    def put(self, job: Job, value: Any) -> bool:
+        """Store and release this process's lease on the fingerprint."""
+        try:
+            return super().put(job, value)
+        finally:
+            self._release(job.fingerprint)
+
+    def release_all(self) -> None:
+        """Drop every lease this process still holds (failure cleanup)."""
+        with self._lock:
+            held = dict(self._held)
+            self._held.clear()
+        for flight in held.values():
+            try:
+                os.unlink(flight)
+            except OSError:
+                pass
+
+    # -- lease protocol --------------------------------------------------------
+
+    def _try_acquire(self, fingerprint: str, flight: Path) -> bool:
+        try:
+            flight.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(flight, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Cannot lock here (read-only dir, exotic fs): plain-cache
+            # semantics — compute without coordination.
+            return True
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"{os.getpid()}:{time.time():.3f}")
+        except OSError:
+            pass
+        with self._lock:
+            self._held[fingerprint] = flight
+            self.flights_won += 1
+        return True
+
+    def _lease_stale(self, flight: Path) -> bool:
+        """Owner dead, lease expired, or lease already gone."""
+        try:
+            text = flight.read_text()
+            pid_text, _, stamp_text = text.partition(":")
+            pid = int(pid_text)
+            stamp = float(stamp_text)
+        except (OSError, ValueError):
+            # Vanished (released) or unreadable: treat as stale; the
+            # next acquire attempt settles it atomically either way.
+            return True
+        if time.time() - stamp > self.lease_s:
+            return True
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            return False
+        return False
+
+    def _break_lease(self, flight: Path) -> None:
+        try:
+            os.unlink(flight)
+        except OSError:
+            return
+        with self._lock:
+            self.flights_broken += 1
+
+    def _release(self, fingerprint: str) -> None:
+        with self._lock:
+            flight = self._held.pop(fingerprint, None)
+        if flight is not None:
+            try:
+                os.unlink(flight)
             except OSError:
                 pass

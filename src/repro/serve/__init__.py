@@ -14,14 +14,21 @@ Layers, bottom up:
   unbatched reference evaluator the CLI shares.
 * :mod:`repro.serve.batcher` — bounded admission queue, duplicate
   coalescing, micro-batched dispatch, deadline propagation.
+* :mod:`repro.serve.supervisor` — the supervised worker-process pool:
+  fingerprint-sharded routing, crash restarts with backoff, replay.
+* :mod:`repro.serve.resilience` — graded brownout tiers and the
+  poison-request circuit breaker (see ``docs/RESILIENCE.md``).
 * :mod:`repro.serve.app` — the stdlib HTTP front end and lifecycle.
 * :mod:`repro.serve.loadgen` — the closed-loop load generator.
+* :mod:`repro.serve.drill` — the seeded chaos-certification harness
+  behind ``repro drill`` / ``make drill-smoke``.
 * :mod:`repro.serve.top` — the ``repro top`` terminal dashboard.
 """
 
 from repro.serve.analyses import build, evaluate_request
 from repro.serve.app import EvalServer, ServeConfig, run_server
 from repro.serve.batcher import Batcher
+from repro.serve.drill import DrillConfig, DrillReport, run_drill
 from repro.serve.loadgen import (
     REQUEST_SHAPES,
     LoadgenConfig,
@@ -42,16 +49,36 @@ from repro.serve.protocol import (
     parse_request,
 )
 
+from repro.serve.resilience import (
+    EXPENSIVE_ANALYSES,
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutSignals,
+    PoisonRegistry,
+    Tier,
+)
+from repro.serve.supervisor import Supervisor, WorkItem
+
 __all__ = [
     "ANALYSES",
     "Batcher",
+    "BrownoutController",
+    "BrownoutPolicy",
+    "BrownoutSignals",
+    "DrillConfig",
+    "DrillReport",
+    "EXPENSIVE_ANALYSES",
     "EvalServer",
     "LoadgenConfig",
     "LoadgenReport",
     "PROTOCOL_VERSION",
+    "PoisonRegistry",
     "REQUEST_SHAPES",
     "Request",
     "ServeConfig",
+    "Supervisor",
+    "Tier",
+    "WorkItem",
     "build",
     "canonical_json",
     "error_envelope",
@@ -63,6 +90,7 @@ __all__ = [
     "post_request_full",
     "gather",
     "render_dashboard",
+    "run_drill",
     "run_loadgen",
     "run_server",
     "run_top",

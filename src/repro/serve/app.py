@@ -4,11 +4,18 @@ Endpoints:
 
 * ``POST /v1/eval`` — one protocol request; 200 with the response
   envelope, 400 on protocol errors, 429 + ``Retry-After`` when the
-  admission queue sheds, 504 on expired deadlines, 500 on evaluation
-  failures.  Every admitted request gets an ``X-Repro-Request-Id``
-  response header; the id keys its span tree under ``/trace/<id>``.
-* ``GET /healthz`` — liveness: version, uptime, queue depth, rolling
-  shed rate and p99.
+  admission queue sheds (or brownout refuses an expensive analysis),
+  503 for quarantined poison requests and full brownout shed, 504 on
+  expired deadlines, 500 on evaluation failures.  Every admitted
+  request gets an ``X-Repro-Request-Id`` response header; the id keys
+  its span tree under ``/trace/<id>``.
+* ``GET /healthz`` — the combined health view: version, uptime, queue
+  depth, rolling shed rate and p99, plus liveness/readiness flags,
+  brownout tier and worker-pool state when resilience is on.
+* ``GET /livez`` — pure liveness (always 200 while the process serves;
+  stays up through every brownout tier).
+* ``GET /readyz`` — readiness (503 when fully shed or every worker is
+  down; what a load balancer should poll).
 * ``GET /metrics`` — the :mod:`repro.obs` metrics snapshot as JSON by
   default; a client whose ``Accept`` header asks for ``text/plain``
   gets Prometheus text-format exposition of the same registry instead
@@ -39,6 +46,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import (
     DeadlineError,
+    PoisonedRequestError,
     ProtocolError,
     QueueFullError,
     ReproError,
@@ -62,6 +70,14 @@ from repro.serve.protocol import (
     ok_envelope,
     parse_request,
 )
+from repro.serve.resilience import (
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutSignals,
+    PoisonRegistry,
+    Tier,
+)
+from repro.serve.supervisor import Supervisor
 
 #: Longest a handler waits on an undeadlined request before giving up.
 DEFAULT_REQUEST_TIMEOUT_S = 300.0
@@ -97,6 +113,21 @@ class ServeConfig:
             lookup before the oldest are evicted.
         slos: Override the default SLO roster (see
             :data:`repro.obs.slo.DEFAULT_SLOS`); ``None`` keeps it.
+        workers: Size of the supervised worker-process pool.  ``0``
+            (the default) keeps the in-process execute path; ``>= 1``
+            routes every batch through fingerprint-sharded workers with
+            crash supervision and poison quarantine (see
+            :mod:`repro.serve.supervisor`).
+        poison_threshold: Worker deaths on one fingerprint before it is
+            quarantined (pool mode only).
+        worker_backoff_s / worker_backoff_max_s: Exponential restart
+            backoff for crashed workers.
+        brownout: Run the graded-degradation controller (see
+            :mod:`repro.serve.resilience`).  ``False`` never refuses
+            for pressure and always lingers the full batch window.
+        brownout_policy: Threshold overrides; ``None`` keeps defaults.
+        brownout_interval_s: Controller sampling period (also bounds
+            how fast tiers can escalate — one tier per sample).
     """
 
     host: str = "127.0.0.1"
@@ -114,6 +145,13 @@ class ServeConfig:
     telemetry_window_s: float = 60.0
     trace_capacity: int = 256
     slos: Optional[Tuple[SLOSpec, ...]] = None
+    workers: int = 0
+    poison_threshold: int = 3
+    worker_backoff_s: float = 0.1
+    worker_backoff_max_s: float = 5.0
+    brownout: bool = True
+    brownout_policy: Optional[BrownoutPolicy] = None
+    brownout_interval_s: float = 0.25
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -152,6 +190,16 @@ class _Handler(BaseHTTPRequestHandler):
         server = self._server
         if self.path == "/healthz":
             self._reply(200, server.health())
+        elif self.path == "/livez":
+            # Liveness stays 200 through any brownout tier: the process
+            # is serving; only readiness reflects degradation.
+            self._reply(200, {"ok": True, "live": True})
+        elif self.path == "/readyz":
+            is_ready, reason = server.ready()
+            self._reply(
+                200 if is_ready else 503,
+                {"ok": is_ready, "ready": is_ready, "reason": reason},
+            )
         elif self.path == "/metrics":
             accept = self.headers.get("Accept", "") or ""
             if "text/plain" in accept or "openmetrics" in accept:
@@ -227,6 +275,39 @@ class EvalServer:
             if config.telemetry
             else None
         )
+        self.poison: Optional[PoisonRegistry] = (
+            PoisonRegistry(
+                threshold=config.poison_threshold,
+                metrics=self.session.metrics,
+            )
+            if config.workers > 0
+            else None
+        )
+        self.supervisor: Optional[Supervisor] = (
+            Supervisor(
+                workers=config.workers,
+                # Late-bound: the batcher does not exist yet.
+                on_done=lambda item, outcome: self.batcher.pool_done(
+                    item, outcome
+                ),
+                cache_dir=config.cache_dir,
+                metrics=self.session.metrics,
+                poison=self.poison,
+                backoff_base_s=config.worker_backoff_s,
+                backoff_max_s=config.worker_backoff_max_s,
+            )
+            if config.workers > 0
+            else None
+        )
+        self.brownout: Optional[BrownoutController] = (
+            BrownoutController(
+                policy=config.brownout_policy,
+                signal_fn=self._brownout_signals,
+                metrics=self.session.metrics,
+            )
+            if config.brownout
+            else None
+        )
         self.batcher = Batcher(
             executor_factory=self._make_executor,
             queue_bound=config.queue_bound,
@@ -234,10 +315,46 @@ class EvalServer:
             max_wait_s=config.batch_wait_s,
             metrics=self.session.metrics,
             telemetry=self.telemetry,
+            pool=self.supervisor,
+            linger_policy=(
+                (lambda: self.brownout.linger_s(config.batch_wait_s))
+                if self.brownout is not None
+                else None
+            ),
         )
         self.started_at = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._serve_thread: Optional[threading.Thread] = None
+        self._ticker: Optional[threading.Thread] = None
+        self._ticker_stop = threading.Event()
+
+    def _brownout_signals(self) -> BrownoutSignals:
+        """One controller sample: queue pressure, tail latency, workers.
+
+        In pool mode the dispatcher drains the admission queue into the
+        shards without waiting, so queued-but-unanswered work lives in
+        the supervisor's pending count — it is part of the same
+        pressure and is folded into the queue signal.
+        """
+        with self.batcher._lock:  # noqa: SLF001 - same subsystem
+            depth = len(self.batcher._queue)  # noqa: SLF001
+        if self.supervisor is not None:
+            depth += self.supervisor.pending_items()
+        p99 = (
+            self.telemetry.rolling_p99_ms()
+            if self.telemetry is not None
+            else None
+        )
+        workers_frac = (
+            self.supervisor.alive_fraction()
+            if self.supervisor is not None
+            else 1.0
+        )
+        return BrownoutSignals(
+            queue_frac=depth / float(self.config.queue_bound),
+            p99_ms=p99,
+            workers_frac=workers_frac,
+        )
 
     def _make_executor(self, timeout: Optional[float]):
         effective = timeout if timeout is not None else self.config.timeout_s
@@ -291,6 +408,29 @@ class EvalServer:
         headers: Dict[str, str] = (
             {REQUEST_ID_HEADER: request_id} if request_id else {}
         )
+        if self.poison is not None and self.poison.is_quarantined(
+            request.fingerprint
+        ):
+            info = self.poison.record_rejection(request.fingerprint)
+            self._record_outcome(request.analysis, "error", started)
+            return (
+                503,
+                error_envelope(
+                    "poison",
+                    f"request {request.fingerprint[:12]} is quarantined "
+                    "after repeated worker deaths",
+                    detail=info.to_json() if info is not None else None,
+                ),
+                headers or None,
+            )
+        if self.brownout is not None:
+            refusal = self.brownout.refusal(request.analysis)
+            if refusal is not None:
+                status, reason = refusal
+                self._record_outcome(request.analysis, "shed", started)
+                self._count_brownout_refusal(status, request.analysis)
+                headers["Retry-After"] = self._retry_after_brownout()
+                return status, error_envelope("brownout", reason), headers
         try:
             future = self.batcher.submit(request, request_id=request_id)
         except QueueFullError as exc:
@@ -332,6 +472,22 @@ class EvalServer:
         except ProtocolError as exc:
             self._record_outcome(request.analysis, "error", started)
             return 400, error_envelope("protocol", str(exc)), headers or None
+        except PoisonedRequestError as exc:
+            # Quarantine tripped while this very request was in flight.
+            self._record_outcome(request.analysis, "error", started)
+            return (
+                503,
+                error_envelope(
+                    "poison",
+                    str(exc),
+                    detail={
+                        "fingerprint": exc.fingerprint,
+                        "analysis": exc.analysis,
+                        "deaths": exc.deaths,
+                    },
+                ),
+                headers or None,
+            )
         except ReproError as exc:
             self._record_outcome(request.analysis, "error", started)
             return (
@@ -359,13 +515,48 @@ class EvalServer:
         """A shed client's hint: roughly one batch window from now."""
         return str(max(1, int(round(self.config.batch_wait_s * 2))))
 
+    def _retry_after_brownout(self) -> str:
+        """A browned-out client's hint: try again after roughly one
+        controller dwell (the soonest the tier can have stepped down)."""
+        policy = (
+            self.brownout.policy
+            if self.brownout is not None
+            else BrownoutPolicy()
+        )
+        return str(max(1, int(round(policy.min_dwell_s))))
+
+    def _count_brownout_refusal(self, status: int, analysis: str) -> None:
+        metrics = self.session.metrics
+        if status == 503:
+            metrics.counter("serve.brownout.shed").inc()
+        else:
+            metrics.counter("serve.brownout.refused").inc()
+            metrics.counter(f"serve.brownout.refused[{analysis}]").inc()
+
     # -- introspection ---------------------------------------------------------
+
+    def ready(self) -> Tuple[bool, str]:
+        """Readiness: should a balancer send this instance traffic?
+
+        Liveness (the process answers) and readiness (it would accept an
+        evaluation) split under resilience: a fully shed or worker-less
+        server is alive but not ready.
+        """
+        if self.brownout is not None and self.brownout.tier >= Tier.SHED:
+            return False, f"brownout tier {self.brownout.tier.name}"
+        if self.supervisor is not None and self.supervisor.alive_count() == 0:
+            return False, "no worker processes alive"
+        return True, "ok"
 
     def health(self) -> Dict[str, Any]:
         import repro
 
+        is_ready, ready_reason = self.ready()
         out: Dict[str, Any] = {
             "ok": True,
+            "live": True,
+            "ready": is_ready,
+            "ready_reason": ready_reason,
             "version": repro.__version__,
             "uptime_s": round(time.time() - self.started_at, 3),
             "queue_depth": self.batcher.stats()["queue_depth"],
@@ -377,6 +568,15 @@ class EvalServer:
             out["rolling_p99_ms"] = (
                 round(p99, 3) if p99 is not None else None
             )
+        if self.brownout is not None:
+            out["brownout"] = self.brownout.snapshot()
+        if self.supervisor is not None:
+            sup = self.supervisor.stats()
+            out["workers"] = {
+                "configured": sup["configured"],
+                "alive": sup["alive"],
+                "deaths": sup["deaths"],
+            }
         return out
 
     def prometheus(self) -> str:
@@ -406,9 +606,16 @@ class EvalServer:
                 "queue_bound": self.config.queue_bound,
                 "max_batch": self.config.max_batch,
                 "batch_wait_s": self.config.batch_wait_s,
+                "workers": self.config.workers,
             },
             **self.batcher.stats(),
         }
+        if self.supervisor is not None:
+            stats["workers"] = self.supervisor.stats()
+        if self.brownout is not None:
+            stats["brownout"] = self.brownout.snapshot()
+        if self.poison is not None:
+            stats["poison"] = self.poison.stats()
         if self.cache is not None:
             disk = self.cache.stats()
             stats["cache"] = {
@@ -442,11 +649,23 @@ class EvalServer:
         """Bind, start the batcher and the listener thread; returns self."""
         if self._httpd is not None:
             return self
+        if self.supervisor is not None:
+            self.supervisor.start()
         self.batcher.start()
+        if self.brownout is not None:
+            self._ticker_stop.clear()
+            self._ticker = threading.Thread(
+                target=self._tick_loop, name="serve-ticker", daemon=True
+            )
+            self._ticker.start()
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), _Handler
         )
-        self._httpd.daemon_threads = True
+        # Non-daemon handlers + block_on_close: server_close() joins the
+        # in-flight handler threads, so close() cannot return before every
+        # admitted request has flushed its response (HTTP/1.0, one request
+        # per connection, so the joins are bounded).
+        self._httpd.daemon_threads = False
         self._httpd.eval_server = self  # type: ignore[attr-defined]
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -456,18 +675,42 @@ class EvalServer:
         self._serve_thread.start()
         return self
 
+    def _tick_loop(self) -> None:
+        """Brownout sampling (and, in pool mode, the periodic cache GC
+        that the in-process path runs between batches)."""
+        interval = max(0.01, self.config.brownout_interval_s)
+        prune_every = max(1, int(round(10.0 / interval)))
+        ticks = 0
+        while not self._ticker_stop.wait(interval):
+            if self.brownout is not None:
+                self.brownout.step()
+            ticks += 1
+            if self.supervisor is not None and ticks % prune_every == 0:
+                self._maybe_prune()
+
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Stop accepting, then drain (or cancel) the queue.
+        """Stop accepting, then drain (or cancel) the queue and pool.
 
         In-flight requests finish and their handler threads flush the
         responses; queued requests either run to completion (``drain``)
-        or fail fast.  Idempotent.
+        or fail fast — either way every admitted request gets exactly
+        one deterministic response, brownout tier or not.  Idempotent.
         """
         if self._httpd is not None:
             self._httpd.shutdown()
+        self._ticker_stop.set()
+        if self._ticker is not None:
+            self._ticker.join(timeout=2.0)
+            self._ticker = None
+        self.batcher.close(drain=drain, timeout=timeout)
+        if self.supervisor is not None:
+            self.supervisor.close(drain=drain, timeout=timeout)
+        if self._httpd is not None:
+            # After the queue/pool resolved every future: join handler
+            # threads (they are unblocked now) so responses are flushed
+            # before the process may exit, then release the socket.
             self._httpd.server_close()
             self._httpd = None
-        self.batcher.close(drain=drain, timeout=timeout)
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=timeout)
             self._serve_thread = None
@@ -497,7 +740,8 @@ def run_server(config: ServeConfig) -> int:
     try:
         print(
             f"[serve] listening on {server.base_url} "
-            f"(jobs={config.jobs}, queue_bound={config.queue_bound}, "
+            f"(jobs={config.jobs}, workers={config.workers}, "
+            f"queue_bound={config.queue_bound}, "
             f"max_batch={config.max_batch})",
             flush=True,
         )

@@ -40,6 +40,7 @@ from repro.runner.executor import BaseExecutor, SerialExecutor
 from repro.runner.jobs import Job
 from repro.serve import analyses
 from repro.serve.protocol import Request
+from repro.serve.supervisor import Supervisor, WorkItem
 
 #: Builds the executor for one batch; the argument is the batch's
 #: effective per-job timeout (None = unbounded).  A fresh executor per
@@ -88,6 +89,16 @@ class Batcher:
             queued→execute→reduce span tree in the trace store —
             coalesced riders get their own trace carrying the leader's
             id.  ``None`` (the default) keeps the pre-telemetry path.
+        pool: Optional :class:`~repro.serve.supervisor.Supervisor`.
+            When present the dispatcher routes instead of executing:
+            each cut batch is regrouped by fingerprint shard and handed
+            to the pool, and entry futures resolve from the pool's
+            completion callbacks (:meth:`pool_done`).  ``None`` keeps
+            the in-process execute path.
+        linger_policy: Optional override for the micro-batch linger
+            window, consulted at every collect — the brownout
+            controller's hook for shrinking the window under pressure.
+            ``None`` always lingers ``max_wait_s``.
     """
 
     def __init__(
@@ -98,6 +109,8 @@ class Batcher:
         max_wait_s: float = 0.005,
         metrics: Optional[MetricsRegistry] = None,
         telemetry: Optional[Telemetry] = None,
+        pool: Optional[Supervisor] = None,
+        linger_policy: Optional[Callable[[], float]] = None,
     ) -> None:
         if queue_bound < 1:
             raise ServeError("queue_bound must be >= 1")
@@ -113,6 +126,8 @@ class Batcher:
         self.max_wait_s = max_wait_s
         self._metrics = metrics
         self._telemetry = telemetry
+        self._pool = pool
+        self._linger_policy = linger_policy
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queue: List[_Entry] = []
@@ -258,7 +273,12 @@ class Batcher:
                 if self._closed:
                     return None
                 self._cond.wait(timeout=0.1)
-            window_ends = time.monotonic() + self.max_wait_s
+            linger = (
+                self._linger_policy()
+                if self._linger_policy is not None
+                else self.max_wait_s
+            )
+            window_ends = time.monotonic() + max(0.0, linger)
             while (
                 len(self._queue) < self.max_batch
                 and not self._closed
@@ -299,6 +319,10 @@ class Batcher:
                 continue
             live.append(entry)
         if not live:
+            return
+
+        if self._pool is not None:
+            self._dispatch_pool(live, now)
             return
 
         # Build each request's jobs; a build failure fails that request
@@ -415,6 +439,104 @@ class Batcher:
                 self._pending.pop(entry.request.fingerprint, None)
             self._finish_traces(entry, "ok")
             entry.future.set_result({"result": payload, "meta": meta})
+
+    # -- pool routing ----------------------------------------------------------
+
+    def _dispatch_pool(self, live: List[_Entry], now: float) -> None:
+        """Hand one cut batch to the worker pool, regrouped by shard.
+
+        The pool owns execution from here; entry futures resolve from
+        :meth:`pool_done` on the supervisor's receiver threads.  Shard
+        groups keep the micro-batching amortisation — each group is one
+        work item, one executor submission on its worker.
+        """
+        now_unix = time.time()
+        groups: Dict[int, List[_Entry]] = {}
+        for entry in live:
+            shard = self._pool.shard_of(entry.request.fingerprint)
+            groups.setdefault(shard, []).append(entry)
+        with self._lock:
+            self._count("serve.pool.groups", len(groups))
+            for entries in groups.values():
+                analyses_in_group = set()
+                for entry in entries:
+                    analyses_in_group.add(entry.request.analysis)
+                for analysis in analyses_in_group:
+                    self._analysis_stat(analysis)["batches"] += 1
+        items = [
+            WorkItem(request=entry.request, context=(entry, now, now_unix))
+            for entry in live
+        ]
+        try:
+            self._pool.submit(items)
+        except ServeError as exc:
+            with self._lock:
+                for entry in live:
+                    self._resolve_error(entry, exc)
+
+    def pool_done(self, item: WorkItem, outcome: Any) -> None:
+        """Supervisor completion callback: resolve one entry's future.
+
+        ``outcome`` is the worker's outcome dict, or an exception
+        (worker-death replays exhausted into poison quarantine, or
+        shutdown).  Runs on a receiver thread, so everything shared
+        takes the batcher lock.
+        """
+        entry, dispatched_at, dispatched_unix = item.context
+        if isinstance(outcome, BaseException):
+            with self._lock:
+                self._resolve_error(entry, outcome)
+            return
+        if not outcome.get("ok"):
+            with self._lock:
+                self.failures += 1
+                self._count("serve.failures")
+                self._analysis_stat(entry.request.analysis)["failures"] += 1
+                self._resolve_error(
+                    entry, ServeError(str(outcome.get("error", "unknown")))
+                )
+            return
+        jobs = int(outcome.get("jobs", 0))
+        with self._lock:
+            self.jobs_run += jobs
+            self._count("serve.jobs", jobs)
+            self._observe(
+                "serve.batch_seconds", outcome.get("batch_seconds", 0.0)
+            )
+            self._analysis_stat(entry.request.analysis)["jobs"] += jobs
+        meta = {
+            "batch_size": outcome.get("shard_batch", 1),
+            "jobs": jobs,
+            "coalesced_riders": entry.riders - 1,
+            "queue_wait_s": round(dispatched_at - entry.enqueued_at, 6),
+            "batch_seconds": outcome.get("batch_seconds", 0.0),
+            "cache_hits": outcome.get("cache_hits", 0),
+            "worker": outcome.get("worker"),
+            "attempts": outcome.get("attempts", 1),
+        }
+        if entry.trace is not None:
+            entry.trace.add_span(
+                "queued",
+                ts=entry.enqueued_unix,
+                dur=dispatched_at - entry.enqueued_at,
+            )
+            entry.trace.add_span(
+                "execute",
+                ts=dispatched_unix,
+                dur=time.monotonic() - dispatched_at,
+                jobs=jobs,
+                batch_size=outcome.get("shard_batch", 1),
+                cache_hits=outcome.get("cache_hits", 0),
+                worker=outcome.get("worker"),
+                attempts=outcome.get("attempts", 1),
+            )
+            entry.trace.set_root(riders=entry.riders - 1)
+        with self._lock:
+            self._pending.pop(entry.request.fingerprint, None)
+        self._finish_traces(entry, "ok")
+        entry.future.set_result(
+            {"result": outcome["payload"], "meta": meta}
+        )
 
     @staticmethod
     def _reindexed(jobs: List[Job], offset: int) -> List[Job]:

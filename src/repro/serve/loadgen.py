@@ -16,6 +16,7 @@ the other ``BENCH_*.json`` artifacts.
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import statistics
@@ -112,6 +113,12 @@ class LoadgenConfig:
         seed: RNG seed for the mix sequence.
         deadline_s: Optional per-request deadline forwarded in the body.
         timeout_s: Client-side socket timeout per request.
+        net_retries: Retry budget per request for network-level failures
+            (connection refused/reset — what a restarting worker pool
+            looks like from outside).  A request that exhausts the
+            budget is recorded as an error with status 0; the generator
+            itself never crashes on transport failures.
+        retry_backoff_s: Pause between network retries.
     """
 
     base_url: str
@@ -123,6 +130,8 @@ class LoadgenConfig:
     seed: int = 0
     deadline_s: Optional[float] = None
     timeout_s: float = 60.0
+    net_retries: int = 2
+    retry_backoff_s: float = 0.05
 
 
 @dataclass(frozen=True)
@@ -134,8 +143,14 @@ class LoadgenReport:
         duration_s: Measured wall-clock of the issuing window.
         throughput_rps: Completed-OK requests per second.
         latency_ms: p50/p95/p99/mean/max over successful requests.
-        status_counts: HTTP status -> count, including network failures
-            under status 0.
+        status_counts: HTTP status -> count of *final* outcomes per
+            request, including retry-exhausted network failures under
+            status 0.
+        retries: Network-level attempts that were retried (connection
+            refused/reset absorbed by the budget, e.g. while a worker
+            pool restarts mid-run).
+        net_errors: Requests whose final outcome was still a network
+            failure after the retry budget.
         by_shape: Shape name -> issued count.
         latency_by_shape: Shape name -> p50/p95/p99/mean/max over that
             shape's successful requests — the per-analysis tails the
@@ -154,6 +169,8 @@ class LoadgenReport:
     by_shape: Dict[str, int]
     config: Dict[str, Any]
     latency_by_shape: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    retries: int = 0
+    net_errors: int = 0
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -162,6 +179,8 @@ class LoadgenReport:
             "ok": self.ok,
             "sheds": self.sheds,
             "errors": self.errors,
+            "retries": self.retries,
+            "net_errors": self.net_errors,
             "duration_s": round(self.duration_s, 3),
             "throughput_rps": round(self.throughput_rps, 3),
             "latency_ms": self.latency_ms,
@@ -219,7 +238,12 @@ def post_request_full(
         except (ValueError, OSError):
             payload = {"ok": False, "error": {"type": "http", "message": str(exc)}}
         return exc.code, headers, payload
-    except (urllib.error.URLError, OSError, ValueError) as exc:
+    except (
+        urllib.error.URLError,
+        http.client.HTTPException,  # truncated/garbled exchange mid-shutdown
+        OSError,
+        ValueError,
+    ) as exc:
         return 0, {}, {
             "ok": False, "error": {"type": "network", "message": str(exc)}
         }
@@ -245,7 +269,10 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
     shape_latencies: Dict[str, List[float]] = {name: [] for name in names}
     status_counts: Dict[str, int] = {}
     by_shape: Dict[str, int] = {name: 0 for name in names}
-    totals = {"requests": 0, "ok": 0, "sheds": 0, "errors": 0}
+    totals = {
+        "requests": 0, "ok": 0, "sheds": 0, "errors": 0,
+        "retries": 0, "net_errors": 0,
+    }
 
     def worker(worker_id: int) -> None:
         rng = random.Random(f"{config.seed}:{worker_id}")
@@ -260,9 +287,22 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
             if config.deadline_s is not None:
                 body["deadline_s"] = config.deadline_s
             started = time.monotonic()
-            status, _payload = post_request(
-                config.base_url, body, timeout_s=config.timeout_s
-            )
+            # Network failures (status 0: connection refused/reset — a
+            # worker restart seen from outside) burn the retry budget
+            # instead of crashing the loop or skewing the error count
+            # with transient blips.
+            attempts_left = max(0, config.net_retries)
+            while True:
+                status, _payload = post_request(
+                    config.base_url, body, timeout_s=config.timeout_s
+                )
+                if status != 0 or attempts_left <= 0:
+                    break
+                attempts_left -= 1
+                with lock:
+                    totals["retries"] += 1
+                if config.retry_backoff_s > 0:
+                    time.sleep(config.retry_backoff_s)
             elapsed_ms = (time.monotonic() - started) * 1000.0
             with lock:
                 totals["requests"] += 1
@@ -278,6 +318,8 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
                     totals["sheds"] += 1
                 else:
                     totals["errors"] += 1
+                    if status == 0:
+                        totals["net_errors"] += 1
 
     started_at = time.monotonic()
     threads = [
@@ -313,6 +355,8 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
         ok=totals["ok"],
         sheds=totals["sheds"],
         errors=totals["errors"],
+        retries=totals["retries"],
+        net_errors=totals["net_errors"],
         duration_s=wall,
         throughput_rps=totals["ok"] / wall if wall > 0 else 0.0,
         latency_ms=latency_ms,
@@ -326,5 +370,6 @@ def run_loadgen(config: LoadgenConfig) -> LoadgenReport:
             "mix": dict(sorted(config.mix.items())),
             "seed": config.seed,
             "deadline_s": config.deadline_s,
+            "net_retries": config.net_retries,
         },
     )

@@ -479,10 +479,23 @@ def ok_envelope(
     }
 
 
-def error_envelope(kind: str, message: str) -> Dict[str, Any]:
-    """The failure response body."""
+def error_envelope(
+    kind: str,
+    message: str,
+    detail: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The failure response body.
+
+    ``detail`` carries structured diagnostics when the refusal has a
+    story worth machine-reading — poison quarantine reports the
+    fingerprint and death count there.  Absent by default so existing
+    error bodies stay byte-identical.
+    """
+    error: Dict[str, Any] = {"type": kind, "message": message}
+    if detail:
+        error["detail"] = dict(detail)
     return {
         "v": PROTOCOL_VERSION,
         "ok": False,
-        "error": {"type": kind, "message": message},
+        "error": error,
     }

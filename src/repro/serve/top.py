@@ -76,6 +76,29 @@ def render_dashboard(snapshot: Dict[str, Any]) -> str:
         f"  rolling p99 {_fmt(health.get('rolling_p99_ms'))} ms"
     )
 
+    # Resilience row: readiness, brownout tier, worker-pool strength —
+    # only servers running the supervised tier report these fields.
+    brownout = health.get("brownout")
+    workers = health.get("workers")
+    if brownout or workers or "ready" in health:
+        bits = []
+        if "ready" in health:
+            ready = health.get("ready")
+            bits.append("ready" if ready else
+                        f"NOT READY ({health.get('ready_reason', '?')})")
+        if brownout:
+            bits.append(
+                f"brownout {brownout.get('name', '?')}"
+                f" ({brownout.get('transitions', 0)} transitions)"
+            )
+        if workers:
+            bits.append(
+                f"workers {workers.get('alive', '?')}/"
+                f"{workers.get('configured', '?')} alive"
+                f", {workers.get('deaths', 0)} deaths"
+            )
+        lines.append("  " + "  ".join(bits))
+
     if stats:
         lines.append(
             f"  requests {stats.get('requests', 0)}"

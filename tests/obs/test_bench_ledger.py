@@ -22,6 +22,13 @@ POLICY_PAYLOAD = {
     "benchmark": "policy-smoke",
     "dominations": [{"a": 1}, {"b": 2}],
 }
+DRILL_PAYLOAD = {
+    "bench": "serve",
+    "source": "drill",
+    "throughput_rps": 55.36,
+    "latency_ms": {"p99": 255.982},
+    "workers_speedup": 2.842,
+}
 
 
 class TestExtraction:
@@ -54,9 +61,25 @@ class TestExtraction:
         )
         assert extracted["metrics"] == {"throughput_rps": 100.0}
 
+    def test_drill_artifacts_get_their_own_stream(self):
+        """The drill reuses the BENCH_serve.json filename but measures a
+        different workload; it must never gate against loadgen numbers."""
+        assert benchmod.classify(DRILL_PAYLOAD) == "serve-drill"
+        extracted = benchmod.extract_metrics(DRILL_PAYLOAD)
+        assert extracted["bench"] == "serve-drill"
+        assert extracted["metrics"] == {
+            "throughput_rps": 55.36,
+            "p99_ms": 255.982,
+            "workers_speedup": 2.842,
+        }
+
     def test_directions(self):
         assert benchmod.metric_direction("serve", "p99_ms") == "lower"
         assert benchmod.metric_direction("serve", "throughput_rps") == "higher"
+        assert (
+            benchmod.metric_direction("serve-drill", "workers_speedup")
+            == "higher"
+        )
 
 
 class TestLedgerIO:

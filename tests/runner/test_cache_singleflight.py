@@ -1,0 +1,187 @@
+"""Single-flight lease protocol + crash-mid-write cache hygiene."""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.cache import SingleFlightCache
+from repro.runner.jobs import make_jobs
+
+
+def compute(spec, seed):
+    return spec["x"] * 2
+
+
+def one_job(x=4):
+    (job,) = make_jobs(compute, [{"x": x}])
+    return job
+
+
+def dead_pid():
+    """A pid guaranteed dead: a subprocess that already exited and was
+    reaped by Popen (so the pid cannot still name a zombie of ours)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestLeaseProtocol:
+    def test_first_misser_wins_the_lease(self, tmp_path):
+        cache = SingleFlightCache(tmp_path)
+        job = one_job()
+        hit, _ = cache.get(job)
+        assert not hit
+        assert cache.flights_won == 1
+        flight = cache._flight_path(job.fingerprint)
+        assert flight.exists()
+        owner_pid = int(flight.read_text().partition(":")[0])
+        assert owner_pid == os.getpid()
+
+    def test_put_releases_the_lease(self, tmp_path):
+        cache = SingleFlightCache(tmp_path)
+        job = one_job()
+        cache.get(job)
+        assert cache.put(job, 8)
+        assert not cache._flight_path(job.fingerprint).exists()
+        hit, value = cache.get(job)
+        assert hit and value == 8
+
+    def test_waiter_polls_until_entry_lands(self, tmp_path):
+        """A second cache handle (standing in for a second process) must
+        wait on the foreign lease and return the winner's entry."""
+        winner = SingleFlightCache(tmp_path)
+        waiter = SingleFlightCache(tmp_path, wait_s=10.0, poll_s=0.01)
+        job = one_job()
+        hit, _ = winner.get(job)
+        assert not hit
+        result = {}
+
+        def wait_for_entry():
+            result["outcome"] = waiter.get(job)
+
+        thread = threading.Thread(target=wait_for_entry)
+        thread.start()
+        time.sleep(0.1)
+        assert thread.is_alive()  # blocked on the fresh foreign lease
+        winner.put(job, 8)
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert result["outcome"] == (True, 8)
+        assert waiter.flights_waited == 1
+        assert waiter.flights_won == 0
+
+    def test_dead_owner_lease_is_broken(self, tmp_path):
+        cache = SingleFlightCache(tmp_path, poll_s=0.01)
+        job = one_job()
+        flight = cache._flight_path(job.fingerprint)
+        flight.parent.mkdir(parents=True, exist_ok=True)
+        flight.write_text(f"{dead_pid()}:{time.time():.3f}")
+        hit, _ = cache.get(job)
+        assert not hit
+        assert cache.flights_broken == 1
+        assert cache.flights_won == 1  # re-acquired after the break
+
+    def test_expired_lease_is_broken(self, tmp_path):
+        cache = SingleFlightCache(tmp_path, lease_s=0.05, poll_s=0.01)
+        job = one_job()
+        flight = cache._flight_path(job.fingerprint)
+        flight.parent.mkdir(parents=True, exist_ok=True)
+        # Live pid, ancient stamp: age alone must invalidate.
+        flight.write_text(f"{os.getpid()}:{time.time() - 60:.3f}")
+        hit, _ = cache.get(job)
+        assert not hit
+        assert cache.flights_broken >= 1
+
+    def test_unreadable_lease_is_stale(self, tmp_path):
+        cache = SingleFlightCache(tmp_path, poll_s=0.01)
+        job = one_job()
+        flight = cache._flight_path(job.fingerprint)
+        flight.parent.mkdir(parents=True, exist_ok=True)
+        flight.write_text("not a lease")
+        hit, _ = cache.get(job)
+        assert not hit
+
+    def test_release_all_drops_held_leases(self, tmp_path):
+        cache = SingleFlightCache(tmp_path)
+        jobs = [one_job(x) for x in range(3)]
+        for job in jobs:
+            cache.get(job)
+        assert all(
+            cache._flight_path(j.fingerprint).exists() for j in jobs
+        )
+        cache.release_all()
+        assert not any(
+            cache._flight_path(j.fingerprint).exists() for j in jobs
+        )
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(RunnerError):
+            SingleFlightCache(tmp_path, lease_s=0.0)
+        with pytest.raises(RunnerError):
+            SingleFlightCache(tmp_path, poll_s=0.0)
+
+
+class TestCrashMidWrite:
+    def test_sigkill_between_temp_and_rename_leaves_no_torn_entry(
+        self, tmp_path
+    ):
+        """Kill a writer at the worst instant — temp file fully written,
+        rename not yet issued — and certify the cache's crash hygiene:
+        no live entry, stranded lease broken by pid-check, orphaned
+        ``.tmp`` swept by prune."""
+        cache = SingleFlightCache(tmp_path, poll_s=0.01)
+        job = one_job()
+        child = os.fork()
+        if child == 0:
+            # Worker process: win the lease, then die inside put() at
+            # the exact point where the temp write is done but the
+            # atomic publish is not.
+            try:
+                cache.get(job)
+                os.replace = lambda *a, **k: os.kill(
+                    os.getpid(), signal.SIGKILL
+                )
+                cache.put(job, 8)
+            finally:
+                os._exit(99)  # pragma: no cover - SIGKILL fires first
+        _, status = os.waitpid(child, 0)
+        assert os.WIFSIGNALED(status)
+        assert os.WTERMSIG(status) == signal.SIGKILL
+
+        entry = cache.entry_path(job.fingerprint)
+        assert not entry.exists(), "a torn write published an entry"
+        orphans = list(entry.parent.glob("*.tmp"))
+        assert orphans, "the crashed writer should strand its temp file"
+
+        # The stranded lease names a dead pid: a fresh misser breaks it
+        # and wins the flight instead of hanging.
+        hit, _ = cache.get(job)
+        assert not hit
+        assert cache.flights_broken >= 1
+        cache.release_all()
+
+        # The orphaned temp file is swept once past the grace period,
+        # even though the cache is nowhere near its size budget.
+        report = cache.prune(now=time.time() + 1.0, orphan_grace_s=0.5)
+        assert report.removed_files >= 1
+        assert not list(entry.parent.glob("*.tmp"))
+
+    def test_fresh_orphans_survive_prune_grace(self, tmp_path):
+        """A write/lease in progress must not be swept out from under a
+        live writer: inside the grace window orphans are kept."""
+        cache = SingleFlightCache(tmp_path)
+        job = one_job()
+        cache.get(job)  # holds a fresh .flight
+        fan_out = cache.entry_path(job.fingerprint).parent
+        (fan_out / "inprogress.tmp").write_bytes(b"partial")
+        report = cache.prune(orphan_grace_s=300.0)
+        assert report.removed_files == 0
+        assert (fan_out / "inprogress.tmp").exists()
+        assert cache._flight_path(job.fingerprint).exists()
+        cache.release_all()

@@ -1,0 +1,211 @@
+"""Brownout controller and poison registry: deterministic unit tests."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.resilience import (
+    EXPENSIVE_ANALYSES,
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutSignals,
+    PoisonRegistry,
+    Tier,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_controller(policy=None):
+    clock = FakeClock()
+    holder = {"signals": BrownoutSignals()}
+    controller = BrownoutController(
+        policy=policy or BrownoutPolicy(min_dwell_s=1.0),
+        signal_fn=lambda: holder["signals"],
+        clock=clock,
+    )
+    return controller, holder, clock
+
+
+class TestPolicyLevel:
+    def test_all_quiet_is_normal(self):
+        policy = BrownoutPolicy()
+        assert policy.level(BrownoutSignals()) == Tier.NORMAL
+
+    def test_queue_thresholds_pick_tier(self):
+        policy = BrownoutPolicy(queue_enter=(0.5, 0.8, 0.95))
+        assert policy.level(BrownoutSignals(queue_frac=0.5)) == Tier.TRIM
+        assert policy.level(BrownoutSignals(queue_frac=0.8)) == Tier.RESTRICT
+        assert policy.level(BrownoutSignals(queue_frac=0.96)) == Tier.SHED
+
+    def test_p99_signal_votes(self):
+        policy = BrownoutPolicy(p99_enter_ms=(100.0, 200.0, 300.0))
+        assert policy.level(BrownoutSignals(p99_ms=150.0)) == Tier.TRIM
+        assert policy.level(BrownoutSignals(p99_ms=None)) == Tier.NORMAL
+
+    def test_workers_signal_engages_at_or_below(self):
+        policy = BrownoutPolicy(workers_enter=(0.5, 0.25, 0.0))
+        assert policy.level(BrownoutSignals(workers_frac=0.5)) == Tier.TRIM
+        assert policy.level(BrownoutSignals(workers_frac=0.25)) == Tier.RESTRICT
+        assert policy.level(BrownoutSignals(workers_frac=0.0)) == Tier.SHED
+        assert policy.level(BrownoutSignals(workers_frac=1.0)) == Tier.NORMAL
+
+    def test_any_signal_is_enough(self):
+        policy = BrownoutPolicy()
+        signals = BrownoutSignals(queue_frac=0.0, workers_frac=0.4)
+        assert policy.level(signals) == Tier.TRIM
+
+    def test_exit_scaling(self):
+        policy = BrownoutPolicy(queue_enter=(0.5, 0.8, 0.95), exit_fraction=0.7)
+        # 0.4 is under the 0.5 entry but over the 0.35 exit threshold.
+        signals = BrownoutSignals(queue_frac=0.4)
+        assert policy.level(signals) == Tier.NORMAL
+        assert policy.level(signals, exiting=True) == Tier.TRIM
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            BrownoutPolicy(queue_enter=(0.5, 0.8))
+        with pytest.raises(ServeError):
+            BrownoutPolicy(exit_fraction=0.0)
+        with pytest.raises(ServeError):
+            BrownoutPolicy(min_dwell_s=-1.0)
+
+
+class TestController:
+    def test_escalates_one_tier_per_step(self):
+        controller, holder, _clock = make_controller()
+        holder["signals"] = BrownoutSignals(queue_frac=1.0)
+        assert controller.step() == Tier.TRIM
+        assert controller.step() == Tier.RESTRICT
+        assert controller.step() == Tier.SHED
+        assert controller.step() == Tier.SHED  # cannot go past SHED
+        assert [r["to"] for r in controller.transitions] == [1, 2, 3]
+
+    def test_steps_down_only_after_dwell(self):
+        controller, holder, clock = make_controller()
+        holder["signals"] = BrownoutSignals(queue_frac=1.0)
+        controller.step()
+        assert controller.tier == Tier.TRIM
+        holder["signals"] = BrownoutSignals(queue_frac=0.0)
+        assert controller.step() == Tier.TRIM  # dwell not yet served
+        clock.advance(1.1)
+        assert controller.step() == Tier.NORMAL
+
+    def test_hysteresis_holds_between_exit_and_entry(self):
+        controller, holder, clock = make_controller(
+            BrownoutPolicy(
+                queue_enter=(0.5, 0.8, 0.95), exit_fraction=0.7,
+                min_dwell_s=0.0,
+            )
+        )
+        holder["signals"] = BrownoutSignals(queue_frac=0.6)
+        assert controller.step() == Tier.TRIM
+        # 0.4 > 0.35 (= 0.5 * 0.7): inside the hysteresis band, hold.
+        holder["signals"] = BrownoutSignals(queue_frac=0.4)
+        clock.advance(1.0)
+        assert controller.step() == Tier.TRIM
+        holder["signals"] = BrownoutSignals(queue_frac=0.1)
+        clock.advance(1.0)
+        assert controller.step() == Tier.NORMAL
+
+    def test_transitions_never_skip(self):
+        controller, holder, clock = make_controller(
+            BrownoutPolicy(min_dwell_s=0.0)
+        )
+        for frac in (1.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0):
+            holder["signals"] = BrownoutSignals(queue_frac=frac)
+            clock.advance(0.5)
+            controller.step()
+        for record in controller.transitions:
+            assert abs(record["to"] - record["from"]) == 1
+
+    def test_refusal_matrix(self):
+        controller, holder, _clock = make_controller()
+        assert controller.refusal("sweep") is None
+        holder["signals"] = BrownoutSignals(queue_frac=1.0)
+        controller.step()  # TRIM
+        assert controller.refusal("sweep") is None
+        controller.step()  # RESTRICT
+        status, _reason = controller.refusal("sweep")
+        assert status == 429
+        assert controller.refusal("policy_frontier")[0] == 429
+        assert controller.refusal("whatif") is None
+        controller.step()  # SHED
+        for analysis in ("whatif", "echo", "sweep"):
+            assert controller.refusal(analysis)[0] == 503
+
+    def test_expensive_roster(self):
+        assert "sweep" in EXPENSIVE_ANALYSES
+        assert "policy_frontier" in EXPENSIVE_ANALYSES
+        assert "whatif" not in EXPENSIVE_ANALYSES
+
+    def test_linger_collapses_under_trim(self):
+        controller, holder, _clock = make_controller()
+        assert controller.linger_s(0.005) == 0.005
+        holder["signals"] = BrownoutSignals(queue_frac=1.0)
+        controller.step()
+        assert controller.linger_s(0.005) == 0.0
+
+    def test_snapshot_shape(self):
+        controller, holder, _clock = make_controller()
+        holder["signals"] = BrownoutSignals(queue_frac=1.0)
+        controller.step()
+        snap = controller.snapshot()
+        assert snap["tier"] == 1
+        assert snap["name"] == "TRIM"
+        assert snap["transitions"] == 1
+        assert snap["recent"][0]["to_name"] == "TRIM"
+
+
+class TestPoisonRegistry:
+    def test_quarantine_at_threshold(self):
+        registry = PoisonRegistry(threshold=3)
+        assert registry.record_death("f" * 16) == 1
+        assert not registry.is_quarantined("f" * 16)
+        registry.record_death("f" * 16)
+        registry.record_death("f" * 16, analysis="echo", worker=1)
+        assert registry.is_quarantined("f" * 16)
+
+    def test_success_exonerates_suspects(self):
+        registry = PoisonRegistry(threshold=2)
+        registry.record_death("a" * 16)
+        registry.record_success("a" * 16)
+        registry.record_death("a" * 16)
+        # Marks were cleared in between: still one short of quarantine.
+        assert not registry.is_quarantined("a" * 16)
+
+    def test_success_does_not_unquarantine(self):
+        registry = PoisonRegistry(threshold=1)
+        registry.record_death("b" * 16)
+        registry.record_success("b" * 16)
+        assert registry.is_quarantined("b" * 16)
+
+    def test_rejection_diagnostics(self):
+        registry = PoisonRegistry(threshold=1)
+        assert registry.record_rejection("c" * 16) is None
+        registry.record_death("c" * 16, analysis="sweep", worker=0)
+        info = registry.record_rejection("c" * 16)
+        assert info.deaths == 1
+        assert info.analysis == "sweep"
+        body = info.to_json()
+        assert body["fingerprint"] == "c" * 16
+        assert body["quarantined_unix"] is not None
+        assert registry.stats()["rejected"] == 1
+
+    def test_suspect_table_is_bounded(self):
+        registry = PoisonRegistry(threshold=10, capacity=4)
+        for i in range(8):
+            registry.record_death(f"fp{i}")
+        assert registry.stats()["suspects"] <= 4
+
+    def test_threshold_validation(self):
+        with pytest.raises(ServeError):
+            PoisonRegistry(threshold=0)

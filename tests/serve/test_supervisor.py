@@ -1,0 +1,228 @@
+"""Supervisor pool: routing, replay, poison pinning, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import PoisonedRequestError, ServeError
+from repro.serve.analyses import evaluate_request
+from repro.serve.protocol import PROTOCOL_VERSION, canonical_json, parse_request
+from repro.serve.resilience import PoisonRegistry
+from repro.serve.supervisor import Supervisor, WorkItem
+
+
+def make_request(analysis, params):
+    return parse_request(
+        canonical_json(
+            {"v": PROTOCOL_VERSION, "analysis": analysis, "params": params}
+        ).encode("utf-8")
+    )
+
+
+class Collector:
+    """on_done sink: records (item, outcome) pairs under a condition."""
+
+    def __init__(self):
+        self.done = []
+        self._cond = threading.Condition()
+
+    def __call__(self, item, outcome):
+        with self._cond:
+            self.done.append((item, outcome))
+            self._cond.notify_all()
+
+    def wait(self, count, timeout=20.0):
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self.done) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise AssertionError(
+                        f"only {len(self.done)}/{count} outcomes arrived"
+                    )
+                self._cond.wait(remaining)
+            return list(self.done)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_constructor_validation():
+    with pytest.raises(ServeError):
+        Supervisor(workers=0, on_done=lambda item, outcome: None)
+    with pytest.raises(ServeError):
+        Supervisor(
+            workers=1,
+            on_done=lambda item, outcome: None,
+            backoff_base_s=0.5,
+            backoff_max_s=0.1,
+        )
+
+
+def test_shard_of_is_stable_and_in_range():
+    supervisor = Supervisor(workers=3, on_done=lambda item, outcome: None)
+    request = make_request("echo", {"payload": {"n": 1}})
+    first = supervisor.shard_of(request.fingerprint)
+    assert 0 <= first < 3
+    for _ in range(5):
+        assert supervisor.shard_of(request.fingerprint) == first
+
+
+def test_pool_payloads_match_in_process_reference():
+    collector = Collector()
+    supervisor = Supervisor(workers=2, on_done=collector).start()
+    try:
+        requests = [
+            make_request("echo", {"payload": {"n": i}}) for i in range(4)
+        ]
+        requests.append(
+            make_request(
+                "availability",
+                {
+                    "workload": "websearch",
+                    "configuration": "MaxPerf",
+                    "technique": "full-service",
+                    "years": 1,
+                },
+            )
+        )
+        supervisor.submit(
+            [WorkItem(request=r, context=r.fingerprint) for r in requests]
+        )
+        done = collector.wait(len(requests))
+    finally:
+        supervisor.close(drain=False, timeout=5.0)
+    by_fp = {item.context: outcome for item, outcome in done}
+    for request in requests:
+        outcome = by_fp[request.fingerprint]
+        assert outcome["ok"], outcome
+        reference = evaluate_request(request)
+        assert canonical_json(outcome["payload"]) == canonical_json(reference)
+        assert outcome["attempts"] == 1
+        assert outcome["worker"] == supervisor.shard_of(request.fingerprint)
+
+
+def test_worker_death_replays_and_succeeds():
+    collector = Collector()
+    supervisor = Supervisor(
+        workers=1, on_done=collector, backoff_base_s=0.05, backoff_max_s=0.2
+    ).start()
+    try:
+        request = make_request(
+            "echo", {"payload": {"slow": True}, "sleep_s": 0.5}
+        )
+        supervisor.submit([WorkItem(request=request)])
+        shard = supervisor.shard_of(request.fingerprint)
+        assert wait_until(
+            lambda: request.fingerprint
+            in supervisor.inflight_fingerprints(shard)
+        )
+        assert supervisor.kill_worker(shard)
+        (item, outcome), = collector.wait(1)
+    finally:
+        supervisor.close(drain=False, timeout=5.0)
+    assert outcome["ok"], outcome
+    assert outcome["attempts"] == 2  # one death, one replay
+    assert item.attempts == 1
+    assert supervisor.deaths_total == 1
+
+
+def test_pool_recovers_after_death():
+    collector = Collector()
+    supervisor = Supervisor(
+        workers=2, on_done=collector, backoff_base_s=0.05, backoff_max_s=0.2
+    ).start()
+    try:
+        assert supervisor.kill_worker(0)
+        assert wait_until(lambda: supervisor.deaths_total == 1)
+        assert wait_until(lambda: supervisor.alive_count() == 2)
+        # A freshly respawned worker still serves correctly.
+        request = make_request("echo", {"payload": {"after": "restart"}})
+        supervisor.submit([WorkItem(request=request)])
+        (_, outcome), = collector.wait(1)
+        assert outcome["ok"], outcome
+        stats = supervisor.stats()
+    finally:
+        supervisor.close(drain=False, timeout=5.0)
+    assert stats["configured"] == 2
+    assert stats["alive"] == 2
+    assert stats["deaths"] == 1
+    assert sum(w["restarts"] for w in stats["per_worker"]) == 1
+
+
+def test_poison_threshold_one_pins_culprit():
+    collector = Collector()
+    poison = PoisonRegistry(threshold=1)
+    supervisor = Supervisor(
+        workers=1,
+        on_done=collector,
+        poison=poison,
+        backoff_base_s=0.05,
+        backoff_max_s=0.2,
+    ).start()
+    try:
+        request = make_request(
+            "echo", {"payload": {"poison": True}, "sleep_s": 0.5}
+        )
+        supervisor.submit([WorkItem(request=request)])
+        assert wait_until(
+            lambda: request.fingerprint in supervisor.inflight_fingerprints(0)
+        )
+        assert supervisor.kill_worker(0)
+        (_, outcome), = collector.wait(1)
+        assert isinstance(outcome, PoisonedRequestError)
+        assert outcome.fingerprint == request.fingerprint
+        assert poison.is_quarantined(request.fingerprint)
+        # The pool itself survives the quarantine.
+        assert wait_until(lambda: supervisor.alive_count() == 1)
+    finally:
+        supervisor.close(drain=False, timeout=5.0)
+
+
+def test_pending_items_and_drain():
+    collector = Collector()
+    supervisor = Supervisor(workers=1, on_done=collector).start()
+    try:
+        assert supervisor.pending_items() == 0
+        request = make_request(
+            "echo", {"payload": {"drain": True}, "sleep_s": 0.2}
+        )
+        supervisor.submit([WorkItem(request=request)])
+        assert supervisor.pending_items() == 1
+        assert supervisor.drain(timeout=10.0)
+        assert supervisor.pending_items() == 0
+        collector.wait(1)
+    finally:
+        supervisor.close(drain=False, timeout=5.0)
+
+
+def test_close_fails_outstanding_items():
+    collector = Collector()
+    supervisor = Supervisor(workers=1, on_done=collector).start()
+    request = make_request(
+        "echo", {"payload": {"hang": True}, "sleep_s": 3.0}
+    )
+    supervisor.submit([WorkItem(request=request)])
+    shard = supervisor.shard_of(request.fingerprint)
+    assert wait_until(
+        lambda: request.fingerprint in supervisor.inflight_fingerprints(shard)
+    )
+    supervisor.close(drain=False, timeout=1.0)
+    (_, outcome), = collector.wait(1, timeout=10.0)
+    assert isinstance(outcome, ServeError)
+
+
+def test_submit_after_close_is_refused():
+    supervisor = Supervisor(workers=1, on_done=lambda item, outcome: None)
+    supervisor.start()
+    supervisor.close(drain=False, timeout=5.0)
+    request = make_request("echo", {"payload": {}})
+    with pytest.raises(ServeError):
+        supervisor.submit([WorkItem(request=request)])

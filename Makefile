@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke batch-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke telemetry-smoke drill-smoke
+.PHONY: test bench bench-smoke batch-smoke bench-obs selfcheck trace-smoke chaos-smoke serve-smoke policy-smoke telemetry-smoke drill-smoke fleet-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -101,3 +101,16 @@ drill-smoke:
 # BENCH_policy.json; CI uploads it as an artifact.
 policy-smoke:
 	$(PYTHON) benchmarks/policy_smoke.py
+
+# Certify the multi-site fleet subsystem: worker-count-invariant fleet
+# years, the uncorrelated-fleet == independent-single-sites bit-identical
+# regression, shock correlation strictly raising multi-site outage
+# probability, and a fleet-frontier verdict where fleet-level
+# provisioning dominates the best single-site Table-3 config (see
+# docs/FLEET.md).  Writes BENCH_fleet.json and gates it as its own
+# ledger stream; CI uploads both as artifacts.  The smoke's short
+# Monte-Carlo runs are noisy, so the gate runs at the loose tolerance.
+fleet-smoke:
+	$(PYTHON) benchmarks/fleet_smoke.py
+	$(PYTHON) -m repro.cli bench record
+	$(PYTHON) -m repro.cli bench check --tolerance 0.5

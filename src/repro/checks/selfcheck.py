@@ -60,6 +60,7 @@ FULL_TECHNIQUES = FAST_TECHNIQUES + (
     "hibernate",
     "hibernate-l",
     "throttle+hibernate",
+    "geo-failover",
 )
 
 Record = Dict[str, Any]

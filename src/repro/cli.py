@@ -265,6 +265,9 @@ def _emit_canonical(
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
+    technique_list = (
+        args.techniques.split(",") if getattr(args, "techniques", None) else None
+    )
     if getattr(args, "json", False):
         return _emit_canonical(
             args,
@@ -273,15 +276,20 @@ def _cmd_rank(args: argparse.Namespace) -> int:
                 "workload": args.workload,
                 "outage_minutes": args.outage_minutes,
                 "servers": args.servers,
+                "techniques": technique_list,
             },
         )
     executor = _make_executor(args)
+    rank_kwargs = {}
+    if technique_list is not None:
+        rank_kwargs["technique_names"] = technique_list
     ranking = rank_techniques(
         get_workload(args.workload),
         minutes(args.outage_minutes),
         num_servers=args.servers,
         executor=executor,
         engine=getattr(args, "engine", "scalar"),
+        **rank_kwargs,
     )
     rows = [
         (
@@ -700,6 +708,118 @@ def _cmd_policy(args: argparse.Namespace) -> int:
     return _runner_exit(executor)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.contingency:
+        from repro.fleet.contingency import contingency_report
+        from repro.fleet.spec import get_fleet
+
+        report = contingency_report(get_fleet(args.fleet), depth=args.depth)
+        if args.json:
+            from repro.runner.jobs import canonical_json
+
+            print(canonical_json(report))
+            return 0
+        rows = [
+            (
+                f"N-{s['order']}",
+                "+".join(s["lost_sites"]),
+                s["displaced_load"],
+                s["absorbed_load"],
+                s["delivered_fraction"],
+                "+".join(s["degraded_sites"]) or "-",
+                "yes" if s["fully_served"] else "NO",
+            )
+            for s in report["scenarios"]
+        ]
+        print(
+            format_table(
+                ("loss", "sites", "displaced", "absorbed", "delivered",
+                 "degraded", "served"),
+                rows,
+                title=f"{args.fleet} contingency analysis",
+            )
+        )
+        for order in range(1, report["depth"] + 1):
+            safe = report[f"n{order}_safe"]
+            print(f"N-{order} safe: {'yes' if safe else 'NO'}")
+        worst = report["worst"]
+        print(
+            f"worst case: lose {'+'.join(worst['lost_sites'])} -> "
+            f"{worst['delivered_fraction']:.3f} of demand served"
+        )
+        return 0
+
+    params = {
+        "fleet": args.fleet,
+        "configurations": (
+            args.configurations.split(",") if args.configurations else None
+        ),
+        "technique": args.technique,
+        "years": args.years,
+        "seed": args.seed,
+    }
+    if args.json:
+        return _emit_canonical(args, "fleet_frontier", params)
+    from repro.serve.analyses import evaluate_request
+    from repro.serve.protocol import PROTOCOL_VERSION, parse_request
+
+    executor = _make_executor(args)
+    payload = evaluate_request(
+        parse_request(
+            {
+                "v": PROTOCOL_VERSION,
+                "analysis": "fleet_frontier",
+                "params": {k: v for k, v in params.items() if v is not None},
+            }
+        ),
+        executor=executor,
+    )
+    frontier_keys = {
+        (point["configuration"], point["routing"])
+        for point in payload["frontier"]
+    }
+    rows = [
+        (
+            cell["configuration"],
+            "fleet" if cell["routing"] else "solo",
+            cell["normalized_cost"],
+            cell["performability"],
+            cell["availability"],
+            cell["multi_site_outage_probability"],
+            "*"
+            if (cell["configuration"], cell["routing"]) in frontier_keys
+            else "",
+        )
+        for cell in payload["cells"]
+    ]
+    print(
+        format_table(
+            ("configuration", "mode", "cost", "performability",
+             "availability", "P(multi-site)", "frontier"),
+            rows,
+            title=f"{args.fleet} fleet frontier ({args.years} years/cell, "
+            f"technique {args.technique})",
+        )
+    )
+    dominations = [d for d in payload["dominations"] if d["cost_saving"] > 0]
+    print(f"routed-over-solo dominations: {len(dominations)}")
+    for d in dominations:
+        print(
+            f"  fleet {d['routed']['configuration']} "
+            f"(cost {d['routed']['normalized_cost']:.2f}) dominates "
+            f"solo {d['single_site']['configuration']} "
+            f"(cost {d['single_site']['normalized_cost']:.2f}), "
+            f"saving {d['cost_saving']:.2f}"
+        )
+    verdict = payload["fleet_dominates_single_site"]
+    print(
+        "fleet provisioning dominates the single-site frontier: "
+        f"{'yes' if verdict else 'no'}"
+    )
+    _print_run_stats(executor)
+    return _runner_exit(executor)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.app import ServeConfig, run_server
 
@@ -948,6 +1068,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rank = sub.add_parser("rank", help="rank techniques by sized cost")
     add_common(p_rank)
+    p_rank.add_argument(
+        "--techniques",
+        default=None,
+        metavar="A,B",
+        help="comma-separated technique names to rank (default: the paper "
+        "roster; add geo-failover/cloud-burst to pit the fleet against "
+        "local techniques)",
+    )
     add_runner_flags(p_rank)
     add_json_flag(p_rank)
     add_engine_flag(p_rank)
@@ -1010,6 +1138,54 @@ def build_parser() -> argparse.ArgumentParser:
     add_runner_flags(p_policy, with_seed=False)
     add_json_flag(p_policy)
     p_policy.set_defaults(func=_cmd_policy)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="multi-site fleet frontier and N-1/N-2 contingency analysis",
+    )
+    from repro.fleet.spec import DEFAULT_FLEET, fleet_names
+
+    p_fleet.add_argument(
+        "--fleet",
+        default=DEFAULT_FLEET,
+        choices=fleet_names(),
+        help="named fleet scenario",
+    )
+    p_fleet.add_argument(
+        "-c",
+        "--configurations",
+        default=None,
+        metavar="A,B",
+        help="comma-separated Table 3 configurations applied uniformly to "
+        "every site (default: all nine)",
+    )
+    p_fleet.add_argument(
+        "-t",
+        "--technique",
+        default="full-service",
+        help="local outage technique at every site",
+    )
+    p_fleet.add_argument(
+        "--years",
+        type=int,
+        default=40,
+        help="Monte-Carlo fleet years per frontier cell",
+    )
+    p_fleet.add_argument(
+        "--contingency",
+        action="store_true",
+        help="print the deterministic N-1/N-2 contingency table instead of "
+        "the Monte-Carlo frontier",
+    )
+    p_fleet.add_argument(
+        "--depth",
+        type=int,
+        default=2,
+        help="contingency order (1 = N-1 only, 2 = N-1 and N-2)",
+    )
+    add_runner_flags(p_fleet)
+    add_json_flag(p_fleet)
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_sweep = sub.add_parser(
         "sweep", help="technique or configuration grid over outage durations"

@@ -1,0 +1,76 @@
+"""repro.fleet — multi-site fleet simulation with correlated regional
+outages and geo-failover.
+
+The fleet layer answers the paper's question at the scale the paper
+gestures toward in Section 7: when traffic can shift to surviving
+sites, *the fleet itself is the backup*, and per-site DG/battery
+provisioning can be cut below any single-site Table-3 point.
+
+Modules:
+    spec: :class:`FleetSpec`/:class:`SiteSpec` scenarios + named registry.
+    correlation: seeded regional-shock sampler and schedule merging.
+    routing: instant pricing and yearly integration of geo-failover.
+    sim: the per-year Monte-Carlo job and :class:`FleetAnalyzer`.
+    contingency: deterministic N-1/N-2 analysis.
+    frontier: the ``fleet_frontier`` sweep and its domination verdict.
+"""
+
+from repro.fleet.contingency import contingency_report, contingency_scenarios
+from repro.fleet.correlation import RegionalShockSampler, merge_outage_events
+from repro.fleet.frontier import (
+    DEFAULT_FLEET_YEARS,
+    fleet_cell,
+    fleet_frontier,
+    fleet_frontier_jobs,
+    prepare_fleet_frontier,
+    reduce_fleet_frontier,
+)
+from repro.fleet.routing import (
+    DEGRADED_UTILIZATION,
+    SURVIVOR_DEGRADED_FACTOR,
+    InstantService,
+    OutageWindow,
+    SiteState,
+    SiteTimeline,
+    latency_factor,
+    route_fleet_year,
+    serve_instant,
+)
+from repro.fleet.sim import FleetAnalyzer, reduce_fleet_years, simulate_fleet_year
+from repro.fleet.spec import (
+    DEFAULT_FLEET,
+    FleetSpec,
+    SiteSpec,
+    fleet_names,
+    get_fleet,
+)
+
+__all__ = [
+    "DEFAULT_FLEET",
+    "DEFAULT_FLEET_YEARS",
+    "DEGRADED_UTILIZATION",
+    "SURVIVOR_DEGRADED_FACTOR",
+    "FleetAnalyzer",
+    "FleetSpec",
+    "InstantService",
+    "OutageWindow",
+    "RegionalShockSampler",
+    "SiteSpec",
+    "SiteState",
+    "SiteTimeline",
+    "contingency_report",
+    "contingency_scenarios",
+    "fleet_cell",
+    "fleet_frontier",
+    "fleet_frontier_jobs",
+    "fleet_names",
+    "get_fleet",
+    "latency_factor",
+    "merge_outage_events",
+    "prepare_fleet_frontier",
+    "reduce_fleet_frontier",
+    "reduce_fleet_years",
+    "route_fleet_year",
+    "serve_instant",
+    "simulate_fleet_year",
+]

@@ -1,0 +1,292 @@
+"""Traffic routing during outages: where dark sites' load goes, minute by minute.
+
+The static :meth:`~repro.geo.replication.GeoReplicationModel.fail_over`
+answers "if this one site died, who absorbs it?".  A Monte-Carlo fleet
+year needs the *dynamic* version: several sites can be dark at once (a
+regional shock), survivors serve their own load first, failover traffic
+pays a redirect delay before it lands, and a survivor pushed near its
+capacity ceiling enters a degraded mode — the paper's warning that
+"power outages can cause load increase at failed-over site" made into a
+timeline model.
+
+:func:`serve_instant` prices one instant of the fleet:
+
+* a site in outage serves ``load * performance`` locally, where
+  ``performance`` is its simulator outcome's mean performance (the
+  technique's doing — a throttled site still serves most of its load, a
+  sleeping one serves none);
+* the shortfall (``load * (1 - performance)``) is displaced and, once
+  the redirect window has elapsed, routed to surviving sites in *other*
+  power regions, proportionally to their remaining spare capacity;
+* absorbed traffic pays the Table-7 latency penalty for the extra RTT
+  and — when absorption pushes a survivor past
+  :data:`DEGRADED_UTILIZATION` — a degraded-survivor factor: the host's
+  own throttling/admission control kicking in under failover load.
+
+:func:`route_fleet_year` integrates that pricing over the elementary
+intervals induced by every site's outage windows.  The decomposition is
+exact for the piecewise-constant state model (breakpoints at every
+outage start, redirect expiry and outage end), so the result is a pure
+deterministic function of the per-site schedules — identical serial or
+parallel, and cacheable under the runner's fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geo.replication import LATENCY_PENALTY_PER_100MS
+
+#: Utilization above which an absorbing survivor serves failover traffic
+#: in degraded mode (its own overload controls engage).
+DEGRADED_UTILIZATION = 0.95
+
+#: Throughput factor on absorbed traffic at a degraded survivor.
+SURVIVOR_DEGRADED_FACTOR = 0.85
+
+#: Served-vs-demand slack below which an instant counts as fully served.
+_FULL_SERVICE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One outage on a site's yearly timeline, with its delivered level.
+
+    ``performance`` is the simulator outcome's mean performance over the
+    window — the phase structure (throttle, then sleep, then crash)
+    smeared uniformly across the outage, which keeps the routing layer
+    piecewise-constant without re-simulating phases.
+    """
+
+    start_seconds: float
+    end_seconds: float
+    performance: float
+
+    def __post_init__(self) -> None:
+        if self.end_seconds <= self.start_seconds:
+            raise ConfigurationError("outage window must have positive length")
+        if not 0.0 <= self.performance <= 1.0:
+            raise ConfigurationError("window performance must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SiteTimeline:
+    """A site's year as the routing layer sees it."""
+
+    name: str
+    capacity: float
+    load: float
+    power_region: str
+    rtt_seconds: float
+    windows: Tuple[OutageWindow, ...]
+
+
+@dataclass(frozen=True)
+class SiteState:
+    """One site at one instant."""
+
+    name: str
+    capacity: float
+    load: float
+    power_region: str
+    rtt_seconds: float
+    performance: float = 1.0
+    in_outage: bool = False
+    remote_ready: bool = True  # redirect window elapsed
+
+
+@dataclass(frozen=True)
+class InstantService:
+    """What the fleet delivers at one instant (server-equivalents).
+
+    Attributes:
+        demand: Total fleet load.
+        served: Delivered work (local + absorbed failover traffic).
+        local_served: Work served where it normally lives.
+        remote_served: Failover traffic delivered by survivors (after
+            latency and degradation factors).
+        absorbed_load: Failover traffic *placed* on survivors (before
+            delivery factors) — the capacity actually occupied.
+        per_site_absorption: survivor name -> failover load placed there.
+        degraded_sites: Survivors pushed past the degradation threshold.
+    """
+
+    demand: float
+    served: float
+    local_served: float
+    remote_served: float
+    absorbed_load: float
+    per_site_absorption: Dict[str, float]
+    degraded_sites: Tuple[str, ...]
+
+
+def latency_factor(source_rtt: float, host_rtt: float) -> float:
+    """Throughput factor for traffic served ``host_rtt`` away from home."""
+    extra = max(0.0, host_rtt - source_rtt)
+    return max(0.0, 1.0 - LATENCY_PENALTY_PER_100MS * (extra / 0.100))
+
+
+def serve_instant(
+    states: Sequence[SiteState], routing: bool = True
+) -> InstantService:
+    """Price one instant of the fleet under the failover policy.
+
+    Dark sites are processed in fleet order, each routing its shortfall
+    across the remaining spare of up sites in *other* power regions,
+    proportionally to that spare.  Deterministic in input order.
+    """
+    demand = sum(s.load for s in states)
+    local = sum(
+        (s.load * s.performance) if s.in_outage else s.load for s in states
+    )
+    spare: Dict[str, float] = {
+        s.name: s.capacity - s.load for s in states if not s.in_outage
+    }
+    placements: List[Tuple[SiteState, SiteState, float]] = []
+    if routing:
+        for source in states:
+            if not source.in_outage or not source.remote_ready:
+                continue
+            displaced = source.load * (1.0 - source.performance)
+            if displaced <= 0:
+                continue
+            hosts = [
+                s
+                for s in states
+                if not s.in_outage
+                and s.power_region != source.power_region
+                and spare[s.name] > 0
+            ]
+            total_spare = sum(spare[h.name] for h in hosts)
+            if total_spare <= 0:
+                continue
+            take = min(displaced, total_spare)
+            shares = [(h, spare[h.name] / total_spare) for h in hosts]
+            for host, share in shares:
+                amount = take * share
+                spare[host.name] -= amount
+                placements.append((source, host, amount))
+
+    absorbed: Dict[str, float] = {}
+    for _, host, amount in placements:
+        absorbed[host.name] = absorbed.get(host.name, 0.0) + amount
+    degraded = tuple(
+        s.name
+        for s in states
+        if s.name in absorbed
+        and (s.load + absorbed[s.name]) > DEGRADED_UTILIZATION * s.capacity
+    )
+    degraded_set = set(degraded)
+    remote = sum(
+        amount
+        * latency_factor(source.rtt_seconds, host.rtt_seconds)
+        * (SURVIVOR_DEGRADED_FACTOR if host.name in degraded_set else 1.0)
+        for source, host, amount in placements
+    )
+    return InstantService(
+        demand=demand,
+        served=local + remote,
+        local_served=local,
+        remote_served=remote,
+        absorbed_load=sum(absorbed.values()),
+        per_site_absorption=absorbed,
+        degraded_sites=degraded,
+    )
+
+
+def _window_at(
+    timeline: SiteTimeline, instant: float
+) -> "OutageWindow | None":
+    for window in timeline.windows:
+        if window.start_seconds <= instant < window.end_seconds:
+            return window
+    return None
+
+
+def route_fleet_year(
+    timelines: Sequence[SiteTimeline],
+    horizon_seconds: float,
+    redirect_seconds: float,
+    routing: bool = True,
+) -> Dict[str, float]:
+    """Integrate :func:`serve_instant` over one fleet year.
+
+    Returns a plain-dict summary (server-equivalent-seconds and plain
+    counts — JSON-able, reduction-friendly):
+
+    ``demand``/``served``: integrals of offered and delivered work;
+    ``remote_served``: the failover traffic's delivered integral;
+    ``fully_served_seconds``: time with no unserved demand anywhere;
+    ``simultaneous_outage_seconds``: time with >= 2 sites in outage;
+    ``max_simultaneous_outages``: peak concurrent dark-site count.
+    """
+    if horizon_seconds <= 0:
+        raise ConfigurationError("horizon must be positive")
+    breakpoints = {0.0, horizon_seconds}
+    for timeline in timelines:
+        for window in timeline.windows:
+            breakpoints.add(window.start_seconds)
+            breakpoints.add(min(window.end_seconds, horizon_seconds))
+            breakpoints.add(
+                min(window.start_seconds + redirect_seconds, window.end_seconds)
+            )
+    cuts = sorted(b for b in breakpoints if 0.0 <= b <= horizon_seconds)
+
+    totals = {
+        "demand": 0.0,
+        "served": 0.0,
+        "remote_served": 0.0,
+        "fully_served_seconds": 0.0,
+        "simultaneous_outage_seconds": 0.0,
+        "max_simultaneous_outages": 0.0,
+    }
+    for start, end in zip(cuts, cuts[1:]):
+        dt = end - start
+        if dt <= 0:
+            continue
+        midpoint = (start + end) / 2.0
+        states = []
+        dark = 0
+        for timeline in timelines:
+            window = _window_at(timeline, midpoint)
+            if window is None:
+                states.append(
+                    SiteState(
+                        name=timeline.name,
+                        capacity=timeline.capacity,
+                        load=timeline.load,
+                        power_region=timeline.power_region,
+                        rtt_seconds=timeline.rtt_seconds,
+                    )
+                )
+            else:
+                dark += 1
+                states.append(
+                    SiteState(
+                        name=timeline.name,
+                        capacity=timeline.capacity,
+                        load=timeline.load,
+                        power_region=timeline.power_region,
+                        rtt_seconds=timeline.rtt_seconds,
+                        performance=window.performance,
+                        in_outage=True,
+                        remote_ready=(
+                            midpoint
+                            >= window.start_seconds + redirect_seconds
+                        ),
+                    )
+                )
+        instant = serve_instant(states, routing=routing)
+        totals["demand"] += instant.demand * dt
+        totals["served"] += instant.served * dt
+        totals["remote_served"] += instant.remote_served * dt
+        if instant.served >= instant.demand - _FULL_SERVICE_EPS:
+            totals["fully_served_seconds"] += dt
+        if dark >= 2:
+            totals["simultaneous_outage_seconds"] += dt
+        totals["max_simultaneous_outages"] = max(
+            totals["max_simultaneous_outages"], float(dark)
+        )
+    return totals

@@ -40,7 +40,12 @@ LEDGER_VERSION = 1
 HISTORY_FILENAME = "BENCH_history.jsonl"
 
 #: Artifacts the ledger knows how to ingest.
-ARTIFACT_FILENAMES = ("BENCH_sim.json", "BENCH_serve.json", "BENCH_policy.json")
+ARTIFACT_FILENAMES = (
+    "BENCH_sim.json",
+    "BENCH_serve.json",
+    "BENCH_policy.json",
+    "BENCH_fleet.json",
+)
 
 #: Fractional tolerance before a bad-direction move counts as a regression.
 DEFAULT_TOLERANCE = 0.15
@@ -115,6 +120,20 @@ _KINDS: Dict[str, Tuple[Callable[[Mapping[str, Any]], bool], Tuple[MetricSpec, .
     "policy": (
         lambda p: p.get("benchmark") == "policy-smoke",
         (MetricSpec("dominations", "higher", _dominations),),
+    ),
+    "fleet": (
+        lambda p: p.get("benchmark") == "fleet-smoke",
+        (
+            MetricSpec("dominations", "higher", _dominations),
+            MetricSpec(
+                "multi_site_gap", "higher", _path("correlation", "gap")
+            ),
+            MetricSpec(
+                "years_per_second",
+                "higher",
+                _path("throughput", "years_per_second"),
+            ),
+        ),
     ),
 }
 

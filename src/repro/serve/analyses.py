@@ -166,6 +166,18 @@ def _build_policy_frontier(params: Mapping[str, Any]) -> Tuple[List[Job], Finish
     return jobs, lambda values: reduce_policy_frontier(values)
 
 
+def _build_fleet_frontier(params: Mapping[str, Any]) -> Tuple[List[Job], FinishFn]:
+    from repro.fleet.frontier import prepare_fleet_frontier
+
+    return prepare_fleet_frontier(
+        params["fleet"],
+        params["configurations"],
+        technique=params["technique"],
+        years=params["years"],
+        seed=params["seed"],
+    )
+
+
 def _build_echo(params: Mapping[str, Any]) -> Tuple[List[Job], FinishFn]:
     jobs = make_jobs(_echo_cell, [dict(params)], labels=["echo"])
     return jobs, lambda values: values[0]
@@ -177,6 +189,7 @@ _BUILDERS: Dict[str, Callable[[Mapping[str, Any]], Tuple[List[Job], FinishFn]]] 
     "sweep": _build_sweep,
     "whatif": _build_whatif,
     "policy_frontier": _build_policy_frontier,
+    "fleet_frontier": _build_fleet_frontier,
     "echo": _build_echo,
 }
 

@@ -313,6 +313,43 @@ def _normalize_policy_frontier(params: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _normalize_fleet_frontier(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.core.configurations import PAPER_CONFIGURATIONS
+    from repro.fleet.frontier import DEFAULT_FLEET_YEARS
+    from repro.fleet.spec import DEFAULT_FLEET, fleet_names
+
+    merged: Dict[str, Any] = {
+        "fleet": DEFAULT_FLEET,
+        "configurations": None,
+        "technique": "full-service",
+        "years": DEFAULT_FLEET_YEARS,
+        "seed": 0,
+        **params,
+    }
+    fleet = _require_str(merged, "fleet")
+    if fleet not in fleet_names():
+        raise ProtocolError(
+            f"unknown fleet {fleet!r}; known: {', '.join(fleet_names())}"
+        )
+    valid = tuple(c.name for c in PAPER_CONFIGURATIONS)
+    if merged["configurations"] is None:
+        merged["configurations"] = list(valid)
+    configurations = _name_list(merged, "configurations", valid)
+    # Each configuration runs routed and unrouted — two cells apiece.
+    if len(configurations) * 2 > MAX_SWEEP_CELLS:
+        raise ProtocolError(
+            f"fleet_frontier grid too large ({len(configurations)}x2); "
+            f"at most {MAX_SWEEP_CELLS} cells per request"
+        )
+    return {
+        "fleet": fleet,
+        "configurations": configurations,
+        "technique": _technique(merged),
+        "years": _int_in(merged, "years", 1, MAX_YEARS),
+        "seed": _int_in(merged, "seed", -(2**63), 2**63 - 1),
+    }
+
+
 def _normalize_echo(params: Mapping[str, Any]) -> Dict[str, Any]:
     merged: Dict[str, Any] = {"payload": None, "sleep_s": 0.0, **params}
     sleep_s = merged["sleep_s"]
@@ -354,6 +391,10 @@ _SCHEMAS: Dict[str, Tuple[Any, Tuple[str, ...]]] = {
         _normalize_policy_frontier,
         ("workload", "configurations", "policies", "nodes_per_bucket",
          "servers"),
+    ),
+    "fleet_frontier": (
+        _normalize_fleet_frontier,
+        ("fleet", "configurations", "technique", "years", "seed"),
     ),
     # Diagnostics: returns its payload after an optional bounded sleep.
     # Load tests and shedding tests want a request whose cost they

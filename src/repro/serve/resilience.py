@@ -41,7 +41,7 @@ from repro.obs.metrics import MetricsRegistry
 #: Analyses refused first under brownout: their job fan-out is one to
 #: two orders of magnitude above a point query (a sweep is a whole
 #: grid), so refusing them frees the most capacity per refusal.
-EXPENSIVE_ANALYSES = frozenset({"sweep", "policy_frontier"})
+EXPENSIVE_ANALYSES = frozenset({"sweep", "policy_frontier", "fleet_frontier"})
 
 
 class Tier(enum.IntEnum):

@@ -17,6 +17,8 @@ name                   technique
 ``throttle+sleep-l``   Table 6 hybrid
 ``throttle+hibernate`` Table 6 hybrid
 ``migration+sleep-l``  Table 6 hybrid
+``geo-failover``       redirect load to surviving fleet sites
+``cloud-burst``        redirect load to rented cloud capacity
 =====================  =====================================================
 """
 
@@ -58,7 +60,32 @@ _FACTORIES: Dict[str, Callable[[], OutageTechnique]] = {
     ),
     "nvdimm": NVDIMMPersistence,
     "rdma-sleep": RDMASleep,
+    "geo-failover": lambda: _geo_failover(),
+    "cloud-burst": lambda: _cloud_burst(),
 }
+
+
+def _geo_failover() -> OutageTechnique:
+    """Geo-failover on the reference ``us-triad`` fleet, local site first.
+
+    Imported lazily: :mod:`repro.fleet` depends on this registry for its
+    per-site plans, so the fleet-backed techniques must not import it at
+    module load.
+    """
+    from repro.geo.failover import GeoFailoverTechnique
+    from repro.fleet.spec import get_fleet
+
+    fleet = get_fleet("us-triad")
+    return GeoFailoverTechnique(fleet.replication_model(), fleet.sites[0].name)
+
+
+def _cloud_burst() -> OutageTechnique:
+    """Cloud burst on the reference ``cloud-hybrid`` fleet."""
+    from repro.geo.failover import CloudBurstTechnique
+    from repro.fleet.spec import get_fleet
+
+    fleet = get_fleet("cloud-hybrid")
+    return CloudBurstTechnique(fleet.replication_model(), "onprem")
 
 _PSTATE_SUFFIX = re.compile(
     r"^(throttling|migration|proactive-migration)-p(\d+)(?:t(\d+))?$"

@@ -1,0 +1,129 @@
+"""Regional shock sampler: no-op anchor, monotonicity, merging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.correlation import RegionalShockSampler, merge_outage_events
+from repro.fleet.spec import get_fleet
+from repro.outages.events import OutageEvent, OutageSchedule
+from repro.units import SECONDS_PER_YEAR
+
+
+def schedule(*spans, horizon=SECONDS_PER_YEAR):
+    return OutageSchedule(
+        events=tuple(
+            OutageEvent(start_seconds=start, duration_seconds=end - start)
+            for start, end in spans
+        ),
+        horizon_seconds=horizon,
+    )
+
+
+class TestSampler:
+    def test_zero_correlation_is_noop(self):
+        fleet = get_fleet("us-triad")  # shocks off by default
+        hits = RegionalShockSampler(fleet).sample_year(
+            np.random.default_rng(0)
+        )
+        assert set(hits) == {s.name for s in fleet.sites}
+        assert all(events == [] for events in hits.values())
+
+    def test_zero_rate_is_noop(self):
+        fleet = get_fleet("us-triad").with_shocks(0.0, 0.9)
+        hits = RegionalShockSampler(fleet).sample_year(
+            np.random.default_rng(0)
+        )
+        assert all(events == [] for events in hits.values())
+
+    def test_seeded_reproducibility(self):
+        fleet = get_fleet("regional-quad").with_shocks(8.0, 0.6)
+        sampler = RegionalShockSampler(fleet)
+        a = sampler.sample_year(np.random.default_rng(42))
+        b = sampler.sample_year(np.random.default_rng(42))
+        assert a == b
+
+    def test_events_within_horizon(self):
+        fleet = get_fleet("regional-quad").with_shocks(20.0, 0.9)
+        hits = RegionalShockSampler(fleet).sample_year(
+            np.random.default_rng(1)
+        )
+        for events in hits.values():
+            for event in events:
+                assert 0 <= event.start_seconds < SECONDS_PER_YEAR
+                assert event.end_seconds <= SECONDS_PER_YEAR + 1e-6
+
+    def test_correlation_raises_hit_rate(self):
+        fleet = get_fleet("regional-quad")
+        low = RegionalShockSampler(fleet.with_shocks(10.0, 0.1))
+        high = RegionalShockSampler(fleet.with_shocks(10.0, 0.8))
+        low_hits = sum(
+            len(e)
+            for seed in range(20)
+            for e in low.sample_year(np.random.default_rng(seed)).values()
+        )
+        high_hits = sum(
+            len(e)
+            for seed in range(20)
+            for e in high.sample_year(np.random.default_rng(seed)).values()
+        )
+        assert high_hits > low_hits
+
+    def test_same_region_pair_co_struck_more_than_cross_region(self):
+        # Marginal hit rates are identical across regional-quad (each
+        # site is in-region for exactly one of the three epicenters);
+        # what region sharing changes is the JOINT hit probability.
+        # houston+dallas share ercot, so the same shock strikes both
+        # roughly twice as often as it strikes a cross-region pair.
+        fleet = get_fleet("regional-quad").with_shocks(10.0, 0.5)
+        sampler = RegionalShockSampler(fleet)
+
+        def co_hits(hits, a, b):
+            starts = {e.start_seconds for e in hits[a]}
+            return sum(1 for e in hits[b] if e.start_seconds in starts)
+
+        same_region = 0
+        cross_region = 0
+        for seed in range(60):
+            hits = sampler.sample_year(np.random.default_rng(seed))
+            same_region += co_hits(hits, "houston", "dallas")
+            cross_region += co_hits(hits, "atlanta", "denver")
+        assert same_region > cross_region
+
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            RegionalShockSampler(
+                get_fleet("us-triad"), horizon_seconds=0.0
+            )
+
+
+class TestMerge:
+    def test_no_shocks_returns_same_object(self):
+        base = schedule((100.0, 200.0))
+        assert merge_outage_events(base, []) is base
+
+    def test_disjoint_union_sorted(self):
+        base = schedule((1000.0, 2000.0))
+        merged = merge_outage_events(
+            base, [OutageEvent(start_seconds=100.0, duration_seconds=50.0)]
+        )
+        starts = [e.start_seconds for e in merged.events]
+        assert starts == [100.0, 1000.0]
+        assert merged.horizon_seconds == base.horizon_seconds
+
+    def test_overlap_coalesces(self):
+        base = schedule((100.0, 200.0), (500.0, 600.0))
+        merged = merge_outage_events(
+            base, [OutageEvent(start_seconds=150.0, duration_seconds=400.0)]
+        )
+        # shock [150, 550) bridges both base outages into one
+        assert len(merged.events) == 1
+        assert merged.events[0].start_seconds == 100.0
+        assert merged.events[0].end_seconds == 600.0
+
+    def test_shock_clipped_to_horizon(self):
+        base = schedule((100.0, 200.0), horizon=1000.0)
+        merged = merge_outage_events(
+            base, [OutageEvent(start_seconds=900.0, duration_seconds=500.0)]
+        )
+        assert merged.events[-1].end_seconds == pytest.approx(1000.0)

@@ -1,0 +1,127 @@
+"""FleetSpec/SiteSpec: validation, registry, canonical encodability."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.spec import (
+    DEFAULT_FLEET,
+    FleetSpec,
+    SiteSpec,
+    fleet_names,
+    get_fleet,
+)
+from repro.runner.jobs import canonical_encode
+
+
+class TestSiteSpec:
+    def test_defaults_are_valid(self):
+        site = SiteSpec(name="a")
+        assert site.workload == "websearch"
+        assert site.spare_capacity == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SiteSpec(name="")
+        with pytest.raises(ConfigurationError):
+            SiteSpec(name="a", servers=0)
+        with pytest.raises(ConfigurationError):
+            SiteSpec(name="a", capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            SiteSpec(name="a", capacity=1.0, load=1.1)
+        with pytest.raises(ConfigurationError):
+            SiteSpec(name="a", rtt_seconds=-0.1)
+
+    def test_to_site_mirrors_geometry(self):
+        site = SiteSpec(
+            name="a", capacity=2.0, load=1.5, power_region="pjm",
+            rtt_seconds=0.07,
+        ).to_site()
+        assert site.name == "a"
+        assert site.capacity == 2.0
+        assert site.load == 1.5
+        assert site.power_region == "pjm"
+        assert site.rtt_seconds == 0.07
+
+
+class TestFleetSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(name="empty", sites=())
+        with pytest.raises(ConfigurationError):
+            FleetSpec(
+                name="dup",
+                sites=(SiteSpec(name="a"), SiteSpec(name="a")),
+            )
+        sites = (SiteSpec(name="a"),)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(name="f", sites=sites, shock_rate_per_year=-1.0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(name="f", sites=sites, correlation=1.5)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(name="f", sites=sites, spillover=-0.1)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(name="f", sites=sites, redirect_seconds=-1.0)
+
+    def test_totals_and_lookup(self):
+        fleet = get_fleet("us-triad")
+        assert fleet.total_load == pytest.approx(1.8)
+        assert fleet.total_capacity == pytest.approx(3.0)
+        assert fleet.site("east").power_region == "pjm"
+        with pytest.raises(ConfigurationError):
+            fleet.site("nowhere")
+
+    def test_power_regions_first_appearance_order(self):
+        fleet = get_fleet("regional-quad")
+        # houston and dallas share ercot; order must be stable for the
+        # seeded epicenter draws.
+        assert fleet.power_regions == ("ercot", "serc", "wecc")
+
+    def test_with_uniform(self):
+        fleet = get_fleet("us-triad").with_uniform(
+            configuration="NoDG", technique="sleep-l"
+        )
+        assert all(s.configuration == "NoDG" for s in fleet.sites)
+        assert all(s.technique == "sleep-l" for s in fleet.sites)
+        # untouched fields survive
+        assert [s.power_region for s in fleet.sites] == [
+            "pjm", "miso", "wecc",
+        ]
+
+    def test_with_shocks(self):
+        fleet = get_fleet("us-triad").with_shocks(6.0, 0.5)
+        assert fleet.shock_rate_per_year == 6.0
+        assert fleet.correlation == 0.5
+
+    def test_replication_model_lowering(self):
+        model = get_fleet("coastal-pair").replication_model()
+        outcome = model.fail_over("virginia")
+        assert outcome.displaced_load == pytest.approx(0.5)
+        assert outcome.absorbed_load == pytest.approx(0.5)
+
+
+class TestRegistry:
+    def test_known_fleets(self):
+        names = fleet_names()
+        assert DEFAULT_FLEET in names
+        for name in names:
+            assert get_fleet(name).name == name
+
+    def test_lookup_case_insensitive(self):
+        assert get_fleet("US-TRIAD").name == "us-triad"
+
+    def test_unknown_fleet(self):
+        with pytest.raises(ConfigurationError):
+            get_fleet("atlantis")
+
+    def test_specs_are_canonically_encodable(self):
+        # fleet jobs carry FleetSpec in their spec dicts; the runner
+        # must be able to fingerprint them, i.e. the canonical form
+        # must be JSON-serializable and stable.
+        for name in fleet_names():
+            encoded = canonical_encode({"fleet": get_fleet(name)})
+            dumped = json.dumps(encoded, sort_keys=True)
+            assert dumped == json.dumps(
+                canonical_encode({"fleet": get_fleet(name)}), sort_keys=True
+            )

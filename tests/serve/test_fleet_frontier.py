@@ -1,0 +1,154 @@
+"""fleet_frontier through the serve stack: protocol, analyses, stats."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.analyses import evaluate_request
+from repro.serve.batcher import Batcher
+from repro.serve.protocol import (
+    ANALYSES,
+    MAX_SWEEP_CELLS,
+    PROTOCOL_VERSION,
+    parse_request,
+)
+from repro.serve.resilience import EXPENSIVE_ANALYSES
+
+
+def body(params, analysis="fleet_frontier"):
+    return {"v": PROTOCOL_VERSION, "analysis": analysis, "params": params}
+
+
+class TestNormalizer:
+    def test_registered(self):
+        assert "fleet_frontier" in ANALYSES
+
+    def test_marked_expensive(self):
+        # brownout mode must shed fleet sweeps before cheap analyses
+        assert "fleet_frontier" in EXPENSIVE_ANALYSES
+
+    def test_defaults_filled(self):
+        from repro.core.configurations import PAPER_CONFIGURATIONS
+        from repro.fleet.frontier import DEFAULT_FLEET_YEARS
+        from repro.fleet.spec import DEFAULT_FLEET
+
+        request = parse_request(body({}))
+        assert request.params["fleet"] == DEFAULT_FLEET
+        assert request.params["configurations"] == [
+            c.name for c in PAPER_CONFIGURATIONS
+        ]
+        assert request.params["technique"] == "full-service"
+        assert request.params["years"] == DEFAULT_FLEET_YEARS
+        assert request.params["seed"] == 0
+
+    def test_spelled_out_defaults_share_fingerprint(self):
+        """Explicit defaults and omitted defaults are one identity — the
+        cache and the coalescer must see one request."""
+        from repro.core.configurations import PAPER_CONFIGURATIONS
+        from repro.fleet.frontier import DEFAULT_FLEET_YEARS
+        from repro.fleet.spec import DEFAULT_FLEET
+
+        terse = parse_request(body({}))
+        spelled = parse_request(
+            body(
+                {
+                    "fleet": DEFAULT_FLEET,
+                    "configurations": [c.name for c in PAPER_CONFIGURATIONS],
+                    "technique": "full-service",
+                    "years": DEFAULT_FLEET_YEARS,
+                    "seed": 0,
+                }
+            )
+        )
+        assert terse.fingerprint == spelled.fingerprint
+
+    def test_different_fleets_differ(self):
+        a = parse_request(body({"fleet": "us-triad"}))
+        b = parse_request(body({"fleet": "coastal-pair"}))
+        assert a.fingerprint != b.fingerprint
+
+    def test_unknown_fleet_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fleet"):
+            parse_request(body({"fleet": "atlantis"}))
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(body({"configurations": ["Atlantis"]}))
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(body({"technique": "warp-drive"}))
+
+    def test_years_bounded(self):
+        with pytest.raises(ProtocolError):
+            parse_request(body({"years": 0}))
+        with pytest.raises(ProtocolError):
+            parse_request(body({"years": 10_001}))
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(body({"turbo": True}))
+
+    def test_grid_cap(self):
+        # each configuration costs two cells (routed + solo)
+        too_many = ["NoDG"] * (MAX_SWEEP_CELLS // 2 + 1)
+        with pytest.raises(ProtocolError, match="grid too large"):
+            parse_request(body({"configurations": too_many}))
+
+
+class TestEvaluation:
+    def request(self, seed=0):
+        return parse_request(
+            body(
+                {
+                    "fleet": "us-triad",
+                    "configurations": ["NoDG", "LargeEUPS"],
+                    "years": 2,
+                    "seed": seed,
+                }
+            )
+        )
+
+    def test_payload_shape(self):
+        payload = evaluate_request(self.request())
+        assert len(payload["cells"]) == 4
+        assert {c["routing"] for c in payload["cells"]} == {True, False}
+        assert payload["frontier"]
+        assert payload["single_site_frontier"]
+        assert isinstance(payload["fleet_dominates_single_site"], bool)
+
+    def test_worker_count_does_not_change_results(self):
+        from repro.runner.executor import ParallelExecutor, SerialExecutor
+
+        serial = evaluate_request(self.request(), executor=SerialExecutor())
+        parallel = evaluate_request(
+            self.request(), executor=ParallelExecutor(max_workers=2)
+        )
+        assert serial == parallel
+
+    def test_seed_changes_results(self):
+        a = evaluate_request(self.request(seed=0))
+        b = evaluate_request(self.request(seed=99))
+        assert a != b
+
+
+class TestPerAnalysisStats:
+    def test_batcher_tracks_fleet_frontier_rows(self):
+        batcher = Batcher(queue_bound=16, max_batch=16, max_wait_s=0.0)
+        try:
+            params = {
+                "fleet": "coastal-pair",
+                "configurations": ["NoDG"],
+                "years": 1,
+            }
+            first = parse_request(body(params))
+            dup = parse_request(body(params))
+            futures = [batcher.submit(r) for r in (first, dup)]
+            batcher.start()
+            for future in {id(f): f for f in futures}.values():
+                future.result(timeout=60)
+            row = batcher.stats()["analyses"]["fleet_frontier"]
+            assert row["requests"] == 2
+            assert row["coalesced"] == 1
+            assert row["failures"] == 0
+        finally:
+            batcher.close(drain=False, timeout=5)
